@@ -1,0 +1,22 @@
+"""Table I row 2: Clipboard (paper: 116.48 s -> 119.93 s, +2.96 %).
+
+"we configured our benchmark to only perform pastes for this test, and
+report the worst-case results" -- each operation is one full ICCCM paste
+round trip; under Overhaul it additionally carries the netlink permission
+query of Figure 2.
+"""
+
+import pytest
+
+from benchmarks.conftest import CLIPBOARD_OPS
+from repro.analysis.benchops import ClipboardRig
+
+
+@pytest.mark.benchmark(group="table1-row2-clipboard")
+def test_clipboard_paste(benchmark, protected):
+    rig = ClipboardRig(protected)
+    benchmark.pedantic(rig.run, args=(CLIPBOARD_OPS,), rounds=5, warmup_rounds=1)
+    # The paste genuinely moved the data every time.
+    assert rig.target.pasted[-1] == b"benchmark-clipboard-payload"
+    if protected:
+        assert rig.machine.overhaul.extension.queries_sent >= CLIPBOARD_OPS

@@ -1,0 +1,22 @@
+"""Table I row 5: Bonnie++ (paper: 47319 -> 47265 files/s, +0.11 %).
+
+"we ran Bonnie++, configured to create, stat and delete 102,400 empty files
+in a single directory.  Since OVERHAUL does not interpose on stat or unlink
+system calls, we were unable to reliably measure any overhead for stat and
+delete operations... we only report the runtime overhead for file creation."
+Each operation below is one create/stat/delete triple; only the create leg
+crosses the augmented open().
+"""
+
+import pytest
+
+from benchmarks.conftest import FILE_OPS
+from repro.analysis.benchops import FilesystemRig
+
+
+@pytest.mark.benchmark(group="table1-row5-filesystem")
+def test_filesystem_churn(benchmark, protected):
+    rig = FilesystemRig(protected)
+    benchmark.pedantic(rig.run, args=(FILE_OPS,), rounds=5, warmup_rounds=1)
+    # The bench directory must end every round empty (Bonnie++ semantics).
+    assert rig.machine.kernel.filesystem.listdir("/home/user/bench") == []

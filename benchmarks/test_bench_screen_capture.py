@@ -1,0 +1,19 @@
+"""Table I row 3: Screen Capture (paper: 68.26 s -> 69.86 s, +2.34 %).
+
+"This benchmark takes 1,000 screen captures using the imlib2 library...
+The time to save the image files to disk is not included."  Each operation
+is a root-window GetImage compositing real window content; under Overhaul
+it additionally runs the permission query and the capture alert.
+"""
+
+import pytest
+
+from benchmarks.conftest import SCREEN_OPS
+from repro.analysis.benchops import ScreenCaptureRig
+
+
+@pytest.mark.benchmark(group="table1-row3-screen-capture")
+def test_screen_capture(benchmark, protected):
+    rig = ScreenCaptureRig(protected)
+    benchmark.pedantic(rig.run, args=(SCREEN_OPS,), rounds=5, warmup_rounds=1)
+    assert rig.machine.xserver.screen_captures_served >= SCREEN_OPS

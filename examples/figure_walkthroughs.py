@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Protocol walkthroughs for every figure in the paper (1-4 and 6).
+
+Each scenario runs the pictured interaction on a fresh protected machine
+and prints the numbered protocol steps as they executed -- the runnable
+version of the paper's diagrams.
+
+Run:  python examples/figure_walkthroughs.py
+"""
+
+from repro.workloads.scenarios import all_figure_scenarios
+
+
+def main() -> None:
+    for trace in all_figure_scenarios():
+        print(trace.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

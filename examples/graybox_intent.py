@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Gray-box intent correlation: the paper's future-work direction, working.
+
+Black-box Overhaul blesses *any* operation after *any* recent input — the
+"strictly weaker than ACGs" concession of Section III-E.  The gray-box
+extension (sketched in Section VII) narrows it: a per-application intent
+profile (the artifact a program analysis would produce, here learned from
+a training trace) binds each sensitive operation to the UI inputs that
+express intent for it.
+
+Run:  python examples/graybox_intent.py
+"""
+
+from repro import Machine, OverhaulConfig
+from repro.apps import SimApp
+from repro.core.graybox import InputDescriptor, IntentProfileLearner
+from repro.kernel.errors import OverhaulDenied
+from repro.sim.time import from_seconds
+
+
+def main() -> None:
+    machine = Machine.with_overhaul(OverhaulConfig(graybox_enabled=True))
+    app = SimApp(machine, "/usr/bin/voicenote", comm="voicenote")
+    machine.settle()
+    geometry = app.window.geometry
+
+    print("--- black-box gap, before any profile ---")
+    machine.mouse.click(geometry.x + 15, geometry.y + 15)  # the 'save' button
+    fd = app.open_device("mic0")
+    print(f"'save' click blesses the microphone anyway (fd {fd}) — the ACG gap")
+    app.close_fd(fd)
+
+    print("\n--- training: observe which input precedes mic use ---")
+    learner = IntentProfileLearner("voicenote")
+    machine.run_for(from_seconds(3.0))
+    machine.mouse.click(geometry.x + 500, geometry.y + 400)  # the record button
+    learner.observe_input(InputDescriptor("button", 500, 400), machine.now)
+    fd = app.open_device("mic0")
+    learner.observe_operation("microphone:/dev/mic0", machine.now)
+    app.close_fd(fd)
+    machine.overhaul.monitor.graybox.install_profile(learner.build_profile())
+    print("profile learned: microphone <- clicks near (500, 400)")
+
+    print("\n--- enforcement ---")
+    machine.run_for(from_seconds(3.0))
+    machine.mouse.click(geometry.x + 15, geometry.y + 15)
+    try:
+        app.open_device("mic0")
+        print("unexpected grant")
+    except OverhaulDenied:
+        print("'save' click no longer blesses the microphone (intent mismatch)")
+    machine.mouse.click(geometry.x + 500, geometry.y + 400)
+    fd = app.open_device("mic0")
+    print(f"record-button click still works (fd {fd})")
+    print(f"\nintent denials recorded: {machine.overhaul.monitor.graybox.intent_denials}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Cross-process interaction tracking: Figures 3 & 4 plus the CLI path.
+
+Three flows where the process touching the device is *not* the process the
+user touched:
+
+- launcher -> fork/exec -> screenshot tool            (P1, Figure 3)
+- browser -> shared-memory IPC -> tab -> camera       (P2, Figure 4)
+- terminal emulator -> pty -> shell -> arecord        (pty patch, IV-B)
+
+Run:  python examples/multiprocess_flows.py
+"""
+
+from repro import Machine
+from repro.apps import Browser, Launcher, TerminalEmulator
+from repro.apps.recorder import CommandLineRecorder
+from repro.sim.time import format_timestamp
+
+
+def main() -> None:
+    machine = Machine.with_overhaul()
+
+    print("--- Figure 3: launcher spawns a screenshot tool (P1) ---")
+    launcher = Launcher(machine)
+    machine.settle()
+    child = launcher.launch_program("/usr/bin/shot", comm="shot")
+    print(f"launcher interaction: {format_timestamp(launcher.task.interaction_ts)}")
+    print(f"child (pid {child.pid}) inherited:  {format_timestamp(child.interaction_ts)}")
+    client = machine.xserver.connect(child)
+    image = machine.xserver.get_image(client, machine.xserver.root_window.drawable_id)
+    print(f"screenshot captured: {len(image)} bytes\n")
+
+    print("--- Figure 4: browser tab opens the camera via shm IPC (P2) ---")
+    browser = Browser(machine)
+    machine.settle()
+    tab = browser.open_tab()
+    print(f"tab before click: {format_timestamp(tab.task.interaction_ts)}")
+    browser.click()
+    faults_before = machine.kernel.shm.total_faults
+    browser.start_video_conference(tab)
+    print(f"tab after shm command: {format_timestamp(tab.task.interaction_ts)} "
+          f"({machine.kernel.shm.total_faults - faults_before} page fault(s) serviced)")
+    print(f"camera fd in the tab process: {tab.camera_fd}\n")
+
+    print("--- CLI: xterm -> bash -> arecord through the pty driver ---")
+    terminal = TerminalEmulator(machine)
+    machine.settle()
+    task = terminal.run_command("arecord", "/usr/bin/arecord")
+    print(f"shell history: {terminal.shell.history}")
+    print(f"arecord task interaction: {format_timestamp(task.interaction_ts)}")
+    recorder = CommandLineRecorder(machine, task)
+    data = recorder.record_once(count=32)
+    print(f"arecord sampled {len(data)} bytes from the microphone")
+
+
+if __name__ == "__main__":
+    main()

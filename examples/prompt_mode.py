@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Prompt mode: the Section IV-A extension the paper verified but shelved.
+
+A non-interactive voice daemon needs the microphone.  Under default
+Overhaul it is simply blocked (no interaction, ever).  With
+``prompt_mode=True`` the failed check raises an unforgeable prompt on the
+trusted output path; the user's *hardware* click approves or denies that
+one (process, operation) pair for one threshold window.  Synthetic clicks
+(XTest) bounce off.
+
+Run:  python examples/prompt_mode.py
+"""
+
+from repro import Machine, OverhaulConfig
+from repro.apps import SimApp
+from repro.kernel.errors import OverhaulDenied
+from repro.sim.time import from_seconds
+from repro.xserver.events import EventKind
+
+
+def main() -> None:
+    machine = Machine.with_overhaul(OverhaulConfig(prompt_mode=True))
+    daemon = SimApp(machine, "/usr/bin/voiced", comm="voiced", with_window=False)
+    machine.settle()
+    manager = machine.overhaul.extension.prompt_manager
+
+    print("--- the daemon tries the microphone (no interaction on record) ---")
+    try:
+        daemon.open_device("mic0")
+    except OverhaulDenied as error:
+        print(f"denied: {error}")
+    print(f"prompt on screen: {manager.active.render()}")
+
+    print("\n--- malware tries to approve it with a forged XTest click ---")
+    machine.xserver.xtest_fake_input(
+        daemon.client, EventKind.BUTTON_PRESS, detail=1, x=100, y=10
+    )
+    print(f"prompt still pending: {manager.active is not None}")
+
+    print("\n--- the user approves with a real hardware click ---")
+    machine.mouse.click(100, 10)
+    fd = daemon.open_device("mic0")
+    print(f"daemon's retry granted: fd {fd}")
+
+    print("\n--- the approval expires like any interaction (delta = 2 s) ---")
+    machine.run_for(from_seconds(2.5))
+    try:
+        daemon.open_device("mic0")
+    except OverhaulDenied as error:
+        print(f"denied again: {error}")
+    print(f"\nprompts shown: {manager.prompts_shown}, responses: {manager.responses_sent}")
+
+
+if __name__ == "__main__":
+    main()

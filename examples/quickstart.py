@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: a protected machine, one spying process, one honest app.
+
+Demonstrates the core Overhaul loop in under a minute of reading:
+
+1. build a simulated desktop with Overhaul installed;
+2. a background process tries the microphone -> blocked, alert shown;
+3. the user clicks a recorder app -> its microphone open is granted,
+   announced by an overlay alert carrying the visual shared secret;
+4. two simulated seconds later the permission has expired again.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine
+from repro.apps import AudioRecorder, Spyware
+from repro.kernel.errors import OverhaulDenied
+from repro.sim.time import format_timestamp, from_seconds
+
+
+def main() -> None:
+    machine = Machine.with_overhaul()
+    print(f"booted {machine!r}")
+    print(f"sensitive devices: {machine.kernel.devfs.sensitive_map.sensitive_paths()}")
+
+    recorder = AudioRecorder(machine)
+    spy = Spyware(machine)
+    machine.settle()
+
+    print("\n--- background spyware tries the microphone (no interaction) ---")
+    sample = spy.attempt_microphone()
+    print(f"spyware got: {sample!r}  (blocked attempts: {spy.blocked})")
+
+    print("\n--- the user clicks the recorder's record button ---")
+    recorder.click_record()
+    samples = recorder.capture_samples(count=16)
+    print(f"recorder captured {len(samples)} bytes at {format_timestamp(machine.now)}")
+    recorder.stop_recording()
+
+    print("\n--- alerts currently on the trusted overlay ---")
+    for alert in machine.xserver.overlay.visible_alerts(machine.now):
+        print(f"  [{alert.shared_secret}] {alert.message}")
+
+    print("\n--- two simulated seconds later, the permission has expired ---")
+    machine.run_for(from_seconds(2.5))
+    try:
+        recorder.start_recording()
+        print("unexpected: grant without fresh interaction")
+    except OverhaulDenied as error:
+        print(f"denied as designed: {error}")
+
+    print("\n--- the kernel audit log (what the paper's authors inspected) ---")
+    print(machine.kernel.audit.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""The Section V-B usability study (46 participants, two tasks).
+
+Task 1: a real Skype-call scenario per participant on a protected machine;
+the Likert rating falls out of observable behaviour differences (none).
+Task 2: a real hidden camera-probe process fires mid-task; the block and
+the overlay alert are genuine, only the human noticing is modelled
+(calibrated to the paper's 24/16/6 outcome).
+
+Run:  python examples/usability_study.py [seed]
+"""
+
+import sys
+
+from repro.workloads.usability import run_usability_study
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2016
+    results = run_usability_study(seed=seed)
+    print(f"seed {seed}")
+    print(results.render())
+    print()
+    print("paper reported            : 24 interrupted / 16 noticed / 6 missed")
+    print(
+        f"model expectation (46 x)  : "
+        f"{46 * 24 / 46:.0f} / {46 * 16 / 46:.0f} / {46 * 6 / 46:.0f} "
+        "(this run is one seeded draw from that distribution)"
+    )
+
+
+if __name__ == "__main__":
+    main()

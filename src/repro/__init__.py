@@ -1,0 +1,46 @@
+"""Reproduction of *Overhaul: Input-Driven Access Control for Better
+Privacy on Traditional Operating Systems* (Onarlioglu, Robertson, Kirda --
+DSN 2016).
+
+Overhaul retrofits dynamic, user-driven access control into traditional
+OSes: an application may touch a privacy-sensitive resource (microphone,
+camera, clipboard, screen contents) only in close temporal proximity to
+authentic hardware user input delivered to it -- propagated across fork and
+every IPC facility -- and every granted access is announced through an
+unforgeable overlay alert.
+
+Because the original is a patched Linux kernel + X.Org server, this
+reproduction implements the complete stack as a deterministic discrete-event
+simulation (see DESIGN.md for the substitution argument):
+
+- :mod:`repro.sim` -- virtual time, event scheduling, seeded randomness;
+- :mod:`repro.kernel` -- the simulated kernel (tasks, VFS, devices, all IPC
+  facilities, VM with fault-based shm interception, netlink, ptrace);
+- :mod:`repro.xserver` -- the simulated X server (windows, input
+  provenance, ICCCM selections, screen capture, overlay alerts);
+- :mod:`repro.core` -- Overhaul itself (permission monitor, display-manager
+  extension, configuration, machine assembly);
+- :mod:`repro.apps` -- simulated applications (browsers, video
+  conferencing, launchers, terminals, spyware);
+- :mod:`repro.workloads` -- the paper's experiments (usability study,
+  applicability sweep, 21-day empirical study);
+- :mod:`repro.analysis` -- tables and statistics (Table I regeneration).
+
+Quickstart::
+
+    from repro import Machine
+    machine = Machine.with_overhaul()
+"""
+
+from repro.core import Machine, OverhaulConfig, OverhaulSystem, benchmark_config, paper_config
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "OverhaulConfig",
+    "OverhaulSystem",
+    "__version__",
+    "benchmark_config",
+    "paper_config",
+]

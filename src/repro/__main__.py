@@ -1,0 +1,116 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+- ``demo``          -- the quickstart grant/deny walkthrough;
+- ``figures``       -- print the Figure 1-4/6 protocol traces;
+- ``table1``        -- regenerate Table I (accepts ``--scale``/``--repeats``);
+- ``usability``     -- run the V-B study (accepts ``--seed``);
+- ``longterm``      -- run the V-D study (accepts ``--days``/``--seed``);
+- ``applicability`` -- run the V-C sweep;
+- ``report``        -- regenerate the full evaluation report.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Overhaul (DSN 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="quickstart walkthrough")
+    sub.add_parser("figures", help="figure protocol traces")
+    sub.add_parser("applicability", help="Section V-C sweep")
+
+    table1 = sub.add_parser("table1", help="regenerate Table I")
+    table1.add_argument("--scale", type=float, default=1.0)
+    table1.add_argument("--repeats", type=int, default=5)
+
+    usability = sub.add_parser("usability", help="Section V-B study")
+    usability.add_argument("--seed", type=int, default=2016)
+
+    longterm = sub.add_parser("longterm", help="Section V-D study")
+    longterm.add_argument("--days", type=int, default=21)
+    longterm.add_argument("--seed", type=int, default=2016)
+
+    report = sub.add_parser("report", help="full evaluation report")
+    report.add_argument("--full", action="store_true")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "demo":
+        run_demo()
+        return 0
+    if args.command == "figures":
+        from repro.workloads.scenarios import all_figure_scenarios
+
+        for trace in all_figure_scenarios():
+            print(trace.render())
+            print()
+        return 0
+    if args.command == "table1":
+        from repro.analysis.tables import measure_table_i
+
+        print(measure_table_i(scale=args.scale, repeats=args.repeats).render())
+        return 0
+    if args.command == "usability":
+        from repro.workloads.usability import run_usability_study
+
+        print(run_usability_study(seed=args.seed).render())
+        return 0
+    if args.command == "longterm":
+        from repro.workloads.longterm import run_comparison
+
+        for results in run_comparison(seed=args.seed, days=args.days).values():
+            print(results.render())
+            print()
+        return 0
+    if args.command == "applicability":
+        from repro.workloads.app_catalog import run_applicability_sweep
+
+        print(run_applicability_sweep().render())
+        return 0
+    if args.command == "report":
+        from repro.analysis.report import build_report
+
+        print(
+            build_report(
+                table_scale=2.0 if args.full else 0.5,
+                longterm_days=21 if args.full else 5,
+            )
+        )
+        return 0
+    return 1  # pragma: no cover
+
+
+def run_demo() -> None:
+    """The quickstart flow, inline (keeps `repro demo` dependency-free)."""
+    from repro import Machine
+    from repro.apps import AudioRecorder, Spyware
+    from repro.kernel.errors import OverhaulDenied
+    from repro.sim.time import from_seconds
+
+    machine = Machine.with_overhaul()
+    recorder = AudioRecorder(machine)
+    spy = Spyware(machine)
+    machine.settle()
+    print("spyware mic attempt ->", spy.attempt_microphone())
+    recorder.click_record()
+    print("recorder after click ->", len(recorder.capture_samples(16)), "bytes")
+    recorder.stop_recording()
+    machine.run_for(from_seconds(2.5))
+    try:
+        recorder.start_recording()
+    except OverhaulDenied as error:
+        print("after expiry ->", error)
+    print("alerts shown:", machine.xserver.overlay.total_shown)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Analysis and result regeneration.
+
+- :mod:`repro.analysis.benchops` -- the five Table I workloads as rigs
+  shared by the pytest-benchmark suite and the table renderer;
+- :mod:`repro.analysis.metrics` -- timing and overhead statistics;
+- :mod:`repro.analysis.tables` -- ``python -m repro.analysis.tables``
+  regenerates Table I.
+"""
+
+from repro.analysis.benchops import (
+    ALL_RIGS,
+    ClipboardRig,
+    DeviceAccessRig,
+    FilesystemRig,
+    ScreenCaptureRig,
+    SharedMemoryRig,
+)
+from repro.analysis.decomposition import (
+    ComponentCost,
+    measure_components,
+    render_report,
+)
+from repro.analysis.metrics import (
+    TimingResult,
+    mean,
+    overhead_percent,
+    stdev,
+    time_callable,
+)
+from repro.analysis.tables import TableIResult, TableRow, measure_row, measure_table_i
+
+__all__ = [
+    "ALL_RIGS",
+    "ClipboardRig",
+    "ComponentCost",
+    "measure_components",
+    "render_report",
+    "DeviceAccessRig",
+    "FilesystemRig",
+    "ScreenCaptureRig",
+    "SharedMemoryRig",
+    "TableIResult",
+    "TableRow",
+    "TimingResult",
+    "mean",
+    "measure_row",
+    "measure_table_i",
+    "overhead_percent",
+    "stdev",
+    "time_callable",
+]

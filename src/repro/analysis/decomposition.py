@@ -1,0 +1,167 @@
+"""Decomposition of Overhaul's per-operation overhead.
+
+Table I reports end-to-end overhead; this harness breaks the Overhaul
+addition into its components so the EXPERIMENTS.md discussion ("the added
+cost per operation is a small constant") is backed by direct measurement:
+
+- the temporal decision itself (``PermissionMonitor.decide``);
+- a netlink query round trip (display manager -> kernel -> response);
+- an audit-log append;
+- an alert request (coalesced vs uncoalesced);
+- one P2 stamp embed/adopt pair;
+- one shm fault service.
+
+Run: ``python -m repro.analysis.decomposition``
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.apps.base import SimApp
+from repro.core.config import benchmark_config
+from repro.core.notifications import MSG_PERMISSION_QUERY
+from repro.core.system import Machine
+
+
+@dataclass
+class ComponentCost:
+    """Measured cost of one overhead component."""
+
+    name: str
+    microseconds_per_op: float
+
+    def render(self) -> str:
+        return f"  {self.name:<38} {self.microseconds_per_op:8.2f} us/op"
+
+
+def _time_per_op(fn: Callable[[], None], ops: int = 5_000, repeats: int = 3) -> float:
+    """Best-of-N mean microseconds per call of *fn*."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(ops):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / ops)
+    return best * 1e6
+
+
+def measure_components(ops: int = 5_000) -> List[ComponentCost]:
+    """Measure every component on a fresh benchmark-mode machine."""
+    machine = Machine.with_overhaul(benchmark_config())
+    app = SimApp(machine, "/usr/bin/component-bench", comm="cbench")
+    machine.settle()
+    app.click()
+    monitor = machine.overhaul.monitor
+    task = app.task
+    now = machine.now
+    results: List[ComponentCost] = []
+
+    results.append(
+        ComponentCost(
+            "decision (PermissionMonitor.decide)",
+            _time_per_op(lambda: monitor.decide(task, now, "bench"), ops),
+        )
+    )
+
+    channel = machine.overhaul.channel
+    xorg = machine.xserver_task
+
+    def query() -> None:
+        channel.send_to_kernel(
+            xorg,
+            MSG_PERMISSION_QUERY,
+            {"pid": task.pid, "operation": "bench", "timestamp": now},
+        )
+
+    results.append(
+        ComponentCost("netlink query round trip (incl. decide)", _time_per_op(query, ops))
+    )
+
+    from repro.kernel.audit import AuditCategory, AuditDecision
+
+    audit = machine.kernel.audit
+    results.append(
+        ComponentCost(
+            "audit-log append",
+            _time_per_op(
+                lambda: audit.record(
+                    now, AuditCategory.DEVICE, AuditDecision.GRANTED, task.pid, "cbench", "op"
+                ),
+                ops,
+            ),
+        )
+    )
+
+    results.append(
+        ComponentCost(
+            "alert request (coalesced steady state)",
+            _time_per_op(lambda: monitor.request_visual_alert(task, "bench-op"), ops),
+        )
+    )
+
+    from repro.kernel.ipc.base import InteractionStamp
+
+    stamp = InteractionStamp(machine.kernel.tracking)
+    receiver, _ = machine.launch("/usr/bin/recv", connect_x=False)
+
+    def stamp_pair() -> None:
+        stamp.embed_from(task)
+        stamp.adopt_to(receiver)
+
+    results.append(ComponentCost("P2 stamp embed+adopt pair", _time_per_op(stamp_pair, ops)))
+
+    from repro.core.graybox import GrayBoxRegistry, InputDescriptor, IntentProfile, Region
+
+    registry = GrayBoxRegistry()
+    registry.install_profile(
+        IntentProfile("cbench").allow_region("microphone", Region(0, 0, 64, 64))
+    )
+    descriptor = InputDescriptor("button", 10, 10)
+    results.append(
+        ComponentCost(
+            "gray-box intent check (profiled app)",
+            _time_per_op(
+                lambda: registry.check("cbench", "microphone:/dev/mic0", descriptor), ops
+            ),
+        )
+    )
+
+    segment = machine.kernel.shm.shmget(0xFA17, 4)
+    area = machine.kernel.shm.attach(task, segment)
+
+    def fault_service() -> None:
+        area.revoke_protection()  # re-arm manually so every write faults
+        machine.kernel.shm._service_fault(task, area, is_write=True)
+
+    results.append(
+        ComponentCost("shm fault service (propagate+restore+rearm)",
+                      _time_per_op(fault_service, max(ops // 5, 200)))
+    )
+
+    return results
+
+
+def render_report(ops: int = 5_000) -> str:
+    lines = ["Overhaul per-operation overhead decomposition", ""]
+    lines += [component.render() for component in measure_components(ops)]
+    lines += [
+        "",
+        "context: the paper's real baseline operations cost ~4.5 us (device",
+        "open) to ~1.2 ms (X paste round trip) of native work, so additions",
+        "of this magnitude correspond to the low single-digit percentages",
+        "Table I reports.",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> int:  # pragma: no cover - thin CLI
+    print(render_report())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

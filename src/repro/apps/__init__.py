@@ -1,0 +1,79 @@
+"""Simulated applications for the Overhaul reproduction.
+
+Every class here is an *unmodified* application in the paper's sense: it
+uses only stock OS/X11 interfaces and contains no Overhaul-specific code,
+so the same programs run on baseline and protected machines (transparency
+goal D1).  The roster covers the evaluation's application classes
+(Section V-C) plus the attack programs of the threat analysis.
+"""
+
+from repro.apps.base import SELECTION_PROPERTY, SimApp
+from repro.apps.browser import (
+    CMD_START_AUDIOCALL,
+    CMD_START_VIDEOCONF,
+    Browser,
+    BrowserTab,
+)
+from repro.apps.dbus import (
+    DBusConnection,
+    DBusDaemon,
+    SYSTEM_BUS_PATH,
+    VoiceAssistantService,
+)
+from repro.apps.clipboard_apps import (
+    ClipboardHistoryTool,
+    OfficeApp,
+    PasswordManager,
+    TextEditor,
+)
+from repro.apps.launcher import Launcher
+from repro.apps.malware import (
+    ClickjackingMalware,
+    ClipboardProtocolAttacker,
+    FakeAlertMalware,
+    InputForgeryMalware,
+    PtraceInjectionMalware,
+    Spyware,
+    StolenItem,
+)
+from repro.apps.recorder import AudioRecorder, CommandLineRecorder, WebcamViewer
+from repro.apps.session import AutostartEntry, SessionManager
+from repro.apps.screenshot import DelayedScreenshotTool, DesktopRecorder, ScreenshotTool
+from repro.apps.terminal import Shell, TerminalEmulator
+from repro.apps.videoconf import VideoConfApp
+
+__all__ = [
+    "AudioRecorder",
+    "AutostartEntry",
+    "SessionManager",
+    "Browser",
+    "BrowserTab",
+    "CMD_START_AUDIOCALL",
+    "CMD_START_VIDEOCONF",
+    "ClickjackingMalware",
+    "ClipboardHistoryTool",
+    "ClipboardProtocolAttacker",
+    "CommandLineRecorder",
+    "DBusConnection",
+    "DBusDaemon",
+    "DelayedScreenshotTool",
+    "DesktopRecorder",
+    "FakeAlertMalware",
+    "InputForgeryMalware",
+    "Launcher",
+    "OfficeApp",
+    "PasswordManager",
+    "PtraceInjectionMalware",
+    "SELECTION_PROPERTY",
+    "SYSTEM_BUS_PATH",
+    "ScreenshotTool",
+    "Shell",
+    "SimApp",
+    "Spyware",
+    "StolenItem",
+    "TerminalEmulator",
+    "TextEditor",
+    "VideoConfApp",
+    "VoiceAssistantService",
+    "WebcamViewer",
+]

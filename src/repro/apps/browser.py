@@ -1,0 +1,115 @@
+"""A multi-process browser (Figure 4).
+
+Chromium-style architecture: the user interacts with the main *Browser*
+window; each tab is a separate process, commanded over shared-memory IPC.
+When the user launches a web video-conference, the camera is opened by the
+*tab* process -- which never received any input event.  The access works
+under Overhaul only because:
+
+1. fork duplicated the browser's task_struct into the tab (P1), and
+2. the shared-memory command write/read propagated the (fresher)
+   interaction timestamp through the page-fault interception path (P2).
+
+The tab is deliberately forked *early* (at browser startup, long before any
+interaction) so the scenario genuinely depends on the shm propagation, not
+just on fork inheritance.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.apps.base import SimApp
+from repro.kernel.task import Task
+from repro.xserver.window import Geometry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import Machine
+
+#: Commands the browser writes into the shared command page.
+CMD_IDLE = b"\x00"
+CMD_START_VIDEOCONF = b"\x01"
+CMD_START_AUDIOCALL = b"\x02"
+
+
+class BrowserTab:
+    """A tab renderer process: no input, commands arrive over shm."""
+
+    def __init__(self, machine: "Machine", browser_task: Task, shm_segment) -> None:
+        self.machine = machine
+        # The renderer is forked from the browser (Chromium zygote-style).
+        self.task = machine.kernel.sys_spawn(
+            browser_task, "/usr/bin/browser", comm="browser-tab"
+        )
+        self._segment = shm_segment
+        self._area = machine.kernel.shm.attach(self.task, shm_segment)
+        self.camera_fd: Optional[int] = None
+        self.mic_fd: Optional[int] = None
+        self.captured: List[bytes] = []
+
+    def poll_command(self) -> bytes:
+        """Read the command byte from shared memory (P2 adopt on read)."""
+        return self.machine.kernel.shm.read(self.task, self._area, 0, 1)
+
+    def execute_pending(self) -> Optional[str]:
+        """Act on the current shared-memory command.
+
+        Camera/microphone opens happen *here*, in the tab process.  Raises
+        :class:`repro.kernel.errors.OverhaulDenied` if the access is
+        blocked (e.g. when propagation was defeated).
+        """
+        command = self.poll_command()
+        if command == CMD_START_VIDEOCONF:
+            self.camera_fd = self.machine.kernel.sys_open(
+                self.task, self.machine.kernel.device_path("video0")
+            )
+            self.mic_fd = self.machine.kernel.sys_open(
+                self.task, self.machine.kernel.device_path("mic0")
+            )
+            return "videoconf"
+        if command == CMD_START_AUDIOCALL:
+            self.mic_fd = self.machine.kernel.sys_open(
+                self.task, self.machine.kernel.device_path("mic0")
+            )
+            return "audiocall"
+        return None
+
+
+class Browser(SimApp):
+    """The main browser process."""
+
+    default_geometry = Geometry(300, 100, 1200, 800)
+
+    def __init__(self, machine: "Machine", comm: str = "browser", **kwargs) -> None:
+        super().__init__(machine, "/usr/bin/browser", comm=comm, **kwargs)
+        # One shared command page between browser and its tabs.
+        self._segment = machine.kernel.shm.shm_open(
+            f"/browser-cmd-{self.pid}", num_pages=1
+        )
+        self._area = machine.kernel.shm.attach(self.task, self._segment)
+        self.tabs: List[BrowserTab] = []
+
+    def open_tab(self) -> BrowserTab:
+        """Fork a renderer process for a new tab."""
+        tab = BrowserTab(self.machine, self.task, self._segment)
+        self.tabs.append(tab)
+        return tab
+
+    def command_tab(self, tab: BrowserTab, command: bytes) -> Optional[str]:
+        """Send *command* to *tab* via shared memory and let it execute.
+
+        The write embeds the browser's interaction timestamp in the segment
+        (through the fault path when the mapping is armed); the tab's read
+        adopts it; the tab then opens the devices.
+        """
+        self.machine.kernel.shm.write(self.task, self._area, 0, command)
+        return tab.execute_pending()
+
+    def start_video_conference(self, tab: Optional[BrowserTab] = None) -> BrowserTab:
+        """The Figure 4 flow, minus the user click (scenarios drive that).
+
+        Opens a tab if needed and commands it to start the video call.
+        """
+        target = tab if tab is not None else (self.tabs[0] if self.tabs else self.open_tab())
+        self.command_tab(target, CMD_START_VIDEOCONF)
+        return target

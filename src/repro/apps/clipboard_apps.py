@@ -1,0 +1,108 @@
+"""Clipboard-using applications: editors, office suites, password managers.
+
+These drive the Figure 2 / Figure 6 protocol as ordinary ICCCM citizens.
+The password manager matters for the threat narrative: "malicious programs
+that attempt to capture sensitive data from the system clipboard, such as
+passwords pasted from a password manager" (Section III-C) -- which is
+exactly what the V-D spyware tries, and what the simulation's unprotected
+machine loses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.apps.base import SimApp
+from repro.xserver.input_drivers import KEYCODE_C, KEYCODE_V, MODIFIER_CTRL
+from repro.xserver.window import Geometry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import Machine
+
+
+class TextEditor(SimApp):
+    """A gedit-like editor."""
+
+    default_geometry = Geometry(250, 250, 900, 600)
+
+    def __init__(self, machine: "Machine", comm: str = "gedit", **kwargs) -> None:
+        super().__init__(machine, f"/usr/bin/{comm}", comm=comm, **kwargs)
+        self.buffer = b""
+
+    def user_copy(self, data: bytes) -> None:
+        """The user presses Ctrl+C; the editor claims the selection.
+
+        The keystroke lands on this window (focus follows), producing the
+        interaction notification the subsequent SetSelection needs.
+        """
+        self.focus()
+        self.machine.keyboard.combo(KEYCODE_C, MODIFIER_CTRL)
+        self.copy_text(data)
+
+    def user_paste(self) -> Optional[bytes]:
+        """The user presses Ctrl+V; the editor requests the selection."""
+        self.focus()
+        self.machine.keyboard.combo(KEYCODE_V, MODIFIER_CTRL)
+        data = self.paste_text()
+        if data is not None:
+            self.buffer += data
+        return data
+
+
+class PasswordManager(SimApp):
+    """A KeePass-like vault that copies credentials to the clipboard."""
+
+    default_geometry = Geometry(800, 150, 500, 400)
+
+    def __init__(self, machine: "Machine", comm: str = "keepass", **kwargs) -> None:
+        super().__init__(machine, f"/usr/bin/{comm}", comm=comm, **kwargs)
+        self.vault: Dict[str, bytes] = {
+            "bank": b"hunter2-bank-password",
+            "email": b"correct-horse-battery-staple",
+        }
+
+    def user_copy_password(self, entry: str) -> bytes:
+        """The user clicks the 'copy password' button for *entry*."""
+        secret = self.vault[entry]
+        self.click()
+        self.copy_text(secret)
+        return secret
+
+
+class OfficeApp(TextEditor):
+    """A LibreOffice-style document editor (same clipboard behaviour)."""
+
+    default_geometry = Geometry(100, 50, 1100, 750)
+
+    def __init__(self, machine: "Machine", comm: str = "libreoffice", **kwargs) -> None:
+        super().__init__(machine, comm=comm, **kwargs)
+
+
+class ClipboardHistoryTool(SimApp):
+    """A clipboard-manager utility that polls the selection.
+
+    Legitimate clipboard managers *do* read the clipboard without fresh
+    user input -- under Overhaul they only succeed right after real copy
+    activity, which is the paper's accepted behaviour change for this app
+    class (clipboard accesses are logged, never alerted).
+    """
+
+    default_geometry = Geometry(1500, 50, 300, 500)
+
+    def __init__(self, machine: "Machine", comm: str = "clipman", **kwargs) -> None:
+        super().__init__(machine, f"/usr/bin/{comm}", comm=comm, **kwargs)
+        self.history: List[bytes] = []
+        self.denied_polls = 0
+
+    def poll_clipboard(self) -> Optional[bytes]:
+        """Try to read the clipboard; record denials instead of raising."""
+        from repro.xserver.errors import BadAccess
+
+        try:
+            data = self.paste_text()
+        except BadAccess:
+            self.denied_polls += 1
+            return None
+        if data is not None:
+            self.history.append(data)
+        return data

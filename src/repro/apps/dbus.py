@@ -1,0 +1,174 @@
+"""A miniature D-Bus: a message-bus daemon over UNIX domain sockets.
+
+Section IV-B: "Higher-level IPC mechanisms that are built on these OS
+primitives (e.g., D-Bus) are also automatically covered."  This module
+makes that claim executable: the bus daemon below is an ordinary process
+relaying messages over :mod:`repro.kernel.ipc.unix_socket` connections, with
+no Overhaul-specific code anywhere -- and interaction timestamps still flow
+publisher -> daemon -> subscriber because every socket hop runs P2.
+
+The typical scenario (tested in tests/integration/test_dbus.py): the user
+clicks a assistant UI, the UI publishes ``assistant.listen`` on the bus, a
+background voice service receives it and opens the microphone -- granted,
+because the user's click rode the bus with the message.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.kernel.errors import WouldBlock
+from repro.kernel.ipc.unix_socket import UnixSocketConnection
+from repro.kernel.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import Machine
+
+#: Well-known bus socket path.
+SYSTEM_BUS_PATH = "/run/dbus/system_bus_socket"
+
+
+@dataclass
+class BusMessage:
+    """One published message as seen by a subscriber."""
+
+    topic: str
+    payload: bytes
+    sender_pid: int
+
+
+def _encode(topic: str, payload: bytes, sender_pid: int) -> bytes:
+    return topic.encode() + b"\x00" + str(sender_pid).encode() + b"\x00" + payload
+
+
+def _decode(raw: bytes) -> BusMessage:
+    topic, sender, payload = raw.split(b"\x00", 2)
+    return BusMessage(topic.decode(), payload, int(sender.decode()))
+
+
+class DBusConnection:
+    """A client's handle to the bus."""
+
+    def __init__(self, daemon: "DBusDaemon", task: Task, socket: UnixSocketConnection) -> None:
+        self._daemon = daemon
+        self.task = task
+        self._socket = socket
+        self.inbox: List[BusMessage] = []
+
+    def subscribe(self, topic: str) -> None:
+        """AddMatch: receive future messages on *topic*."""
+        self._daemon.add_subscription(topic, self)
+
+    def publish(self, topic: str, payload: bytes = b"") -> None:
+        """Emit a signal.  The socket send embeds this task's interaction
+        timestamp (P2 step 2); the daemon's dispatch moves it onward."""
+        self._socket.send(self.task, _encode(topic, payload, self.task.pid))
+        self._daemon.dispatch()
+
+    def poll(self) -> Optional[BusMessage]:
+        """Receive one delivered message (adopting the bus's timestamp)."""
+        try:
+            raw = self._socket.receive(self.task)
+        except WouldBlock:
+            return None
+        if not raw:
+            return None
+        message = _decode(raw)
+        self.inbox.append(message)
+        return message
+
+
+class DBusDaemon:
+    """The bus daemon process: subscribe/publish relay, nothing more."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.task, _ = machine.launch(
+            "/usr/bin/dbus-daemon", comm="dbus-daemon", connect_x=False
+        )
+        kernel = machine.kernel
+        kernel.filesystem.makedirs("/run/dbus")
+        kernel.sockets.listen(self.task, SYSTEM_BUS_PATH)
+        self._connections: List[DBusConnection] = []
+        self._subscriptions: Dict[str, List[DBusConnection]] = defaultdict(list)
+        self.messages_relayed = 0
+
+    def connect(self, task: Task) -> DBusConnection:
+        """Accept a new client onto the bus."""
+        kernel = self.machine.kernel
+        socket = kernel.sockets.connect(task, SYSTEM_BUS_PATH)
+        accepted = kernel.sockets.accept(self.task, SYSTEM_BUS_PATH)
+        assert accepted is socket
+        connection = DBusConnection(self, task, socket)
+        self._connections.append(connection)
+        return connection
+
+    def add_subscription(self, topic: str, connection: DBusConnection) -> None:
+        if connection not in self._subscriptions[topic]:
+            self._subscriptions[topic].append(connection)
+
+    def dispatch(self) -> int:
+        """Drain every client socket and relay to subscribers.
+
+        Each receive adopts the sender's timestamp into the *daemon's*
+        task_struct; each relay send embeds it into the subscriber's
+        connection -- the transitive chain of Section III-D.
+        """
+        relayed = 0
+        for connection in list(self._connections):
+            while True:
+                try:
+                    raw = connection._socket.receive(self.task)
+                except WouldBlock:
+                    break
+                if not raw:
+                    break
+                message = _decode(raw)
+                for subscriber in self._subscriptions.get(message.topic, []):
+                    if subscriber is connection:
+                        continue
+                    subscriber._socket.send(self.task, raw)
+                    relayed += 1
+        self.messages_relayed += relayed
+        return relayed
+
+
+class VoiceAssistantService:
+    """A background service driven entirely over the bus.
+
+    It has no window and receives no input; its only path to the
+    microphone is the interaction provenance carried by bus messages.
+    """
+
+    LISTEN_TOPIC = "assistant.listen"
+
+    def __init__(self, machine: "Machine", daemon: DBusDaemon) -> None:
+        self.machine = machine
+        self.task, _ = machine.launch(
+            "/usr/bin/voice-assistantd", comm="voice-assistantd", connect_x=False
+        )
+        self.bus = daemon.connect(self.task)
+        self.bus.subscribe(self.LISTEN_TOPIC)
+        self.recordings: List[bytes] = []
+        self.denied = 0
+
+    def process_pending(self) -> None:
+        """Handle queued bus commands; listen commands open the mic."""
+        from repro.kernel.errors import KernelError
+
+        while True:
+            message = self.bus.poll()
+            if message is None:
+                return
+            if message.topic != self.LISTEN_TOPIC:
+                continue
+            kernel = self.machine.kernel
+            try:
+                fd = kernel.sys_open(self.task, kernel.device_path("mic0"))
+            except KernelError:
+                self.denied += 1
+                continue
+            self.recordings.append(kernel.sys_read(self.task, fd, 256))
+            kernel.sys_close(self.task, fd)

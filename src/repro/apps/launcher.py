@@ -1,0 +1,53 @@
+"""The program launcher of Figure 3.
+
+The user interacts with *Run* (types a program name, presses Enter); Run
+then fork+execs the requested program.  The launched program never received
+any input itself -- it works under Overhaul only because P1 duplicated the
+launcher's interaction timestamp into its task_struct at fork time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.apps.base import SimApp
+from repro.kernel.task import Task
+from repro.xserver.input_drivers import KEYCODE_ENTER
+from repro.xserver.window import Geometry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import Machine
+
+
+class Launcher(SimApp):
+    """A dmenu/krunner-style application launcher."""
+
+    default_geometry = Geometry(600, 20, 720, 40)
+
+    def __init__(self, machine: "Machine", **kwargs) -> None:
+        super().__init__(machine, "/usr/bin/run", comm="run", **kwargs)
+        self.launched: list = []
+
+    def launch_program(self, exe_path: str, comm: Optional[str] = None) -> Task:
+        """The full Figure 3 interaction: the user types the program name
+        into the launcher and hits Enter; the launcher spawns the program.
+
+        The typing delivers authentic input *to the launcher*; the child
+        inherits the resulting interaction timestamp through fork (P1).
+        """
+        name = comm if comm is not None else exe_path.rsplit("/", 1)[-1]
+        self.type_keys(name)
+        self.machine.keyboard.press(KEYCODE_ENTER)
+        child = self.spawn_child(exe_path, comm=name)
+        self.launched.append(child)
+        return child
+
+    def launch_without_interaction(self, exe_path: str, comm: Optional[str] = None) -> Task:
+        """Spawn a program with *no* user input (a session-autostart path).
+
+        Used by tests to show that P1 propagates only what the parent
+        actually has: with no interaction on record, the child gets none.
+        """
+        child = self.spawn_child(exe_path, comm=comm)
+        self.launched.append(child)
+        return child

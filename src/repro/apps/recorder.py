@@ -1,0 +1,95 @@
+"""Audio/video capture applications (Audacity, Cheese, arecord, ...).
+
+These cover the remaining V-C application classes: GUI audio editors and
+recorders, webcam viewers, and their command-line counterparts (which reach
+the devices through the terminal/pty path of :mod:`repro.apps.terminal`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.apps.base import SimApp
+from repro.kernel.task import Task
+from repro.kernel.vfs import OpenMode
+from repro.xserver.window import Geometry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import Machine
+
+
+class AudioRecorder(SimApp):
+    """An Audacity-like GUI recorder."""
+
+    default_geometry = Geometry(150, 350, 850, 550)
+
+    def __init__(self, machine: "Machine", comm: str = "audacity", **kwargs) -> None:
+        super().__init__(machine, f"/usr/bin/{comm}", comm=comm, **kwargs)
+        self.recordings: List[bytes] = []
+        self._mic_fd: Optional[int] = None
+
+    def start_recording(self) -> None:
+        """Open the microphone (caller must have delivered the user input)."""
+        self._mic_fd = self.open_device("mic0")
+
+    def click_record(self) -> None:
+        """The user clicks the record button; recording starts."""
+        self.click()
+        self.start_recording()
+
+    def capture_samples(self, count: int = 2048) -> bytes:
+        if self._mic_fd is None:
+            raise RuntimeError("not recording")
+        samples = self.read_device(self._mic_fd, count)
+        self.recordings.append(samples)
+        return samples
+
+    def stop_recording(self) -> None:
+        if self._mic_fd is not None:
+            self.close_fd(self._mic_fd)
+            self._mic_fd = None
+
+
+class WebcamViewer(SimApp):
+    """A Cheese-like webcam application."""
+
+    default_geometry = Geometry(400, 300, 640, 520)
+
+    def __init__(self, machine: "Machine", comm: str = "cheese", **kwargs) -> None:
+        super().__init__(machine, f"/usr/bin/{comm}", comm=comm, **kwargs)
+        self.frames: List[bytes] = []
+
+    def click_and_view(self, frames: int = 3) -> List[bytes]:
+        """User opens the camera view; the app streams a few frames."""
+        self.click()
+        fd = self.open_device("video0")
+        try:
+            for _ in range(frames):
+                self.frames.append(self.read_device(fd, 512))
+        finally:
+            self.close_fd(fd)
+        return self.frames
+
+
+class CommandLineRecorder:
+    """An arecord-like CLI tool: a plain task, no X connection.
+
+    Launched by a shell (see :class:`repro.apps.terminal.TerminalEmulator`);
+    its interaction provenance arrives purely via pty propagation + P1.
+    """
+
+    def __init__(self, machine: "Machine", task: Task) -> None:
+        self.machine = machine
+        self.task = task
+        self.samples: List[bytes] = []
+
+    def record_once(self, device_name: str = "mic0", count: int = 1024) -> bytes:
+        """Open the device, sample, close."""
+        kernel = self.machine.kernel
+        fd = kernel.sys_open(self.task, kernel.device_path(device_name), OpenMode.READ)
+        try:
+            data = kernel.sys_read(self.task, fd, count)
+        finally:
+            kernel.sys_close(self.task, fd)
+        self.samples.append(data)
+        return data

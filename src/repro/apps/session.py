@@ -1,0 +1,56 @@
+"""A desktop session manager with autostart entries.
+
+Models the setting that produced the paper's single spurious alert: "When
+Skype was configured to automatically start on boot, this situation led to
+a camera access without user interaction" (Section V-C).  The session
+manager launches autostart applications at login time -- descendants of the
+session process, which has never received input, so P1 gives them nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List
+
+from repro.kernel.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import Machine
+
+
+@dataclass
+class AutostartEntry:
+    """One .desktop-style autostart entry."""
+
+    name: str
+    factory: Callable[["Machine", Task], object]  # builds the app at login
+
+
+class SessionManager:
+    """A logind/xdg-autostart style session starter."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.task, _ = machine.launch(
+            "/usr/bin/gnome-session", comm="gnome-session", connect_x=False
+        )
+        self._entries: List[AutostartEntry] = []
+        self.started: List[object] = []
+
+    def add_autostart(
+        self, name: str, factory: Callable[["Machine", Task], object]
+    ) -> None:
+        """Register an autostart entry (before login)."""
+        self._entries.append(AutostartEntry(name, factory))
+
+    def login(self) -> List[object]:
+        """Start every autostart entry as a child of the session.
+
+        None of the launched applications carries interaction provenance:
+        the session process itself has never been interacted with, so P1
+        propagates NEVER -- which is exactly why autostart device probes
+        trip Overhaul.
+        """
+        for entry in self._entries:
+            self.started.append(entry.factory(self.machine, self.task))
+        return list(self.started)

@@ -1,0 +1,107 @@
+"""Terminal emulator + shell: the CLI interaction path (Section IV-B).
+
+On a graphical desktop, a command-line tool is reached through a chain the
+input events never touch directly:
+
+    keyboard -> X -> terminal emulator -> pty master -> pty slave -> shell
+    -> fork/exec -> the tool
+
+The terminal emulator is the X client receiving the keystrokes; the shell
+is usually not an X client at all.  Overhaul bridges the gap in the pty
+driver: the emulator's write to the master embeds its interaction
+timestamp, the shell's read from the slave adopts it, and fork (P1) carries
+it into the launched tool.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.apps.base import SimApp
+from repro.kernel.errors import WouldBlock
+from repro.kernel.task import Task
+from repro.xserver.input_drivers import KEYCODE_ENTER
+from repro.xserver.window import Geometry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import Machine
+
+
+class Shell:
+    """A bash-like shell: a plain kernel task reading commands from a pty.
+
+    Deliberately *not* a :class:`SimApp` -- the shell has no X connection,
+    which is precisely why the pty propagation is needed.
+    """
+
+    def __init__(self, machine: "Machine", parent_task: Task, pty_pair) -> None:
+        self.machine = machine
+        self.task = machine.kernel.sys_spawn(parent_task, "/bin/bash", comm="bash")
+        self._pty = pty_pair
+        self.history: List[str] = []
+
+    def poll_command(self) -> Optional[str]:
+        """Read one newline-terminated command from the pty slave.
+
+        The read adopts the pty's embedded interaction timestamp into the
+        shell's task_struct -- the Overhaul pty-driver patch at work.
+        """
+        try:
+            data = self._pty.read(self.task, 4096, from_master=False)
+        except WouldBlock:
+            return None
+        command = data.decode().strip()
+        if command:
+            self.history.append(command)
+        return command or None
+
+    def run(self, exe_path: str, comm: Optional[str] = None) -> Task:
+        """fork+exec a command-line tool (P1 carries the timestamp on)."""
+        return self.machine.kernel.sys_spawn(self.task, exe_path, comm)
+
+
+class TerminalEmulator(SimApp):
+    """An xterm-like terminal emulator."""
+
+    default_geometry = Geometry(200, 200, 800, 500)
+
+    def __init__(self, machine: "Machine", **kwargs) -> None:
+        super().__init__(machine, "/usr/bin/xterm", comm="xterm", **kwargs)
+        self.pty = machine.kernel.pty.openpty()
+        self.shell = Shell(machine, self.task, self.pty)
+        self._pending_keys: List[str] = []
+        self.on_event(self._on_key)
+
+    def _on_key(self, event) -> None:
+        """Echo typed characters into the pty master.
+
+        Each keystroke the emulator receives (as an X client) is forwarded
+        to the shell through the master endpoint; the write embeds the
+        emulator's interaction timestamp into the pty kernel structure.
+        """
+        from repro.xserver.events import EventKind
+
+        if event.kind is not EventKind.KEY_PRESS:
+            return
+        if event.detail is not None and event.detail >= 1000:
+            self._pending_keys.append(chr(event.detail - 1000))
+        elif event.detail == KEYCODE_ENTER:
+            line = "".join(self._pending_keys) + "\n"
+            self._pending_keys.clear()
+            self.pty.write(self.task, line.encode(), from_master=True)
+
+    def run_command(self, command_name: str, exe_path: str) -> Task:
+        """The complete CLI workflow: the user types *command_name* and
+        Enter; the shell reads it from the pty and execs *exe_path*.
+
+        Returns the launched tool's task (carrying, via pty propagation and
+        P1, the user's interaction timestamp).
+        """
+        self.type_keys(command_name)
+        self.machine.keyboard.press(KEYCODE_ENTER)
+        read_back = self.shell.poll_command()
+        if read_back != command_name:
+            raise RuntimeError(
+                f"shell read {read_back!r}, expected {command_name!r}"
+            )
+        return self.shell.run(exe_path, comm=command_name)

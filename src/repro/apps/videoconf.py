@@ -1,0 +1,96 @@
+"""Video-conferencing applications (the paper's Skype scenario).
+
+Two behaviours matter to the evaluation:
+
+- the normal call flow of Figure 1 and the V-B usability study: the user
+  clicks the call button and the app immediately opens microphone and
+  camera -- granted under Overhaul because the click precedes the opens
+  within delta;
+- the V-C false-positive finding: "Skype attempted to access the camera as
+  soon as the program was launched, before the user logs into the
+  application", which Overhaul blocks when Skype autostarts at boot --
+  the evaluation's single (arguably correct) spurious alert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.apps.base import SimApp
+from repro.kernel.errors import OverhaulDenied
+from repro.xserver.window import Geometry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import Machine
+
+
+class VideoConfApp(SimApp):
+    """A Skype-like client."""
+
+    default_geometry = Geometry(500, 200, 900, 650)
+
+    def __init__(
+        self,
+        machine: "Machine",
+        comm: str = "skype",
+        startup_camera_check: bool = False,
+        **kwargs,
+    ) -> None:
+        super().__init__(machine, f"/usr/bin/{comm}", comm=comm, **kwargs)
+        self.mic_fd: Optional[int] = None
+        self.cam_fd: Optional[int] = None
+        self.call_active = False
+        self.startup_blocked = False
+        self.calls_placed = 0
+        self.captured_frames: List[bytes] = []
+        if startup_camera_check:
+            self._startup_camera_probe()
+
+    def _startup_camera_probe(self) -> None:
+        """Skype's launch-time camera probe (the V-C finding).
+
+        Runs before any user interaction; under Overhaul the open is denied
+        and an alert fires, but the app keeps working -- "This did not
+        cause subsequent video calls to fail".
+        """
+        try:
+            fd = self.open_device("video0")
+        except OverhaulDenied:
+            self.startup_blocked = True
+        else:
+            self.close_fd(fd)
+
+    def place_call(self) -> None:
+        """The user-initiated call: opens mic and camera.
+
+        Callers are responsible for having delivered the user click (the
+        scenario's ``app.click()``); this method performs only the
+        application's own device opens, like a real unmodified client.
+        """
+        self.mic_fd = self.open_device("mic0")
+        self.cam_fd = self.open_device("video0")
+        self.call_active = True
+        self.calls_placed += 1
+
+    def click_call_button(self) -> None:
+        """Convenience: the full Figure 1 interaction (click, then call)."""
+        self.click()
+        self.place_call()
+
+    def sample_call_media(self, count: int = 256) -> bytes:
+        """Read media from the open devices during a call."""
+        if not self.call_active or self.cam_fd is None:
+            raise RuntimeError("no active call")
+        frame = self.read_device(self.cam_fd, count)
+        self.captured_frames.append(frame)
+        return frame
+
+    def hang_up(self) -> None:
+        """End the call and release the devices."""
+        if self.mic_fd is not None:
+            self.close_fd(self.mic_fd)
+            self.mic_fd = None
+        if self.cam_fd is not None:
+            self.close_fd(self.cam_fd)
+            self.cam_fd = None
+        self.call_active = False

@@ -1,0 +1,79 @@
+"""Overhaul itself: input-driven access control (the paper's contribution).
+
+The pieces map one-to-one onto Section III's architecture:
+
+- :class:`~repro.core.config.OverhaulConfig` -- every tunable with the
+  paper's values as defaults (delta = 2 s, shm wait list = 500 ms, ...).
+- :class:`~repro.core.permission_monitor.PermissionMonitor` -- the kernel
+  component: interaction records in the task_struct, the temporal-proximity
+  decision rule, permission queries, alert requests.
+- :class:`~repro.core.display_manager.DisplayManagerExtension` -- the X
+  server patch: trusted input (provenance filtering + clickjack visibility
+  checks), display-resource queries, trusted overlay output.
+- :class:`~repro.core.system.Machine` / ``OverhaulSystem`` -- assembly of a
+  protected (or baseline) simulated desktop.
+
+Quickstart::
+
+    from repro.core import Machine
+    machine = Machine.with_overhaul()
+"""
+
+from repro.core.config import OverhaulConfig, benchmark_config, paper_config
+from repro.core.display_manager import DisplayManagerExtension, SuppressedInteraction
+from repro.core.notifications import (
+    MSG_INTERACTION,
+    MSG_PERMISSION_QUERY,
+    MSG_VISUAL_ALERT,
+    InteractionNotification,
+    PermissionQuery,
+    PermissionResponse,
+    VisualAlertRequest,
+)
+from repro.core.graybox import (
+    GrayBoxRegistry,
+    InputDescriptor,
+    IntentProfile,
+    IntentProfileLearner,
+    IntentRule,
+    Region,
+)
+from repro.core.permission_monitor import Decision, PermissionMonitor
+from repro.core.prompt_mode import (
+    MSG_PROMPT_REQUEST,
+    MSG_PROMPT_RESPONSE,
+    PromptArbiter,
+    PromptManager,
+    PromptRequest,
+)
+from repro.core.system import Machine, OverhaulSystem
+
+__all__ = [
+    "Decision",
+    "DisplayManagerExtension",
+    "GrayBoxRegistry",
+    "InputDescriptor",
+    "IntentProfile",
+    "IntentProfileLearner",
+    "IntentRule",
+    "InteractionNotification",
+    "MSG_INTERACTION",
+    "MSG_PERMISSION_QUERY",
+    "MSG_PROMPT_REQUEST",
+    "MSG_PROMPT_RESPONSE",
+    "MSG_VISUAL_ALERT",
+    "Machine",
+    "OverhaulConfig",
+    "OverhaulSystem",
+    "PermissionMonitor",
+    "PermissionQuery",
+    "PermissionResponse",
+    "PromptArbiter",
+    "PromptManager",
+    "PromptRequest",
+    "Region",
+    "SuppressedInteraction",
+    "VisualAlertRequest",
+    "benchmark_config",
+    "paper_config",
+]

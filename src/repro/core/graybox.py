@@ -1,0 +1,212 @@
+"""Gray-box intent correlation: the paper's future-work direction.
+
+Section VII: "we plan to investigate gray-box approaches to input-driven
+access control that close the gap between white-box approaches [ACGs] that
+require applications to be written with user-driven access control and the
+black-box approach adopted here.  One promising direction is to leverage
+static and dynamic program analyses to more precisely link user intent,
+user input, and device accesses, all without requiring modifications to
+existing programs."
+
+This module prototypes that direction.  The black-box gap (demonstrated by
+``tests/integration/test_limitations.py::TestWeakerThanACGs``) is that *any*
+recent input blesses *any* operation.  The gray-box extension narrows it:
+
+- Interaction notifications are enriched with an **input descriptor** --
+  the event kind, the window-relative coordinates of a click, or the
+  keycode of a key press.  Applications stay unmodified; the descriptor is
+  computed entirely in the display manager.
+- An **intent profile** per application (the artifact a program analysis
+  would produce: "this binary's microphone use is reached from the
+  call-button click handler") maps each sensitive operation to the input
+  regions/keys that express intent for it.
+- The permission monitor's decision gains a second conjunct: temporal
+  proximity **and** intent match.  Applications without a profile keep the
+  pure black-box behaviour, so the extension is incrementally deployable.
+
+Profiles can be authored directly or *learned* (the dynamic-analysis
+flavour): :class:`IntentProfileLearner` observes which inputs immediately
+precede which operations during a trusted training window and emits the
+profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.time import Timestamp
+from repro.xserver.events import EventKind
+
+
+@dataclass(frozen=True)
+class InputDescriptor:
+    """What the user actually did, as recorded with the notification."""
+
+    kind: str  # "button" | "key"
+    window_x: int = -1  # window-relative click position
+    window_y: int = -1
+    keycode: int = -1
+
+
+@dataclass(frozen=True)
+class Region:
+    """A window-relative rectangle (an intent-bearing UI control)."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def contains(self, x: int, y: int) -> bool:
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+
+@dataclass
+class IntentRule:
+    """Inputs that express intent for one operation."""
+
+    regions: List[Region] = field(default_factory=list)
+    keycodes: List[int] = field(default_factory=list)
+
+    def matches(self, descriptor: InputDescriptor) -> bool:
+        if descriptor.kind == "button":
+            return any(r.contains(descriptor.window_x, descriptor.window_y) for r in self.regions)
+        if descriptor.kind == "key":
+            return descriptor.keycode in self.keycodes
+        return False
+
+
+class IntentProfile:
+    """The per-application artifact of the (simulated) program analysis."""
+
+    def __init__(self, comm: str) -> None:
+        self.comm = comm
+        self._rules: Dict[str, IntentRule] = {}
+
+    def allow_region(self, operation_prefix: str, region: Region) -> "IntentProfile":
+        self._rules.setdefault(operation_prefix, IntentRule()).regions.append(region)
+        return self
+
+    def allow_keycode(self, operation_prefix: str, keycode: int) -> "IntentProfile":
+        self._rules.setdefault(operation_prefix, IntentRule()).keycodes.append(keycode)
+        return self
+
+    def rule_for(self, operation: str) -> Optional[IntentRule]:
+        """Longest-prefix rule lookup (operations look like
+        'microphone:/dev/mic0'; rules are usually keyed by class)."""
+        best: Optional[IntentRule] = None
+        best_len = -1
+        for prefix, rule in self._rules.items():
+            if operation.startswith(prefix) and len(prefix) > best_len:
+                best, best_len = rule, len(prefix)
+        return best
+
+    def permits(self, operation: str, descriptor: Optional[InputDescriptor]) -> bool:
+        """Does the recorded input express intent for *operation*?
+
+        Operations with no rule are unconstrained (the profile only narrows
+        what it knows about); operations with a rule require a matching
+        descriptor.
+        """
+        rule = self.rule_for(operation)
+        if rule is None:
+            return True
+        if descriptor is None:
+            return False
+        return rule.matches(descriptor)
+
+
+class GrayBoxRegistry:
+    """The kernel-side profile store consulted by the permission monitor."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, IntentProfile] = {}
+        self.intent_denials = 0
+
+    def install_profile(self, profile: IntentProfile) -> None:
+        self._profiles[profile.comm] = profile
+
+    def profile_for(self, comm: str) -> Optional[IntentProfile]:
+        return self._profiles.get(comm)
+
+    def check(self, comm: str, operation: str, descriptor: Optional[InputDescriptor]) -> bool:
+        """True if the gray-box layer permits the operation.
+
+        Applications without a profile fall back to pure black-box
+        semantics (always permitted here; the temporal check still applies
+        upstream).
+        """
+        profile = self._profiles.get(comm)
+        if profile is None:
+            return True
+        allowed = profile.permits(operation, descriptor)
+        if not allowed:
+            self.intent_denials += 1
+        return allowed
+
+
+def descriptor_from_event(event, window) -> Optional[InputDescriptor]:
+    """Build the enriched-notification descriptor in the display manager."""
+    if event.kind in (EventKind.BUTTON_PRESS, EventKind.BUTTON_RELEASE):
+        return InputDescriptor(
+            kind="button",
+            window_x=event.x - window.geometry.x,
+            window_y=event.y - window.geometry.y,
+        )
+    if event.kind in (EventKind.KEY_PRESS, EventKind.KEY_RELEASE):
+        return InputDescriptor(kind="key", keycode=event.detail if event.detail else -1)
+    return None
+
+
+@dataclass
+class _Observation:
+    descriptor: InputDescriptor
+    timestamp: Timestamp
+
+
+class IntentProfileLearner:
+    """Dynamic-analysis stand-in: learn a profile from trusted traces.
+
+    Feed it (input descriptor, time) pairs and (operation, time) pairs from
+    a training session; every operation is attributed to the closest
+    preceding input, and the learned profile allows exactly the observed
+    (input, operation) pairs -- clicks generalise to a small rectangle
+    around the observed point (a UI control, not a pixel).
+    """
+
+    CLICK_HALO = 24  # pixels around an observed click treated as the control
+
+    def __init__(self, comm: str) -> None:
+        self.comm = comm
+        self._inputs: List[_Observation] = []
+        self._attributions: List[Tuple[str, InputDescriptor]] = []
+
+    def observe_input(self, descriptor: InputDescriptor, timestamp: Timestamp) -> None:
+        self._inputs.append(_Observation(descriptor, timestamp))
+
+    def observe_operation(self, operation: str, timestamp: Timestamp) -> None:
+        preceding = [obs for obs in self._inputs if obs.timestamp <= timestamp]
+        if not preceding:
+            return
+        closest = max(preceding, key=lambda obs: obs.timestamp)
+        self._attributions.append((operation, closest.descriptor))
+
+    def build_profile(self) -> IntentProfile:
+        profile = IntentProfile(self.comm)
+        for operation, descriptor in self._attributions:
+            prefix = operation.split(":", 1)[0]
+            if descriptor.kind == "button":
+                halo = self.CLICK_HALO
+                profile.allow_region(
+                    prefix,
+                    Region(
+                        descriptor.window_x - halo,
+                        descriptor.window_y - halo,
+                        descriptor.window_x + halo,
+                        descriptor.window_y + halo,
+                    ),
+                )
+            elif descriptor.kind == "key":
+                profile.allow_keycode(prefix, descriptor.keycode)
+        return profile

@@ -1,0 +1,81 @@
+"""Message vocabulary of the Overhaul protocol.
+
+Section III formalises the protocol objects; this module is their concrete
+form plus the netlink message-type constants that carry them between the
+display manager and the kernel permission monitor:
+
+- ``N_{A,t}``  -> :class:`InteractionNotification`
+- ``Q_{A,t}``  -> :class:`PermissionQuery`
+- ``R_{A,t}``  -> :class:`PermissionResponse`
+- ``V_{A,op}`` -> :class:`VisualAlertRequest`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.time import Timestamp
+
+#: netlink message types (userspace -> kernel unless noted).
+MSG_INTERACTION = "overhaul.interaction-notification"
+MSG_PERMISSION_QUERY = "overhaul.permission-query"
+MSG_VISUAL_ALERT = "overhaul.visual-alert"  # kernel -> userspace
+
+
+@dataclass(frozen=True)
+class InteractionNotification:
+    """N_{A,t}: application A received authentic user input at time t.
+
+    Sent by the display manager to the kernel permission monitor every time
+    a hardware input event is delivered to a legitimately-visible window.
+    The pid is the kernel-verified identity of the receiving client.
+    """
+
+    pid: int
+    timestamp: Timestamp
+
+
+@dataclass(frozen=True)
+class PermissionQuery:
+    """Q_{A,t}: may application A perform *operation* at time t?
+
+    Issued by the display manager for display-resource operations
+    (clipboard, screen); issued internally by the kernel's device-mediation
+    layer for hardware devices.
+    """
+
+    pid: int
+    operation: str  # "copy" | "paste" | "screen" | "<device-class>:<path>"
+    timestamp: Timestamp
+
+
+@dataclass(frozen=True)
+class PermissionResponse:
+    """R_{A,t}: grant or deny, with the reasoning for the audit trail."""
+
+    granted: bool
+    reason: str
+    interaction_age: Optional[Timestamp] = None  # age at decision time
+
+    @property
+    def as_payload(self) -> dict:
+        return {
+            "granted": self.granted,
+            "reason": self.reason,
+            "interaction_age": self.interaction_age,
+        }
+
+
+@dataclass(frozen=True)
+class VisualAlertRequest:
+    """V_{A,op}: ask the display manager to alert the user about A's op.
+
+    Kernel-originated (Figure 1 step 6) because after IPC indirection only
+    the kernel knows which process really accessed the resource.
+    """
+
+    pid: int
+    comm: str
+    operation: str
+    blocked: bool  # False: access granted; True: access was blocked

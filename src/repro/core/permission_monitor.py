@@ -1,0 +1,293 @@
+"""The kernel permission monitor.
+
+Section III-B: "The kernel keeps a history of these interaction
+notifications, which include the identity of the application that received
+the interaction and a timestamp, inside a *permission monitor*.  Once this
+information is stored, the permission monitor can respond to permission
+queries and adjustment requests... This decision process involves comparing
+a timestamp issued together with the query with the stored interaction
+timestamp corresponding to the target application, and in this way
+correlating privileged operations with input events based on their temporal
+proximity."
+
+Storage follows Section IV-B exactly: the timestamp lives in the task's
+``task_struct`` (:attr:`repro.kernel.task.Task.interaction_ts`), so P1
+inheritance across fork is automatic and P2 propagation updates the same
+field the decisions read.
+
+The monitor also enforces the ptrace hardening (a traced task's permissions
+are revoked) and implements the benchmark ``force_grant`` mode used for the
+Table I methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from repro.kernel.audit import AuditCategory, AuditDecision
+from repro.kernel.errors import NoSuchProcess
+from repro.kernel.netlink import NetlinkChannel, NetlinkMessage
+from repro.kernel.task import Task
+from repro.core.config import OverhaulConfig
+from repro.core.notifications import (
+    MSG_INTERACTION,
+    MSG_PERMISSION_QUERY,
+    MSG_VISUAL_ALERT,
+    PermissionResponse,
+)
+from repro.sim.time import NEVER, Timestamp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One permission decision, for the monitor's decision log."""
+
+    timestamp: Timestamp
+    pid: int
+    comm: str
+    operation: str
+    interaction_age: Timestamp
+    granted: bool
+    reason: str
+
+
+def _category_for(operation: str) -> AuditCategory:
+    """Map an operation string to its audit category."""
+    if operation in ("copy", "paste"):
+        return AuditCategory.CLIPBOARD
+    if operation.startswith("screen"):
+        return AuditCategory.SCREEN
+    return AuditCategory.DEVICE
+
+
+class PermissionMonitor:
+    """The in-kernel decision engine."""
+
+    #: Decision-log retention bound; grant/deny counters stay exact.
+    DECISION_LOG_LIMIT = 100_000
+
+    def __init__(self, kernel: "Kernel", config: OverhaulConfig) -> None:
+        self._kernel = kernel
+        self.config = config
+        self.decisions: List[Decision] = []
+        self.notifications_received = 0
+        self.queries_answered = 0
+        self.alerts_requested = 0
+        self.grant_count = 0
+        self.deny_count = 0
+        #: (pid, operation, blocked) -> expiry of the alert on screen.
+        self._alert_coalesce: dict = {}
+        #: Prompt-mode arbiter (Section IV-A's verified extension).
+        self.prompt_arbiter = None
+        if config.prompt_mode:
+            from repro.core.prompt_mode import PromptArbiter
+
+            self.prompt_arbiter = PromptArbiter(self)
+        #: Gray-box intent registry (Section VII's future-work direction).
+        self.graybox = None
+        if config.graybox_enabled:
+            from repro.core.graybox import GrayBoxRegistry
+
+            self.graybox = GrayBoxRegistry()
+
+    # -- netlink wiring --------------------------------------------------------
+
+    def install(self) -> None:
+        """Register the monitor's message handlers on the kernel netlink."""
+        netlink = self._kernel.netlink
+        netlink.register_kernel_handler(MSG_INTERACTION, self._handle_interaction)
+        netlink.register_kernel_handler(MSG_PERMISSION_QUERY, self._handle_query)
+        if self.prompt_arbiter is not None:
+            self.prompt_arbiter.install()
+
+    def _require_display_manager(self, channel: NetlinkChannel) -> None:
+        if channel.label != "display-manager":
+            raise NoSuchProcess(
+                f"permission-monitor messages accepted only from the display "
+                f"manager channel, not {channel.label!r}"
+            )
+
+    def _handle_interaction(self, channel: NetlinkChannel, message: NetlinkMessage) -> None:
+        """N_{A,t}: record the interaction in A's task_struct."""
+        self._require_display_manager(channel)
+        pid = message.payload["pid"]
+        timestamp = message.payload["timestamp"]
+        try:
+            task = self._kernel.process_table.get_live(pid)
+        except NoSuchProcess:
+            return  # the client raced with its own exit; nothing to record
+        task.record_interaction(timestamp)
+        if "descriptor" in message.payload and timestamp >= task.interaction_ts:
+            # Gray-box enrichment: remember what the blessing input was.
+            # `>=` (not the merge result) so a same-instant newer event --
+            # e.g. the press and release of one click -- refreshes the
+            # descriptor to the latest input the user produced.
+            descriptor = message.payload["descriptor"]
+            if descriptor is not None:
+                task.last_input_descriptor = descriptor
+        self.notifications_received += 1
+
+    def _handle_query(self, channel: NetlinkChannel, message: NetlinkMessage) -> dict:
+        """Q_{A,t} -> R_{A,t}: answer a display-resource permission query."""
+        self._require_display_manager(channel)
+        pid = message.payload["pid"]
+        operation = message.payload["operation"]
+        timestamp = message.payload["timestamp"]
+        try:
+            task = self._kernel.process_table.get_live(pid)
+        except NoSuchProcess:
+            response = PermissionResponse(False, f"no such process {pid}")
+            return response.as_payload
+        response = self.decide(task, timestamp, operation)
+        self.queries_answered += 1
+        self._kernel.audit.record(
+            timestamp=timestamp,
+            category=_category_for(operation),
+            decision=AuditDecision.GRANTED if response.granted else AuditDecision.DENIED,
+            pid=pid,
+            comm=task.comm,
+            detail=operation,
+        )
+        return response.as_payload
+
+    # -- the decision rule ---------------------------------------------------------
+
+    def decide(self, task: Task, op_time: Timestamp, operation: str) -> PermissionResponse:
+        """The temporal-proximity rule: grant iff ``0 <= n < delta``.
+
+        ``n`` is the time between the task's most recent authentic
+        interaction and the privileged operation.  Interactions *after* the
+        operation never count (n < 0 is a deny), and ptrace'd tasks are
+        denied outright when the hardening is on.
+        """
+        # Reasons are constant strings: the decision path is the hottest
+        # code in the system (every mediated operation runs it), and the
+        # age is stored alongside, so nothing is lost.
+        age = task.interaction_age(op_time)
+        if self._kernel.ptrace.permissions_disabled(task):
+            granted = False
+            reason = "permissions disabled: task is being traced"
+        elif task.interaction_ts == NEVER:
+            granted = False
+            reason = "no user interaction on record"
+        elif age < 0:
+            granted = False
+            reason = "interaction is in the operation's future"
+        elif age < self.config.interaction_threshold:
+            granted = True
+            reason = "interaction within threshold"
+            if self.graybox is not None and not self.graybox.check(
+                task.comm, operation, task.last_input_descriptor
+            ):
+                # The gray-box conjunct: the blessing input must express
+                # intent for *this* operation per the app's profile.
+                granted = False
+                reason = "gray-box: input does not express intent for this operation"
+        else:
+            granted = False
+            reason = "interaction too old (age >= delta)"
+
+        if (
+            not granted
+            and self.prompt_arbiter is not None
+            and not self._kernel.ptrace.permissions_disabled(task)
+        ):
+            # Prompt mode: an unexpired user answer for this exact
+            # (process, operation) overrides the temporal check; with no
+            # answer on record, a prompt is raised and the call fails now
+            # (the application retries after the user responds).
+            answer = self.prompt_arbiter.check_answer(task, operation, op_time)
+            if answer is True:
+                granted = True
+                reason = "user approved via trusted prompt"
+            elif answer is False:
+                reason = "user denied via trusted prompt"
+            else:
+                self.prompt_arbiter.post_prompt(task, operation, op_time)
+                reason = "pending user prompt"
+
+        if self.config.force_grant and not granted:
+            # Benchmark methodology (Section V-A): the full decision path
+            # ran; now override so the benchmarked operation proceeds.
+            granted = True
+            reason = "force_grant override"
+
+        if granted:
+            self.grant_count += 1
+        else:
+            self.deny_count += 1
+        self.decisions.append(
+            Decision(
+                timestamp=op_time,
+                pid=task.pid,
+                comm=task.comm,
+                operation=operation,
+                interaction_age=age,
+                granted=granted,
+                reason=reason,
+            )
+        )
+        if len(self.decisions) > self.DECISION_LOG_LIMIT:
+            del self.decisions[: -self.DECISION_LOG_LIMIT // 2]
+        return PermissionResponse(granted, reason, interaction_age=age)
+
+    # -- the Kernel-facing mediation interface ----------------------------------------
+
+    def authorize(self, task: Task, now: Timestamp, operation: str) -> bool:
+        """Device-mediation entry point (called from the augmented open)."""
+        return self.decide(task, now, operation).granted
+
+    def request_visual_alert(
+        self, task: Task, operation: str, blocked: bool = False
+    ) -> None:
+        """V_{A,op}: ask the display manager (over netlink) to alert the user.
+
+        Requests are coalesced: while an alert for the same (pid, op,
+        outcome) is still on screen, re-requesting it would change nothing
+        the user can see, so the kernel skips the netlink round trip.  A
+        process hammering a device produces one alert per alert-duration
+        window, not one per access -- which is also what keeps the alert
+        path off the Table I hot loops.
+        """
+        if blocked and not self.config.alert_on_denial:
+            return
+        if not blocked and not self.config.alert_on_device_grant:
+            return
+        key = (task.pid, operation, blocked)
+        now = self._kernel.now
+        expiry = self._alert_coalesce.get(key)
+        if expiry is not None and now < expiry:
+            return
+        self._alert_coalesce[key] = now + self.config.alert_duration
+        if len(self._alert_coalesce) > 4096:
+            self._alert_coalesce = {
+                k: v for k, v in self._alert_coalesce.items() if v > now
+            }
+        channel = self._kernel.netlink.channel_for("display-manager")
+        if channel is None:
+            return  # no display manager (headless boot); nothing to show
+        channel.send_to_userspace(
+            MSG_VISUAL_ALERT,
+            {
+                "pid": task.pid,
+                "comm": task.comm,
+                "operation": operation,
+                "blocked": blocked,
+            },
+        )
+        self.alerts_requested += 1
+
+    # -- queries for experiments ---------------------------------------------------------
+
+    def denied_decisions(self) -> List[Decision]:
+        return [d for d in self.decisions if not d.granted]
+
+    def granted_decisions(self) -> List[Decision]:
+        return [d for d in self.decisions if d.granted]
+
+    def decisions_for_pid(self, pid: int) -> List[Decision]:
+        return [d for d in self.decisions if d.pid == pid]

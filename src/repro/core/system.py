@@ -1,0 +1,189 @@
+"""Top-level assembly: a simulated machine, optionally protected by Overhaul.
+
+:class:`Machine` is the public entry point of the whole reproduction:
+
+>>> from repro.core import Machine, paper_config
+>>> protected = Machine.with_overhaul()          # patched kernel + X server
+>>> baseline = Machine.baseline()                # unmodified system
+
+A machine owns one event scheduler, one kernel, one X server (running as a
+superuser task of that kernel, so the netlink authentication is real), and
+the physical input devices.  :class:`OverhaulSystem` performs the paper's
+installation steps: install the permission monitor into the kernel, connect
+the display manager's netlink channel, patch the X server with the
+:class:`~repro.core.display_manager.DisplayManagerExtension`, and apply the
+configuration (delta, wait-list duration, ptrace hardening, alert policy).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.kernel.credentials import DEFAULT_USER, ROOT, Credentials
+from repro.kernel.device import DeviceInventory
+from repro.kernel.kernel import Kernel
+from repro.kernel.netlink import DISPLAY_MANAGER_PATH
+from repro.kernel.task import Task
+from repro.core.config import OverhaulConfig, paper_config
+from repro.core.display_manager import DisplayManagerExtension
+from repro.core.permission_monitor import PermissionMonitor
+from repro.sim.scheduler import EventScheduler
+from repro.sim.time import Timestamp, from_seconds
+from repro.xserver.client import XClient
+from repro.xserver.input_drivers import HardwareKeyboard, HardwareMouse
+from repro.xserver.server import XServer
+
+
+class OverhaulSystem:
+    """The installed Overhaul stack on one machine."""
+
+    def __init__(self, machine: "Machine", config: OverhaulConfig) -> None:
+        config.validate()
+        self.config = config
+        kernel = machine.kernel
+        xserver = machine.xserver
+
+        # Kernel side: the permission monitor and its netlink handlers.
+        self.monitor = PermissionMonitor(kernel, config)
+        self.monitor.install()
+        kernel.install_permission_monitor(self.monitor)
+        kernel.shm.waitlist_duration = config.shm_waitlist
+        kernel.ptrace.protection_enabled = config.ptrace_protection
+
+        # Display-manager side: authenticated channel + the X patch.
+        self.channel = kernel.netlink.connect(machine.xserver_task)
+        machine.xserver_task.is_display_manager = True
+        xserver.overlay.shared_secret = config.shared_secret
+        xserver.overlay.alert_duration = config.alert_duration
+        self.extension = DisplayManagerExtension(
+            xserver, machine.xserver_task, self.channel, config
+        )
+
+        # Optional prompt mode (Section IV-A's verified extension).
+        if config.prompt_mode:
+            from repro.core.prompt_mode import PromptManager
+
+            self.extension.prompt_manager = PromptManager(
+                xserver, machine.xserver_task, self.channel, config
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"OverhaulSystem(delta={self.config.interaction_threshold} us, "
+            f"decisions={len(self.monitor.decisions)})"
+        )
+
+
+class Machine:
+    """A complete simulated desktop machine."""
+
+    def __init__(
+        self,
+        overhaul_config: Optional[OverhaulConfig] = None,
+        scheduler: Optional[EventScheduler] = None,
+        inventory: Optional[DeviceInventory] = None,
+        name: str = "machine",
+    ) -> None:
+        self.name = name
+        self.scheduler = scheduler if scheduler is not None else EventScheduler()
+        self.kernel = Kernel(self.scheduler, inventory)
+
+        # The display manager runs as a real superuser task executing the
+        # trusted X binary -- which is what the netlink authentication
+        # later verifies by memory-map introspection.
+        self.xserver_task = self.kernel.sys_spawn(
+            self.kernel.process_table.init, DISPLAY_MANAGER_PATH, comm="Xorg", creds=ROOT
+        )
+        self.xserver = XServer(self.scheduler)
+        self.keyboard = HardwareKeyboard(self.xserver)
+        self.mouse = HardwareMouse(self.xserver)
+
+        self.overhaul: Optional[OverhaulSystem] = None
+        if overhaul_config is not None:
+            self.overhaul = OverhaulSystem(self, overhaul_config)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def with_overhaul(
+        cls,
+        config: Optional[OverhaulConfig] = None,
+        inventory: Optional[DeviceInventory] = None,
+        name: str = "protected",
+    ) -> "Machine":
+        """A machine running the Overhaul-patched kernel and X server."""
+        return cls(
+            overhaul_config=config if config is not None else paper_config(),
+            inventory=inventory,
+            name=name,
+        )
+
+    @classmethod
+    def baseline(
+        cls,
+        inventory: Optional[DeviceInventory] = None,
+        name: str = "baseline",
+    ) -> "Machine":
+        """An unmodified machine (the Table I baseline / V-D control)."""
+        return cls(overhaul_config=None, inventory=inventory, name=name)
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def protected(self) -> bool:
+        """True when Overhaul is installed."""
+        return self.overhaul is not None
+
+    @property
+    def now(self) -> Timestamp:
+        return self.scheduler.now
+
+    @property
+    def monitor(self) -> Optional[PermissionMonitor]:
+        """The permission monitor, when Overhaul is installed."""
+        return self.overhaul.monitor if self.overhaul is not None else None
+
+    # -- process/application helpers -----------------------------------------------
+
+    def launch(
+        self,
+        exe_path: str,
+        comm: Optional[str] = None,
+        creds: Credentials = DEFAULT_USER,
+        parent: Optional[Task] = None,
+        connect_x: bool = True,
+    ) -> Tuple[Task, Optional[XClient]]:
+        """Start a process (optionally an X client).
+
+        Programs are launched from init by default -- i.e. *without* any
+        interaction provenance, like a program started by the session
+        manager at login.  Interactive launches (Figure 3) instead go
+        through an application's own fork/exec so P1 applies.
+        """
+        parent_task = parent if parent is not None else self.kernel.process_table.init
+        task = self.kernel.sys_spawn(parent_task, exe_path, comm, creds)
+        client = self.xserver.connect(task) if connect_x else None
+        return task, client
+
+    # -- time helpers ------------------------------------------------------------------
+
+    def run_for(self, duration: Timestamp) -> int:
+        """Advance simulated time by *duration*."""
+        return self.scheduler.run_for(duration)
+
+    def run_for_seconds(self, seconds: float) -> int:
+        """Advance simulated time by *seconds*."""
+        return self.scheduler.run_for(from_seconds(seconds))
+
+    def settle(self) -> int:
+        """Let the machine idle long enough for fresh windows to satisfy
+        the clickjacking visibility threshold (plus margin)."""
+        if self.overhaul is not None:
+            margin = self.overhaul.config.window_visibility_threshold * 2
+        else:
+            margin = from_seconds(2.0)
+        return self.scheduler.run_for(margin)
+
+    def __repr__(self) -> str:
+        mode = "overhaul" if self.protected else "baseline"
+        return f"Machine(name={self.name!r}, {mode}, now={self.now})"

@@ -1,0 +1,101 @@
+"""Simulated Linux kernel substrate for the Overhaul reproduction.
+
+This package is a faithful-in-structure miniature of the kernel surface the
+paper modifies (Section IV-B): tasks and the process table (fork/exec with
+P1 timestamp inheritance), a VFS with ``/dev`` and an augmented ``open()``,
+every IPC facility the prototype covers (with P2 propagation), virtual
+memory areas with page-fault-based shared-memory interception, the
+authenticated netlink channel, ptrace hardening, and procfs toggles.
+
+Entry point: :class:`repro.kernel.Kernel`.
+"""
+
+from repro.kernel.audit import AuditCategory, AuditDecision, AuditLog, AuditRecord
+from repro.kernel.credentials import DEFAULT_USER, ROOT, Credentials
+from repro.kernel.device import (
+    Device,
+    DeviceClass,
+    DeviceHandle,
+    DeviceInventory,
+    standard_inventory,
+)
+from repro.kernel.devfs import DevfsManager, SensitiveDeviceMap, UdevHelper
+from repro.kernel.errors import (
+    BadFileDescriptor,
+    BrokenPipe,
+    ConnectionRefused,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    KernelError,
+    NoSuchProcess,
+    OperationNotPermitted,
+    OverhaulDenied,
+    PermissionDenied,
+    SegmentationFault,
+    WouldBlock,
+)
+from repro.kernel.kernel import Kernel
+from repro.kernel.mm import PAGE_SIZE, AddressSpace, PageProtection, VMArea
+from repro.kernel.netlink import (
+    DISPLAY_MANAGER_PATH,
+    UDEV_HELPER_PATH,
+    NetlinkChannel,
+    NetlinkMessage,
+    NetlinkSubsystem,
+)
+from repro.kernel.process_table import ProcessTable
+from repro.kernel.procfs import PTRACE_PROTECTION_NODE, ProcFilesystem
+from repro.kernel.ptrace import PtraceSubsystem
+from repro.kernel.task import Task, TaskState
+from repro.kernel.vfs import Filesystem, OpenFile, OpenMode
+
+__all__ = [
+    "AddressSpace",
+    "AuditCategory",
+    "AuditDecision",
+    "AuditLog",
+    "AuditRecord",
+    "BadFileDescriptor",
+    "BrokenPipe",
+    "ConnectionRefused",
+    "Credentials",
+    "DEFAULT_USER",
+    "DISPLAY_MANAGER_PATH",
+    "Device",
+    "DeviceClass",
+    "DeviceHandle",
+    "DeviceInventory",
+    "DevfsManager",
+    "FileExists",
+    "FileNotFound",
+    "Filesystem",
+    "InvalidArgument",
+    "Kernel",
+    "KernelError",
+    "NetlinkChannel",
+    "NetlinkMessage",
+    "NetlinkSubsystem",
+    "NoSuchProcess",
+    "OpenFile",
+    "OpenMode",
+    "OperationNotPermitted",
+    "OverhaulDenied",
+    "PAGE_SIZE",
+    "PTRACE_PROTECTION_NODE",
+    "PageProtection",
+    "PermissionDenied",
+    "ProcFilesystem",
+    "ProcessTable",
+    "PtraceSubsystem",
+    "ROOT",
+    "SegmentationFault",
+    "SensitiveDeviceMap",
+    "Task",
+    "TaskState",
+    "UDEV_HELPER_PATH",
+    "UdevHelper",
+    "VMArea",
+    "WouldBlock",
+    "standard_inventory",
+]

@@ -1,0 +1,123 @@
+"""The Overhaul decision/audit log.
+
+Sections V-C and V-D lean on this: "we instead verified correct
+functionality by inspecting the logs produced by our system" (clipboard
+false-positive analysis) and "We checked OVERHAUL's logs and verified that
+attempts to access the protected resources were detected and blocked"
+(21-day study).  The log is append-only and carries enough context to answer
+exactly those questions: who asked for what, when, and what was decided.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.sim.time import Timestamp, format_timestamp
+
+
+class AuditCategory(enum.Enum):
+    """What kind of mediated event a record describes."""
+
+    DEVICE = "device"  # hardware device open (mic, cam)
+    CLIPBOARD = "clipboard"  # copy/paste (selection protocol)
+    SCREEN = "screen"  # display-content capture
+    INPUT = "input"  # input-event authenticity filtering
+    ALERT = "alert"  # visual alerts displayed
+    CHANNEL = "channel"  # netlink connection events
+    PTRACE = "ptrace"  # debugging-related permission changes
+
+
+class AuditDecision(enum.Enum):
+    """Outcome of a mediated event."""
+
+    GRANTED = "granted"
+    DENIED = "denied"
+    FILTERED = "filtered"  # e.g. synthetic input dropped
+    INFO = "info"  # non-decision record
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One immutable log line."""
+
+    timestamp: Timestamp
+    category: AuditCategory
+    decision: AuditDecision
+    pid: int
+    comm: str
+    detail: str
+
+    def render(self) -> str:
+        """Human-readable single-line rendering."""
+        return (
+            f"{format_timestamp(self.timestamp)} {self.category.value:9s} "
+            f"{self.decision.value:8s} pid={self.pid} comm={self.comm} {self.detail}"
+        )
+
+
+class AuditLog:
+    """Append-only record store with the query helpers experiments need."""
+
+    #: Retention bound; ``total_recorded`` keeps the exact count.
+    RECORD_LIMIT = 200_000
+
+    def __init__(self) -> None:
+        self._records: List[AuditRecord] = []
+        self.total_recorded = 0
+
+    def record(
+        self,
+        timestamp: Timestamp,
+        category: AuditCategory,
+        decision: AuditDecision,
+        pid: int,
+        comm: str,
+        detail: str,
+    ) -> AuditRecord:
+        """Append one record and return it."""
+        entry = AuditRecord(timestamp, category, decision, pid, comm, detail)
+        self._records.append(entry)
+        self.total_recorded += 1
+        if len(self._records) > self.RECORD_LIMIT:
+            del self._records[: -self.RECORD_LIMIT // 2]
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterable[AuditRecord]:
+        return iter(self._records)
+
+    def records(
+        self,
+        category: Optional[AuditCategory] = None,
+        decision: Optional[AuditDecision] = None,
+        pid: Optional[int] = None,
+    ) -> List[AuditRecord]:
+        """Filtered view of the log."""
+        result = self._records
+        if category is not None:
+            result = [r for r in result if r.category is category]
+        if decision is not None:
+            result = [r for r in result if r.decision is decision]
+        if pid is not None:
+            result = [r for r in result if r.pid == pid]
+        return list(result)
+
+    def grants(self, category: Optional[AuditCategory] = None) -> List[AuditRecord]:
+        """All GRANTED records (optionally per category)."""
+        return self.records(category=category, decision=AuditDecision.GRANTED)
+
+    def denials(self, category: Optional[AuditCategory] = None) -> List[AuditRecord]:
+        """All DENIED records (optionally per category)."""
+        return self.records(category=category, decision=AuditDecision.DENIED)
+
+    def render(self) -> str:
+        """The whole log as text (what the authors 'inspected')."""
+        return "\n".join(record.render() for record in self._records)
+
+    def clear(self) -> None:
+        """Reset between experiment phases."""
+        self._records.clear()

@@ -1,0 +1,67 @@
+"""User identity model: uids, gids, and credential records.
+
+The paper's threat model (Section II) assumes classic UNIX user-based access
+control remains in force -- malicious code runs *as the user*, not as root.
+The simulation therefore keeps a real (if small) uid/gid model so tests can
+demonstrate exactly that gap: UNIX checks pass for same-user spyware while
+Overhaul's input-driven checks stop it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ROOT_UID = 0
+ROOT_GID = 0
+
+#: Conventional first ordinary-user uid on Linux systems.
+FIRST_USER_UID = 1000
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """Immutable (uid, gid) pair carried by every task and inode."""
+
+    uid: int
+    gid: int
+
+    def __post_init__(self) -> None:
+        if self.uid < 0 or self.gid < 0:
+            raise ValueError(f"uid/gid must be non-negative: {self}")
+
+    @property
+    def is_superuser(self) -> bool:
+        """True for root, which bypasses classic permission checks."""
+        return self.uid == ROOT_UID
+
+    def __str__(self) -> str:
+        return f"uid={self.uid},gid={self.gid}"
+
+
+#: The superuser credential, owner of the trusted computing base (kernel
+#: helpers, the X server binary).
+ROOT = Credentials(ROOT_UID, ROOT_GID)
+
+#: The default desktop user in scenarios and experiments.
+DEFAULT_USER = Credentials(FIRST_USER_UID, FIRST_USER_UID)
+
+
+def can_access(subject: Credentials, owner: Credentials, mode: int, want: int) -> bool:
+    """Classic UNIX permission check.
+
+    *mode* is a 9-bit rwxrwxrwx mask; *want* is the requested bits expressed
+    in the **owner** triplet position (e.g. ``0o4`` for read, ``0o2`` for
+    write, ``0o1`` for execute).  The function selects the owner, group, or
+    other triplet based on the subject's identity.
+    """
+    if want not in (0o1, 0o2, 0o4, 0o3, 0o5, 0o6, 0o7):
+        raise ValueError(f"invalid permission request: {want:o}")
+    if subject.is_superuser:
+        return True
+    if subject.uid == owner.uid:
+        triplet = (mode >> 6) & 0o7
+    elif subject.gid == owner.gid:
+        triplet = (mode >> 3) & 0o7
+    else:
+        triplet = mode & 0o7
+    return (triplet & want) == want

@@ -1,0 +1,132 @@
+"""Errno-style error hierarchy for the simulated kernel.
+
+Simulated syscalls raise these instead of returning negative integers; each
+class carries the conventional errno name so traces and tests read like
+strace output.  :class:`KernelError` is distinct from
+:class:`repro.sim.errors.SimulationError` -- the former models the simulated
+OS failing a request, the latter indicates the simulator itself was misused.
+"""
+
+from __future__ import annotations
+
+
+class KernelError(Exception):
+    """Base class for simulated-kernel failures."""
+
+    errno_name = "EUNKNOWN"
+
+    def __str__(self) -> str:
+        message = super().__str__()
+        return f"[{self.errno_name}] {message}" if message else self.errno_name
+
+
+class PermissionDenied(KernelError):
+    """The caller lacks permission (classic UNIX access control)."""
+
+    errno_name = "EACCES"
+
+
+class OverhaulDenied(PermissionDenied):
+    """Overhaul's input-driven access control denied the operation.
+
+    Subclass of :class:`PermissionDenied` so applications that only know
+    classic UNIX semantics observe an ordinary access failure -- this is the
+    transparency property (D1): no new error surface is exposed to apps.
+    """
+
+    errno_name = "EACCES"
+
+
+class FileNotFound(KernelError):
+    """Path resolution failed."""
+
+    errno_name = "ENOENT"
+
+
+class FileExists(KernelError):
+    """Attempt to create an object that already exists."""
+
+    errno_name = "EEXIST"
+
+
+class NotADirectory(KernelError):
+    """A path component that must be a directory is not."""
+
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(KernelError):
+    """A file operation was applied to a directory."""
+
+    errno_name = "EISDIR"
+
+
+class DirectoryNotEmpty(KernelError):
+    """rmdir on a non-empty directory."""
+
+    errno_name = "ENOTEMPTY"
+
+
+class BadFileDescriptor(KernelError):
+    """Operation on a closed or foreign file descriptor."""
+
+    errno_name = "EBADF"
+
+
+class InvalidArgument(KernelError):
+    """A syscall argument was malformed."""
+
+    errno_name = "EINVAL"
+
+
+class NoSuchProcess(KernelError):
+    """The referenced PID does not exist."""
+
+    errno_name = "ESRCH"
+
+
+class OperationNotPermitted(KernelError):
+    """The operation is forbidden for this caller (e.g. ptrace rules)."""
+
+    errno_name = "EPERM"
+
+
+class ResourceBusy(KernelError):
+    """The resource is in use (e.g. pty endpoint already claimed)."""
+
+    errno_name = "EBUSY"
+
+
+class WouldBlock(KernelError):
+    """A non-blocking operation found no data / no space."""
+
+    errno_name = "EAGAIN"
+
+
+class BrokenPipe(KernelError):
+    """Write to an IPC channel whose read side is gone."""
+
+    errno_name = "EPIPE"
+
+
+class ConnectionRefused(KernelError):
+    """Connect to a socket nobody is listening on."""
+
+    errno_name = "ECONNREFUSED"
+
+
+class NoDevice(KernelError):
+    """The referenced device does not exist or is unregistered."""
+
+    errno_name = "ENODEV"
+
+
+class SegmentationFault(KernelError):
+    """A memory access violated page protections and was not recoverable.
+
+    Recoverable faults (Overhaul's shared-memory interception) are handled
+    inside the kernel and never surface as this error; this is raised only
+    for genuinely invalid accesses (unmapped addresses, out-of-bounds).
+    """
+
+    errno_name = "SIGSEGV"

@@ -1,0 +1,40 @@
+"""Inter-process communication facilities with Overhaul timestamp propagation.
+
+Section IV-B lists the facilities the prototype covers: "all of POSIX shared
+memory and message queues, UNIX SysV shared memory and message queues,
+FIFOs, anonymous pipes, and UNIX domain sockets", plus the pseudo-terminal
+driver for CLI workflows.  Every one of them is implemented here, each
+running the same three-step propagation protocol (policy P2):
+
+1. a newly-established IPC resource embeds an *expired* timestamp;
+2. a sender embeds its own interaction timestamp unless the resource already
+   holds a more recent one;
+3. a receiver adopts the resource's timestamp if it is newer than its own.
+
+Shared memory is special: after ``mmap`` the kernel cannot see individual
+accesses, so Overhaul revokes page permissions and recovers the protocol
+from the page-fault handler, with a wait list that leaves pages open for
+500 ms after each fault (see :mod:`repro.kernel.ipc.shared_memory`).
+"""
+
+from repro.kernel.ipc.base import InteractionStamp, TrackingPolicy
+from repro.kernel.ipc.msg_queue import MessageQueue, MessageQueueSubsystem
+from repro.kernel.ipc.pipe import PipeChannel, PipeSubsystem
+from repro.kernel.ipc.pty import PseudoTerminalPair, PtySubsystem
+from repro.kernel.ipc.shared_memory import SharedMemorySegment, SharedMemorySubsystem
+from repro.kernel.ipc.unix_socket import UnixSocketConnection, UnixSocketSubsystem
+
+__all__ = [
+    "InteractionStamp",
+    "MessageQueue",
+    "MessageQueueSubsystem",
+    "PipeChannel",
+    "PipeSubsystem",
+    "PseudoTerminalPair",
+    "PtySubsystem",
+    "SharedMemorySegment",
+    "SharedMemorySubsystem",
+    "TrackingPolicy",
+    "UnixSocketConnection",
+    "UnixSocketSubsystem",
+]

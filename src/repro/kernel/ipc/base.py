@@ -1,0 +1,92 @@
+"""The shared propagation machinery for policy P2.
+
+Every IPC resource embeds one :class:`InteractionStamp`.  The stamp
+implements the exact protocol from Section IV-B ("Process creation and
+IPC"):
+
+    (1) When an IPC channel is first established, we embed inside the kernel
+    data structures that correspond to the IPC resource an expired
+    interaction timestamp.  (2) When a process wants to send data through an
+    IPC link, it first embeds inside the IPC resource its own interaction
+    timestamp, unless the structure already contains a more recent
+    timestamp.  (3) When the receiving process reads the data from the
+    channel, it compares its own interaction timestamp with that is embedded
+    inside the IPC resource.  If the IPC channel has a more up-to-date
+    timestamp, the process saves it in its task_struct.
+
+A single :class:`TrackingPolicy` instance (owned by the kernel) gates the
+whole mechanism: in the baseline configuration used for the Table I
+comparisons, tracking is disabled and the send/receive fast paths skip the
+stamp entirely -- mirroring an unmodified kernel.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.task import Task
+from repro.sim.time import NEVER, Timestamp, format_timestamp
+
+
+class TrackingPolicy:
+    """Global switch + counters for interaction-timestamp propagation.
+
+    ``enabled`` is flipped on by :class:`repro.core.system.OverhaulSystem`
+    when Overhaul is active.  The counters feed the benchmark analysis
+    (propagations per operation) and the property-based tests.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.stamps_embedded = 0
+        self.stamps_adopted = 0
+
+    def reset_counters(self) -> None:
+        self.stamps_embedded = 0
+        self.stamps_adopted = 0
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"TrackingPolicy({state}, embedded={self.stamps_embedded}, "
+            f"adopted={self.stamps_adopted})"
+        )
+
+
+class InteractionStamp:
+    """The timestamp field embedded in an IPC resource's kernel structure."""
+
+    __slots__ = ("timestamp", "_policy")
+
+    def __init__(self, policy: TrackingPolicy) -> None:
+        # Step (1): fresh resources carry an expired timestamp.
+        self.timestamp: Timestamp = NEVER
+        self._policy = policy
+
+    def embed_from(self, sender: Task) -> bool:
+        """Step (2): merge the sender's interaction timestamp into the resource.
+
+        Returns True if the embedded timestamp advanced.  No-op when
+        tracking is disabled (baseline kernel).
+        """
+        if not self._policy.enabled:
+            return False
+        if sender.interaction_ts > self.timestamp:
+            self.timestamp = sender.interaction_ts
+            self._policy.stamps_embedded += 1
+            return True
+        return False
+
+    def adopt_to(self, receiver: Task) -> bool:
+        """Step (3): copy a newer embedded timestamp into the receiver's task.
+
+        Returns True if the receiver's timestamp advanced.
+        """
+        if not self._policy.enabled:
+            return False
+        if self.timestamp > receiver.interaction_ts:
+            receiver.record_interaction(self.timestamp)
+            self._policy.stamps_adopted += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"InteractionStamp({format_timestamp(self.timestamp)})"

@@ -1,0 +1,113 @@
+"""SysV and POSIX message queues.
+
+Both flavours share one implementation; they differ only in how the
+resource is named (an integer key for SysV ``msgget``, a slash-name for
+POSIX ``mq_open``) and are therefore two registries over the same
+:class:`MessageQueue`.  Each queue is one IPC resource and carries one
+interaction stamp, per the paper's protocol.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.kernel.errors import FileNotFound, InvalidArgument, WouldBlock
+from repro.kernel.ipc.base import InteractionStamp, TrackingPolicy
+from repro.kernel.task import Task
+
+_queue_ids = itertools.count(1)
+
+
+class MessageQueue:
+    """A bounded FIFO of (type, payload) messages."""
+
+    def __init__(self, policy: TrackingPolicy, name: str, max_messages: int = 1024) -> None:
+        self.queue_id = next(_queue_ids)
+        self.name = name
+        self.stamp = InteractionStamp(policy)
+        self.max_messages = max_messages
+        self._messages: Deque[Tuple[int, bytes]] = deque()
+        self.total_sent = 0
+
+    def send(self, sender: Task, payload: bytes, msg_type: int = 1) -> None:
+        """msgsnd / mq_send; propagation step (2)."""
+        if msg_type <= 0:
+            raise InvalidArgument(f"message type must be positive: {msg_type}")
+        if len(self._messages) >= self.max_messages:
+            raise WouldBlock(f"queue {self.name!r} is full")
+        self.stamp.embed_from(sender)
+        self._messages.append((msg_type, bytes(payload)))
+        self.total_sent += 1
+
+    def receive(self, receiver: Task, msg_type: Optional[int] = None) -> Tuple[int, bytes]:
+        """msgrcv / mq_receive; propagation step (3).
+
+        With *msg_type* set, returns the first message of that type (SysV
+        type-selective receive); otherwise the head of the queue.
+        """
+        if not self._messages:
+            raise WouldBlock(f"queue {self.name!r} is empty")
+        if msg_type is None:
+            self.stamp.adopt_to(receiver)
+            return self._messages.popleft()
+        for index, (mtype, payload) in enumerate(self._messages):
+            if mtype == msg_type:
+                self.stamp.adopt_to(receiver)
+                del self._messages[index]
+                return (mtype, payload)
+        raise WouldBlock(f"queue {self.name!r} has no message of type {msg_type}")
+
+    @property
+    def depth(self) -> int:
+        return len(self._messages)
+
+    def __repr__(self) -> str:
+        return f"MessageQueue(name={self.name!r}, depth={self.depth})"
+
+
+class MessageQueueSubsystem:
+    """The two queue namespaces: SysV keys and POSIX names."""
+
+    def __init__(self, policy: TrackingPolicy) -> None:
+        self._policy = policy
+        self._sysv: Dict[int, MessageQueue] = {}
+        self._posix: Dict[str, MessageQueue] = {}
+
+    # -- SysV ------------------------------------------------------------------
+
+    def msgget(self, key: int, create: bool = True) -> MessageQueue:
+        """SysV msgget: look up (or create) the queue for *key*."""
+        queue = self._sysv.get(key)
+        if queue is None:
+            if not create:
+                raise FileNotFound(f"no SysV queue with key {key}")
+            queue = MessageQueue(self._policy, name=f"sysv:{key}")
+            self._sysv[key] = queue
+        return queue
+
+    def msgctl_remove(self, key: int) -> None:
+        """SysV IPC_RMID."""
+        if key not in self._sysv:
+            raise FileNotFound(f"no SysV queue with key {key}")
+        del self._sysv[key]
+
+    # -- POSIX -------------------------------------------------------------------
+
+    def mq_open(self, name: str, create: bool = True) -> MessageQueue:
+        """POSIX mq_open: names must start with '/'."""
+        if not name.startswith("/"):
+            raise InvalidArgument(f"POSIX mq names start with '/': {name!r}")
+        queue = self._posix.get(name)
+        if queue is None:
+            if not create:
+                raise FileNotFound(f"no POSIX queue named {name!r}")
+            queue = MessageQueue(self._policy, name=f"posix:{name}")
+            self._posix[name] = queue
+        return queue
+
+    def mq_unlink(self, name: str) -> None:
+        if name not in self._posix:
+            raise FileNotFound(f"no POSIX queue named {name!r}")
+        del self._posix[name]

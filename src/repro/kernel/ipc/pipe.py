@@ -1,0 +1,108 @@
+"""Anonymous pipes and named FIFOs.
+
+Both are a single byte channel with one interaction stamp; a FIFO is the
+same channel object attached to a :class:`repro.kernel.vfs.FifoNode` so it
+is reachable by path.  The propagation protocol runs on every ``write``
+(embed) and ``read`` (adopt) -- these are ordinary syscalls, so unlike
+shared memory no page-fault machinery is needed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+from repro.kernel.errors import BrokenPipe, InvalidArgument, WouldBlock
+from repro.kernel.ipc.base import InteractionStamp, TrackingPolicy
+from repro.kernel.task import Task
+from repro.kernel.vfs import FifoNode, Filesystem
+
+_pipe_ids = itertools.count(1)
+
+
+class PipeChannel:
+    """One unidirectional byte channel (the kernel pipe buffer)."""
+
+    def __init__(self, policy: TrackingPolicy, capacity: int = 65536) -> None:
+        self.pipe_id = next(_pipe_ids)
+        self.stamp = InteractionStamp(policy)
+        self.capacity = capacity
+        self._buffer = bytearray()
+        self.read_side_open = True
+        self.write_side_open = True
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently sitting in the pipe buffer."""
+        return len(self._buffer)
+
+    def write(self, sender: Task, data: bytes) -> int:
+        """Write *data*; runs propagation step (2).
+
+        Raises EPIPE if the read side is closed, EAGAIN if the buffer is
+        full (the simulation models non-blocking pipes).
+        """
+        if not self.write_side_open:
+            raise InvalidArgument(f"pipe {self.pipe_id}: write side closed")
+        if not self.read_side_open:
+            raise BrokenPipe(f"pipe {self.pipe_id}: no readers")
+        if len(self._buffer) + len(data) > self.capacity:
+            raise WouldBlock(f"pipe {self.pipe_id}: buffer full")
+        self.stamp.embed_from(sender)
+        self._buffer.extend(data)
+        self.bytes_written += len(data)
+        return len(data)
+
+    def read(self, receiver: Task, count: int) -> bytes:
+        """Read up to *count* bytes; runs propagation step (3).
+
+        Returns b"" at EOF (writers gone, buffer empty); raises EAGAIN when
+        the buffer is empty but writers remain.
+        """
+        if count < 0:
+            raise InvalidArgument(f"negative read count: {count}")
+        if not self._buffer:
+            if not self.write_side_open:
+                return b""
+            raise WouldBlock(f"pipe {self.pipe_id}: nothing to read")
+        self.stamp.adopt_to(receiver)
+        data = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        self.bytes_read += len(data)
+        return data
+
+    def close_read(self) -> None:
+        self.read_side_open = False
+
+    def close_write(self) -> None:
+        self.write_side_open = False
+
+    def __repr__(self) -> str:
+        return f"PipeChannel(id={self.pipe_id}, buffered={self.buffered})"
+
+
+class PipeSubsystem:
+    """Factory/registry for pipes and FIFOs."""
+
+    def __init__(self, policy: TrackingPolicy, filesystem: Filesystem) -> None:
+        self._policy = policy
+        self._filesystem = filesystem
+        self._fifo_channels: Dict[int, PipeChannel] = {}  # inode -> channel
+
+    def create_pipe(self) -> PipeChannel:
+        """pipe(2): a fresh anonymous channel."""
+        return PipeChannel(self._policy)
+
+    def open_fifo(self, path: str) -> PipeChannel:
+        """Open (creating lazily) the channel behind a FIFO node at *path*."""
+        inode = self._filesystem.resolve(path)
+        if not isinstance(inode, FifoNode):
+            raise InvalidArgument(f"{path} is not a FIFO")
+        channel = self._fifo_channels.get(inode.ino)
+        if channel is None:
+            channel = PipeChannel(self._policy)
+            self._fifo_channels[inode.ino] = channel
+            inode.channel = channel
+        return channel

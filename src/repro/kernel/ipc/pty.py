@@ -1,0 +1,120 @@
+"""Pseudo-terminal pairs and CLI interaction propagation.
+
+Section IV-B ("CLI interactions"): a terminal emulator receives the X input
+events, but the command it launches is a descendant of the *shell*, which
+never saw any input.  Overhaul therefore patches the pseudo-terminal device
+driver:
+
+    "Whenever a process writes to a terminal endpoint, that process embeds
+    its timestamp into the kernel data structure representing the pseudo
+    terminal device.  Subsequently, when another process reads from the
+    corresponding terminal endpoint, that process copies the embedded
+    timestamp to its task_struct, unless it already has a more recent
+    timestamp."
+
+A :class:`PseudoTerminalPair` is the kernel structure; the master side is
+held by the terminal emulator, the slave side by the shell (and inherited by
+its children).  The stamp lives on the *pair* -- one timestamp per device,
+exactly as described.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List
+
+from repro.kernel.errors import InvalidArgument, WouldBlock
+from repro.kernel.ipc.base import InteractionStamp, TrackingPolicy
+from repro.kernel.task import Task
+
+_pty_numbers = itertools.count(0)
+
+
+class _PtyEndpoint:
+    """One side (master or slave) of a pty pair: a byte buffer."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+
+    @property
+    def pending(self) -> int:
+        return len(self.buffer)
+
+
+class PseudoTerminalPair:
+    """The kernel object representing one master/slave pty device pair.
+
+    Writing to the master appears on the slave's input and vice versa --
+    standard pty plumbing -- and every write embeds the writer's interaction
+    timestamp while every read adopts it (the Overhaul patch).
+    """
+
+    def __init__(self, policy: TrackingPolicy) -> None:
+        self.number = next(_pty_numbers)
+        self.stamp = InteractionStamp(policy)
+        self._to_slave = _PtyEndpoint()  # data written by master
+        self._to_master = _PtyEndpoint()  # data written by slave
+        self.bytes_transferred = 0
+
+    @property
+    def master_path(self) -> str:
+        return "/dev/ptmx"
+
+    @property
+    def slave_path(self) -> str:
+        return f"/dev/pts/{self.number}"
+
+    def _buffers(self, from_master: bool) -> _PtyEndpoint:
+        return self._to_slave if from_master else self._to_master
+
+    def write(self, writer: Task, data: bytes, from_master: bool) -> int:
+        """Write through one endpoint; runs the embed half of the protocol."""
+        if not data:
+            return 0
+        self.stamp.embed_from(writer)
+        endpoint = self._buffers(from_master)
+        endpoint.buffer.extend(data)
+        self.bytes_transferred += len(data)
+        return len(data)
+
+    def read(self, reader: Task, count: int, from_master: bool) -> bytes:
+        """Read from one endpoint; runs the adopt half of the protocol.
+
+        ``from_master=True`` reads the data the *slave* wrote (i.e. the
+        master's inbound stream).
+        """
+        if count < 0:
+            raise InvalidArgument(f"negative read count: {count}")
+        endpoint = self._to_master if from_master else self._to_slave
+        if not endpoint.buffer:
+            raise WouldBlock(f"pty {self.number}: no data")
+        self.stamp.adopt_to(reader)
+        data = bytes(endpoint.buffer[:count])
+        del endpoint.buffer[:count]
+        return data
+
+    def __repr__(self) -> str:
+        return f"PseudoTerminalPair(pts={self.number})"
+
+
+class PtySubsystem:
+    """Allocator/registry for pty pairs (the /dev/ptmx driver)."""
+
+    def __init__(self, policy: TrackingPolicy) -> None:
+        self._policy = policy
+        self._pairs: Dict[int, PseudoTerminalPair] = {}
+
+    def openpty(self) -> PseudoTerminalPair:
+        """Allocate a fresh master/slave pair."""
+        pair = PseudoTerminalPair(self._policy)
+        self._pairs[pair.number] = pair
+        return pair
+
+    def lookup(self, number: int) -> PseudoTerminalPair:
+        try:
+            return self._pairs[number]
+        except KeyError:
+            raise InvalidArgument(f"no pty pair numbered {number}") from None
+
+    def active_pairs(self) -> List[PseudoTerminalPair]:
+        return list(self._pairs.values())

@@ -1,0 +1,217 @@
+"""POSIX and SysV shared memory with page-fault-based interception.
+
+This is the facility the paper spends the most implementation effort on
+(Section IV-B):
+
+    "once the kernel allocates and maps a shared memory region with the mmap
+    system call, writes and reads to these regions are regular memory
+    operations that cannot be intercepted above the hardware level.  We
+    overcome this obstacle by... interpos[ing] on virtual memory mapping
+    operations inside the kernel, check[ing] whether the mapped area is
+    flagged as shared... and if so, revoke read and write permissions for
+    that memory area.  This causes subsequent accesses... to generate access
+    violations, which allows OVERHAUL to capture the IPC attempt inside the
+    page fault handler.  We then run the interaction propagation protocol...
+    and temporarily restore the memory access permissions... after every
+    access violation, we put the corresponding vm_area_struct on a wait list
+    before its permissions are revoked once again... We configured this
+    duration to 500 ms."
+
+The simulation reproduces the full state machine, including its documented
+*fidelity gap*: accesses during the 500 ms open window do **not** propagate
+timestamps (the paper: "we would miss shared memory IPC attempts and fail to
+propagate interaction timestamps during this period").  The ablation
+benchmark sweeps the wait-list duration to expose the performance/coverage
+trade-off the authors describe.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+from repro.kernel.errors import FileNotFound, InvalidArgument, SegmentationFault
+from repro.kernel.ipc.base import InteractionStamp, TrackingPolicy
+from repro.kernel.mm import PAGE_SIZE, PageProtection, VMArea
+from repro.kernel.task import Task
+from repro.sim.scheduler import EventScheduler
+from repro.sim.time import Timestamp, from_millis
+
+_segment_ids = itertools.count(1)
+
+#: Default wait-list duration: the paper's 500 ms.
+DEFAULT_WAITLIST_DURATION: Timestamp = from_millis(500)
+
+
+class SharedMemorySegment:
+    """One shm object (SysV segment or POSIX shm file)."""
+
+    def __init__(self, policy: TrackingPolicy, name: str, num_pages: int) -> None:
+        if num_pages <= 0:
+            raise InvalidArgument(f"segment needs at least one page: {num_pages}")
+        self.segment_id = next(_segment_ids)
+        self.name = name
+        self.num_pages = num_pages
+        self.data = bytearray(num_pages * PAGE_SIZE)
+        self.stamp = InteractionStamp(policy)
+        self.attach_count = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"SharedMemorySegment(name={self.name!r}, pages={self.num_pages})"
+
+
+class SharedMemorySubsystem:
+    """shmget/shm_open, attach/detach, and the mediated access paths."""
+
+    def __init__(
+        self,
+        policy: TrackingPolicy,
+        scheduler: EventScheduler,
+        waitlist_duration: Timestamp = DEFAULT_WAITLIST_DURATION,
+    ) -> None:
+        self._policy = policy
+        self._scheduler = scheduler
+        #: How long a faulted area stays open before re-revocation.
+        #: Mutable so the ablation benchmark can sweep it.
+        self.waitlist_duration = waitlist_duration
+        self._sysv: Dict[int, SharedMemorySegment] = {}
+        self._posix: Dict[str, SharedMemorySegment] = {}
+        self.total_faults = 0
+        self.total_accesses = 0
+
+    # -- naming ------------------------------------------------------------------
+
+    def shmget(self, key: int, num_pages: int, create: bool = True) -> SharedMemorySegment:
+        """SysV shmget."""
+        segment = self._sysv.get(key)
+        if segment is None:
+            if not create:
+                raise FileNotFound(f"no SysV shm segment with key {key}")
+            segment = SharedMemorySegment(self._policy, f"sysv:{key}", num_pages)
+            self._sysv[key] = segment
+        return segment
+
+    def shm_open(self, name: str, num_pages: int, create: bool = True) -> SharedMemorySegment:
+        """POSIX shm_open."""
+        if not name.startswith("/"):
+            raise InvalidArgument(f"POSIX shm names start with '/': {name!r}")
+        segment = self._posix.get(name)
+        if segment is None:
+            if not create:
+                raise FileNotFound(f"no POSIX shm named {name!r}")
+            segment = SharedMemorySegment(self._policy, f"posix:{name}", num_pages)
+            self._posix[name] = segment
+        return segment
+
+    def shm_unlink(self, name: str) -> None:
+        if name not in self._posix:
+            raise FileNotFound(f"no POSIX shm named {name!r}")
+        del self._posix[name]
+
+    # -- mapping -----------------------------------------------------------------
+
+    def attach(self, task: Task, segment: SharedMemorySegment) -> VMArea:
+        """mmap the segment into *task*'s address space (MAP_SHARED).
+
+        This is Overhaul's interception point on the mapping path: when
+        tracking is enabled, the new shared area's permissions are revoked
+        immediately so the first access faults.
+        """
+        area = task.address_space.map_area(  # type: ignore[attr-defined]
+            num_pages=segment.num_pages,
+            prot=PageProtection.rw(),
+            shared=True,
+            backing_object=segment,
+        )
+        segment.attach_count += 1
+        if self._policy.enabled:
+            area.revoke_protection()
+        return area
+
+    def detach(self, task: Task, area: VMArea) -> None:
+        """munmap; cancels any pending wait-list timer."""
+        if area.waitlist_event is not None:
+            area.waitlist_event.cancel()  # type: ignore[attr-defined]
+            area.waitlist_event = None
+        task.address_space.unmap(area)  # type: ignore[attr-defined]
+
+    # -- the fault machinery -------------------------------------------------------
+
+    def _segment_of(self, area: VMArea) -> SharedMemorySegment:
+        segment = area.backing_object
+        if not isinstance(segment, SharedMemorySegment):
+            raise InvalidArgument(f"area {area.area_id} is not a shm mapping")
+        return segment
+
+    def _service_fault(self, task: Task, area: VMArea, is_write: bool) -> None:
+        """The page-fault handler: propagate, restore, arm the wait list."""
+        self.total_faults += 1
+        area.fault_count += 1
+        area.last_fault_at = self._scheduler.now
+        segment = self._segment_of(area)
+
+        # The interaction-propagation protocol, direction-aware:
+        # a faulting write is a send (embed), a faulting read is a receive
+        # (adopt).  Running both merges would *strengthen* propagation
+        # beyond the paper; we keep the documented semantics.
+        if is_write:
+            segment.stamp.embed_from(task)
+        else:
+            segment.stamp.adopt_to(task)
+
+        # Temporarily restore permissions so the retried access succeeds,
+        # then put the vm_area on the wait list for re-revocation.
+        area.restore_protection()
+        if area.waitlist_event is not None:
+            area.waitlist_event.cancel()  # type: ignore[attr-defined]
+
+        def re_revoke() -> None:
+            area.waitlist_event = None
+            area.revoke_protection()
+
+        area.waitlist_event = self._scheduler.schedule_after(
+            self.waitlist_duration, re_revoke, label=f"shm-rearm(area={area.area_id})"
+        )
+
+    def _access(
+        self,
+        task: Task,
+        area: VMArea,
+        offset: int,
+        length: int,
+        is_write: bool,
+    ) -> SharedMemorySegment:
+        """Common bounds/fault handling for read and write paths."""
+        segment = self._segment_of(area)
+        if offset < 0 or length < 0 or offset + length > segment.size_bytes:
+            raise SegmentationFault(
+                f"shm access out of bounds: offset={offset}, length={length}, "
+                f"segment={segment.size_bytes} bytes"
+            )
+        self.total_accesses += 1
+        want = PageProtection.WRITE if is_write else PageProtection.READ
+        if area.protection_revoked or not area.permits(want):
+            if area.protection_revoked:
+                # Overhaul interception fault: recoverable.
+                self._service_fault(task, area, is_write)
+            else:
+                raise SegmentationFault(
+                    f"access violates protections on area {area.area_id}: "
+                    f"want {want}, have {area.prot}"
+                )
+        return segment
+
+    def write(self, task: Task, area: VMArea, offset: int, data: bytes) -> int:
+        """A store instruction into the mapped segment."""
+        segment = self._access(task, area, offset, len(data), is_write=True)
+        segment.data[offset : offset + len(data)] = data
+        return len(data)
+
+    def read(self, task: Task, area: VMArea, offset: int, count: int) -> bytes:
+        """A load from the mapped segment."""
+        segment = self._access(task, area, offset, count, is_write=False)
+        return bytes(segment.data[offset : offset + count])

@@ -1,0 +1,146 @@
+"""UNIX domain sockets (stream-style, message-preserving).
+
+Higher-level IPC such as D-Bus "are also automatically covered" by the
+kernel-level propagation (Section IV-B) because they sit on these sockets;
+:mod:`repro.apps` exploits exactly that -- its toy D-Bus runs over this
+module and inherits propagation for free.
+
+Connections are bidirectional: each direction has its own message queue but
+the *resource* (connection) carries one interaction stamp, matching the
+per-resource embedding the paper describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.kernel.errors import (
+    BrokenPipe,
+    ConnectionRefused,
+    FileExists,
+    InvalidArgument,
+    WouldBlock,
+)
+from repro.kernel.ipc.base import InteractionStamp, TrackingPolicy
+from repro.kernel.task import Task
+
+_connection_ids = itertools.count(1)
+
+
+class UnixSocketConnection:
+    """An established socket pair between two tasks."""
+
+    def __init__(self, policy: TrackingPolicy, client_pid: int, server_pid: int) -> None:
+        self.connection_id = next(_connection_ids)
+        self.stamp = InteractionStamp(policy)
+        self.client_pid = client_pid
+        self.server_pid = server_pid
+        self._to_server: Deque[bytes] = deque()
+        self._to_client: Deque[bytes] = deque()
+        self.open = True
+        self.messages_sent = 0
+
+    def _direction_for_sender(self, sender_pid: int) -> Deque[bytes]:
+        if sender_pid == self.client_pid:
+            return self._to_server
+        if sender_pid == self.server_pid:
+            return self._to_client
+        raise InvalidArgument(
+            f"pid {sender_pid} is not an endpoint of connection {self.connection_id}"
+        )
+
+    def _direction_for_receiver(self, receiver_pid: int) -> Deque[bytes]:
+        if receiver_pid == self.client_pid:
+            return self._to_client
+        if receiver_pid == self.server_pid:
+            return self._to_server
+        raise InvalidArgument(
+            f"pid {receiver_pid} is not an endpoint of connection {self.connection_id}"
+        )
+
+    def send(self, sender: Task, data: bytes) -> int:
+        """Queue one message toward the peer; propagation step (2)."""
+        if not self.open:
+            raise BrokenPipe(f"connection {self.connection_id} is closed")
+        queue = self._direction_for_sender(sender.pid)
+        self.stamp.embed_from(sender)
+        queue.append(bytes(data))
+        self.messages_sent += 1
+        return len(data)
+
+    def receive(self, receiver: Task) -> bytes:
+        """Dequeue one message addressed to *receiver*; propagation step (3)."""
+        queue = self._direction_for_receiver(receiver.pid)
+        if not queue:
+            if not self.open:
+                return b""
+            raise WouldBlock(f"connection {self.connection_id}: no data")
+        self.stamp.adopt_to(receiver)
+        return queue.popleft()
+
+    def pending_for(self, receiver_pid: int) -> int:
+        """Messages queued toward *receiver_pid*."""
+        return len(self._direction_for_receiver(receiver_pid))
+
+    def close(self) -> None:
+        self.open = False
+
+    def __repr__(self) -> str:
+        return (
+            f"UnixSocketConnection(id={self.connection_id}, "
+            f"client={self.client_pid}, server={self.server_pid})"
+        )
+
+
+class UnixSocketSubsystem:
+    """bind/listen/connect registry keyed by socket path."""
+
+    def __init__(self, policy: TrackingPolicy) -> None:
+        self._policy = policy
+        self._listeners: Dict[str, int] = {}  # path -> listening pid
+        self._pending_accepts: Dict[str, List[UnixSocketConnection]] = {}
+        self.connections: List[UnixSocketConnection] = []
+
+    def listen(self, server: Task, path: str) -> None:
+        """Bind *server* to *path* and start accepting connections."""
+        if path in self._listeners:
+            raise FileExists(f"socket path already bound: {path}")
+        self._listeners[path] = server.pid
+        self._pending_accepts[path] = []
+
+    def connect(self, client: Task, path: str) -> UnixSocketConnection:
+        """Connect to a listening socket; the connection is immediately usable.
+
+        The server discovers it via :meth:`accept`; data sent before accept
+        is queued (matching real UNIX socket backlog behaviour closely
+        enough for the experiments).
+        """
+        server_pid = self._listeners.get(path)
+        if server_pid is None:
+            raise ConnectionRefused(f"nobody listening on {path}")
+        connection = UnixSocketConnection(self._policy, client.pid, server_pid)
+        self._pending_accepts[path].append(connection)
+        self.connections.append(connection)
+        return connection
+
+    def accept(self, server: Task, path: str) -> Optional[UnixSocketConnection]:
+        """Pop one pending connection for *server*; None if the backlog is empty."""
+        if self._listeners.get(path) != server.pid:
+            raise InvalidArgument(f"pid {server.pid} is not listening on {path}")
+        backlog = self._pending_accepts[path]
+        return backlog.pop(0) if backlog else None
+
+    def unlisten(self, server: Task, path: str) -> None:
+        """Stop listening (socket close / unlink)."""
+        if self._listeners.get(path) != server.pid:
+            raise InvalidArgument(f"pid {server.pid} is not listening on {path}")
+        del self._listeners[path]
+        del self._pending_accepts[path]
+
+    def socketpair(self, left: Task, right: Task) -> UnixSocketConnection:
+        """socketpair(2): an anonymous pre-connected pair."""
+        connection = UnixSocketConnection(self._policy, left.pid, right.pid)
+        self.connections.append(connection)
+        return connection

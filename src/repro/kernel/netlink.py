@@ -1,0 +1,216 @@
+"""The secure kernel <-> userspace communication channel.
+
+Section IV-B: "we used the Linux netlink facility to provide this channel...
+Netlink, however, does not solve the authentication problem...  Once the
+kernel establishes the netlink channel and receives a connection request
+from X during server initialization, it examines the virtual memory maps to
+check whether the process it is communicating with is indeed the X server.
+In particular, it checks whether the executable code mapped into the process
+is loaded from the well-known, and superuser-owned, filesystem path for the
+X binaries."
+
+:class:`NetlinkSubsystem` reproduces that scheme:
+
+- Userspace tasks *request* a channel; the kernel authenticates them by
+  introspecting their address space (:meth:`AddressSpace.executable_mapping`)
+  and verifying the backing executable's filesystem path is on the trusted
+  list **and** owned by the superuser.
+- Unauthenticated connection attempts are refused -- the kernel "ignores
+  communication attempts by other processes".
+- Both directions are supported: userspace -> kernel messages dispatch to
+  registered kernel handlers (interaction notifications, permission
+  queries, device-map updates); kernel -> userspace messages invoke the
+  endpoint's receive callback (visual alert requests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.kernel.errors import (
+    InvalidArgument,
+    OperationNotPermitted,
+    PermissionDenied,
+)
+from repro.kernel.task import Task
+from repro.kernel.vfs import Filesystem
+from repro.sim.time import Timestamp
+
+#: Canonical trusted binary locations (superuser-owned in a stock install).
+DISPLAY_MANAGER_PATH = "/usr/lib/xorg/Xorg"
+UDEV_HELPER_PATH = "/usr/sbin/overhaul-devmapd"
+
+
+@dataclass
+class NetlinkMessage:
+    """One datagram on a netlink channel."""
+
+    msg_type: str
+    payload: Dict[str, Any]
+    sender_pid: Optional[int]  # None for kernel-originated messages
+    timestamp: Timestamp
+
+
+class NetlinkChannel:
+    """An authenticated channel between one userspace task and the kernel."""
+
+    def __init__(self, subsystem: "NetlinkSubsystem", owner: Task, label: str) -> None:
+        self._subsystem = subsystem
+        self.owner = owner
+        self.label = label
+        self.closed = False
+        #: Callback invoked for kernel -> userspace messages.
+        self.userspace_receiver: Optional[Callable[[NetlinkMessage], None]] = None
+        self.sent_to_kernel: int = 0
+        self.sent_to_userspace: int = 0
+
+    def send_to_kernel(self, task: Task, msg_type: str, payload: Dict[str, Any]) -> Any:
+        """Deliver a message from the owning task to the kernel.
+
+        Only the authenticated owner may use the channel; this prevents a
+        malicious process from piggybacking on the X server's link even if
+        it somehow obtained a reference to it.
+        """
+        if self.closed:
+            raise InvalidArgument(f"netlink channel {self.label!r} is closed")
+        if task.pid != self.owner.pid:
+            raise OperationNotPermitted(
+                f"pid {task.pid} is not the authenticated owner "
+                f"(pid {self.owner.pid}) of channel {self.label!r}"
+            )
+        if not task.is_alive:
+            raise OperationNotPermitted(f"channel owner pid {task.pid} is dead")
+        message = NetlinkMessage(
+            msg_type=msg_type,
+            payload=payload,
+            sender_pid=task.pid,
+            timestamp=self._subsystem.now,
+        )
+        self.sent_to_kernel += 1
+        return self._subsystem.dispatch_to_kernel(self, message)
+
+    def send_to_userspace(self, msg_type: str, payload: Dict[str, Any]) -> None:
+        """Deliver a kernel-originated message to the userspace endpoint."""
+        if self.closed:
+            raise InvalidArgument(f"netlink channel {self.label!r} is closed")
+        message = NetlinkMessage(
+            msg_type=msg_type,
+            payload=payload,
+            sender_pid=None,
+            timestamp=self._subsystem.now,
+        )
+        self.sent_to_userspace += 1
+        if self.userspace_receiver is not None:
+            self.userspace_receiver(message)
+
+    def close(self) -> None:
+        """Tear the channel down (endpoint exit)."""
+        self.closed = True
+        self._subsystem.forget_channel(self)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"NetlinkChannel(label={self.label!r}, owner=pid {self.owner.pid}, {state})"
+
+
+class NetlinkSubsystem:
+    """Kernel-side netlink: authentication, routing, handler registry."""
+
+    def __init__(self, filesystem: Filesystem, now_fn: Callable[[], Timestamp]) -> None:
+        self._filesystem = filesystem
+        self._now_fn = now_fn
+        #: path -> label for binaries allowed to hold a trusted channel.
+        self._trusted_binaries: Dict[str, str] = {
+            DISPLAY_MANAGER_PATH: "display-manager",
+            UDEV_HELPER_PATH: "udev-helper",
+        }
+        self._kernel_handlers: Dict[str, Callable[[NetlinkChannel, NetlinkMessage], Any]] = {}
+        self._channels_by_label: Dict[str, NetlinkChannel] = {}
+        self.rejected_connections: List[int] = []  # pids, for tests/audit
+
+    @property
+    def now(self) -> Timestamp:
+        return self._now_fn()
+
+    def register_trusted_binary(self, path: str, label: str) -> None:
+        """Extend the trusted endpoint set (used by tests and custom rigs)."""
+        self._trusted_binaries[path] = label
+
+    def register_kernel_handler(
+        self,
+        msg_type: str,
+        handler: Callable[[NetlinkChannel, NetlinkMessage], Any],
+    ) -> None:
+        """Bind a kernel-side handler for a userspace message type."""
+        if msg_type in self._kernel_handlers:
+            raise InvalidArgument(f"duplicate netlink handler for {msg_type!r}")
+        self._kernel_handlers[msg_type] = handler
+
+    # -- authentication -------------------------------------------------------
+
+    def _authenticate(self, task: Task) -> str:
+        """The memory-map introspection check.  Returns the endpoint label.
+
+        Raises :class:`PermissionDenied` when the peer is not a trusted,
+        superuser-owned binary.
+        """
+        address_space = getattr(task, "address_space", None)
+        mapping = address_space.executable_mapping() if address_space is not None else None
+        if mapping is None or mapping.backing_path is None:
+            raise PermissionDenied(
+                f"pid {task.pid} has no mapped executable to authenticate"
+            )
+        exe_path = mapping.backing_path
+        label = self._trusted_binaries.get(exe_path)
+        if label is None:
+            raise PermissionDenied(
+                f"pid {task.pid} ({exe_path}) is not a trusted netlink endpoint"
+            )
+        # The trusted path must actually exist and be superuser-owned;
+        # otherwise a user could drop their own binary at a stale path.
+        stat = self._filesystem.stat(exe_path)
+        if not stat.owner.is_superuser:
+            raise PermissionDenied(
+                f"trusted path {exe_path} is not superuser-owned "
+                f"(owner {stat.owner}); refusing channel"
+            )
+        return label
+
+    def connect(self, task: Task) -> NetlinkChannel:
+        """Userspace connection request; authenticate and open a channel."""
+        try:
+            label = self._authenticate(task)
+        except PermissionDenied:
+            self.rejected_connections.append(task.pid)
+            raise
+        existing = self._channels_by_label.get(label)
+        if existing is not None and not existing.closed and existing.owner.is_alive:
+            raise OperationNotPermitted(
+                f"a live {label!r} channel already exists (pid {existing.owner.pid})"
+            )
+        channel = NetlinkChannel(self, task, label)
+        self._channels_by_label[label] = channel
+        return channel
+
+    def channel_for(self, label: str) -> Optional[NetlinkChannel]:
+        """Kernel-side lookup of the live channel with *label*, if any."""
+        channel = self._channels_by_label.get(label)
+        if channel is None or channel.closed:
+            return None
+        return channel
+
+    def forget_channel(self, channel: NetlinkChannel) -> None:
+        """Drop a closed channel from the label registry."""
+        current = self._channels_by_label.get(channel.label)
+        if current is channel:
+            del self._channels_by_label[channel.label]
+
+    # -- routing ---------------------------------------------------------------
+
+    def dispatch_to_kernel(self, channel: NetlinkChannel, message: NetlinkMessage) -> Any:
+        """Route a userspace message to its registered kernel handler."""
+        handler = self._kernel_handlers.get(message.msg_type)
+        if handler is None:
+            raise InvalidArgument(f"no kernel handler for netlink type {message.msg_type!r}")
+        return handler(channel, message)

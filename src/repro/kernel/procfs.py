@@ -1,0 +1,78 @@
+"""A minimal proc filesystem for runtime kernel knobs.
+
+The paper exposes exactly one knob this way: the ptrace permission-
+revocation hardening "could be toggled by the super user through a proc
+filesystem node to facilitate legitimate debugging tasks" (Section IV-B).
+We generalise slightly: every registered node is a (getter, setter) pair,
+and *writes require superuser credentials* -- that requirement is the
+security property, so it is enforced here rather than trusted to callers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.kernel.errors import FileNotFound, OperationNotPermitted
+from repro.kernel.task import Task
+
+#: Path of the paper's documented toggle.
+PTRACE_PROTECTION_NODE = "/proc/sys/overhaul/ptrace_protection"
+
+
+class ProcFilesystem:
+    """Registry of virtual /proc nodes."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Tuple[Callable[[], str], Callable[[str], None]]] = {}
+
+    def register_node(
+        self,
+        path: str,
+        getter: Callable[[], str],
+        setter: Callable[[str], None],
+    ) -> None:
+        """Expose a kernel value at *path*."""
+        self._nodes[path] = (getter, setter)
+
+    def register_bool_node(
+        self,
+        path: str,
+        getter: Callable[[], bool],
+        setter: Callable[[bool], None],
+    ) -> None:
+        """Convenience for 0/1 toggle nodes (the common case)."""
+
+        def read() -> str:
+            return "1" if getter() else "0"
+
+        def write(value: str) -> None:
+            stripped = value.strip()
+            if stripped not in ("0", "1"):
+                raise OperationNotPermitted(f"{path}: expected '0' or '1', got {value!r}")
+            setter(stripped == "1")
+
+        self.register_node(path, read, write)
+
+    def read(self, path: str) -> str:
+        """Read a node (no privilege needed, like most sysctls)."""
+        try:
+            getter, _ = self._nodes[path]
+        except KeyError:
+            raise FileNotFound(path) from None
+        return getter()
+
+    def write(self, task: Task, path: str, value: str) -> None:
+        """Write a node; superuser only."""
+        try:
+            _, setter = self._nodes[path]
+        except KeyError:
+            raise FileNotFound(path) from None
+        if not task.creds.is_superuser:
+            raise OperationNotPermitted(
+                f"pid {task.pid} (uid {task.creds.uid}) may not write {path}"
+            )
+        setter(value)
+
+    def nodes(self) -> List[str]:
+        """All registered node paths, sorted."""
+        return sorted(self._nodes)

@@ -1,0 +1,85 @@
+"""Process introspection/debugging (ptrace) and its Overhaul hardening.
+
+Section IV-B ("Processes isolation and introspection"): Linux ptrace only
+allows attaching to direct descendants (with matching credentials); Overhaul
+goes further by "temporarily disabling all permissions for a debugged
+process, with a trivial patch to the ptrace system call", defeating attacks
+where malware launches a legitimate, input-blessed executable and injects
+code into it.  The hardening "could be toggled by the super user through a
+proc filesystem node" -- see :mod:`repro.kernel.procfs`.
+
+The permission monitor consults :meth:`PtraceSubsystem.permissions_disabled`
+before every grant, which is how the "trivial patch" manifests in the
+simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.kernel.errors import InvalidArgument, OperationNotPermitted
+from repro.kernel.task import Task
+
+
+class PtraceSubsystem:
+    """Attach/detach bookkeeping plus the Overhaul permission-revocation rule."""
+
+    def __init__(self, protection_enabled: bool = True) -> None:
+        #: Overhaul hardening switch (procfs-toggleable, default on).
+        self.protection_enabled = protection_enabled
+        self.attach_log: List[Tuple[int, int]] = []  # (tracer_pid, tracee_pid)
+        self.denied_attaches: List[Tuple[int, int]] = []
+
+    def attach(self, tracer: Task, tracee: Task) -> None:
+        """ptrace(PTRACE_ATTACH) with stock-Linux eligibility rules.
+
+        - self-attach is meaningless;
+        - the tracee must be a direct-or-transitive descendant of the
+          tracer (the containment the paper describes);
+        - credentials must match unless the tracer is the superuser;
+        - a task has at most one tracer.
+        """
+        if tracer.pid == tracee.pid:
+            raise InvalidArgument("a process cannot ptrace itself")
+        if tracee.is_traced:
+            raise OperationNotPermitted(
+                f"pid {tracee.pid} is already traced by pid {tracee.traced_by.pid}"
+            )
+        if not tracer.creds.is_superuser:
+            if tracer.creds.uid != tracee.creds.uid:
+                self.denied_attaches.append((tracer.pid, tracee.pid))
+                raise OperationNotPermitted(
+                    f"uid {tracer.creds.uid} cannot trace uid {tracee.creds.uid}"
+                )
+            if not tracee.is_descendant_of(tracer):
+                self.denied_attaches.append((tracer.pid, tracee.pid))
+                raise OperationNotPermitted(
+                    f"pid {tracee.pid} is not a descendant of pid {tracer.pid}; "
+                    "Linux debugging facilities do not allow attaching"
+                )
+        tracee.traced_by = tracer
+        tracer.tracees.add(tracee.pid)
+        self.attach_log.append((tracer.pid, tracee.pid))
+
+    def detach(self, tracer: Task, tracee: Task) -> None:
+        """ptrace(PTRACE_DETACH)."""
+        if tracee.traced_by is None or tracee.traced_by.pid != tracer.pid:
+            raise OperationNotPermitted(
+                f"pid {tracer.pid} is not tracing pid {tracee.pid}"
+            )
+        tracee.traced_by = None
+        tracer.tracees.discard(tracee.pid)
+
+    def permissions_disabled(self, task: Task) -> bool:
+        """Overhaul rule: a traced task has *all* resource permissions revoked.
+
+        Consulted by the permission monitor on every decision.  Returns
+        False when the superuser has toggled the hardening off.
+        """
+        return self.protection_enabled and task.is_traced
+
+    def on_task_exit(self, task: Task) -> None:
+        """Cleanup hook: sever trace relationships of an exiting task."""
+        if task.traced_by is not None:
+            task.traced_by.tracees.discard(task.pid)
+            task.traced_by = None

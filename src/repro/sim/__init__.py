@@ -1,0 +1,56 @@
+"""Discrete-event simulation substrate for the Overhaul reproduction.
+
+This package provides the timing and scheduling primitives that every other
+subsystem (kernel, X server, applications, workloads) builds on:
+
+- :mod:`repro.sim.time` -- an integer-microsecond virtual timebase and
+  conversion helpers.
+- :mod:`repro.sim.clock` -- the :class:`~repro.sim.clock.VirtualClock` that
+  represents "now" inside a simulation.
+- :mod:`repro.sim.scheduler` -- the
+  :class:`~repro.sim.scheduler.EventScheduler`, a deterministic priority-queue
+  event loop with cancellable timers.
+- :mod:`repro.sim.rng` -- seeded random sources so stochastic workloads (the
+  usability study, the 21-day empirical study) are reproducible.
+- :mod:`repro.sim.errors` -- the simulation exception hierarchy.
+
+Overhaul's core decision rule -- "grant access iff the operation arrived less
+than delta after authentic user input" -- is purely temporal, so the entire
+reproduction runs on this virtual timebase rather than wall-clock time.  That
+makes every experiment in EXPERIMENTS.md deterministic and replayable.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.errors import (
+    SchedulerError,
+    SimulationError,
+    TimeError,
+)
+from repro.sim.rng import RandomSource
+from repro.sim.scheduler import EventScheduler, ScheduledEvent
+from repro.sim.time import (
+    MICROSECONDS_PER_MILLISECOND,
+    MICROSECONDS_PER_SECOND,
+    Timestamp,
+    format_timestamp,
+    from_millis,
+    from_seconds,
+    to_seconds,
+)
+
+__all__ = [
+    "MICROSECONDS_PER_MILLISECOND",
+    "MICROSECONDS_PER_SECOND",
+    "EventScheduler",
+    "RandomSource",
+    "ScheduledEvent",
+    "SchedulerError",
+    "SimulationError",
+    "TimeError",
+    "Timestamp",
+    "VirtualClock",
+    "format_timestamp",
+    "from_millis",
+    "from_seconds",
+    "to_seconds",
+]

@@ -1,0 +1,55 @@
+"""The virtual clock that defines "now" for a simulation instance.
+
+The clock is advanced exclusively by the :class:`~repro.sim.scheduler.EventScheduler`
+(or explicitly, in unit tests).  Monotonicity is enforced: simulated time can
+never move backwards, which is the property Overhaul's temporal-proximity
+comparisons rely on.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errors import TimeError
+from repro.sim.time import Timestamp, format_timestamp, validate_duration
+
+
+class VirtualClock:
+    """A monotonically non-decreasing microsecond clock.
+
+    Parameters
+    ----------
+    start:
+        Initial timestamp, defaulting to the simulation epoch (0).
+    """
+
+    def __init__(self, start: Timestamp = 0) -> None:
+        if not isinstance(start, int) or isinstance(start, bool):
+            raise TimeError(f"clock start must be an integer, got {start!r}")
+        self._now: Timestamp = start
+
+    @property
+    def now(self) -> Timestamp:
+        """The current simulated time in microseconds since epoch."""
+        return self._now
+
+    def advance_to(self, timestamp: Timestamp) -> Timestamp:
+        """Move the clock forward to *timestamp*.
+
+        Raises :class:`TimeError` if *timestamp* is in the past; advancing to
+        the current time is a no-op (events at the same instant are legal).
+        """
+        if timestamp < self._now:
+            raise TimeError(
+                f"clock cannot move backwards: now={format_timestamp(self._now)}, "
+                f"requested={format_timestamp(timestamp)}"
+            )
+        self._now = timestamp
+        return self._now
+
+    def advance_by(self, duration: Timestamp) -> Timestamp:
+        """Move the clock forward by a non-negative *duration*."""
+        validate_duration(duration)
+        self._now += duration
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={format_timestamp(self._now)})"

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the simulation substrate.
+
+Every error raised by the simulation layers derives from
+:class:`SimulationError` so callers can distinguish simulator faults from
+simulated-OS errors (which live in :mod:`repro.kernel.errors` and model
+errno-style failures).
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator-level errors."""
+
+
+class TimeError(SimulationError):
+    """An invalid timestamp or duration was supplied."""
+
+
+class SchedulerError(SimulationError):
+    """The event scheduler was used incorrectly.
+
+    Examples: scheduling an event in the past, or re-entrantly running the
+    event loop from inside an event callback.
+    """
+
+
+class DeterminismError(SimulationError):
+    """A source of nondeterminism was detected.
+
+    The reproduction requires every experiment to be replayable from its
+    seed; this error fires when unseeded randomness or wall-clock access
+    would silently break that guarantee.
+    """

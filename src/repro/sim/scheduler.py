@@ -1,0 +1,194 @@
+"""Deterministic priority-queue event loop.
+
+The scheduler is the engine behind every simulated scenario: user input
+arrives as scheduled events, applications register timers (e.g. a spyware
+process sampling the clipboard every 30 simulated minutes), and Overhaul's
+shared-memory wait list re-arms page protections with a 500 ms timer.
+
+Determinism guarantees:
+
+- Events firing at the same instant run in insertion order (a monotonically
+  increasing sequence number breaks ties).
+- Callbacks may schedule or cancel further events freely; re-entrant *runs*
+  of the loop are rejected.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.clock import VirtualClock
+from repro.sim.errors import SchedulerError
+from repro.sim.time import Timestamp, format_timestamp, validate_duration
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Instances are returned by :meth:`EventScheduler.schedule_at` /
+    :meth:`EventScheduler.schedule_after` and compare by (time, sequence) so
+    they can live directly in the scheduler's heap.
+    """
+
+    __slots__ = ("time", "seq", "callback", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: Timestamp,
+        seq: int,
+        callback: Callable[[], Any],
+        label: str,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"ScheduledEvent({self.label!r} at {format_timestamp(self.time)}, {state})"
+
+
+class EventScheduler:
+    """A discrete-event loop over a :class:`VirtualClock`.
+
+    The scheduler owns its clock; subsystems read time through
+    :attr:`now` and never mutate the clock directly.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self._clock = clock if clock is not None else VirtualClock()
+        self._heap: List[ScheduledEvent] = []
+        self._seq = 0
+        self._running = False
+        self._events_dispatched = 0
+
+    @property
+    def clock(self) -> VirtualClock:
+        """The clock this scheduler advances."""
+        return self._clock
+
+    @property
+    def now(self) -> Timestamp:
+        """Current simulated time."""
+        return self._clock.now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total number of callbacks executed so far (for diagnostics)."""
+        return self._events_dispatched
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule_at(
+        self,
+        time: Timestamp,
+        callback: Callable[[], Any],
+        label: str = "event",
+    ) -> ScheduledEvent:
+        """Schedule *callback* to run at absolute simulated *time*.
+
+        Scheduling at the current instant is allowed (the event runs on the
+        next loop iteration); scheduling in the past is an error.
+        """
+        if time < self._clock.now:
+            raise SchedulerError(
+                f"cannot schedule {label!r} in the past: "
+                f"now={format_timestamp(self._clock.now)}, "
+                f"requested={format_timestamp(time)}"
+            )
+        event = ScheduledEvent(time, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: Timestamp,
+        callback: Callable[[], Any],
+        label: str = "event",
+    ) -> ScheduledEvent:
+        """Schedule *callback* to run *delay* microseconds from now."""
+        validate_duration(delay, "delay")
+        return self.schedule_at(self._clock.now + delay, callback, label)
+
+    def run_until(self, time: Timestamp) -> int:
+        """Dispatch every event with ``event.time <= time``; advance clock to *time*.
+
+        Returns the number of callbacks executed.  The clock always ends at
+        exactly *time*, even if the queue drains early, so subsequent
+        scheduling is relative to the requested horizon.
+        """
+        if self._running:
+            raise SchedulerError("re-entrant scheduler run detected")
+        if time < self._clock.now:
+            raise SchedulerError(
+                f"cannot run until the past: now={format_timestamp(self._clock.now)}, "
+                f"requested={format_timestamp(time)}"
+            )
+        self._running = True
+        dispatched = 0
+        try:
+            while self._heap and self._heap[0].time <= time:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._clock.advance_to(event.time)
+                event.callback()
+                dispatched += 1
+                self._events_dispatched += 1
+            self._clock.advance_to(time)
+        finally:
+            self._running = False
+        return dispatched
+
+    def run_for(self, duration: Timestamp) -> int:
+        """Dispatch events for the next *duration* microseconds."""
+        validate_duration(duration)
+        return self.run_until(self._clock.now + duration)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Run until the queue is empty (or *max_events* were dispatched).
+
+        Raises :class:`SchedulerError` if the event budget is exhausted,
+        which usually indicates a runaway self-rescheduling loop.
+        """
+        if self._running:
+            raise SchedulerError("re-entrant scheduler run detected")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._heap:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                if dispatched >= max_events:
+                    raise SchedulerError(
+                        f"drain exceeded event budget of {max_events}; "
+                        f"likely a runaway timer loop (last label: {event.label!r})"
+                    )
+                self._clock.advance_to(event.time)
+                event.callback()
+                dispatched += 1
+                self._events_dispatched += 1
+        finally:
+            self._running = False
+        return dispatched
+
+    def __repr__(self) -> str:
+        return (
+            f"EventScheduler(now={format_timestamp(self.now)}, "
+            f"pending={self.pending_count})"
+        )

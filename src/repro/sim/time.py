@@ -1,0 +1,86 @@
+"""Virtual timebase used throughout the simulation.
+
+All simulated timestamps are integers counting **microseconds** since the
+simulation epoch (time zero).  An integer timebase avoids floating-point
+drift when comparing an interaction timestamp against Overhaul's
+temporal-proximity threshold; the paper's thresholds (2 s interaction expiry,
+500 ms shared-memory wait list) are all exact in this representation.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errors import TimeError
+
+#: Type alias for simulated time.  A count of microseconds since epoch.
+Timestamp = int
+
+#: Number of microseconds per second of simulated time.
+MICROSECONDS_PER_SECOND: int = 1_000_000
+
+#: Number of microseconds per millisecond of simulated time.
+MICROSECONDS_PER_MILLISECOND: int = 1_000
+
+#: A timestamp guaranteed to be older than any event the simulation can
+#: produce.  Used to initialise "expired" interaction timestamps, mirroring
+#: how the paper embeds an expired timestamp in fresh IPC structures.
+NEVER: Timestamp = -(2**62)
+
+
+def from_seconds(seconds: float) -> Timestamp:
+    """Convert a duration in seconds to a :data:`Timestamp` delta.
+
+    >>> from_seconds(2.0)
+    2000000
+    """
+    if seconds != seconds:  # NaN check without importing math
+        raise TimeError("cannot convert NaN seconds to a timestamp")
+    return round(seconds * MICROSECONDS_PER_SECOND)
+
+
+def from_millis(millis: float) -> Timestamp:
+    """Convert a duration in milliseconds to a :data:`Timestamp` delta.
+
+    >>> from_millis(500)
+    500000
+    """
+    if millis != millis:
+        raise TimeError("cannot convert NaN milliseconds to a timestamp")
+    return round(millis * MICROSECONDS_PER_MILLISECOND)
+
+
+def to_seconds(timestamp: Timestamp) -> float:
+    """Convert a :data:`Timestamp` (or delta) to float seconds.
+
+    >>> to_seconds(2_000_000)
+    2.0
+    """
+    return timestamp / MICROSECONDS_PER_SECOND
+
+
+def format_timestamp(timestamp: Timestamp) -> str:
+    """Render a timestamp as a human-readable ``[s.ususus]`` string.
+
+    Used by the audit and decision logs so traces read naturally:
+
+    >>> format_timestamp(1_500_000)
+    '[1.500000s]'
+    """
+    if timestamp == NEVER:
+        return "[never]"
+    sign = "-" if timestamp < 0 else ""
+    magnitude = abs(timestamp)
+    seconds, micros = divmod(magnitude, MICROSECONDS_PER_SECOND)
+    return f"[{sign}{seconds}.{micros:06d}s]"
+
+
+def validate_duration(duration: Timestamp, name: str = "duration") -> Timestamp:
+    """Validate that *duration* is a non-negative integer number of microseconds.
+
+    Returns the duration unchanged so the function can be used inline.
+    Raises :class:`TimeError` for negative or non-integer values.
+    """
+    if not isinstance(duration, int) or isinstance(duration, bool):
+        raise TimeError(f"{name} must be an integer microsecond count, got {duration!r}")
+    if duration < 0:
+        raise TimeError(f"{name} must be non-negative, got {duration}")
+    return duration

@@ -1,0 +1,102 @@
+"""Experiment workloads: the paper's evaluation, executable.
+
+- :mod:`repro.workloads.user_model` -- stochastic user behaviour (alert
+  attention, daily desktop usage), seeded and replayable;
+- :mod:`repro.workloads.scenarios` -- the protocol walkthroughs of
+  Figures 1-4 and 6;
+- :mod:`repro.workloads.app_catalog` -- the Section V-C applicability and
+  false-positive sweep (58 device/screen apps + 50 clipboard apps);
+- :mod:`repro.workloads.usability` -- the Section V-B 46-participant study;
+- :mod:`repro.workloads.longterm` -- the Section V-D 21-day two-machine
+  spyware study.
+"""
+
+from repro.workloads.blast_radius import (
+    BlastRadiusResult,
+    RadiusSample,
+    measure_blast_radius,
+    sweep_topologies,
+)
+from repro.workloads.attacks import (
+    FLIPPABLE_ATTACKS,
+    AttackMatrix,
+    AttackOutcome,
+    run_attack_matrix,
+)
+from repro.workloads.app_catalog import (
+    AccessPattern,
+    AppSpec,
+    AppTestResult,
+    SweepSummary,
+    build_clipboard_app_pool,
+    build_device_app_pool,
+    exercise_app,
+    run_applicability_sweep,
+)
+from repro.workloads.longterm import (
+    STUDY_DAYS,
+    LongTermResults,
+    run_comparison,
+    run_longterm_study,
+)
+from repro.workloads.scenarios import (
+    ScenarioStep,
+    ScenarioTrace,
+    all_figure_scenarios,
+    figure1_hardware_device,
+    figure2_clipboard_paste,
+    figure3_launcher_spawn,
+    figure4_browser_ipc,
+    figure6_selection_protocol,
+)
+from repro.workloads.usability import (
+    PARTICIPANT_COUNT,
+    ParticipantOutcome,
+    UsabilityStudyResults,
+    run_usability_study,
+)
+from repro.workloads.user_model import (
+    AlertAttentionModel,
+    AlertReaction,
+    DailyUsageModel,
+    DayPlan,
+)
+
+__all__ = [
+    "AccessPattern",
+    "AttackMatrix",
+    "AttackOutcome",
+    "BlastRadiusResult",
+    "RadiusSample",
+    "measure_blast_radius",
+    "sweep_topologies",
+    "FLIPPABLE_ATTACKS",
+    "run_attack_matrix",
+    "AlertAttentionModel",
+    "AlertReaction",
+    "AppSpec",
+    "AppTestResult",
+    "DailyUsageModel",
+    "DayPlan",
+    "LongTermResults",
+    "PARTICIPANT_COUNT",
+    "ParticipantOutcome",
+    "STUDY_DAYS",
+    "ScenarioStep",
+    "ScenarioTrace",
+    "SweepSummary",
+    "UsabilityStudyResults",
+    "all_figure_scenarios",
+    "build_clipboard_app_pool",
+    "build_device_app_pool",
+    "exercise_app",
+    "figure1_hardware_device",
+    "figure2_clipboard_paste",
+    "figure3_launcher_spawn",
+    "figure4_browser_ipc",
+    "figure6_selection_protocol",
+    "run_applicability_sweep",
+    "run_comparison",
+    "run_longterm_study",
+    "run_usability_study",
+]

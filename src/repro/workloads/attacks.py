@@ -1,0 +1,166 @@
+"""The attack matrix: every attack from the paper's analysis, as a harness.
+
+Running the same eight attacks against a baseline and a protected machine
+produces the security-evaluation matrix the threat analysis implies: each
+row must read PWNED on stock Linux/X11 and BLOCKED under Overhaul (except
+alert forgery, which is a user-discernibility property on the baseline,
+and mimicry, which stays out of scope on both).
+
+Used by ``examples/attack_gallery.py`` and
+``tests/integration/test_attack_matrix.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.apps import (
+    ClickjackingMalware,
+    ClipboardProtocolAttacker,
+    FakeAlertMalware,
+    InputForgeryMalware,
+    PtraceInjectionMalware,
+    Spyware,
+    TextEditor,
+)
+from repro.core.system import Machine
+from repro.sim.time import from_seconds
+from repro.xserver.errors import BadAccess
+
+
+@dataclass
+class AttackOutcome:
+    """One attack's result on one machine."""
+
+    name: str
+    succeeded: bool  # True = the attacker got what they wanted
+    detail: str = ""
+
+
+@dataclass
+class AttackMatrix:
+    """All outcomes for one machine configuration."""
+
+    machine_name: str
+    protected: bool
+    outcomes: List[AttackOutcome] = field(default_factory=list)
+
+    def by_name(self) -> Dict[str, AttackOutcome]:
+        return {outcome.name: outcome for outcome in self.outcomes}
+
+    def successes(self) -> List[str]:
+        return [o.name for o in self.outcomes if o.succeeded]
+
+    def render(self) -> str:
+        mode = "OVERHAUL" if self.protected else "baseline"
+        lines = [f"attack matrix ({mode}):"]
+        for outcome in self.outcomes:
+            verdict = "PWNED  " if outcome.succeeded else "blocked"
+            suffix = f" -- {outcome.detail}" if outcome.detail else ""
+            lines.append(f"  {verdict} {outcome.name}{suffix}")
+        return "\n".join(lines)
+
+
+def run_attack_matrix(machine: Machine) -> AttackMatrix:
+    """Execute the full attack suite on *machine*."""
+    matrix = AttackMatrix(machine.name, machine.protected)
+    editor = TextEditor(machine)
+    machine.settle()
+    editor.user_copy(b"password-in-clipboard")
+    machine.run_for(from_seconds(3.0))  # user idle; data at rest
+
+    # 1. Background spyware across all three channels.
+    spy = Spyware(machine)
+    spy.attempt_all()
+    matrix.outcomes.append(
+        AttackOutcome(
+            "background-spyware",
+            succeeded=bool(spy.stolen),
+            detail=f"{len(spy.stolen)}/3 channels leaked",
+        )
+    )
+
+    # 2a/2b. Input forgery.
+    forger = InputForgeryMalware(machine)
+    machine.settle()
+    matrix.outcomes.append(
+        AttackOutcome("input-forgery-sendevent", forger.forge_with_sendevent())
+    )
+    matrix.outcomes.append(
+        AttackOutcome("input-forgery-xtest", forger.forge_with_xtest())
+    )
+
+    # 3. Clickjacking via transparent overlay.
+    jacker = ClickjackingMalware(machine, editor.window)
+    machine.settle()
+    jacker.pop_over_and_wait()
+    machine.mouse.click_window(editor.window)
+    matrix.outcomes.append(AttackOutcome("clickjacking", jacker.try_microphone()))
+
+    # 4. Alert forgery.  On a stock system nothing distinguishes real system
+    # UI, so the forgery trivially "succeeds"; under Overhaul the fake
+    # cannot carry the shared secret nor render above the overlay.
+    faker = FakeAlertMalware(machine)
+    machine.settle()
+    faker.display_fake_alert()
+    if machine.protected:
+        secret = machine.xserver.overlay.shared_secret.encode()
+        forged = secret in bytes(faker.window.content)
+    else:
+        forged = True
+    matrix.outcomes.append(AttackOutcome("alert-forgery", forged))
+
+    # 5. SendEvent clipboard-protocol bypass.
+    snoop = ClipboardProtocolAttacker(machine)
+    machine.settle()
+    stolen = snoop.solicit_owner_directly(editor)
+    matrix.outcomes.append(
+        AttackOutcome("clipboard-sendevent-bypass", stolen is not None)
+    )
+
+    # 6. In-flight property snooping during a legitimate paste.
+    watcher = ClipboardProtocolAttacker(machine, comm="watcher")
+    machine.settle()
+    watcher.watch_window_properties(editor.window.drawable_id)
+    editor.user_copy(b"fresh-secret")
+    machine.run_for(from_seconds(0.2))
+    editor.user_paste()
+    matrix.outcomes.append(
+        AttackOutcome("clipboard-property-snoop", b"fresh-secret" in watcher.sniffed)
+    )
+
+    # 7. CopyArea screen theft from a foreign window.
+    thief = Spyware(machine, comm="copythief")
+    pixmap = machine.xserver.create_pixmap(thief.client)
+    try:
+        machine.xserver.copy_area(
+            thief.client, editor.window.drawable_id, pixmap.drawable_id
+        )
+        matrix.outcomes.append(AttackOutcome("copyarea-screen-theft", True))
+    except BadAccess:
+        matrix.outcomes.append(AttackOutcome("copyarea-screen-theft", False))
+
+    # 8. ptrace code injection into a user-blessed child.
+    injector = PtraceInjectionMalware(machine, map_window=True)
+    machine.settle()
+    injector.click()
+    matrix.outcomes.append(
+        AttackOutcome("ptrace-injection", injector.launch_and_inject())
+    )
+
+    return matrix
+
+
+#: Attacks that must flip from PWNED (baseline) to blocked (Overhaul).
+FLIPPABLE_ATTACKS = [
+    "background-spyware",
+    "input-forgery-sendevent",
+    "input-forgery-xtest",
+    "clickjacking",
+    "alert-forgery",
+    "clipboard-sendevent-bypass",
+    "clipboard-property-snoop",
+    "copyarea-screen-theft",
+    "ptrace-injection",
+]

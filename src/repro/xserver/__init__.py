@@ -1,0 +1,84 @@
+"""Simulated X Window System for the Overhaul reproduction.
+
+A protocol-level model of the X.Org pieces the paper modifies (Section
+IV-A): client connections with kernel-verified PID bindings, windows with
+visibility tracking, input dispatch with event provenance, the full ICCCM
+selection (clipboard) protocol, display-content requests (GetImage,
+XShmGetImage, CopyArea, CopyPlane), the XTest extension, SendEvent, and the
+trusted overlay output path.
+
+Entry point: :class:`repro.xserver.XServer`.  Without an Overhaul extension
+installed, the server behaves as stock X11 -- synthetic input is
+indistinguishable downstream, selections are served unconditionally, and any
+client can read the framebuffer.
+"""
+
+from repro.xserver.client import XClient
+from repro.xserver.errors import (
+    BadAccess,
+    BadAtom,
+    BadClient,
+    BadDrawable,
+    BadMatch,
+    BadValue,
+    BadWindow,
+    XError,
+)
+from repro.xserver.events import EventKind, EventProvenance, XEvent
+from repro.xserver.input_drivers import (
+    KEYCODE_C,
+    KEYCODE_ENTER,
+    KEYCODE_PRINTSCREEN,
+    KEYCODE_V,
+    MODIFIER_CTRL,
+    HardwareKeyboard,
+    HardwareMouse,
+)
+from repro.xserver.overlay import Alert, OverlayManager
+from repro.xserver.selection import (
+    CLIPBOARD,
+    PRIMARY,
+    PendingTransfer,
+    Selection,
+    SelectionSubsystem,
+    TransferState,
+)
+from repro.xserver.server import OverhaulXExtension, XServer
+from repro.xserver.window import Drawable, Geometry, Pixmap, StackingOrder, Window
+
+__all__ = [
+    "Alert",
+    "BadAccess",
+    "BadAtom",
+    "BadClient",
+    "BadDrawable",
+    "BadMatch",
+    "BadValue",
+    "BadWindow",
+    "CLIPBOARD",
+    "Drawable",
+    "EventKind",
+    "EventProvenance",
+    "Geometry",
+    "HardwareKeyboard",
+    "HardwareMouse",
+    "KEYCODE_C",
+    "KEYCODE_ENTER",
+    "KEYCODE_PRINTSCREEN",
+    "KEYCODE_V",
+    "MODIFIER_CTRL",
+    "OverhaulXExtension",
+    "OverlayManager",
+    "PRIMARY",
+    "PendingTransfer",
+    "Pixmap",
+    "Selection",
+    "SelectionSubsystem",
+    "StackingOrder",
+    "TransferState",
+    "Window",
+    "XClient",
+    "XError",
+    "XEvent",
+    "XServer",
+]

@@ -1,0 +1,61 @@
+"""X protocol error hierarchy.
+
+Mirrors the X11 error names the paper's modifications surface -- most
+importantly ``BadAccess``, which is what Overhaul's modified server returns
+when a selection operation fails its permission query ("the client is sent
+back a *bad access* error", Section IV-A).
+"""
+
+from __future__ import annotations
+
+
+class XError(Exception):
+    """Base class for X protocol errors."""
+
+    x_error_name = "Unknown"
+
+    def __str__(self) -> str:
+        message = super().__str__()
+        return f"[{self.x_error_name}] {message}" if message else self.x_error_name
+
+
+class BadAccess(XError):
+    """Access to the resource was denied (Overhaul's denial surface)."""
+
+    x_error_name = "BadAccess"
+
+
+class BadWindow(XError):
+    """The window id does not name a valid window."""
+
+    x_error_name = "BadWindow"
+
+
+class BadDrawable(XError):
+    """The drawable id names neither a window nor a pixmap."""
+
+    x_error_name = "BadDrawable"
+
+
+class BadAtom(XError):
+    """An invalid atom (selection/property name) was supplied."""
+
+    x_error_name = "BadAtom"
+
+
+class BadMatch(XError):
+    """Request parameters are inconsistent."""
+
+    x_error_name = "BadMatch"
+
+
+class BadValue(XError):
+    """A numeric argument is out of range."""
+
+    x_error_name = "BadValue"
+
+
+class BadClient(XError):
+    """The client connection is closed or otherwise unusable."""
+
+    x_error_name = "BadClient"

@@ -1,0 +1,86 @@
+"""Hardware input device drivers.
+
+These are the *only* sources of events with
+:attr:`~repro.xserver.events.EventProvenance.HARDWARE` provenance.  The
+server hands out an injection capability when a driver is attached at
+machine-assembly time; application code never holds one, so it cannot mint
+authentic events -- the construction-time equivalent of the paper's
+assumption that "user inputs that originate from hardware attached to the
+system should be considered authentic" while everything programmatic is not.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.xserver.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xserver.server import XServer
+
+#: Conventional keycodes used by scenarios (a tiny keymap).
+KEYCODE_ENTER = 36
+KEYCODE_C = 54
+KEYCODE_V = 55
+KEYCODE_PRINTSCREEN = 107
+MODIFIER_CTRL = 1 << 2
+
+
+class HardwareKeyboard:
+    """A physical keyboard.
+
+    ``press``/``type_text`` inject authentic key events routed to the
+    current input focus.
+    """
+
+    def __init__(self, server: "XServer", name: str = "kbd0") -> None:
+        self.name = name
+        self._server = server
+        self._token = server.attach_input_driver(self)
+
+    def press(self, keycode: int, modifiers: int = 0) -> None:
+        """Press and release one key."""
+        self._server.inject_hardware_key(self._token, EventKind.KEY_PRESS, keycode, modifiers)
+        self._server.inject_hardware_key(self._token, EventKind.KEY_RELEASE, keycode, modifiers)
+
+    def combo(self, keycode: int, modifiers: int = MODIFIER_CTRL) -> None:
+        """A modifier combo (e.g. Ctrl+V for paste)."""
+        self.press(keycode, modifiers)
+
+    def type_text(self, text: str) -> None:
+        """Type a string: one press/release pair per character.
+
+        Characters are mapped to pseudo-keycodes (offset from 'a'); the
+        simulation does not need a real keymap, only distinct events.
+        """
+        for char in text:
+            self.press(1000 + ord(char))
+
+
+class HardwareMouse:
+    """A physical pointer device."""
+
+    def __init__(self, server: "XServer", name: str = "mouse0") -> None:
+        self.name = name
+        self._server = server
+        self._token = server.attach_input_driver(self)
+        self.x = 0
+        self.y = 0
+
+    def move_to(self, x: int, y: int) -> None:
+        """Absolute pointer motion."""
+        self.x = x
+        self.y = y
+        self._server.inject_hardware_motion(self._token, x, y)
+
+    def click(self, x: Optional[int] = None, y: Optional[int] = None, button: int = 1) -> None:
+        """Move (optionally) and click a button."""
+        if x is not None and y is not None:
+            self.move_to(x, y)
+        self._server.inject_hardware_button(self._token, EventKind.BUTTON_PRESS, self.x, self.y, button)
+        self._server.inject_hardware_button(self._token, EventKind.BUTTON_RELEASE, self.x, self.y, button)
+
+    def click_window(self, window: object, button: int = 1) -> None:
+        """Click the centre of *window* (scenario convenience)."""
+        geometry = window.geometry  # type: ignore[attr-defined]
+        self.click(geometry.x + geometry.width // 2, geometry.y + geometry.height // 2, button)

@@ -1,0 +1,164 @@
+"""Selection (clipboard) state: owners and in-flight transfers.
+
+X has no central clipboard; copy & paste is the inter-client protocol of
+Figure 6 (ICCCM).  This module holds the server's bookkeeping:
+
+- :class:`Selection` -- who currently owns a selection atom;
+- :class:`PendingTransfer` -- one in-flight ConvertSelection round trip.
+
+The transfer state machine is what lets the modified server (a) validate
+that a ``SendEvent(SelectionNotify)`` matches a legitimate transfer rather
+than a protocol-bypass attempt, and (b) protect the in-flight property data
+from snooping ("OVERHAUL ensures that such events are only delivered to the
+paste target while the clipboard data is in flight", Section IV-A).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.time import Timestamp
+
+#: The selection atoms scenarios use.
+CLIPBOARD = "CLIPBOARD"
+PRIMARY = "PRIMARY"
+
+
+@dataclass
+class Selection:
+    """Current ownership of one selection atom."""
+
+    name: str
+    owner_client_id: int
+    owner_window_id: int
+    acquired_at: Timestamp
+
+
+class TransferState(enum.Enum):
+    """Lifecycle of a ConvertSelection round trip (Figure 6 steps 6-13)."""
+
+    REQUESTED = "requested"  # ConvertSelection accepted, owner notified (7)
+    DATA_STORED = "data-stored"  # owner wrote the property (8)
+    NOTIFIED = "notified"  # SelectionNotify sent to requestor (9-10)
+    COMPLETED = "completed"  # requestor fetched and deleted the data (11-13)
+    FAILED = "failed"
+
+
+_transfer_ids = itertools.count(1)
+
+
+@dataclass
+class PendingTransfer:
+    """One in-flight clipboard data transfer."""
+
+    selection_name: str
+    owner_client_id: int
+    requestor_client_id: int
+    requestor_window_id: int
+    property_name: str
+    target: str
+    started_at: Timestamp
+    state: TransferState = TransferState.REQUESTED
+    transfer_id: int = field(default_factory=lambda: next(_transfer_ids))
+
+    @property
+    def in_flight(self) -> bool:
+        """True while the property data needs snooping protection."""
+        return self.state in (TransferState.DATA_STORED, TransferState.NOTIFIED)
+
+
+class SelectionSubsystem:
+    """Registry of selections and pending transfers."""
+
+    def __init__(self) -> None:
+        self._selections: Dict[str, Selection] = {}
+        self._transfers: List[PendingTransfer] = []
+        self.completed_transfers = 0
+        self.failed_transfers = 0
+
+    # -- ownership ---------------------------------------------------------
+
+    def owner_of(self, name: str) -> Optional[Selection]:
+        return self._selections.get(name)
+
+    def set_owner(self, selection: Selection) -> Optional[Selection]:
+        """Record new ownership; returns the previous owner (for
+        SelectionClear delivery), if any."""
+        previous = self._selections.get(selection.name)
+        self._selections[selection.name] = selection
+        return previous
+
+    def clear_owner(self, name: str) -> None:
+        self._selections.pop(name, None)
+
+    # -- transfers -----------------------------------------------------------
+
+    def start_transfer(self, transfer: PendingTransfer) -> PendingTransfer:
+        self._transfers.append(transfer)
+        return transfer
+
+    def active_transfers(self) -> List[PendingTransfer]:
+        """Transfers not yet completed or failed."""
+        return [
+            t
+            for t in self._transfers
+            if t.state not in (TransferState.COMPLETED, TransferState.FAILED)
+        ]
+
+    def find_transfer(
+        self,
+        owner_client_id: Optional[int] = None,
+        requestor_window_id: Optional[int] = None,
+        property_name: Optional[str] = None,
+    ) -> Optional[PendingTransfer]:
+        """Locate the newest matching active transfer."""
+        for transfer in reversed(self.active_transfers()):
+            if owner_client_id is not None and transfer.owner_client_id != owner_client_id:
+                continue
+            if (
+                requestor_window_id is not None
+                and transfer.requestor_window_id != requestor_window_id
+            ):
+                continue
+            if property_name is not None and transfer.property_name != property_name:
+                continue
+            return transfer
+        return None
+
+    def guarded_transfer_for(
+        self, window_id: int, property_name: str
+    ) -> Optional[PendingTransfer]:
+        """The in-flight transfer protecting (window, property), if any."""
+        for transfer in self.active_transfers():
+            if (
+                transfer.in_flight
+                and transfer.requestor_window_id == window_id
+                and transfer.property_name == property_name
+            ):
+                return transfer
+        return None
+
+    def complete(self, transfer: PendingTransfer) -> None:
+        transfer.state = TransferState.COMPLETED
+        self.completed_transfers += 1
+        self._prune(transfer)
+
+    def fail(self, transfer: PendingTransfer) -> None:
+        transfer.state = TransferState.FAILED
+        self.failed_transfers += 1
+        self._prune(transfer)
+
+    def _prune(self, transfer: PendingTransfer) -> None:
+        """Drop a finished transfer so the active scan stays O(in-flight).
+
+        Benchmark workloads run hundreds of thousands of pastes; keeping
+        finished transfers would make every protocol step a linear scan
+        over history.
+        """
+        try:
+            self._transfers.remove(transfer)
+        except ValueError:
+            pass

@@ -1,0 +1,711 @@
+"""The simulated X server: clients, windows, input routing, selections,
+screen capture, and the Overhaul hook points.
+
+The design mirrors Section IV-A: an X.Org-like server responsible for
+
+- receiving low-level input from device drivers and dispatching it to
+  application windows (with provenance tagging -- the Overhaul patch);
+- the ICCCM selection protocol of Figure 6 (with the Overhaul permission
+  queries in steps 2 and 6, and the SendEvent / property-snooping
+  interposition described in the text);
+- display-content access via ``GetImage``, ``XShmGetImage``, ``CopyArea``
+  and ``CopyPlane`` (with the same-owner fast path for the copy requests);
+- the trusted overlay output path.
+
+All Overhaul behaviour is reached through ``self.overhaul`` -- an
+optional extension object installed by
+:class:`repro.core.system.OverhaulSystem`.  With it absent, the server is a
+faithful *unmodified* X server: synthetic events pass unexamined, selection
+requests are served unconditionally, any client may capture the screen.
+The baseline configurations in Table I and the unprotected machine of the
+21-day study run exactly this code with ``overhaul is None``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Set
+
+from repro.sim.scheduler import EventScheduler
+from repro.sim.time import NEVER, Timestamp
+from repro.xserver.client import XClient
+from repro.xserver.errors import (
+    BadAccess,
+    BadAtom,
+    BadDrawable,
+    BadMatch,
+    BadWindow,
+)
+from repro.xserver.events import EventKind, EventProvenance, XEvent
+from repro.xserver.overlay import OverlayManager
+from repro.xserver.selection import (
+    PendingTransfer,
+    Selection,
+    SelectionSubsystem,
+    TransferState,
+)
+from repro.xserver.window import Drawable, Geometry, Pixmap, StackingOrder, Window
+
+
+class OverhaulXExtension(Protocol):
+    """The interface the Overhaul display-manager patch implements.
+
+    Defined here (not in ``repro.core``) so the server depends only on the
+    shape, never on Overhaul itself -- the layering the paper needs for
+    "the same server binary, patched vs unpatched" comparisons.
+    """
+
+    def on_authentic_input(self, client: XClient, window: Window, event: XEvent) -> None:
+        """An authentic hardware input event was routed to *client*."""
+
+    def on_synthetic_input(self, client: XClient, window: Optional[Window], event: XEvent) -> None:
+        """A synthetic input event was detected during dispatch."""
+
+    def authorize_selection_op(self, client: XClient, operation: str, now: Timestamp) -> bool:
+        """Permission query for 'copy' / 'paste' (Figure 2 steps 5-6)."""
+
+    def authorize_screen_capture(self, client: XClient, now: Timestamp) -> bool:
+        """Permission query for display-content access."""
+
+
+class XServer:
+    """The display manager."""
+
+    ROOT_CLIENT_ID = 0
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        width: int = 1920,
+        height: int = 1080,
+        shared_secret: str = "visual-secret:cat.png",
+    ) -> None:
+        self._scheduler = scheduler
+        self.width = width
+        self.height = height
+        self.overlay = OverlayManager(shared_secret)
+        self.selections = SelectionSubsystem()
+        self.stacking = StackingOrder()
+
+        #: Installed by OverhaulSystem; None = unmodified server.
+        self.overhaul: Optional[OverhaulXExtension] = None
+        #: Prompt-mode click interceptor (repro.core.prompt_mode); consulted
+        #: only on the *hardware* button path, so synthetic input can never
+        #: answer a prompt.
+        self.prompt_interceptor: Optional[object] = None
+
+        self._clients: Dict[int, XClient] = {}
+        self._windows: Dict[int, Window] = {}
+        self._pixmaps: Dict[int, Pixmap] = {}
+        self._input_drivers: Set[int] = set()  # id() tokens of attached drivers
+        self._focus_window_id: Optional[int] = None
+
+        # The root window: owned by the server, always mapped, covers the
+        # screen.  GetImage on it captures the whole display.
+        self.root_window = Window(
+            owner_client_id=self.ROOT_CLIENT_ID,
+            geometry=Geometry(0, 0, width, height),
+            title="root",
+        )
+        self.root_window.mapped = True
+        self.root_window.visible_since = scheduler.now
+        self._windows[self.root_window.drawable_id] = self.root_window
+
+        # Diagnostics / benchmark counters.
+        self.requests_processed = 0
+        self.input_events_routed = 0
+        self.input_events_dropped = 0
+        self.screen_captures_served = 0
+        self.screen_captures_denied = 0
+        self.sendevent_blocked = 0
+        self.property_snoops_blocked = 0
+
+    # -- time -----------------------------------------------------------------
+
+    @property
+    def now(self) -> Timestamp:
+        return self._scheduler.now
+
+    # -- connections ---------------------------------------------------------------
+
+    def connect(self, task: object) -> XClient:
+        """Accept a client connection from a kernel task.
+
+        The PID binding is taken from the task object itself -- the
+        simulation's equivalent of resolving the client socket's peer PID
+        from the kernel, which the paper calls an unforgeable binding.
+        """
+        client = XClient(pid=task.pid, comm=task.comm)  # type: ignore[attr-defined]
+        self._clients[client.client_id] = client
+        return client
+
+    def disconnect(self, client: XClient) -> None:
+        """Drop a client: unmap and forget its windows, clear selections."""
+        client.disconnect()
+        for window in [w for w in self._windows.values() if w.owner_client_id == client.client_id]:
+            self.stacking.remove(window)
+            del self._windows[window.drawable_id]
+        for name in [
+            s.name
+            for s in (self.selections.owner_of(n) for n in ("CLIPBOARD", "PRIMARY"))
+            if s is not None and s.owner_client_id == client.client_id
+        ]:
+            self.selections.clear_owner(name)
+        self._clients.pop(client.client_id, None)
+
+    def client_by_id(self, client_id: int) -> Optional[XClient]:
+        return self._clients.get(client_id)
+
+    # -- windows -----------------------------------------------------------------
+
+    def create_window(
+        self,
+        client: XClient,
+        geometry: Geometry,
+        title: str = "",
+        transparent: bool = False,
+    ) -> Window:
+        """CreateWindow."""
+        self.requests_processed += 1
+        window = Window(client.client_id, geometry, title)
+        window.transparent = transparent
+        self._windows[window.drawable_id] = window
+        return window
+
+    def create_pixmap(self, client: XClient) -> Pixmap:
+        """CreatePixmap: an offscreen drawable owned by *client*."""
+        self.requests_processed += 1
+        pixmap = Pixmap(client.client_id)
+        self._pixmaps[pixmap.drawable_id] = pixmap
+        return pixmap
+
+    def _window(self, window_id: int) -> Window:
+        window = self._windows.get(window_id)
+        if window is None:
+            raise BadWindow(f"no window {window_id:#x}")
+        return window
+
+    def _drawable(self, drawable_id: int) -> Drawable:
+        drawable: Optional[Drawable] = self._windows.get(drawable_id)
+        if drawable is None:
+            drawable = self._pixmaps.get(drawable_id)
+        if drawable is None:
+            raise BadDrawable(f"no drawable {drawable_id:#x}")
+        return drawable
+
+    def _require_owner(self, client: XClient, window: Window) -> None:
+        if window.owner_client_id != client.client_id:
+            raise BadMatch(
+                f"client {client.client_id} does not own window {window.drawable_id:#x}"
+            )
+
+    def map_window(self, client: XClient, window_id: int) -> None:
+        """MapWindow: the window becomes visible, on top of the stack."""
+        self.requests_processed += 1
+        window = self._window(window_id)
+        self._require_owner(client, window)
+        if not window.mapped:
+            window.mapped = True
+            window.visible_since = self.now
+            self.stacking.add_top(window)
+
+    def unmap_window(self, client: XClient, window_id: int) -> None:
+        """UnmapWindow."""
+        self.requests_processed += 1
+        window = self._window(window_id)
+        self._require_owner(client, window)
+        if window.mapped:
+            window.mapped = False
+            window.visible_since = NEVER
+            self.stacking.remove(window)
+
+    def raise_window(self, client: XClient, window_id: int) -> None:
+        """RaiseWindow (ConfigureWindow stacking change).
+
+        Note: raising does *not* reset ``visible_since`` -- only map/unmap
+        cycles do.  A previously-invisible window popped over others is
+        exactly the clickjacking pattern the visibility threshold defeats.
+        """
+        self.requests_processed += 1
+        window = self._window(window_id)
+        self._require_owner(client, window)
+        self.stacking.raise_window(window)
+
+    def draw(self, client: XClient, drawable_id: int, data: bytes) -> None:
+        """A paint request: replace drawable content."""
+        self.requests_processed += 1
+        drawable = self._drawable(drawable_id)
+        if drawable.owner_client_id != client.client_id:
+            raise BadMatch(f"cannot draw on foreign drawable {drawable_id:#x}")
+        drawable.draw(data)
+
+    def set_input_focus(self, client: XClient, window_id: int) -> None:
+        """SetInputFocus: key events are routed to this window."""
+        self.requests_processed += 1
+        self._window(window_id)  # validate
+        self._focus_window_id = window_id
+
+    @property
+    def focus_window(self) -> Optional[Window]:
+        if self._focus_window_id is None:
+            return None
+        return self._windows.get(self._focus_window_id)
+
+    # -- input dispatch ---------------------------------------------------------------
+
+    def attach_input_driver(self, driver: object) -> int:
+        """Attach a hardware input driver; returns its injection token.
+
+        Only machine assembly code calls this; applications hold XClient
+        handles, never driver tokens, so they cannot inject HARDWARE
+        provenance events.
+        """
+        token = id(driver)
+        self._input_drivers.add(token)
+        return token
+
+    def _check_driver(self, token: int) -> None:
+        if token not in self._input_drivers:
+            raise BadAccess("input injection requires an attached hardware driver")
+
+    def inject_hardware_key(
+        self, token: int, kind: EventKind, keycode: int, modifiers: int = 0
+    ) -> None:
+        """A key event from a physical keyboard, routed to the focus window."""
+        self._check_driver(token)
+        event = XEvent(
+            kind=kind,
+            timestamp=self.now,
+            provenance=EventProvenance.HARDWARE,
+            detail=keycode,
+            payload={"modifiers": modifiers},
+        )
+        self._route_input(self.focus_window, event)
+
+    def inject_hardware_button(
+        self, token: int, kind: EventKind, x: int, y: int, button: int
+    ) -> None:
+        """A button event from a physical mouse, routed by position.
+
+        The prompt band (when prompt mode is active) gets first claim on
+        hardware presses -- it lives above the window stack, and this is
+        the only code path that can reach it.
+        """
+        self._check_driver(token)
+        if (
+            self.prompt_interceptor is not None
+            and kind is EventKind.BUTTON_PRESS
+            and self.prompt_interceptor.intercept_hardware_click(x, y, self.now)  # type: ignore[attr-defined]
+        ):
+            return
+        event = XEvent(
+            kind=kind,
+            timestamp=self.now,
+            provenance=EventProvenance.HARDWARE,
+            detail=button,
+            x=x,
+            y=y,
+        )
+        self._route_input(self.stacking.topmost_at(x, y), event)
+
+    def inject_hardware_motion(self, token: int, x: int, y: int) -> None:
+        """Pointer motion (no interaction notification is generated for
+        motion alone; only presses/releases/keys count as interaction)."""
+        self._check_driver(token)
+        event = XEvent(
+            kind=EventKind.MOTION,
+            timestamp=self.now,
+            provenance=EventProvenance.HARDWARE,
+            x=x,
+            y=y,
+        )
+        self._route_input(self.stacking.topmost_at(x, y), event)
+
+    def _route_input(self, window: Optional[Window], event: XEvent) -> None:
+        """Deliver an input event to the owner of *window*.
+
+        This is the enhanced input-dispatching mechanism: every event
+        passes the provenance check here, and authentic events reaching a
+        legitimately-visible window trigger the Overhaul hook that sends
+        the interaction notification to the kernel (Figures 1-2, step 2).
+        """
+        if window is None:
+            self.input_events_dropped += 1
+            return
+        client = self._clients.get(window.owner_client_id)
+        if client is None or not client.connected:
+            self.input_events_dropped += 1
+            return
+        event.window_id = window.drawable_id
+        if self.overhaul is not None:
+            if event.is_authentic_input:
+                self.overhaul.on_authentic_input(client, window, event)
+            elif event.kind.is_input:
+                self.overhaul.on_synthetic_input(client, window, event)
+        self.input_events_routed += 1
+        client.deliver(event)
+
+    # -- SendEvent ---------------------------------------------------------------
+
+    def send_event(
+        self,
+        sender: XClient,
+        window_id: int,
+        kind: EventKind,
+        detail: Optional[int] = None,
+        payload: Optional[dict] = None,
+    ) -> None:
+        """The core-protocol SendEvent request.
+
+        Events minted here always carry SEND_EVENT provenance (the protocol
+        forces the synthetic flag).  Under Overhaul, SendEvent is also the
+        interposition point for selection-protocol bypass attacks:
+
+        - ``SelectionRequest`` via SendEvent would let a malicious client
+          solicit the clipboard data directly from the owner; blocked.
+        - ``SelectionNotify`` via SendEvent is *legitimate* exactly once
+          per transfer -- when the selection owner completes step (9) of
+          Figure 6 for a transfer the server knows about; anything else is
+          blocked.
+        """
+        self.requests_processed += 1
+        window = self._window(window_id)
+        target_client = self._clients.get(window.owner_client_id)
+        if target_client is None:
+            raise BadWindow(f"window {window_id:#x} has no connected owner")
+
+        if kind is EventKind.SELECTION_NOTIFY:
+            # Step (9) bookkeeping happens on any server; only the
+            # *enforcement* of a matching transfer is the Overhaul patch.
+            transfer = self.selections.find_transfer(
+                owner_client_id=sender.client_id,
+                requestor_window_id=window_id,
+            )
+            if transfer is not None and transfer.state is TransferState.DATA_STORED:
+                transfer.state = TransferState.NOTIFIED
+            elif self.overhaul is not None:
+                self.sendevent_blocked += 1
+                raise BadAccess(
+                    "SendEvent(SelectionNotify) does not match a pending "
+                    "clipboard transfer; blocked"
+                )
+        elif kind in (EventKind.SELECTION_REQUEST, EventKind.SELECTION_CLEAR):
+            if self.overhaul is not None:
+                self.sendevent_blocked += 1
+                raise BadAccess(
+                    f"SendEvent({kind.value}) would break the selection "
+                    "protocol; blocked"
+                )
+
+        event = XEvent(
+            kind=kind,
+            timestamp=self.now,
+            provenance=EventProvenance.SEND_EVENT,
+            window_id=window_id,
+            detail=detail,
+            payload=dict(payload or {}),
+        )
+        if event.kind.is_input:
+            # Synthetic input: delivered (GUI testing keeps working) but the
+            # dispatch hook sees it as synthetic, so it can never produce an
+            # interaction notification.
+            self._route_input(window, event)
+        else:
+            target_client.deliver(event)
+
+    # -- XTest extension ----------------------------------------------------------
+
+    def xtest_fake_input(
+        self,
+        client: XClient,
+        kind: EventKind,
+        detail: Optional[int] = None,
+        x: int = 0,
+        y: int = 0,
+    ) -> None:
+        """XTestFakeInput: inject an input event as the GUI-testing
+        extension does.
+
+        No synthetic flag exists for XTest -- which is why the paper had to
+        add provenance tagging.  The event is routed exactly like hardware
+        input, but with XTEST provenance, so the Overhaul dispatch hook
+        never treats it as user interaction.
+        """
+        self.requests_processed += 1
+        if not kind.is_input:
+            raise BadMatch(f"XTestFakeInput only injects input events, not {kind.value}")
+        event = XEvent(
+            kind=kind,
+            timestamp=self.now,
+            provenance=EventProvenance.XTEST,
+            detail=detail,
+            x=x,
+            y=y,
+        )
+        if kind in (EventKind.KEY_PRESS, EventKind.KEY_RELEASE):
+            self._route_input(self.focus_window, event)
+        else:
+            self._route_input(self.stacking.topmost_at(x, y), event)
+
+    # -- selections (Figure 6) ---------------------------------------------------------
+
+    def set_selection_owner(
+        self, client: XClient, selection_name: str, window_id: int
+    ) -> None:
+        """SetSelectionOwner -- step (2); Overhaul queries permission first."""
+        self.requests_processed += 1
+        if not selection_name:
+            raise BadAtom("empty selection name")
+        window = self._window(window_id)
+        self._require_owner(client, window)
+        if self.overhaul is not None:
+            if not self.overhaul.authorize_selection_op(client, "copy", self.now):
+                raise BadAccess(
+                    f"copy denied for pid {client.pid}: no preceding user interaction"
+                )
+        previous = self.selections.set_owner(
+            Selection(selection_name, client.client_id, window_id, self.now)
+        )
+        if previous is not None and previous.owner_client_id != client.client_id:
+            previous_client = self._clients.get(previous.owner_client_id)
+            if previous_client is not None and previous_client.connected:
+                previous_client.deliver(
+                    XEvent(
+                        kind=EventKind.SELECTION_CLEAR,
+                        timestamp=self.now,
+                        provenance=EventProvenance.SERVER,
+                        window_id=previous.owner_window_id,
+                        payload={"selection": selection_name},
+                    )
+                )
+
+    def get_selection_owner(self, client: XClient, selection_name: str) -> Optional[int]:
+        """GetSelectionOwner -- steps (3)-(4): returns the owner window id."""
+        self.requests_processed += 1
+        selection = self.selections.owner_of(selection_name)
+        return None if selection is None else selection.owner_window_id
+
+    def convert_selection(
+        self,
+        client: XClient,
+        selection_name: str,
+        target: str,
+        property_name: str,
+        requestor_window_id: int,
+    ) -> Optional[PendingTransfer]:
+        """ConvertSelection -- step (6); Overhaul queries permission first.
+
+        On success the server issues SelectionRequest to the owner (step 7)
+        and returns the transfer record.  Returns None when the selection
+        has no owner (the requestor would get an immediate failure
+        SelectionNotify in real X; callers treat None the same way).
+        """
+        self.requests_processed += 1
+        window = self._window(requestor_window_id)
+        self._require_owner(client, window)
+        if self.overhaul is not None:
+            if not self.overhaul.authorize_selection_op(client, "paste", self.now):
+                raise BadAccess(
+                    f"paste denied for pid {client.pid}: no preceding user interaction"
+                )
+        selection = self.selections.owner_of(selection_name)
+        if selection is None:
+            return None
+        owner_client = self._clients.get(selection.owner_client_id)
+        if owner_client is None or not owner_client.connected:
+            self.selections.clear_owner(selection_name)
+            return None
+        transfer = self.selections.start_transfer(
+            PendingTransfer(
+                selection_name=selection_name,
+                owner_client_id=selection.owner_client_id,
+                requestor_client_id=client.client_id,
+                requestor_window_id=requestor_window_id,
+                property_name=property_name,
+                target=target,
+                started_at=self.now,
+            )
+        )
+        owner_client.deliver(
+            XEvent(
+                kind=EventKind.SELECTION_REQUEST,
+                timestamp=self.now,
+                provenance=EventProvenance.SERVER,
+                window_id=selection.owner_window_id,
+                payload={
+                    "selection": selection_name,
+                    "target": target,
+                    "property": property_name,
+                    "requestor": requestor_window_id,
+                },
+            )
+        )
+        return transfer
+
+    # -- properties ----------------------------------------------------------------
+
+    def change_property(
+        self, client: XClient, window_id: int, property_name: str, data: bytes
+    ) -> None:
+        """ChangeProperty -- step (8) when used by a selection owner.
+
+        Any client may set properties on any window (standard X); when the
+        write matches a pending transfer (owner writing the agreed property
+        on the requestor's window) the transfer advances to DATA_STORED and
+        in-flight protection begins.
+        """
+        self.requests_processed += 1
+        window = self._window(window_id)
+        window.properties[property_name] = bytes(data)
+        transfer = self.selections.find_transfer(
+            owner_client_id=client.client_id,
+            requestor_window_id=window_id,
+            property_name=property_name,
+        )
+        if transfer is not None and transfer.state is TransferState.REQUESTED:
+            transfer.state = TransferState.DATA_STORED
+        self._notify_property(window, property_name, deleted=False)
+
+    def get_property(
+        self,
+        client: XClient,
+        window_id: int,
+        property_name: str,
+        delete: bool = False,
+    ) -> Optional[bytes]:
+        """GetProperty -- steps (11)-(13) when completing a transfer.
+
+        Under Overhaul, in-flight clipboard data on a foreign window is
+        unreadable: only the paste target may fetch it ("OVERHAUL ensures
+        that such events are only delivered to the paste target while the
+        clipboard data is in flight").
+        """
+        self.requests_processed += 1
+        window = self._window(window_id)
+        guarded = self.selections.guarded_transfer_for(window_id, property_name)
+        if (
+            self.overhaul is not None
+            and guarded is not None
+            and client.client_id != guarded.requestor_client_id
+        ):
+            self.property_snoops_blocked += 1
+            raise BadAccess(
+                "property holds in-flight clipboard data; only the paste "
+                "target may read it"
+            )
+        data = window.properties.get(property_name)
+        if data is None:
+            return None
+        if delete:
+            del window.properties[property_name]
+            if guarded is not None and client.client_id == guarded.requestor_client_id:
+                self.selections.complete(guarded)
+            self._notify_property(window, property_name, deleted=True)
+        return data
+
+    def subscribe_property_events(self, client: XClient, window_id: int) -> None:
+        """Select PropertyChangeMask on a window (the snooping vector)."""
+        self.requests_processed += 1
+        window = self._window(window_id)
+        if client.client_id not in window.property_subscribers:
+            window.property_subscribers.append(client.client_id)
+
+    def _notify_property(self, window: Window, property_name: str, deleted: bool) -> None:
+        """Deliver PropertyNotify, honouring in-flight protection."""
+        guarded = self.selections.guarded_transfer_for(window.drawable_id, property_name)
+        recipients = list(window.property_subscribers)
+        owner_id = window.owner_client_id
+        if owner_id not in recipients:
+            recipients.append(owner_id)
+        for client_id in recipients:
+            if (
+                self.overhaul is not None
+                and guarded is not None
+                and client_id != guarded.requestor_client_id
+            ):
+                self.property_snoops_blocked += 1
+                continue
+            subscriber = self._clients.get(client_id)
+            if subscriber is None or not subscriber.connected:
+                continue
+            subscriber.deliver(
+                XEvent(
+                    kind=EventKind.PROPERTY_NOTIFY,
+                    timestamp=self.now,
+                    provenance=EventProvenance.SERVER,
+                    window_id=window.drawable_id,
+                    payload={"property": property_name, "deleted": deleted},
+                )
+            )
+
+    # -- display contents -------------------------------------------------------------
+
+    def compose_screen(self) -> bytes:
+        """The full display image: windows bottom-to-top, then the overlay."""
+        parts = [bytes(w.content) for w in self.stacking.bottom_to_top()]
+        banner = self.overlay.banner_bytes(self.now)
+        if banner:
+            parts.append(banner)
+        if self.prompt_interceptor is not None:
+            prompt_banner = self.prompt_interceptor.banner()  # type: ignore[attr-defined]
+            if prompt_banner:
+                parts.append(prompt_banner)
+        return b"".join(parts)
+
+    def get_image(self, client: XClient, drawable_id: int, via: str = "core") -> bytes:
+        """GetImage / XShmGetImage (``via='mit-shm'``).
+
+        Reading your own drawable is unmediated; the root window or any
+        foreign window requires the Overhaul permission query.  On denial
+        "the screen capture request is dropped" -- surfaced as BadAccess.
+        """
+        self.requests_processed += 1
+        drawable = self._drawable(drawable_id)
+        foreign = drawable.owner_client_id != client.client_id
+        if foreign and self.overhaul is not None:
+            if not self.overhaul.authorize_screen_capture(client, self.now):
+                self.screen_captures_denied += 1
+                raise BadAccess(
+                    f"screen capture ({via}) denied for pid {client.pid}: "
+                    "no preceding user interaction"
+                )
+        self.screen_captures_served += 1
+        if drawable is self.root_window:
+            return self.compose_screen()
+        return bytes(drawable.content)
+
+    def copy_area(self, client: XClient, src_id: int, dst_id: int) -> None:
+        """CopyArea: the same-owner fast path, else mediated.
+
+        "If the owners of both buffers are identical... the request is
+        allowed to proceed.  However, if a client is requesting the display
+        contents owned by a different client (or the root window), OVERHAUL
+        applies its user input-based access control."
+        """
+        self.requests_processed += 1
+        src = self._drawable(src_id)
+        dst = self._drawable(dst_id)
+        if dst.owner_client_id != client.client_id:
+            raise BadMatch(f"cannot copy into foreign drawable {dst_id:#x}")
+        if src.owner_client_id != dst.owner_client_id and self.overhaul is not None:
+            if not self.overhaul.authorize_screen_capture(client, self.now):
+                self.screen_captures_denied += 1
+                raise BadAccess(
+                    f"CopyArea from foreign drawable denied for pid {client.pid}"
+                )
+        if src is self.root_window:
+            dst.draw(self.compose_screen())
+        else:
+            dst.draw(bytes(src.content))
+        self.screen_captures_served += 1
+
+    def copy_plane(self, client: XClient, src_id: int, dst_id: int) -> None:
+        """CopyPlane: identical mediation semantics to CopyArea."""
+        self.copy_area(client, src_id, dst_id)
+
+    # -- trusted output -----------------------------------------------------------------
+
+    def display_alert(self, message: str, operation: str, pid: int, comm: str) -> None:
+        """Render an overlay alert.  Reachable only from display-manager
+        glue acting on a kernel netlink request -- there is deliberately no
+        client request that leads here."""
+        self.overlay.show_alert(message, operation, pid, comm, self.now)

@@ -1,0 +1,163 @@
+"""Windows, pixmaps, and the stacking order.
+
+Windows matter to Overhaul in three ways:
+
+1. **Clickjacking defence** (Section IV-A): interaction notifications are
+   generated only "if the X client receiving the event has a valid mapped
+   window that has stayed visible above a predefined time threshold" --
+   hence every window records ``visible_since``.
+2. **Display-content mediation**: windows own their rendered content, which
+   ``GetImage``/``CopyArea`` read; ownership is what the CopyArea
+   same-owner check compares.
+3. **Event routing**: button events go to the topmost mapped window under
+   the pointer; stacking order determines "topmost".
+
+Pixmaps are offscreen drawables (CopyArea sources/destinations).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.time import NEVER, Timestamp
+from repro.xserver.errors import BadValue
+
+
+@dataclass
+class Geometry:
+    """Window position and size in root coordinates."""
+
+    x: int
+    y: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise BadValue(f"window dimensions must be positive: {self}")
+
+    def contains(self, x: int, y: int) -> bool:
+        """True if the point lies inside this rectangle."""
+        return self.x <= x < self.x + self.width and self.y <= y < self.y + self.height
+
+
+_drawable_ids = itertools.count(0x40_0000)
+
+
+class Drawable:
+    """Anything with content bytes: a window or a pixmap."""
+
+    def __init__(self, owner_client_id: int) -> None:
+        self.drawable_id = next(_drawable_ids)
+        self.owner_client_id = owner_client_id
+        self.content = bytearray()
+
+    def draw(self, data: bytes) -> None:
+        """Replace the drawable's content (a paint operation)."""
+        self.content = bytearray(data)
+
+    def append(self, data: bytes) -> None:
+        """Append to the drawable's content (incremental painting)."""
+        self.content.extend(data)
+
+
+class Pixmap(Drawable):
+    """An offscreen buffer owned by a client."""
+
+    def __repr__(self) -> str:
+        return f"Pixmap(id={self.drawable_id:#x}, owner={self.owner_client_id})"
+
+
+class Window(Drawable):
+    """An on-screen window."""
+
+    def __init__(
+        self,
+        owner_client_id: int,
+        geometry: Geometry,
+        title: str = "",
+    ) -> None:
+        super().__init__(owner_client_id)
+        self.geometry = geometry
+        self.title = title
+        self.mapped = False
+        #: When the window last became visible; NEVER while unmapped.
+        #: This timestamp drives the clickjacking visibility threshold.
+        self.visible_since: Timestamp = NEVER
+        #: Window properties (ICCCM): name -> bytes.
+        self.properties: Dict[str, bytes] = {}
+        #: Clients subscribed to PropertyNotify on this window (client ids).
+        self.property_subscribers: List[int] = []
+        #: Transparent windows pass clicks through (input region empty):
+        #: the classic clickjacking overlay trick.
+        self.transparent = False
+
+    def visible_duration(self, now: Timestamp) -> Timestamp:
+        """How long the window has been continuously visible."""
+        if not self.mapped or self.visible_since == NEVER:
+            return 0
+        return now - self.visible_since
+
+    def __repr__(self) -> str:
+        state = "mapped" if self.mapped else "unmapped"
+        return (
+            f"Window(id={self.drawable_id:#x}, owner={self.owner_client_id}, "
+            f"{state}, title={self.title!r})"
+        )
+
+
+class StackingOrder:
+    """Bottom-to-top list of mapped windows."""
+
+    def __init__(self) -> None:
+        self._stack: List[Window] = []
+
+    def add_top(self, window: Window) -> None:
+        """Map: new windows appear on top."""
+        if window not in self._stack:
+            self._stack.append(window)
+
+    def remove(self, window: Window) -> None:
+        """Unmap/destroy."""
+        if window in self._stack:
+            self._stack.remove(window)
+
+    def raise_window(self, window: Window) -> None:
+        """XRaiseWindow."""
+        if window in self._stack:
+            self._stack.remove(window)
+            self._stack.append(window)
+
+    def lower_window(self, window: Window) -> None:
+        """XLowerWindow."""
+        if window in self._stack:
+            self._stack.remove(window)
+            self._stack.insert(0, window)
+
+    def bottom_to_top(self) -> List[Window]:
+        """Snapshot in composition order."""
+        return list(self._stack)
+
+    def top_to_bottom(self) -> List[Window]:
+        """Snapshot in hit-testing order."""
+        return list(reversed(self._stack))
+
+    def topmost_at(self, x: int, y: int, include_transparent: bool = True) -> Optional[Window]:
+        """The topmost mapped window containing the point.
+
+        With ``include_transparent=False`` the search skips windows with an
+        empty input region -- used to find who *really* gets a click under a
+        transparent overlay.
+        """
+        for window in self.top_to_bottom():
+            if not window.geometry.contains(x, y):
+                continue
+            if window.transparent and not include_transparent:
+                continue
+            return window
+        return None
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the Overhaul reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Machine, OverhaulConfig, paper_config
+from repro.kernel.credentials import DEFAULT_USER
+from repro.sim.scheduler import EventScheduler
+
+
+@pytest.fixture
+def scheduler() -> EventScheduler:
+    """A fresh event scheduler at time zero."""
+    return EventScheduler()
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A protected machine with the paper's default configuration,
+    settled past the window-visibility threshold."""
+    m = Machine.with_overhaul()
+    m.settle()
+    return m
+
+
+@pytest.fixture
+def baseline_machine() -> Machine:
+    """An unmodified machine (no Overhaul)."""
+    m = Machine.baseline()
+    m.settle()
+    return m
+
+
+@pytest.fixture
+def user_creds():
+    return DEFAULT_USER
+
+
+@pytest.fixture
+def config() -> OverhaulConfig:
+    return paper_config()

@@ -1,0 +1,43 @@
+"""The interaction blast-radius analysis (Section III-E's trade-off)."""
+
+import pytest
+
+from repro.workloads.blast_radius import measure_blast_radius, sweep_topologies
+
+
+class TestBlastRadius:
+    @pytest.fixture(scope="class")
+    def chatty(self):
+        return measure_blast_radius(services=8, chatter_interval_s=0.3)
+
+    def test_click_initially_blesses_only_the_clicked_app(self, chatty):
+        assert chatty.samples[0].blessed_tasks == 1
+
+    def test_ipc_spreads_the_blessing(self, chatty):
+        """Within the threshold, chatter carries the click to the hub and
+        every service: 1 app + 1 hub + 8 services = 10."""
+        assert chatty.peak_blessed == 10
+
+    def test_everything_expires_after_threshold(self, chatty):
+        """The radius is bounded in *time*: by t+2.5 s nothing can use the
+        click any more."""
+        late = [s for s in chatty.samples if s.at_offset >= 2_500_000]
+        assert late and all(s.blessed_tasks == 0 for s in late)
+
+    def test_isolated_app_has_radius_one(self):
+        quiet = measure_blast_radius(services=6, chatter_interval_s=10.0)
+        assert quiet.peak_blessed == 1  # no chatter fired within delta
+
+    def test_radius_grows_with_chattiness(self):
+        results = sweep_topologies()
+        peaks = [r.peak_blessed for r in results]
+        assert peaks[0] < peaks[1] < peaks[2]
+
+    def test_trusted_processes_never_blessed_by_chatter(self, chatty):
+        """X server, init, and the udev helper take part in no user IPC
+        here; the blessed count must exclude them (10 of 13 live tasks)."""
+        assert chatty.samples[1].total_tasks == 13
+        assert chatty.peak_blessed <= chatty.samples[1].total_tasks - 3
+
+    def test_render(self, chatty):
+        assert "blast radius" in chatty.render()

@@ -1,0 +1,77 @@
+"""The optional modes compose: gray-box intent + prompt mode together."""
+
+import pytest
+
+from repro.apps import SimApp
+from repro.core import Machine, OverhaulConfig
+from repro.core.graybox import IntentProfile, Region
+from repro.kernel.errors import OverhaulDenied
+
+
+@pytest.fixture
+def machine():
+    m = Machine.with_overhaul(
+        OverhaulConfig(graybox_enabled=True, prompt_mode=True)
+    )
+    m.settle()
+    return m
+
+
+class TestComposition:
+    def test_intent_mismatch_falls_through_to_prompt(self, machine):
+        """A profiled app clicked on the wrong control: the gray-box layer
+        denies, prompt mode turns the denial into a user question, and a
+        hardware approval overrides -- the user outranks the profile."""
+        app = SimApp(machine, "/usr/bin/voicenote", comm="voicenote")
+        machine.settle()
+        geometry = app.window.geometry
+        machine.overhaul.monitor.graybox.install_profile(
+            IntentProfile("voicenote").allow_region(
+                "microphone", Region(500, 400, 600, 450)
+            )
+        )
+        machine.mouse.click(geometry.x + 10, geometry.y + 60)  # wrong control
+        with pytest.raises(OverhaulDenied):
+            app.open_device("mic0")
+        manager = machine.overhaul.extension.prompt_manager
+        assert manager.active is not None
+        machine.mouse.click(100, 10)  # approve on the trusted prompt
+        assert app.open_device("mic0") >= 3
+
+    def test_matching_intent_needs_no_prompt(self, machine):
+        app = SimApp(machine, "/usr/bin/voicenote", comm="voicenote")
+        machine.settle()
+        geometry = app.window.geometry
+        machine.overhaul.monitor.graybox.install_profile(
+            IntentProfile("voicenote").allow_region(
+                "microphone", Region(500, 400, 600, 450)
+            )
+        )
+        machine.mouse.click(geometry.x + 550, geometry.y + 420)
+        assert app.open_device("mic0") >= 3
+        assert machine.overhaul.extension.prompt_manager.prompts_shown == 0
+
+    def test_prompt_denial_holds_until_fresh_intent(self, machine):
+        """A user Deny blocks retries -- but a subsequent *authentic,
+        intent-matching* click re-authorises: the user's latest expressed
+        intent always wins, in either direction."""
+        app = SimApp(machine, "/usr/bin/voicenote", comm="voicenote")
+        machine.settle()
+        geometry = app.window.geometry
+        machine.overhaul.monitor.graybox.install_profile(
+            IntentProfile("voicenote").allow_region(
+                "microphone", Region(500, 400, 600, 450)
+            )
+        )
+        machine.mouse.click(geometry.x + 10, geometry.y + 60)  # mismatch -> prompt
+        with pytest.raises(OverhaulDenied):
+            app.open_device("mic0")
+        machine.mouse.click(machine.xserver.width - 20, 10)  # user denies
+        # Retries without new intent stay denied (the remembered answer)...
+        with pytest.raises(OverhaulDenied):
+            app.open_device("mic0")
+        # ...but a genuine click on the record button is fresh user intent,
+        # and the temporal+intent conjunct grants without consulting the
+        # stale denial.
+        machine.mouse.click(geometry.x + 550, geometry.y + 420)
+        assert app.open_device("mic0") >= 3

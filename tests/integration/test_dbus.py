@@ -1,0 +1,105 @@
+"""Higher-level IPC (D-Bus) is covered automatically (Section IV-B).
+
+The bus daemon and the services contain zero Overhaul code; propagation
+happens entirely in the underlying UNIX-socket layer.
+"""
+
+import pytest
+
+from repro.apps import SimApp
+from repro.apps.dbus import DBusDaemon, VoiceAssistantService
+from repro.core import Machine
+from repro.sim.time import NEVER, from_seconds
+
+
+@pytest.fixture
+def bus_rig():
+    machine = Machine.with_overhaul()
+    daemon = DBusDaemon(machine)
+    service = VoiceAssistantService(machine, daemon)
+    ui = SimApp(machine, "/usr/bin/assistant-ui", comm="assistant-ui")
+    ui_bus = daemon.connect(ui.task)
+    machine.settle()
+    return machine, daemon, service, ui, ui_bus
+
+
+class TestBusPlumbing:
+    def test_publish_subscribe_roundtrip(self, bus_rig):
+        machine, daemon, service, ui, ui_bus = bus_rig
+        ui_bus.publish("assistant.listen", b"hello")
+        message = service.bus.poll()
+        assert message is not None
+        assert message.topic == "assistant.listen"
+        assert message.payload == b"hello"
+        assert message.sender_pid == ui.pid
+
+    def test_topic_isolation(self, bus_rig):
+        machine, daemon, service, ui, ui_bus = bus_rig
+        ui_bus.publish("unrelated.topic", b"noise")
+        assert service.bus.poll() is None
+
+    def test_publisher_does_not_hear_itself(self, bus_rig):
+        machine, daemon, service, ui, ui_bus = bus_rig
+        ui_bus.subscribe("assistant.listen")
+        ui_bus.publish("assistant.listen", b"echo?")
+        assert ui_bus.poll() is None
+
+    def test_multiple_subscribers(self, bus_rig):
+        machine, daemon, service, ui, ui_bus = bus_rig
+        second = VoiceAssistantService(machine, daemon)
+        ui_bus.publish("assistant.listen", b"x")
+        assert service.bus.poll() is not None
+        assert second.bus.poll() is not None
+
+
+class TestBusPropagation:
+    def test_clicked_ui_blesses_service_through_the_bus(self, bus_rig):
+        """click -> UI -> socket -> daemon -> socket -> service -> mic."""
+        machine, daemon, service, ui, ui_bus = bus_rig
+        assert service.task.interaction_ts == NEVER
+        ui.click()
+        click_time = machine.now
+        ui_bus.publish(VoiceAssistantService.LISTEN_TOPIC, b"wake")
+        service.process_pending()
+        assert service.task.interaction_ts == click_time
+        assert len(service.recordings) == 1
+        assert service.denied == 0
+
+    def test_unclicked_ui_cannot_bless_service(self, bus_rig):
+        machine, daemon, service, ui, ui_bus = bus_rig
+        ui_bus.publish(VoiceAssistantService.LISTEN_TOPIC, b"wake")
+        service.process_pending()
+        assert service.recordings == []
+        assert service.denied == 1
+
+    def test_stale_click_does_not_bless(self, bus_rig):
+        machine, daemon, service, ui, ui_bus = bus_rig
+        ui.click()
+        machine.run_for(from_seconds(3.0))
+        ui_bus.publish(VoiceAssistantService.LISTEN_TOPIC, b"wake")
+        service.process_pending()
+        assert service.denied == 1
+
+    def test_daemon_task_itself_gets_blessed_in_passing(self, bus_rig):
+        """The relay naturally stamps the daemon's task_struct too -- the
+        conservative over-approximation inherent to black-box tracking
+        (Section III-E's 'strictly weaker guarantees')."""
+        machine, daemon, service, ui, ui_bus = bus_rig
+        ui.click()
+        ui_bus.publish(VoiceAssistantService.LISTEN_TOPIC, b"wake")
+        assert daemon.task.interaction_ts == ui.task.interaction_ts
+
+    def test_on_baseline_bus_works_but_carries_nothing(self):
+        machine = Machine.baseline()
+        daemon = DBusDaemon(machine)
+        service = VoiceAssistantService(machine, daemon)
+        ui = SimApp(machine, "/usr/bin/assistant-ui", comm="assistant-ui")
+        ui_bus = daemon.connect(ui.task)
+        machine.settle()
+        ui.click()
+        ui_bus.publish(VoiceAssistantService.LISTEN_TOPIC, b"wake")
+        service.process_pending()
+        # Message arrived and the mic opened (no protection at all)...
+        assert len(service.recordings) == 1
+        # ...but no timestamps moved: the kernel is unmodified.
+        assert service.task.interaction_ts == NEVER

@@ -1,0 +1,74 @@
+"""End-to-end determinism: whole experiments replay bit-identically.
+
+The reproduction's core engineering guarantee (DESIGN.md): given a seed,
+every experiment produces identical results -- across runs and across
+processes (stable RNG forking, virtual time only).
+"""
+
+from repro.core import Machine
+from repro.workloads.attacks import run_attack_matrix
+from repro.workloads.longterm import run_longterm_study
+from repro.workloads.scenarios import figure4_browser_ipc
+from repro.workloads.usability import run_usability_study
+
+
+class TestStudyDeterminism:
+    def test_longterm_study_replays_identically(self):
+        first = run_longterm_study(True, seed=5, days=2)
+        second = run_longterm_study(True, seed=5, days=2)
+        assert first.stolen_counts == second.stolen_counts
+        assert first.blocked_counts == second.blocked_counts
+        assert first.legit_actions == second.legit_actions
+        assert first.legit_failures == second.legit_failures
+        assert first.device_grants == second.device_grants
+        assert first.alerts_shown == second.alerts_shown
+        assert first.spy_rounds == second.spy_rounds
+
+    def test_different_seeds_differ(self):
+        a = run_longterm_study(False, seed=1, days=2)
+        b = run_longterm_study(False, seed=2, days=2)
+        # Workload draws differ, so at least one observable count differs.
+        assert (
+            a.legit_actions != b.legit_actions
+            or a.stolen_counts != b.stolen_counts
+            or a.spy_rounds != b.spy_rounds
+        )
+
+    def test_usability_outcomes_replay(self):
+        a = run_usability_study(seed=3, participants=12)
+        b = run_usability_study(seed=3, participants=12)
+        assert [o.reaction for o in a.outcomes] == [o.reaction for o in b.outcomes]
+        assert [o.camera_blocked for o in a.outcomes] == [
+            o.camera_blocked for o in b.outcomes
+        ]
+
+    def test_scenario_traces_replay(self):
+        first = figure4_browser_ipc()
+        second = figure4_browser_ipc()
+        assert [s.render() for s in first.steps] == [s.render() for s in second.steps]
+
+    def test_attack_matrix_replays(self):
+        a = run_attack_matrix(Machine.baseline())
+        b = run_attack_matrix(Machine.baseline())
+        assert [(o.name, o.succeeded) for o in a.outcomes] == [
+            (o.name, o.succeeded) for o in b.outcomes
+        ]
+
+
+class TestVirtualTimeIsolation:
+    def test_experiments_do_not_consume_wall_clock_state(self):
+        """Two machines built back-to-back start at the identical epoch --
+        nothing reads the host clock."""
+        first = Machine.with_overhaul()
+        second = Machine.with_overhaul()
+        assert first.now == second.now == 0
+
+    def test_audit_timestamps_are_virtual(self):
+        machine = Machine.with_overhaul()
+        from repro.apps import Spyware
+
+        machine.settle()
+        spy = Spyware(machine)
+        spy.attempt_microphone()
+        record = machine.kernel.audit.denials()[0]
+        assert record.timestamp == machine.now  # not a wall-clock value

@@ -1,0 +1,138 @@
+"""Integration tests for the Section V evaluation studies (B, C, D)."""
+
+import pytest
+
+from repro.workloads.app_catalog import (
+    build_clipboard_app_pool,
+    build_device_app_pool,
+    run_applicability_sweep,
+)
+from repro.workloads.longterm import run_longterm_study
+from repro.workloads.usability import run_usability_study
+
+
+class TestApplicabilitySweep:
+    """Section V-C: 58 device/screen + 50 clipboard applications."""
+
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return run_applicability_sweep()
+
+    def test_total_matches_paper_pools(self, summary):
+        assert summary.total == 108
+
+    def test_zero_false_positives(self, summary):
+        assert summary.false_positives == []
+
+    def test_single_spurious_alert_is_skype(self, summary):
+        assert [r.spec.name for r in summary.spurious_alerts] == ["skype"]
+
+    def test_only_delayed_screenshot_limitation(self, summary):
+        names = {r.spec.name for r in summary.limitations}
+        assert names == {"shutter", "flameshot"}
+
+    def test_everything_else_functions(self, summary):
+        non_functional = [r.spec.name for r in summary.results if not r.functioned]
+        # Only the delayed-capture tools fail, by documented design.
+        assert sorted(non_functional) == ["flameshot", "shutter"]
+
+    def test_clipboard_pool_fully_clean(self):
+        summary = run_applicability_sweep(build_clipboard_app_pool())
+        assert summary.functioned == 50
+        assert not summary.false_positives
+        assert not summary.spurious_alerts
+
+
+class TestUsabilityStudy:
+    """Section V-B: 46 participants, two tasks."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_usability_study(seed=2016)
+
+    def test_cohort_size(self, results):
+        assert results.participants == 46
+
+    def test_task1_unanimously_transparent(self, results):
+        """'all 46 participants found the experience to be identical.'"""
+        assert results.identical_experience_count == 46
+        assert all(o.behaviour_differences == 0 for o in results.outcomes)
+
+    def test_task2_camera_always_blocked_and_alerted(self, results):
+        assert all(o.camera_blocked for o in results.outcomes)
+        assert all(o.alert_displayed for o in results.outcomes)
+
+    def test_task2_reaction_distribution_shape(self, results):
+        """Paper: 24 interrupted / 16 noticed / 6 missed.  Our cohort is a
+        seeded draw from the calibrated model, so we assert the shape
+        (interrupted > noticed > missed, few misses) rather than the exact
+        published integers."""
+        assert results.interrupted + results.noticed + results.missed == 46
+        assert results.missed <= 12
+        assert results.interrupted >= 15
+        assert results.interrupted + results.noticed >= 34  # most users notice
+
+    def test_study_is_reproducible(self):
+        a = run_usability_study(seed=7, participants=10)
+        b = run_usability_study(seed=7, participants=10)
+        assert [o.reaction for o in a.outcomes] == [o.reaction for o in b.outcomes]
+
+    def test_render(self, results):
+        text = results.render()
+        assert "participants" in text
+
+
+class TestLongTermStudy:
+    """Section V-D: the two-machine spyware comparison (shortened to 2 days
+    for test runtime; the 21-day run is the benchmark/example)."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return (
+            run_longterm_study(True, seed=2016, days=2),
+            run_longterm_study(False, seed=2016, days=2),
+        )
+
+    def test_protected_machine_leaks_nothing(self, pair):
+        protected, _ = pair
+        assert protected.total_stolen == 0
+        assert protected.stolen_passwords == []
+
+    def test_protected_machine_blocked_every_attempt(self, pair):
+        protected, _ = pair
+        assert sum(protected.blocked_counts.values()) == protected.spy_rounds * 3
+
+    def test_protected_machine_no_false_positives(self, pair):
+        """'we did not encounter any cases of legitimate applications being
+        incorrectly blocked.'"""
+        protected, _ = pair
+        assert protected.legit_failures == 0
+        assert protected.legit_actions > 0
+
+    def test_unprotected_machine_bleeds_data(self, pair):
+        _, unprotected = pair
+        assert unprotected.stolen_counts["screen"] == unprotected.spy_rounds
+        assert unprotected.stolen_counts["microphone"] == unprotected.spy_rounds
+        assert unprotected.stolen_counts["clipboard"] > 0
+
+    def test_unprotected_machine_loses_passwords(self, pair):
+        """'The data sampled from the clipboard included passwords copied
+        from the password manager.'"""
+        _, unprotected = pair
+        assert len(unprotected.stolen_passwords) > 0
+
+    def test_identical_workloads(self, pair):
+        protected, unprotected = pair
+        assert protected.legit_actions == unprotected.legit_actions
+        assert protected.spy_rounds == unprotected.spy_rounds
+
+    def test_protected_logs_show_legitimate_grants(self, pair):
+        """'We also investigated OVERHAUL's logs to see which applications
+        were granted access' -- grants exist and belong to the legit apps."""
+        protected, _ = pair
+        assert protected.device_grants > 0
+        assert protected.alerts_shown > 0
+
+    def test_render(self, pair):
+        for results in pair:
+            assert "spyware rounds" in results.render()

@@ -1,0 +1,125 @@
+"""Failure injection: Overhaul must fail closed.
+
+The paper's design places the display manager and the udev helper in the
+TCB.  These tests verify what happens when pieces of that TCB disappear or
+misbehave at runtime: denied-by-default semantics must hold everywhere.
+"""
+
+import pytest
+
+from repro.apps import SimApp, Spyware
+from repro.core import Machine
+from repro.kernel.device import Device, DeviceClass
+from repro.kernel.errors import OverhaulDenied
+from repro.sim.time import from_seconds
+
+
+class TestDisplayManagerLoss:
+    def test_no_notifications_means_no_grants(self, machine):
+        """With the netlink channel closed (display manager crashed), no
+        new interactions can be recorded -> every fresh request is denied:
+        fail-closed, not fail-open."""
+        app = SimApp(machine, "/usr/bin/rec", comm="rec")
+        machine.settle()
+        machine.overhaul.channel.close()
+        app.click()  # the X server's notification send will fail silently?
+        with pytest.raises(OverhaulDenied):
+            app.open_device("mic0")
+
+    def test_alert_requests_survive_missing_channel(self, machine):
+        """Kernel-side alert requests with no live channel are dropped,
+        not fatal -- mediation itself keeps working."""
+        app = SimApp(machine, "/usr/bin/rec", comm="rec")
+        machine.settle()
+        app.click()
+        machine.overhaul.channel.close()
+        # The grant path calls request_visual_alert; it must not raise.
+        fd = app.open_device("mic0")
+        assert fd >= 3
+
+    def test_spyware_still_blocked_without_display_manager(self, machine):
+        machine.settle()
+        spy = Spyware(machine)
+        machine.overhaul.channel.close()
+        assert spy.attempt_microphone() is None
+
+
+class TestUdevHelperDependence:
+    def test_hotplugged_device_is_protected_via_helper(self, machine):
+        """A camera plugged in mid-session lands in the sensitive map
+        through the helper's netlink update and is mediated immediately."""
+        new_cam = Device("usb-cam", DeviceClass.CAMERA)
+        path = machine.kernel.devfs.add_device(new_cam, machine.now)
+        spy = SimApp(machine, "/usr/bin/spy", comm="spy", with_window=False)
+        with pytest.raises(OverhaulDenied):
+            machine.kernel.sys_open(spy.task, path)
+
+    def test_dead_helper_degrades_new_devices_only(self, machine):
+        """If the helper dies, *existing* mappings keep protecting, but a
+        newly-plugged device never reaches the map -- the documented
+        TCB dependence of the udev scheme."""
+        machine.kernel.devfs.attach_helper(None)  # helper process gone
+        machine.kernel.devfs._helper = None
+        spy = SimApp(machine, "/usr/bin/spy", comm="spy", with_window=False)
+        # Existing device: still protected.
+        with pytest.raises(OverhaulDenied):
+            machine.kernel.sys_open(spy.task, machine.kernel.device_path("mic0"))
+        # New device after helper death: unmapped, hence unmediated.
+        orphan = Device("late-cam", DeviceClass.CAMERA)
+        path = machine.kernel.devfs.add_device(orphan, machine.now)
+        fd = machine.kernel.sys_open(spy.task, path)
+        assert fd >= 3  # the degradation is real and observable
+
+    def test_unplug_closes_the_filesystem_window(self, machine):
+        machine.kernel.devfs.remove_device("mic0", machine.now)
+        spy = SimApp(machine, "/usr/bin/spy", comm="spy", with_window=False)
+        from repro.kernel.errors import FileNotFound
+
+        with pytest.raises(FileNotFound):
+            machine.kernel.sys_open(spy.task, "/dev/mic0")
+
+
+class TestProcessChurn:
+    def test_pid_reuse_cannot_inherit_interaction(self, machine):
+        """A process exits right after being blessed; later processes must
+        not see its timestamp (pids are never recycled in the simulation,
+        and timestamps live in the task_struct, which dies with it)."""
+        app = SimApp(machine, "/usr/bin/short-lived", comm="short")
+        machine.settle()
+        app.click()
+        blessed_pid = app.pid
+        app.exit()
+        newcomer, _ = machine.launch("/usr/bin/newcomer", connect_x=False)
+        assert newcomer.pid != blessed_pid
+        with pytest.raises(OverhaulDenied):
+            machine.kernel.sys_open(newcomer, machine.kernel.device_path("mic0"))
+
+    def test_notification_racing_client_exit_is_dropped(self, machine):
+        """The display manager may notify about a pid that just exited;
+        the monitor must ignore it rather than crash or misattribute."""
+        from repro.core.notifications import MSG_INTERACTION
+
+        app = SimApp(machine, "/usr/bin/racer", comm="racer")
+        machine.settle()
+        dead_pid = app.pid
+        app.exit()
+        machine.overhaul.channel.send_to_kernel(
+            machine.xserver_task,
+            MSG_INTERACTION,
+            {"pid": dead_pid, "timestamp": machine.now},
+        )
+        assert machine.overhaul.monitor.notifications_received == 0
+
+    def test_exited_app_frees_exclusive_device(self, machine):
+        exclusive_cam = Device("excl-cam", DeviceClass.CAMERA, exclusive=True)
+        path = machine.kernel.devfs.add_device(exclusive_cam, machine.now)
+        first = SimApp(machine, "/usr/bin/one", comm="one")
+        machine.settle()
+        first.click()
+        machine.kernel.sys_open(first.task, path)
+        first.exit()  # closes fds, releasing the device
+        second = SimApp(machine, "/usr/bin/two", comm="two")
+        machine.settle()
+        second.click()
+        fd = machine.kernel.sys_open(second.task, path)
+        assert fd >= 3

@@ -1,0 +1,195 @@
+"""Integration tests reproducing the protocol figures (1-4, 6).
+
+Each test runs the complete pictured interaction through the real stack --
+hardware input driver -> X dispatch -> netlink -> kernel permission monitor
+-> mediated resource -- and checks both the outcome and the intermediate
+protocol artifacts the figure shows.
+"""
+
+import pytest
+
+from repro.apps import Browser, Launcher, PasswordManager, TextEditor, VideoConfApp
+from repro.kernel.errors import OverhaulDenied
+from repro.sim.time import NEVER, from_seconds
+from repro.workloads.scenarios import (
+    all_figure_scenarios,
+    figure1_hardware_device,
+    figure2_clipboard_paste,
+    figure3_launcher_spawn,
+    figure4_browser_ipc,
+    figure6_selection_protocol,
+)
+from repro.xserver.selection import TransferState
+
+
+class TestFigure1HardwareDevice:
+    def test_scenario_grants(self):
+        trace = figure1_hardware_device()
+        assert trace.succeeded
+        assert len(trace.steps) == 6
+
+    def test_notification_precedes_grant_and_alert_follows(self, machine):
+        skype = VideoConfApp(machine)
+        machine.settle()
+        monitor = machine.overhaul.monitor
+        skype.click()
+        assert monitor.notifications_received >= 1  # step 2 happened
+        skype.place_call()  # steps 4-5
+        assert monitor.grant_count >= 2  # mic + cam opens
+        alerts = machine.xserver.overlay.alerts_for_pid(skype.pid)  # step 6
+        operations = {alert.operation for alert in alerts}
+        assert any("microphone" in op for op in operations)
+        assert any("camera" in op for op in operations)
+
+    def test_no_interaction_no_grant(self, machine):
+        skype = VideoConfApp(machine)
+        machine.settle()
+        with pytest.raises(OverhaulDenied):
+            skype.place_call()
+
+    def test_expired_interaction_denied(self, machine):
+        skype = VideoConfApp(machine)
+        machine.settle()
+        skype.click()
+        machine.run_for(from_seconds(2.5))  # past delta = 2 s
+        with pytest.raises(OverhaulDenied):
+            skype.place_call()
+
+
+class TestFigure2Clipboard:
+    def test_scenario_grants(self):
+        trace = figure2_clipboard_paste()
+        assert trace.succeeded
+
+    def test_paste_requires_query_round_trip(self, machine):
+        vault = PasswordManager(machine)
+        editor = TextEditor(machine)
+        machine.settle()
+        vault.user_copy_password("email")
+        machine.run_for(from_seconds(0.2))
+        queries_before = machine.overhaul.extension.queries_sent
+        data = editor.user_paste()
+        assert data == vault.vault["email"]
+        assert machine.overhaul.extension.queries_sent > queries_before
+
+    def test_copy_without_input_denied(self, machine):
+        from repro.xserver.errors import BadAccess
+
+        editor = TextEditor(machine)
+        machine.settle()
+        with pytest.raises(BadAccess):
+            editor.copy_text(b"sneaky")  # SetSelection without user input
+
+    def test_paste_without_input_denied(self, machine):
+        from repro.xserver.errors import BadAccess
+
+        vault = PasswordManager(machine)
+        editor = TextEditor(machine)
+        machine.settle()
+        vault.user_copy_password("bank")
+        machine.run_for(from_seconds(5.0))
+        with pytest.raises(BadAccess):
+            editor.paste_text()
+
+
+class TestFigure3LauncherSpawn:
+    def test_scenario_grants(self):
+        trace = figure3_launcher_spawn()
+        assert trace.succeeded
+
+    def test_child_screenshot_rides_p1(self, machine):
+        launcher = Launcher(machine)
+        machine.settle()
+        child = launcher.launch_program("/usr/bin/shot", comm="shot")
+        assert child.interaction_ts == launcher.task.interaction_ts != NEVER
+        client = machine.xserver.connect(child)
+        image = machine.xserver.get_image(client, machine.xserver.root_window.drawable_id)
+        assert image is not None
+
+    def test_uninteracted_launcher_child_denied(self, machine):
+        from repro.xserver.errors import BadAccess
+
+        launcher = Launcher(machine)
+        machine.settle()
+        child = launcher.launch_without_interaction("/usr/bin/shot", comm="shot")
+        client = machine.xserver.connect(child)
+        with pytest.raises(BadAccess):
+            machine.xserver.get_image(client, machine.xserver.root_window.drawable_id)
+
+    def test_stale_launcher_interaction_denied_for_child(self, machine):
+        from repro.xserver.errors import BadAccess
+
+        launcher = Launcher(machine)
+        machine.settle()
+        child = launcher.launch_program("/usr/bin/shot", comm="shot")
+        machine.run_for(from_seconds(3.0))  # delta expires before capture
+        client = machine.xserver.connect(child)
+        with pytest.raises(BadAccess):
+            machine.xserver.get_image(client, machine.xserver.root_window.drawable_id)
+
+
+class TestFigure4BrowserIpc:
+    def test_scenario_grants(self):
+        trace = figure4_browser_ipc()
+        assert trace.succeeded
+
+    def test_camera_grant_depends_on_shm_propagation(self, machine):
+        """The tab forked before the click; only the shm message carries
+        the fresh timestamp (P2), not fork inheritance (P1)."""
+        browser = Browser(machine)
+        machine.settle()
+        tab = browser.open_tab()
+        assert tab.task.interaction_ts == NEVER  # P1 gave it nothing useful
+        browser.click()
+        click_time = machine.now
+        browser.command_tab(tab, b"\x01")
+        assert tab.task.interaction_ts == click_time  # arrived via shm (P2)
+        assert tab.camera_fd is not None
+
+    def test_shm_fault_path_was_exercised(self, machine):
+        browser = Browser(machine)
+        machine.settle()
+        tab = browser.open_tab()
+        faults_before = machine.kernel.shm.total_faults
+        browser.click()
+        browser.command_tab(tab, b"\x01")
+        assert machine.kernel.shm.total_faults > faults_before
+
+    def test_tab_denied_without_browser_click(self, machine):
+        browser = Browser(machine)
+        machine.settle()
+        tab = browser.open_tab()
+        with pytest.raises(OverhaulDenied):
+            browser.command_tab(tab, b"\x01")
+
+
+class TestFigure6SelectionProtocol:
+    def test_scenario_completes_all_steps(self):
+        trace = figure6_selection_protocol()
+        assert trace.succeeded
+        numbers = [step.number for step in trace.steps]
+        assert numbers == ["1", "2", "3-4", "5", "6", "7", "8", "9", "10", "11-12", "13"]
+
+    def test_transfer_reaches_completed_state(self, machine):
+        source = TextEditor(machine, comm="src")
+        target = TextEditor(machine, comm="dst")
+        machine.settle()
+        source.user_copy(b"payload")
+        machine.run_for(from_seconds(0.2))
+        target.focus()
+        target.user_paste()
+        assert machine.xserver.selections.completed_transfers == 1
+        assert not machine.xserver.selections.active_transfers()
+
+
+class TestAllScenarios:
+    def test_every_figure_scenario_succeeds(self):
+        traces = all_figure_scenarios()
+        assert len(traces) == 5
+        assert all(trace.succeeded for trace in traces)
+
+    def test_traces_render(self):
+        for trace in all_figure_scenarios():
+            text = trace.render()
+            assert trace.figure in text
+            assert "GRANTED" in text

@@ -1,0 +1,185 @@
+"""The paper's security goals S1-S4 (Section II) as executable tests."""
+
+import pytest
+
+from repro.apps import (
+    ClickjackingMalware,
+    FakeAlertMalware,
+    InputForgeryMalware,
+    SimApp,
+    Spyware,
+    TextEditor,
+)
+from repro.kernel.errors import OverhaulDenied
+from repro.sim.time import from_seconds
+from repro.xserver.errors import BadAccess
+
+
+class TestS1AccessRequiresRecentInteraction:
+    """S1: access to privacy-sensitive resources only if the user explicitly
+    interacted with that application immediately before the request."""
+
+    def test_hardware_devices(self, machine):
+        app = SimApp(machine, "/usr/bin/rec", comm="rec")
+        machine.settle()
+        with pytest.raises(OverhaulDenied):
+            app.open_device("mic0")
+        app.click()
+        fd = app.open_device("mic0")
+        assert fd >= 3
+
+    def test_virtual_resources_clipboard(self, machine):
+        app = TextEditor(machine)
+        donor = TextEditor(machine, comm="donor")
+        machine.settle()
+        donor.user_copy(b"data")
+        machine.run_for(from_seconds(3.0))
+        with pytest.raises(BadAccess):
+            app.paste_text()
+        app.click()
+        assert app.paste_text() == b"data"
+
+    def test_virtual_resources_screen(self, machine):
+        app = SimApp(machine, "/usr/bin/cap", comm="cap")
+        machine.settle()
+        with pytest.raises(BadAccess):
+            app.capture_screen()
+        app.click()
+        assert app.capture_screen() is not None
+
+    def test_immediately_before_means_within_delta(self, machine):
+        app = SimApp(machine, "/usr/bin/rec", comm="rec")
+        machine.settle()
+        app.click()
+        machine.run_for(machine.overhaul.config.interaction_threshold + 1)
+        with pytest.raises(OverhaulDenied):
+            app.open_device("mic0")
+
+    def test_interaction_with_one_app_does_not_bless_another(self, machine):
+        """The binding is per-process: clicking app A grants nothing to B."""
+        a = SimApp(machine, "/usr/bin/a", comm="a")
+        b = SimApp(machine, "/usr/bin/b", comm="b")
+        machine.settle()
+        a.click()
+        fd = a.open_device("mic0")
+        assert fd >= 3
+        with pytest.raises(OverhaulDenied):
+            b.open_device("mic0")
+
+
+class TestS2NoForgedInput:
+    """S2: programs cannot forge input events to escalate privileges."""
+
+    def test_sendevent_cannot_escalate(self, machine):
+        malware = InputForgeryMalware(machine)
+        machine.settle()
+        assert not malware.forge_with_sendevent()
+
+    def test_xtest_cannot_escalate(self, machine):
+        malware = InputForgeryMalware(machine)
+        machine.settle()
+        assert not malware.forge_with_xtest()
+
+    def test_synthetic_events_still_delivered_to_apps(self, machine):
+        """Filtering is for the trusted path only; GUI testing still works
+        (transparency)."""
+        from repro.xserver.events import EventKind
+
+        app = SimApp(machine, "/usr/bin/app", comm="app")
+        machine.settle()
+        before = app.client.events_received
+        machine.xserver.xtest_fake_input(
+            app.client, EventKind.BUTTON_PRESS, detail=1,
+            x=app.window.geometry.x + 1, y=app.window.geometry.y + 1,
+        )
+        assert app.client.events_received == before + 1
+
+    def test_forged_escalation_on_behalf_of_other_app(self, machine):
+        """Malware aiming fake clicks at a *victim's* window also must not
+        bless the victim (which the malware could then ptrace or exploit)."""
+        from repro.sim.time import NEVER
+        from repro.xserver.events import EventKind
+
+        victim = SimApp(machine, "/usr/bin/victim", comm="victim")
+        malware = InputForgeryMalware(machine)
+        machine.settle()
+        machine.xserver.xtest_fake_input(
+            malware.client, EventKind.BUTTON_PRESS, detail=1,
+            x=victim.window.geometry.x + 5, y=victim.window.geometry.y + 5,
+        )
+        assert victim.task.interaction_ts == NEVER
+
+
+class TestS3NoInteractionHijacking:
+    """S3: legitimate user interaction cannot be hijacked."""
+
+    def test_transparent_overlay_click_theft_yields_nothing(self, machine):
+        victim = TextEditor(machine)
+        machine.settle()
+        jacker = ClickjackingMalware(machine, victim.window)
+        machine.settle()
+        jacker.pop_over_and_wait()
+        machine.mouse.click_window(victim.window)
+        assert not jacker.try_microphone()
+
+    def test_popup_ambush_window_yields_nothing(self, machine):
+        """'periodically display a previously invisible window over other
+        applications': the fresh window fails the visibility threshold."""
+        ambusher = SimApp(machine, "/usr/bin/ambush", comm="ambush", map_window=False)
+        machine.settle()
+        # The ambush: map right before the user's click lands.
+        machine.xserver.map_window(ambusher.client, ambusher.window.drawable_id)
+        machine.mouse.click_window(ambusher.window)
+        with pytest.raises(OverhaulDenied):
+            ambusher.open_device("mic0")
+
+    def test_notifications_bound_to_receiving_pid(self, machine):
+        """A background process cannot hijack another app's notification:
+        the PID binding comes from the kernel, not from client claims."""
+        foreground = SimApp(machine, "/usr/bin/fg", comm="fg")
+        background = Spyware(machine)
+        machine.settle()
+        foreground.click()
+        assert foreground.task.interaction_ts == machine.now
+        assert background.attempt_microphone() is None
+
+
+class TestS4TrustedAlerts:
+    """S4: successful accesses are notified via an unforgeable, unobscurable
+    output path."""
+
+    def test_granted_device_access_always_alerts(self, machine):
+        app = SimApp(machine, "/usr/bin/rec", comm="rec")
+        machine.settle()
+        app.click()
+        app.open_device("mic0")
+        alerts = machine.xserver.overlay.alerts_for_pid(app.pid)
+        assert len(alerts) == 1
+        assert alerts[0].shared_secret == machine.xserver.overlay.shared_secret
+
+    def test_alert_rides_above_all_windows_in_composition(self, machine):
+        app = SimApp(machine, "/usr/bin/rec", comm="rec")
+        machine.settle()
+        app.paint(b"WINDOW-CONTENT")
+        app.click()
+        app.open_device("mic0")
+        composed = machine.xserver.compose_screen()
+        secret = machine.xserver.overlay.shared_secret.encode()
+        assert secret in composed
+        assert composed.index(secret) > composed.index(b"WINDOW-CONTENT")
+
+    def test_clients_cannot_trigger_or_forge_real_alerts(self, machine):
+        faker = FakeAlertMalware(machine)
+        machine.settle()
+        faker.display_fake_alert()
+        # Nothing reached the real overlay.
+        assert machine.xserver.overlay.total_shown == 0
+
+    def test_alert_expires_after_a_few_seconds(self, machine):
+        app = SimApp(machine, "/usr/bin/rec", comm="rec")
+        machine.settle()
+        app.click()
+        app.open_device("mic0")
+        assert machine.xserver.overlay.is_alert_visible(machine.now)
+        machine.run_for(machine.overhaul.config.alert_duration + 1)
+        assert not machine.xserver.overlay.is_alert_visible(machine.now)

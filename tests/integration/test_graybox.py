@@ -1,0 +1,160 @@
+"""Integration tests for the gray-box intent extension (Section VII).
+
+The black-box gap (any recent input blesses any operation) is closed for
+profiled applications: the blessing input must match the operation's
+intent rule.  Unprofiled applications keep stock Overhaul behaviour.
+"""
+
+import pytest
+
+from repro.apps import SimApp
+from repro.core import Machine, OverhaulConfig
+from repro.core.graybox import (
+    InputDescriptor,
+    IntentProfile,
+    IntentProfileLearner,
+    Region,
+)
+from repro.kernel.errors import OverhaulDenied
+from repro.sim.time import from_seconds
+from repro.xserver.input_drivers import KEYCODE_PRINTSCREEN
+
+
+@pytest.fixture
+def machine():
+    m = Machine.with_overhaul(OverhaulConfig(graybox_enabled=True))
+    m.settle()
+    return m
+
+
+def voicenote_with_profile(machine):
+    """An app whose mic use is profiled to its record button."""
+    app = SimApp(machine, "/usr/bin/voicenote", comm="voicenote")
+    machine.settle()
+    geometry = app.window.geometry
+    record_button = Region(
+        geometry.width - 100, geometry.height - 50, geometry.width, geometry.height
+    )
+    profile = IntentProfile("voicenote").allow_region("microphone", record_button)
+    machine.overhaul.monitor.graybox.install_profile(profile)
+    return app, record_button
+
+
+class TestIntentConjunct:
+    def test_wrong_button_click_does_not_bless_profiled_op(self, machine):
+        """The ACG gap, closed: a 'save' click no longer opens the mic."""
+        app, _ = voicenote_with_profile(machine)
+        geometry = app.window.geometry
+        machine.mouse.click(geometry.x + 10, geometry.y + 10)
+        with pytest.raises(OverhaulDenied):
+            app.open_device("mic0")
+        assert machine.overhaul.monitor.graybox.intent_denials == 1
+
+    def test_record_button_click_blesses(self, machine):
+        app, button = voicenote_with_profile(machine)
+        geometry = app.window.geometry
+        machine.mouse.click(
+            geometry.x + (button.x0 + button.x1) // 2,
+            geometry.y + (button.y0 + button.y1) // 2,
+        )
+        assert app.open_device("mic0") >= 3
+
+    def test_unprofiled_operations_stay_black_box(self, machine):
+        """The profile narrows only what it names: screen capture still
+        works from any click."""
+        app, _ = voicenote_with_profile(machine)
+        geometry = app.window.geometry
+        machine.mouse.click(geometry.x + 10, geometry.y + 10)
+        assert app.capture_screen() is not None
+
+    def test_unprofiled_apps_stay_black_box(self, machine):
+        other = SimApp(machine, "/usr/bin/legacy", comm="legacy")
+        machine.settle()
+        other.click()
+        assert other.open_device("mic0") >= 3
+
+    def test_temporal_rule_still_applies(self, machine):
+        """Intent match cannot resurrect an expired interaction."""
+        app, button = voicenote_with_profile(machine)
+        geometry = app.window.geometry
+        machine.mouse.click(
+            geometry.x + button.x0 + 5, geometry.y + button.y0 + 5
+        )
+        machine.run_for(from_seconds(3.0))
+        with pytest.raises(OverhaulDenied):
+            app.open_device("mic0")
+
+    def test_keycode_rules(self, machine):
+        """A screenshot tool profiled to the PrintScreen key."""
+        tool = SimApp(machine, "/usr/bin/shotkey", comm="shotkey")
+        machine.settle()
+        profile = IntentProfile("shotkey").allow_keycode("screen", KEYCODE_PRINTSCREEN)
+        machine.overhaul.monitor.graybox.install_profile(profile)
+        tool.focus()
+        machine.keyboard.type_text("x")  # ordinary typing: not intent
+        from repro.xserver.errors import BadAccess
+
+        with pytest.raises(BadAccess):
+            tool.capture_screen()
+        machine.keyboard.press(KEYCODE_PRINTSCREEN)
+        assert tool.capture_screen() is not None
+
+    def test_graybox_off_by_default(self):
+        machine = Machine.with_overhaul()
+        assert machine.overhaul.monitor.graybox is None
+
+
+class TestProfileLearner:
+    def test_learned_profile_reproduces_training_behaviour(self, machine):
+        learner = IntentProfileLearner("voicenote")
+        # Training trace: mic always follows a click at ~(540, 430).
+        learner.observe_input(InputDescriptor("button", 540, 430), timestamp=100)
+        learner.observe_operation("microphone:/dev/mic0", timestamp=150)
+        learner.observe_input(InputDescriptor("button", 545, 432), timestamp=300)
+        learner.observe_operation("microphone:/dev/mic0", timestamp=320)
+        profile = learner.build_profile()
+
+        near = InputDescriptor("button", 542, 428)
+        far = InputDescriptor("button", 10, 10)
+        assert profile.permits("microphone:/dev/mic0", near)
+        assert not profile.permits("microphone:/dev/mic0", far)
+
+    def test_operations_without_preceding_input_unattributed(self):
+        learner = IntentProfileLearner("daemon")
+        learner.observe_operation("microphone:/dev/mic0", timestamp=50)
+        profile = learner.build_profile()
+        # Nothing learned: the operation stays unconstrained by the profile.
+        assert profile.rule_for("microphone:/dev/mic0") is None
+
+    def test_key_driven_operations_learned(self):
+        learner = IntentProfileLearner("shotkey")
+        learner.observe_input(InputDescriptor("key", keycode=107), timestamp=10)
+        learner.observe_operation("screen", timestamp=12)
+        profile = learner.build_profile()
+        assert profile.permits("screen", InputDescriptor("key", keycode=107))
+        assert not profile.permits("screen", InputDescriptor("key", keycode=42))
+
+    def test_end_to_end_learn_then_enforce(self, machine):
+        """Train on the live system, install the learned profile, verify
+        enforcement -- the full dynamic-analysis loop."""
+        app = SimApp(machine, "/usr/bin/trainee", comm="trainee")
+        machine.settle()
+        geometry = app.window.geometry
+        learner = IntentProfileLearner("trainee")
+
+        # Training session: the user clicks the mic button, app records.
+        machine.mouse.click(geometry.x + 500, geometry.y + 400)
+        learner.observe_input(InputDescriptor("button", 500, 400), machine.now)
+        app.open_device("mic0")
+        learner.observe_operation("microphone:/dev/mic0", machine.now)
+
+        machine.overhaul.monitor.graybox.install_profile(learner.build_profile())
+
+        # Enforcement: same button works, another button does not.
+        machine.run_for(from_seconds(3.0))
+        machine.mouse.click(geometry.x + 502, geometry.y + 398)
+        assert app.open_device("mic0") >= 3
+        machine.run_for(from_seconds(3.0))
+        machine.mouse.click(geometry.x + 20, geometry.y + 20)
+        with pytest.raises(OverhaulDenied):
+            app.open_device("mic0")

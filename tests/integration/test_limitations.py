@@ -1,0 +1,103 @@
+"""The paper's documented limitations (Sections II, III-E, V-C), reproduced.
+
+These tests assert that the *limitations hold* -- a reproduction must show
+where the system fails exactly as described, not just where it succeeds.
+"""
+
+import pytest
+
+from repro.apps import DelayedScreenshotTool, SimApp, VideoConfApp
+from repro.kernel.errors import OverhaulDenied
+from repro.sim.time import from_seconds
+from repro.xserver.errors import BadAccess
+
+
+class TestMimicryOutOfScope:
+    def test_user_blessed_malware_gets_access(self, machine):
+        """Threat-model scenario 3: a trojan the user knowingly installs
+        and clicks is indistinguishable from a legitimate app -- Overhaul
+        grants it access (by design, out of scope)."""
+        trojan = SimApp(machine, "/usr/bin/totally-legit-skype", comm="skype2")
+        machine.settle()
+        trojan.click()  # the user was fooled into interacting
+        fd = trojan.open_device("video0")
+        assert fd >= 3  # the mimicry attack succeeds, as the paper concedes
+
+
+class TestScheduledTasksUnsupported:
+    def test_cron_style_job_blocked(self, machine):
+        """'OVERHAUL does not support running scheduled tasks... (e.g., a
+        cron job or daemon that periodically takes screen captures).'"""
+        daemon = SimApp(machine, "/usr/bin/cron-shot", comm="cron-shot", with_window=False)
+        blocked = {"count": 0}
+
+        def periodic_capture():
+            try:
+                machine.xserver.get_image(
+                    daemon.client, machine.xserver.root_window.drawable_id
+                )
+            except BadAccess:
+                blocked["count"] += 1
+            machine.scheduler.schedule_after(
+                from_seconds(60.0), periodic_capture, label="cron-shot"
+            )
+
+        machine.scheduler.schedule_after(from_seconds(60.0), periodic_capture)
+        machine.run_for(from_seconds(300.0))
+        assert blocked["count"] == 5  # every scheduled capture denied
+
+    def test_non_interactive_daemon_microphone_blocked(self, machine):
+        daemon = SimApp(machine, "/usr/bin/voiced", comm="voiced", with_window=False)
+        machine.settle()
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+
+
+class TestDelayedScreenshotLimitation:
+    def test_delay_beyond_threshold_fails(self, machine):
+        tool = DelayedScreenshotTool(machine, delay=from_seconds(10.0))
+        machine.settle()
+        tool.click_and_shoot_delayed()
+        machine.run_for(from_seconds(11.0))
+        assert tool.delayed_denied
+
+    def test_limitation_is_exactly_the_threshold(self, machine):
+        """The boundary: a delay just under delta works, just over fails."""
+        delta = machine.overhaul.config.interaction_threshold
+        fast = DelayedScreenshotTool(machine, delay=delta - from_seconds(0.5), comm="fast")
+        machine.settle()
+        fast.click_and_shoot_delayed()
+        machine.run_for(delta)
+        assert fast.delayed_result is not None
+
+        slow = DelayedScreenshotTool(machine, delay=delta + from_seconds(0.5), comm="slow")
+        machine.settle()
+        slow.click_and_shoot_delayed()
+        machine.run_for(delta + from_seconds(1.0))
+        assert slow.delayed_denied
+
+
+class TestSkypeStartupProbe:
+    def test_autostart_probe_blocked_but_calls_work(self, machine):
+        """The single 'spurious alert' of Section V-C, and the paper's
+        argument that it is desired behaviour."""
+        skype = VideoConfApp(machine, startup_camera_check=True)
+        machine.settle()
+        assert skype.startup_blocked
+        alerts = machine.xserver.overlay.alerts_for_pid(skype.pid)
+        assert any("BLOCKED" in alert.message for alert in alerts)
+        # "This did not cause subsequent video calls to fail."
+        skype.click_call_button()
+        assert skype.call_active
+
+
+class TestWeakerThanACGs:
+    def test_any_recent_input_blesses_any_operation(self, machine):
+        """Section III-E: Overhaul cannot match input to *intent*.  A click
+        on an unrelated button still blesses a device open within delta --
+        strictly weaker than access-control gadgets, by design."""
+        app = SimApp(machine, "/usr/bin/editor", comm="editor")
+        machine.settle()
+        app.click()  # the user clicked 'save', not 'record'
+        fd = app.open_device("mic0")  # ...but the open is granted anyway
+        assert fd >= 3

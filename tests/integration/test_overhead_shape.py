@@ -1,0 +1,83 @@
+"""Regression net for the Table I *shape* claims.
+
+Not a benchmark -- a lenient sanity check that the two regimes documented
+in EXPERIMENTS.md stay true: rows whose base operation does real simulated
+work (shared memory, filesystem churn) must show near-zero relative
+overhead, and no row's added per-operation cost may balloon.
+
+Bounds are deliberately loose (3x headroom on current measurements) so the
+test guards against structural regressions -- e.g. someone adding an
+uncoalesced per-operation alert or an O(n) scan to a hot path -- without
+flaking on machine noise.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.benchops import (
+    ClipboardRig,
+    DeviceAccessRig,
+    FilesystemRig,
+    ScreenCaptureRig,
+    SharedMemoryRig,
+)
+
+
+def best_seconds_per_op(rig, ops, repeats=3):
+    best = float("inf")
+    rig.run(ops)  # warmup
+    for _ in range(repeats):
+        start = time.perf_counter()
+        rig.run(ops)
+        best = min(best, time.perf_counter() - start)
+    return best / ops
+
+
+class TestAddedCostBounds:
+    """Absolute added microseconds per operation stay small constants."""
+
+    def _added_us(self, rig_class, ops):
+        baseline = best_seconds_per_op(rig_class(protected=False), ops)
+        overhaul = best_seconds_per_op(rig_class(protected=True), ops)
+        return (overhaul - baseline) * 1e6
+
+    def test_device_access_added_cost(self):
+        assert self._added_us(DeviceAccessRig, 1500) < 60.0  # measured ~7-10
+
+    def test_clipboard_added_cost(self):
+        assert self._added_us(ClipboardRig, 400) < 120.0  # measured ~15-20
+
+    def test_screen_capture_added_cost(self):
+        assert self._added_us(ScreenCaptureRig, 300) < 200.0  # measured ~20-50
+
+    def test_filesystem_added_cost_is_tiny(self):
+        """The Bonnie++ regime: a create/stat/delete triple gains at most a
+        couple of microseconds (one map lookup on the create's open)."""
+        assert self._added_us(FilesystemRig, 1500) < 15.0
+
+    def test_shared_memory_added_cost_is_tiny(self):
+        """The interception fast path is one revoked-bit test; faults are
+        amortised over the 500 ms wait-list window."""
+        assert self._added_us(SharedMemoryRig, 6000) < 10.0
+
+
+class TestStructuralGuards:
+    def test_alerts_do_not_accumulate_per_operation(self):
+        """10k grants in one alert window must produce O(1) alerts."""
+        rig = DeviceAccessRig(protected=True)
+        rig.run(2_000)
+        assert rig.machine.xserver.overlay.total_shown <= 2
+
+    def test_transfers_do_not_accumulate(self):
+        rig = ClipboardRig(protected=True)
+        rig.run(500)
+        assert len(rig.machine.xserver.selections.active_transfers()) == 0
+
+    def test_decision_log_is_bounded(self):
+        rig = DeviceAccessRig(protected=True)
+        monitor = rig.machine.overhaul.monitor
+        monitor.DECISION_LOG_LIMIT = 500
+        rig.run(2_000)
+        assert len(monitor.decisions) <= 500
+        assert monitor.grant_count >= 2_000

@@ -1,0 +1,188 @@
+"""Integration tests for prompt mode (Section IV-A's verified extension).
+
+The paper implemented-but-did-not-explore a prompt-based policy on top of
+Overhaul's two trusted paths.  These tests pin the security properties that
+make the prompt *unforgeable*: only hardware input answers it, only the
+display manager can respond to the kernel, and answers are scoped to one
+(process, operation) pair for one threshold window.
+"""
+
+import pytest
+
+from repro.apps import SimApp, Spyware
+from repro.core import Machine, OverhaulConfig
+from repro.kernel.errors import OverhaulDenied
+from repro.sim.time import from_seconds
+from repro.xserver.events import EventKind
+
+
+@pytest.fixture
+def machine():
+    m = Machine.with_overhaul(OverhaulConfig(prompt_mode=True))
+    m.settle()
+    return m
+
+
+@pytest.fixture
+def daemon(machine):
+    """A non-interactive app that legitimately needs occasional device
+    access -- the use case prompts exist for."""
+    return SimApp(machine, "/usr/bin/voiced", comm="voiced", with_window=False)
+
+
+def prompt_manager(machine):
+    return machine.overhaul.extension.prompt_manager
+
+
+class TestPromptFlow:
+    def test_denied_access_raises_prompt(self, machine, daemon):
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        assert prompt_manager(machine).active is not None
+        assert prompt_manager(machine).active.comm == "voiced"
+
+    def test_prompt_composited_above_everything(self, machine, daemon):
+        painter = SimApp(machine, "/usr/bin/painter", comm="painter")
+        painter.paint(b"WINDOW")
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        composed = machine.xserver.compose_screen()
+        assert b"PROMPT[" in composed
+        assert composed.index(b"PROMPT[") > composed.index(b"WINDOW")
+
+    def test_prompt_carries_shared_secret(self, machine, daemon):
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        banner = prompt_manager(machine).banner()
+        assert machine.xserver.overlay.shared_secret.encode() in banner
+
+    def test_approve_then_retry_succeeds(self, machine, daemon):
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        machine.mouse.click(100, 10)  # approve region
+        fd = daemon.open_device("mic0")
+        assert fd >= 3
+
+    def test_deny_then_retry_still_denied(self, machine, daemon):
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        machine.mouse.click(machine.xserver.width - 50, 10)  # deny region
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        # ...and the denial is remembered: no immediate re-prompt.
+        assert prompt_manager(machine).active is None
+
+    def test_approval_expires_after_threshold(self, machine, daemon):
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        machine.mouse.click(100, 10)
+        daemon.open_device("mic0")
+        machine.run_for(machine.overhaul.config.interaction_threshold + 1)
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+
+    def test_duplicate_attempts_do_not_stack_prompts(self, machine, daemon):
+        for _ in range(5):
+            with pytest.raises(OverhaulDenied):
+                daemon.open_device("mic0")
+        manager = prompt_manager(machine)
+        assert manager.active is not None
+        assert not manager.queue  # one outstanding question, not five
+
+    def test_prompts_queue_across_processes(self, machine, daemon):
+        other = SimApp(machine, "/usr/bin/camd", comm="camd", with_window=False)
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        with pytest.raises(OverhaulDenied):
+            other.open_device("video0")
+        manager = prompt_manager(machine)
+        assert manager.active.comm == "voiced"
+        assert len(manager.queue) == 1
+        machine.mouse.click(100, 10)  # answer the first
+        assert manager.active.comm == "camd"
+
+
+class TestPromptUnforgeability:
+    def test_xtest_click_cannot_answer(self, machine, daemon):
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        machine.xserver.xtest_fake_input(
+            daemon.client, EventKind.BUTTON_PRESS, detail=1, x=100, y=10
+        )
+        assert prompt_manager(machine).active is not None
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+
+    def test_sendevent_click_cannot_answer(self, machine, daemon):
+        target = SimApp(machine, "/usr/bin/any", comm="any")
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        machine.xserver.send_event(
+            daemon.client, target.window.drawable_id, EventKind.BUTTON_PRESS, detail=1
+        )
+        assert prompt_manager(machine).active is not None
+
+    def test_approval_scoped_to_operation(self, machine, daemon):
+        """Approving the microphone does not bless the camera."""
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        machine.mouse.click(100, 10)
+        daemon.open_device("mic0")
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("video0")
+
+    def test_approval_scoped_to_process(self, machine, daemon):
+        """Approving one process does not bless another asking for the
+        same resource."""
+        freeloader = Spyware(machine)
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        machine.mouse.click(100, 10)
+        daemon.open_device("mic0")
+        assert freeloader.attempt_microphone() is None
+
+    def test_non_display_manager_cannot_inject_responses(self, machine, daemon):
+        """Only the authenticated display-manager channel may answer."""
+        from repro.core.prompt_mode import MSG_PROMPT_RESPONSE
+        from repro.kernel.devfs import UdevHelper  # noqa: F401 (context)
+        from repro.kernel.errors import OperationNotPermitted
+
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        helper = machine.kernel.udev_helper
+        with pytest.raises(OperationNotPermitted):
+            helper._channel.send_to_kernel(
+                helper.task,
+                MSG_PROMPT_RESPONSE,
+                {
+                    "prompt_id": 1,
+                    "pid": daemon.pid,
+                    "operation": "microphone:/dev/mic0",
+                    "approved": True,
+                    "timestamp": machine.now,
+                },
+            )
+
+
+class TestPromptModeCoexistence:
+    def test_normal_temporal_grants_skip_prompting(self, machine):
+        app = SimApp(machine, "/usr/bin/rec", comm="rec")
+        machine.settle()
+        app.click()
+        fd = app.open_device("mic0")
+        assert fd >= 3
+        assert prompt_manager(machine).prompts_shown == 0
+
+    def test_traced_task_never_prompts(self, machine, daemon):
+        parent = SimApp(machine, "/usr/bin/dbg", comm="dbg", map_window=True)
+        machine.settle()
+        child = machine.kernel.sys_fork(parent.task)
+        machine.kernel.ptrace.attach(parent.task, child)
+        with pytest.raises(OverhaulDenied):
+            machine.kernel.sys_open(child, machine.kernel.device_path("mic0"))
+        assert prompt_manager(machine).active is None
+
+    def test_prompt_mode_off_by_default(self):
+        machine = Machine.with_overhaul()
+        assert machine.overhaul.extension.prompt_manager is None
+        assert machine.overhaul.monitor.prompt_arbiter is None

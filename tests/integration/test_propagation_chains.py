@@ -1,0 +1,126 @@
+"""Arbitrary-length propagation chains (Section III-D).
+
+"OVERHAUL can support process spawns and IPC chains of arbitrary length and
+complexity, and remain transparent to the applications and oblivious to the
+application-level communication protocols."
+"""
+
+import pytest
+
+from repro.apps import SimApp
+from repro.core import Machine
+from repro.sim.time import NEVER, from_seconds
+
+
+@pytest.fixture
+def machine():
+    m = Machine.with_overhaul()
+    m.settle()
+    return m
+
+
+def fresh_task(machine, name):
+    task, _ = machine.launch(f"/usr/bin/{name}", comm=name, connect_x=False)
+    return task
+
+
+class TestMixedChains:
+    def test_fork_then_pipe_then_socket_chain(self, machine):
+        """click -> A --fork--> B --pipe--> C --socket--> D -> device."""
+        app = SimApp(machine, "/usr/bin/a", comm="a")
+        machine.settle()
+        app.click()
+        click_time = machine.now
+
+        b = machine.kernel.sys_fork(app.task)  # P1
+        c = fresh_task(machine, "c")
+        d = fresh_task(machine, "d")
+
+        pipe = machine.kernel.pipes.create_pipe()
+        pipe.write(b, b"job")
+        pipe.read(c, 3)  # P2 via pipe
+
+        conn = machine.kernel.sockets.socketpair(c, d)
+        conn.send(c, b"job")
+        conn.receive(d)  # P2 via socket
+
+        assert d.interaction_ts == click_time
+        fd = machine.kernel.sys_open(d, machine.kernel.device_path("mic0"))
+        assert fd >= 3
+
+    def test_five_hop_chain_preserves_timestamp(self, machine):
+        app = SimApp(machine, "/usr/bin/origin", comm="origin")
+        machine.settle()
+        app.click()
+        click_time = machine.now
+
+        current = app.task
+        for hop in range(5):
+            nxt = fresh_task(machine, f"hop{hop}")
+            queue = machine.kernel.msg_queues.msgget(1000 + hop)
+            queue.send(current, b"m")
+            queue.receive(nxt)
+            current = nxt
+        assert current.interaction_ts == click_time
+
+    def test_chain_through_fifo_and_pty(self, machine):
+        app = SimApp(machine, "/usr/bin/origin", comm="origin")
+        machine.settle()
+        app.click()
+        click_time = machine.now
+
+        machine.kernel.filesystem.create_fifo(
+            "/tmp/chain.fifo", owner=app.task.creds
+        )
+        fifo = machine.kernel.pipes.open_fifo("/tmp/chain.fifo")
+        middle = fresh_task(machine, "middle")
+        fifo.write(app.task, b"x")
+        fifo.read(middle, 1)
+
+        pty = machine.kernel.pty.openpty()
+        final = fresh_task(machine, "final")
+        pty.write(middle, b"run\n", from_master=True)
+        pty.read(final, 10, from_master=False)
+
+        assert final.interaction_ts == click_time
+
+    def test_stale_link_in_chain_does_not_refresh(self, machine):
+        """A message sent *before* the click cannot deliver the click's
+        timestamp: the embed happens at send time."""
+        app = SimApp(machine, "/usr/bin/origin", comm="origin")
+        receiver = fresh_task(machine, "recv")
+        machine.settle()
+        pipe = machine.kernel.pipes.create_pipe()
+        pipe.write(app.task, b"early")  # embeds NEVER
+        app.click()
+        pipe.read(receiver, 5)
+        assert receiver.interaction_ts == NEVER
+
+    def test_timestamps_merge_not_overwrite(self, machine):
+        """A receiver with a fresher own timestamp keeps it no matter how
+        many stale messages it reads."""
+        stale_app = SimApp(machine, "/usr/bin/stale", comm="stale")
+        fresh = fresh_task(machine, "fresh")
+        machine.settle()
+        stale_app.click()
+        machine.run_for(from_seconds(1.0))
+        pipe = machine.kernel.pipes.create_pipe()
+        pipe.write(stale_app.task, b"old")
+        fresh.record_interaction(machine.now)
+        own_time = fresh.interaction_ts
+        pipe.read(fresh, 3)
+        assert fresh.interaction_ts == own_time
+
+
+class TestBaselineChainsCarryNothing:
+    def test_chain_on_baseline_machine_propagates_no_state(self):
+        machine = Machine.baseline()
+        machine.settle()
+        app = SimApp(machine, "/usr/bin/a", comm="a")
+        machine.settle()
+        app.click()  # delivered, but nothing records interactions
+        receiver, _ = machine.launch("/usr/bin/b", connect_x=False)
+        pipe = machine.kernel.pipes.create_pipe()
+        pipe.write(app.task, b"x")
+        pipe.read(receiver, 1)
+        assert receiver.interaction_ts == NEVER

@@ -1,0 +1,134 @@
+"""Every display-content exfiltration route the paper enumerates (IV-A).
+
+GetImage on the root window, GetImage on a victim's window, the MIT-SHM
+variant, and the CopyArea/CopyPlane side channel -- each demonstrated
+working on the baseline server and mediated under Overhaul.
+"""
+
+import pytest
+
+from repro.apps import SimApp
+from repro.core import Machine
+from repro.xserver.errors import BadAccess
+
+SECRET_PIXELS = b"E-BANKING-BALANCE-9000"
+
+
+def rig(machine):
+    victim = SimApp(machine, "/usr/bin/bank-app", comm="bank-app")
+    victim.paint(SECRET_PIXELS)
+    spy = SimApp(machine, "/usr/bin/screenspy", comm="screenspy", map_window=False)
+    machine.settle()
+    return victim, spy
+
+
+class TestBaselineExfiltration:
+    """The stock X server leaks through all four routes."""
+
+    @pytest.fixture
+    def setup(self):
+        machine = Machine.baseline()
+        victim, spy = rig(machine)
+        return machine, victim, spy
+
+    def test_root_getimage(self, setup):
+        machine, victim, spy = setup
+        assert SECRET_PIXELS in spy.capture_screen()
+
+    def test_victim_window_getimage(self, setup):
+        machine, victim, spy = setup
+        assert spy.capture_window(victim.window) == SECRET_PIXELS
+
+    def test_mit_shm_getimage(self, setup):
+        machine, victim, spy = setup
+        assert SECRET_PIXELS in spy.capture_screen(via="mit-shm")
+
+    def test_copyarea_sidechannel(self, setup):
+        machine, victim, spy = setup
+        pixmap = machine.xserver.create_pixmap(spy.client)
+        machine.xserver.copy_area(spy.client, victim.window.drawable_id, pixmap.drawable_id)
+        assert bytes(pixmap.content) == SECRET_PIXELS
+
+
+class TestOverhaulMediation:
+    """Under Overhaul the same routes require recent interaction."""
+
+    @pytest.fixture
+    def setup(self):
+        machine = Machine.with_overhaul()
+        victim, spy = rig(machine)
+        return machine, victim, spy
+
+    def test_root_getimage_blocked(self, setup):
+        machine, victim, spy = setup
+        with pytest.raises(BadAccess):
+            spy.capture_screen()
+
+    def test_victim_window_getimage_blocked(self, setup):
+        machine, victim, spy = setup
+        with pytest.raises(BadAccess):
+            spy.capture_window(victim.window)
+
+    def test_mit_shm_blocked_identically(self, setup):
+        """'or the XShmGetImage request provided by the MIT shared memory
+        extension' -- same gate, different request."""
+        machine, victim, spy = setup
+        with pytest.raises(BadAccess):
+            spy.capture_screen(via="mit-shm")
+        assert machine.xserver.screen_captures_denied >= 1
+
+    def test_copyarea_foreign_source_blocked(self, setup):
+        machine, victim, spy = setup
+        pixmap = machine.xserver.create_pixmap(spy.client)
+        with pytest.raises(BadAccess):
+            machine.xserver.copy_area(
+                spy.client, victim.window.drawable_id, pixmap.drawable_id
+            )
+        assert bytes(pixmap.content) == b""  # nothing leaked
+
+    def test_copyplane_foreign_source_blocked(self, setup):
+        machine, victim, spy = setup
+        pixmap = machine.xserver.create_pixmap(spy.client)
+        with pytest.raises(BadAccess):
+            machine.xserver.copy_plane(
+                spy.client, victim.window.drawable_id, pixmap.drawable_id
+            )
+
+    def test_same_owner_copyarea_unmediated(self, setup):
+        """'If the owners of both buffers are identical... the request is
+        allowed to proceed' -- no interaction needed for self-copies."""
+        machine, victim, spy = setup
+        own = machine.xserver.create_pixmap(spy.client)
+        own.draw(b"my-own-pixels")
+        destination = machine.xserver.create_pixmap(spy.client)
+        machine.xserver.copy_area(spy.client, own.drawable_id, destination.drawable_id)
+        assert bytes(destination.content) == b"my-own-pixels"
+
+    def test_own_window_getimage_unmediated(self, setup):
+        machine, victim, spy = setup
+        # The spy reading its own (unmapped) window content: not a capture.
+        assert spy.capture_window(spy.window) == b""
+
+    def test_interaction_opens_all_routes_with_alerts(self, setup):
+        machine, victim, spy = setup
+        machine.xserver.map_window(spy.client, spy.window.drawable_id)
+        machine.settle()
+        spy.click()
+        assert SECRET_PIXELS in spy.capture_screen()
+        pixmap = machine.xserver.create_pixmap(spy.client)
+        machine.xserver.copy_area(spy.client, victim.window.drawable_id, pixmap.drawable_id)
+        assert bytes(pixmap.content) == SECRET_PIXELS
+        # Granted captures are alerted (the V-D recorder appeared in logs).
+        assert any(
+            a.operation == "screen" for a in machine.xserver.overlay.alerts_for_pid(spy.pid)
+        )
+
+    def test_granted_capture_includes_alert_band(self, setup):
+        """A capture that was itself alerted contains the alert: the
+        overlay is above everything, including what screengrabs see."""
+        machine, victim, spy = setup
+        machine.xserver.map_window(spy.client, spy.window.drawable_id)
+        machine.settle()
+        spy.click()
+        image = spy.capture_screen()
+        assert machine.xserver.overlay.shared_secret.encode() in image

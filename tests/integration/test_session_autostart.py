@@ -1,0 +1,64 @@
+"""The autostart path that produced the paper's spurious Skype alert."""
+
+import pytest
+
+from repro.apps import Spyware, VideoConfApp
+from repro.apps.session import SessionManager
+from repro.core import Machine
+from repro.sim.time import NEVER
+
+
+@pytest.fixture
+def machine():
+    m = Machine.with_overhaul()
+    m.settle()
+    return m
+
+
+class TestAutostart:
+    def test_autostarted_apps_have_no_interaction_provenance(self, machine):
+        session = SessionManager(machine)
+        session.add_autostart(
+            "skype",
+            lambda m, parent: VideoConfApp(m, parent_task=parent),
+        )
+        (skype,) = session.login()
+        assert skype.task.interaction_ts == NEVER
+        assert skype.task.is_descendant_of(session.task)
+
+    def test_autostart_skype_probe_blocked_with_alert(self, machine):
+        """The exact V-C scenario: boot -> session -> Skype -> camera probe
+        -> blocked + alert; later user-driven calls unaffected."""
+        session = SessionManager(machine)
+        session.add_autostart(
+            "skype",
+            lambda m, parent: VideoConfApp(
+                m, parent_task=parent, startup_camera_check=True
+            ),
+        )
+        (skype,) = session.login()
+        assert skype.startup_blocked
+        assert any(
+            "BLOCKED" in alert.message
+            for alert in machine.xserver.overlay.alerts_for_pid(skype.pid)
+        )
+        machine.settle()
+        skype.click_call_button()
+        assert skype.call_active
+
+    def test_autostarted_spyware_is_just_another_blocked_daemon(self, machine):
+        """Persistence via autostart (the classic malware trick) gains the
+        spyware nothing under Overhaul."""
+        session = SessionManager(machine)
+        session.add_autostart("spyd", lambda m, parent: Spyware(m, parent_task=parent))
+        (spy,) = session.login()
+        spy.attempt_all()
+        assert spy.stolen == []
+        assert sum(spy.blocked.values()) == 3
+
+    def test_multiple_entries_start_in_order(self, machine):
+        session = SessionManager(machine)
+        session.add_autostart("a", lambda m, p: VideoConfApp(m, comm="appa", parent_task=p))
+        session.add_autostart("b", lambda m, p: VideoConfApp(m, comm="appb", parent_task=p))
+        started = session.login()
+        assert [app.comm for app in started] == ["appa", "appb"]

@@ -1,0 +1,92 @@
+"""Design goals D1/D3: application and user transparency.
+
+The same unmodified application code must run on baseline and protected
+machines, with identical observable behaviour for legitimate use -- no new
+APIs, no prompts, only EACCES-style failures for illegitimate access.
+"""
+
+import pytest
+
+from repro.apps import Browser, SimApp, TerminalEmulator, TextEditor, VideoConfApp
+from repro.core import Machine
+from repro.sim.time import from_seconds
+
+
+def run_legit_workflow(machine: Machine) -> dict:
+    """One representative user session; returns observable outcomes."""
+    outcome = {}
+    skype = VideoConfApp(machine)
+    editor = TextEditor(machine)
+    donor = TextEditor(machine, comm="donor")
+    browser = Browser(machine)
+    terminal = TerminalEmulator(machine)
+    machine.settle()
+
+    skype.click_call_button()
+    outcome["call_active"] = skype.call_active
+    outcome["media"] = skype.sample_call_media(count=32)
+    skype.hang_up()
+
+    donor.user_copy(b"shared-text")
+    machine.run_for(from_seconds(0.2))
+    outcome["pasted"] = editor.user_paste()
+
+    tab = browser.open_tab()
+    browser.click()
+    browser.command_tab(tab, b"\x01")
+    outcome["tab_camera"] = tab.camera_fd is not None
+
+    task = terminal.run_command("arecord", "/usr/bin/arecord")
+    from repro.apps.recorder import CommandLineRecorder
+
+    outcome["cli_sample"] = CommandLineRecorder(machine, task).record_once(count=32)
+    return outcome
+
+
+class TestD1ApplicationTransparency:
+    def test_identical_outcomes_on_both_machines(self):
+        baseline = run_legit_workflow(Machine.baseline())
+        protected = run_legit_workflow(Machine.with_overhaul())
+        assert baseline["call_active"] == protected["call_active"] is True
+        assert baseline["pasted"] == protected["pasted"] == b"shared-text"
+        assert baseline["tab_camera"] == protected["tab_camera"] is True
+        # Device data streams are generated identically per machine.
+        assert len(baseline["media"]) == len(protected["media"]) == 32
+        assert len(baseline["cli_sample"]) == len(protected["cli_sample"]) == 32
+
+    def test_apps_contain_no_overhaul_code(self):
+        """The application package must not import from repro.core --
+        that would violate the unmodified-application premise."""
+        import pathlib
+
+        import repro.apps as apps_pkg
+
+        package_dir = pathlib.Path(apps_pkg.__file__).parent
+        for source_file in package_dir.glob("*.py"):
+            text = source_file.read_text()
+            assert "from repro.core import" not in text, source_file
+            assert "import repro.core" not in text, source_file
+
+
+class TestD3NoPrompts:
+    def test_no_blocking_prompts_exist(self, machine):
+        """Overhaul never halts an operation waiting for user input: every
+        mediated call returns synchronously (grant or EACCES), and the only
+        UI artifact is the passive overlay alert."""
+        app = SimApp(machine, "/usr/bin/rec", comm="rec")
+        machine.settle()
+        pending_before = machine.scheduler.pending_count
+        app.click()
+        app.open_device("mic0")
+        # No deferred approval machinery was scheduled.
+        assert machine.scheduler.pending_count == pending_before
+
+    def test_denial_surfaces_as_classic_errno(self, machine):
+        from repro.kernel.errors import OverhaulDenied, PermissionDenied
+
+        app = SimApp(machine, "/usr/bin/spy", comm="spy")
+        machine.settle()
+        with pytest.raises(PermissionDenied) as exc_info:
+            app.open_device("mic0")
+        assert isinstance(exc_info.value, OverhaulDenied)
+        assert exc_info.value.errno_name == "EACCES"

@@ -1,0 +1,47 @@
+"""Statistical calibration of the usability-study model.
+
+One seeded run is a single draw; the claim that the model reproduces the
+paper's 24/16/6 split is statistical.  Aggregating many seeds, the mean
+reaction counts must converge on the calibration targets.
+"""
+
+import statistics
+
+import pytest
+
+from repro.workloads.usability import run_usability_study
+
+
+@pytest.fixture(scope="module")
+def cohort_runs():
+    """Thirty independent 46-participant studies."""
+    return [run_usability_study(seed=seed) for seed in range(30)]
+
+
+class TestCalibration:
+    def test_mean_counts_match_paper(self, cohort_runs):
+        mean_interrupted = statistics.fmean(r.interrupted for r in cohort_runs)
+        mean_noticed = statistics.fmean(r.noticed for r in cohort_runs)
+        mean_missed = statistics.fmean(r.missed for r in cohort_runs)
+        # Binomial SE over 30x46 draws is ~0.6; allow 2 counts of slack.
+        assert mean_interrupted == pytest.approx(24, abs=2.0)
+        assert mean_noticed == pytest.approx(16, abs=2.0)
+        assert mean_missed == pytest.approx(6, abs=2.0)
+
+    def test_every_run_is_fully_protective(self, cohort_runs):
+        """The *system* outcomes are deterministic across all seeds: the
+        camera is always blocked and alerted; only the human reaction
+        varies."""
+        for run in cohort_runs:
+            assert all(o.camera_blocked for o in run.outcomes)
+            assert all(o.alert_displayed for o in run.outcomes)
+            assert run.identical_experience_count == 46
+
+    def test_variance_is_binomial_scale(self, cohort_runs):
+        """Sanity on the model: the spread across seeds looks like
+        sampling noise, not a broken generator (stdev within ~3x the
+        binomial expectation, and nonzero)."""
+        interrupted = [r.interrupted for r in cohort_runs]
+        observed = statistics.stdev(interrupted)
+        binomial_sd = (46 * (24 / 46) * (1 - 24 / 46)) ** 0.5  # ~3.4
+        assert 0.5 < observed < 3 * binomial_sd

@@ -1,0 +1,83 @@
+"""Ablation: the clickjacking visibility threshold (Section IV-A).
+
+The paper requires the event's target window to have "stayed visible above
+a predefined time threshold" but names no value.  This sweep exposes the
+trade-off the parameter controls:
+
+- security: a pop-over ambush window (mapped right before the user's click
+  lands) succeeds exactly when the threshold is zero;
+- usability: clicks on *young* legitimate windows are suppressed while the
+  window is younger than the threshold.
+"""
+
+import pytest
+
+from repro.apps import SimApp
+from repro.core import Machine, OverhaulConfig
+from repro.kernel.errors import OverhaulDenied
+from repro.sim.time import Timestamp, from_seconds
+
+
+def click_after_window_age(threshold: Timestamp, window_age: Timestamp) -> bool:
+    """Map a window, wait *window_age*, click, try the mic.  True = granted."""
+    machine = Machine.with_overhaul(
+        OverhaulConfig(window_visibility_threshold=threshold)
+    )
+    app = SimApp(machine, "/usr/bin/app", comm="app")
+    machine.run_for(window_age)
+    app.click()
+    try:
+        app.open_device("mic0")
+        return True
+    except OverhaulDenied:
+        return False
+
+
+def ambush_succeeds(threshold: Timestamp) -> bool:
+    """The pop-over attack: window appears an instant before the click."""
+    machine = Machine.with_overhaul(
+        OverhaulConfig(window_visibility_threshold=threshold)
+    )
+    ambusher = SimApp(machine, "/usr/bin/ambush", comm="ambush", map_window=False)
+    machine.settle()
+    machine.xserver.map_window(ambusher.client, ambusher.window.drawable_id)
+    machine.mouse.click_window(ambusher.window)
+    try:
+        ambusher.open_device("mic0")
+        return True
+    except OverhaulDenied:
+        return False
+
+
+class TestSecuritySide:
+    def test_zero_threshold_is_vulnerable(self):
+        assert ambush_succeeds(0)
+
+    @pytest.mark.parametrize("seconds", [0.25, 0.5, 1.0, 2.0])
+    def test_any_positive_threshold_stops_the_ambush(self, seconds):
+        assert not ambush_succeeds(from_seconds(seconds))
+
+
+class TestUsabilitySide:
+    def test_clicks_on_old_windows_always_work(self):
+        for threshold_s in (0.25, 1.0, 2.0):
+            assert click_after_window_age(
+                from_seconds(threshold_s), from_seconds(threshold_s * 3)
+            )
+
+    def test_clicks_on_young_windows_suppressed(self):
+        """The cost of a large threshold: a user clicking a window 0.5 s
+        after it opened is ignored under a 2 s threshold."""
+        assert not click_after_window_age(from_seconds(2.0), from_seconds(0.5))
+        assert click_after_window_age(from_seconds(0.25), from_seconds(0.5))
+
+    def test_boundary_is_exact(self):
+        threshold = from_seconds(1.0)
+        assert not click_after_window_age(threshold, threshold - 1)
+        assert click_after_window_age(threshold, threshold)
+
+    def test_default_threshold_balances_both(self):
+        """The repo default (1 s): ambush blocked, patient users fine."""
+        default = OverhaulConfig().window_visibility_threshold
+        assert not ambush_succeeds(default)
+        assert click_after_window_age(default, default * 2)

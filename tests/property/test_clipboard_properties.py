@@ -1,0 +1,76 @@
+"""Property-based tests over random clipboard interleavings.
+
+A script of user actions (clicked copies and clicked pastes by several
+apps, interleaved with idle time) must satisfy, under Overhaul:
+
+- every user-initiated paste within the threshold returns exactly the most
+  recent successful copy's payload (or None when nothing was ever copied);
+- no in-flight data is ever observable by a third party;
+- the selection bookkeeping never leaks transfers (everything started is
+  completed or failed).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import TextEditor
+from repro.core import Machine
+from repro.sim.time import from_seconds
+
+#: Script steps: ("copy", app, payload_byte) | ("paste", app) | ("idle", seconds)
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("copy"), st.integers(0, 2), st.integers(0, 255)),
+        st.tuples(st.just("paste"), st.integers(0, 2), st.just(0)),
+        st.tuples(st.just("idle"), st.integers(1, 4), st.just(0)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(script=steps)
+@settings(max_examples=60, deadline=None)
+def test_user_driven_clipboard_linearises(script):
+    machine = Machine.with_overhaul()
+    apps = [TextEditor(machine, comm=f"ed{i}") for i in range(3)]
+    machine.settle()
+
+    current_clipboard = None
+    for action, arg, extra in script:
+        if action == "copy":
+            payload = bytes([extra]) * 4
+            apps[arg].user_copy(payload)
+            current_clipboard = payload
+        elif action == "paste":
+            result = apps[arg].user_paste()
+            assert result == current_clipboard
+        else:
+            machine.run_for(from_seconds(float(arg)))
+
+    selections = machine.xserver.selections
+    assert not selections.active_transfers()  # nothing left dangling
+
+
+@given(script=steps)
+@settings(max_examples=40, deadline=None)
+def test_background_observer_sees_nothing_ever(script):
+    """However the users interleave copies and pastes, a background process
+    polling the clipboard concurrently never obtains a payload."""
+    from repro.apps import Spyware
+
+    machine = Machine.with_overhaul()
+    apps = [TextEditor(machine, comm=f"ed{i}") for i in range(3)]
+    spy = Spyware(machine)
+    machine.settle()
+
+    for action, arg, extra in script:
+        if action == "copy":
+            apps[arg].user_copy(bytes([extra]) * 4)
+        elif action == "paste":
+            apps[arg].user_paste()
+        else:
+            machine.run_for(from_seconds(float(arg)))
+        spy.attempt_clipboard()
+
+    assert spy.stolen == []

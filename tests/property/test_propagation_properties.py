@@ -1,0 +1,141 @@
+"""Property-based tests for the P1/P2 propagation invariants.
+
+The safety property behind both policies: a task's interaction timestamp is
+always either NEVER or the timestamp of some *actual* authentic interaction
+delivered to an ancestor-or-peer it transitively communicated with -- and
+propagation can only move timestamps **forward**, never invent or inflate
+them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.credentials import DEFAULT_USER
+from repro.kernel.ipc.base import InteractionStamp, TrackingPolicy
+from repro.kernel.task import Task
+from repro.sim.time import NEVER
+
+
+def make_tasks(count):
+    return [Task(i + 1, None, f"t{i}", DEFAULT_USER, "/usr/bin/t", 0) for i in range(count)]
+
+
+#: An operation script: each item is
+#:   ("interact", task_index, timestamp)
+#: | ("send",     task_index, channel_index)
+#: | ("recv",     task_index, channel_index)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("interact"), st.integers(0, 4), st.integers(0, 10_000)),
+        st.tuples(st.just("send"), st.integers(0, 4), st.integers(0, 2)),
+        st.tuples(st.just("recv"), st.integers(0, 4), st.integers(0, 2)),
+    ),
+    max_size=60,
+)
+
+
+def run_script(script):
+    policy = TrackingPolicy(enabled=True)
+    tasks = make_tasks(5)
+    channels = [InteractionStamp(policy) for _ in range(3)]
+    recorded = []
+    for op, task_index, arg in script:
+        task = tasks[task_index]
+        if op == "interact":
+            task.record_interaction(arg)
+            recorded.append(arg)
+        elif op == "send":
+            channels[arg].embed_from(task)
+        else:
+            channels[arg].adopt_to(task)
+    return tasks, channels, recorded
+
+
+@given(script=operations)
+@settings(max_examples=300)
+def test_timestamps_only_from_real_interactions(script):
+    """No propagation sequence can mint a timestamp that was never the
+    argument of a record_interaction call."""
+    tasks, channels, recorded = run_script(script)
+    legal = set(recorded) | {NEVER}
+    for task in tasks:
+        assert task.interaction_ts in legal
+    for channel in channels:
+        assert channel.timestamp in legal
+
+
+@given(script=operations)
+@settings(max_examples=300)
+def test_no_timestamp_exceeds_global_maximum(script):
+    tasks, channels, recorded = run_script(script)
+    ceiling = max(recorded) if recorded else NEVER
+    for task in tasks:
+        assert task.interaction_ts <= ceiling
+    for channel in channels:
+        assert channel.timestamp <= ceiling
+
+
+@given(script=operations)
+@settings(max_examples=200)
+def test_monotonicity_under_any_suffix(script):
+    """Replaying any script prefix then continuing never lowers a task's
+    timestamp: propagation is a join-semilattice walk."""
+    policy = TrackingPolicy(enabled=True)
+    tasks = make_tasks(5)
+    channels = [InteractionStamp(policy) for _ in range(3)]
+    for op, task_index, arg in script:
+        task = tasks[task_index]
+        before = [t.interaction_ts for t in tasks]
+        if op == "interact":
+            task.record_interaction(arg)
+        elif op == "send":
+            channels[arg].embed_from(task)
+        else:
+            channels[arg].adopt_to(task)
+        after = [t.interaction_ts for t in tasks]
+        assert all(b <= a for b, a in zip(before, after))
+
+
+@given(script=operations)
+@settings(max_examples=150)
+def test_disabled_tracking_is_total_isolation(script):
+    """With tracking off (baseline kernel), no send/recv sequence moves any
+    timestamp anywhere."""
+    policy = TrackingPolicy(enabled=False)
+    tasks = make_tasks(5)
+    channels = [InteractionStamp(policy) for _ in range(3)]
+    direct = {}
+    for op, task_index, arg in script:
+        task = tasks[task_index]
+        if op == "interact":
+            task.record_interaction(arg)
+            direct[task_index] = max(direct.get(task_index, NEVER), arg)
+        elif op == "send":
+            channels[arg].embed_from(task)
+        else:
+            channels[arg].adopt_to(task)
+    for index, task in enumerate(tasks):
+        assert task.interaction_ts == direct.get(index, NEVER)
+    assert all(channel.timestamp == NEVER for channel in channels)
+
+
+@given(
+    parent_ts=st.one_of(st.just(NEVER), st.integers(0, 10_000)),
+    fork_count=st.integers(1, 8),
+)
+@settings(max_examples=100)
+def test_p1_fork_trees_inherit_exactly(parent_ts, fork_count):
+    """Every task in a fork tree built after the interaction carries exactly
+    the root's timestamp."""
+    from repro.kernel.process_table import ProcessTable
+    from repro.sim.scheduler import EventScheduler
+
+    table = ProcessTable(EventScheduler())
+    root = table.spawn(table.init, "/usr/bin/root")
+    if parent_ts != NEVER:
+        root.record_interaction(parent_ts)
+    frontier = [root]
+    for _ in range(fork_count):
+        child = table.fork(frontier[-1])
+        frontier.append(child)
+    assert all(task.interaction_ts == root.interaction_ts for task in frontier)

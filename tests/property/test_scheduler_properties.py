@@ -1,0 +1,72 @@
+"""Property-based tests for the event scheduler's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.scheduler import EventScheduler
+
+
+@given(times=st.lists(st.integers(0, 100_000), min_size=1, max_size=50))
+@settings(max_examples=200)
+def test_events_fire_in_non_decreasing_time_order(times):
+    scheduler = EventScheduler()
+    fired = []
+    for t in times:
+        scheduler.schedule_at(t, lambda t=t: fired.append(t))
+    scheduler.run_until(100_000)
+    assert fired == sorted(fired)
+    assert sorted(fired) == sorted(times)
+
+
+@given(
+    times=st.lists(st.integers(0, 1000), min_size=1, max_size=30),
+    horizon=st.integers(0, 1000),
+)
+@settings(max_examples=200)
+def test_exactly_events_at_or_before_horizon_fire(times, horizon):
+    scheduler = EventScheduler()
+    fired = []
+    for t in times:
+        scheduler.schedule_at(t, lambda t=t: fired.append(t))
+    scheduler.run_until(horizon)
+    assert sorted(fired) == sorted(t for t in times if t <= horizon)
+    assert scheduler.now == horizon
+
+
+@given(
+    times=st.lists(st.integers(0, 1000), min_size=2, max_size=30),
+    cancel_indices=st.sets(st.integers(0, 29)),
+)
+@settings(max_examples=200)
+def test_cancelled_events_never_fire(times, cancel_indices):
+    scheduler = EventScheduler()
+    fired = []
+    handles = [
+        scheduler.schedule_at(t, lambda i=i: fired.append(i)) for i, t in enumerate(times)
+    ]
+    cancelled = {i for i in cancel_indices if i < len(handles)}
+    for i in cancelled:
+        handles[i].cancel()
+    scheduler.run_until(1000)
+    assert set(fired) == set(range(len(times))) - cancelled
+
+
+@given(ticks=st.lists(st.integers(1, 1000), min_size=1, max_size=20))
+@settings(max_examples=100)
+def test_clock_equals_sum_of_run_for_ticks(ticks):
+    scheduler = EventScheduler()
+    for tick in ticks:
+        scheduler.run_for(tick)
+    assert scheduler.now == sum(ticks)
+
+
+@given(times=st.lists(st.integers(0, 100), min_size=1, max_size=20))
+@settings(max_examples=100)
+def test_same_instant_events_fire_in_insertion_order(times):
+    scheduler = EventScheduler()
+    fired = []
+    instant = 50
+    for index in range(len(times)):
+        scheduler.schedule_at(instant, lambda i=index: fired.append(i))
+    scheduler.run_until(instant)
+    assert fired == list(range(len(times)))

@@ -1,0 +1,109 @@
+"""Property-based tests for the shared-memory interception state machine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.credentials import DEFAULT_USER
+from repro.kernel.ipc.base import TrackingPolicy
+from repro.kernel.ipc.shared_memory import SharedMemorySubsystem
+from repro.kernel.mm import AddressSpace, PAGE_SIZE
+from repro.kernel.task import Task
+from repro.sim.scheduler import EventScheduler
+from repro.sim.time import from_millis
+
+
+def make_task(pid):
+    task = Task(pid, None, f"t{pid}", DEFAULT_USER, "/usr/bin/t", 0)
+    task.address_space = AddressSpace()
+    return task
+
+
+#: A script of (actor, action, argument) over one 4-page segment:
+#: action in {"write", "read", "wait_ms"}.
+scripts = st.lists(
+    st.one_of(
+        st.tuples(st.integers(0, 1), st.just("write"), st.integers(0, 4 * PAGE_SIZE - 8)),
+        st.tuples(st.integers(0, 1), st.just("read"), st.integers(0, 4 * PAGE_SIZE - 8)),
+        st.tuples(st.just(0), st.just("wait_ms"), st.integers(1, 800)),
+    ),
+    max_size=40,
+)
+
+
+def run(script, enabled=True):
+    scheduler = EventScheduler()
+    shm = SharedMemorySubsystem(TrackingPolicy(enabled=enabled), scheduler)
+    tasks = [make_task(1), make_task(2)]
+    segment = shm.shmget(1, 4)
+    areas = [shm.attach(task, segment) for task in tasks]
+    for actor, action, arg in script:
+        if action == "write":
+            shm.write(tasks[actor], areas[actor], arg, b"12345678")
+        elif action == "read":
+            shm.read(tasks[actor], areas[actor], arg, 8)
+        else:
+            scheduler.run_for(from_millis(arg))
+    return shm, scheduler, tasks, areas, segment
+
+
+@given(script=scripts)
+@settings(max_examples=200, deadline=None)
+def test_accesses_always_succeed_despite_interception(script):
+    """Transparency: no access ever fails because of the revocation state
+    machine -- faults are serviced invisibly."""
+    run(script)  # must not raise
+
+
+@given(script=scripts)
+@settings(max_examples=200, deadline=None)
+def test_open_window_invariant(script):
+    """At every step: an area is either revoked, or it has a pending
+    re-revocation timer (the wait list), or tracking is disabled.  No
+    mapping is ever permanently open."""
+    scheduler = EventScheduler()
+    shm = SharedMemorySubsystem(TrackingPolicy(enabled=True), scheduler)
+    tasks = [make_task(1), make_task(2)]
+    segment = shm.shmget(1, 4)
+    areas = [shm.attach(task, segment) for task in tasks]
+    for actor, action, arg in script:
+        if action == "write":
+            shm.write(tasks[actor], areas[actor], arg, b"12345678")
+        elif action == "read":
+            shm.read(tasks[actor], areas[actor], arg, 8)
+        else:
+            scheduler.run_for(from_millis(arg))
+        for area in areas:
+            assert area.protection_revoked or area.waitlist_event is not None
+
+
+@given(script=scripts)
+@settings(max_examples=150, deadline=None)
+def test_fault_count_bounded_by_accesses(script):
+    shm, _, _, _, _ = run(script)
+    assert shm.total_faults <= shm.total_accesses
+
+
+@given(script=scripts)
+@settings(max_examples=150, deadline=None)
+def test_baseline_never_faults(script):
+    shm, _, _, _, _ = run(script, enabled=False)
+    assert shm.total_faults == 0
+
+
+@given(
+    offsets=st.lists(st.integers(0, 4 * PAGE_SIZE - 8), min_size=1, max_size=20),
+)
+@settings(max_examples=150, deadline=None)
+def test_data_integrity_under_interception(offsets):
+    """What a writer stores, any reader sees -- byte for byte -- regardless
+    of fault servicing in between."""
+    scheduler = EventScheduler()
+    shm = SharedMemorySubsystem(TrackingPolicy(enabled=True), scheduler)
+    writer, reader = make_task(1), make_task(2)
+    segment = shm.shmget(1, 4)
+    w_area = shm.attach(writer, segment)
+    r_area = shm.attach(reader, segment)
+    for index, offset in enumerate(offsets):
+        payload = bytes([index % 256]) * 8
+        shm.write(writer, w_area, offset, payload)
+        assert shm.read(reader, r_area, offset, 8) == payload

@@ -1,0 +1,119 @@
+"""Property-based tests for the temporal-proximity decision rule.
+
+The rule (Section III-B / IV-B): grant iff an authentic interaction exists
+and ``0 <= op_time - interaction_time < delta``.  These properties pin the
+rule against every integer combination hypothesis can find.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Machine, OverhaulConfig
+from repro.kernel.credentials import DEFAULT_USER
+from repro.sim.time import NEVER, from_millis, from_seconds
+
+DELTA = from_seconds(2.0)
+
+#: One shared machine: decisions are pure reads of (task state, op time).
+_MACHINE = Machine.with_overhaul(
+    OverhaulConfig(interaction_threshold=DELTA, shm_waitlist=from_millis(500))
+)
+_MACHINE.settle()
+_MONITOR = _MACHINE.overhaul.monitor
+_TASK = _MACHINE.kernel.sys_spawn(
+    _MACHINE.kernel.process_table.init, "/usr/bin/prop", creds=DEFAULT_USER
+)
+
+times = st.integers(min_value=0, max_value=from_seconds(3600.0))
+
+
+@given(interaction=times, op=times)
+@settings(max_examples=300)
+def test_grant_iff_within_window(interaction, op):
+    _TASK.interaction_ts = interaction
+    response = _MONITOR.decide(_TASK, op, "prop")
+    expected = 0 <= op - interaction < DELTA
+    assert response.granted == expected
+
+
+@given(op=times)
+@settings(max_examples=100)
+def test_never_interacted_always_denied(op):
+    _TASK.interaction_ts = NEVER
+    assert not _MONITOR.decide(_TASK, op, "prop").granted
+
+
+@given(interaction=times, delay=st.integers(min_value=0, max_value=DELTA - 1))
+@settings(max_examples=200)
+def test_all_operations_within_delta_granted(interaction, delay):
+    _TASK.interaction_ts = interaction
+    assert _MONITOR.decide(_TASK, interaction + delay, "prop").granted
+
+
+@given(
+    interaction=times,
+    overshoot=st.integers(min_value=0, max_value=from_seconds(1000.0)),
+)
+@settings(max_examples=200)
+def test_all_operations_at_or_past_delta_denied(interaction, overshoot):
+    _TASK.interaction_ts = interaction
+    assert not _MONITOR.decide(_TASK, interaction + DELTA + overshoot, "prop").granted
+
+
+@given(interaction=times, op=times)
+@settings(max_examples=200)
+def test_decision_is_deterministic(interaction, op):
+    _TASK.interaction_ts = interaction
+    first = _MONITOR.decide(_TASK, op, "prop")
+    second = _MONITOR.decide(_TASK, op, "prop")
+    assert first.granted == second.granted
+    assert first.interaction_age == second.interaction_age
+
+
+@given(interaction=times, op=times)
+@settings(max_examples=200)
+def test_reported_age_is_exact(interaction, op):
+    _TASK.interaction_ts = interaction
+    response = _MONITOR.decide(_TASK, op, "prop")
+    assert response.interaction_age == op - interaction
+
+
+@given(interaction=times, op=times)
+@settings(max_examples=150)
+def test_grants_monotone_in_delta(interaction, op):
+    """If an operation is granted at threshold d, it is granted at any
+    d' > d (loosening the policy never revokes)."""
+    from repro.kernel.credentials import DEFAULT_USER
+
+    deltas = [from_seconds(0.5), from_seconds(2.0), from_seconds(8.0)]
+    grants = []
+    for delta in deltas:
+        machine = Machine.with_overhaul(
+            OverhaulConfig(interaction_threshold=delta, shm_waitlist=delta // 4)
+        )
+        task = machine.kernel.sys_spawn(
+            machine.kernel.process_table.init, "/usr/bin/p", creds=DEFAULT_USER
+        )
+        task.interaction_ts = interaction
+        grants.append(machine.overhaul.monitor.decide(task, op, "prop").granted)
+    for tighter, looser in zip(grants, grants[1:]):
+        assert not (tighter and not looser)
+
+
+@given(
+    interaction=times,
+    op=times,
+    delta_seconds=st.floats(min_value=0.2, max_value=60.0, allow_nan=False),
+)
+@settings(max_examples=150)
+def test_rule_holds_for_any_delta(interaction, op, delta_seconds):
+    delta = from_seconds(delta_seconds)
+    machine = Machine.with_overhaul(
+        OverhaulConfig(interaction_threshold=delta, shm_waitlist=min(from_millis(100), delta // 2))
+    )
+    task = machine.kernel.sys_spawn(
+        machine.kernel.process_table.init, "/usr/bin/p", creds=DEFAULT_USER
+    )
+    task.interaction_ts = interaction
+    response = machine.overhaul.monitor.decide(task, op, "prop")
+    assert response.granted == (0 <= op - interaction < delta)

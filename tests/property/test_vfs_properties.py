@@ -1,0 +1,87 @@
+"""Property-based tests for VFS consistency under random file churn."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.credentials import DEFAULT_USER
+from repro.kernel.errors import FileExists, FileNotFound
+from repro.kernel.vfs import Filesystem
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=8
+)
+
+#: A churn script: (action, name) pairs over a single directory --
+#: exactly the Bonnie++ workload shape of Table I row 5.
+scripts = st.lists(
+    st.tuples(st.sampled_from(["create", "unlink", "stat"]), names), max_size=80
+)
+
+
+@given(script=scripts)
+@settings(max_examples=200)
+def test_directory_tracks_model(script):
+    """The filesystem agrees with a dict-based model under any script."""
+    fs = Filesystem()
+    fs.makedirs("/home/user", owner=DEFAULT_USER)
+    model = set()
+    for action, name in script:
+        path = f"/home/user/{name}"
+        if action == "create":
+            if name in model:
+                try:
+                    fs.create_file(path, owner=DEFAULT_USER)
+                    raise AssertionError("expected EEXIST")
+                except FileExists:
+                    pass
+            else:
+                fs.create_file(path, owner=DEFAULT_USER)
+                model.add(name)
+        elif action == "unlink":
+            if name in model:
+                fs.unlink(path, DEFAULT_USER)
+                model.discard(name)
+            else:
+                try:
+                    fs.unlink(path, DEFAULT_USER)
+                    raise AssertionError("expected ENOENT")
+                except FileNotFound:
+                    pass
+        else:  # stat
+            if name in model:
+                assert fs.stat(path).size == 0
+            else:
+                try:
+                    fs.stat(path)
+                    raise AssertionError("expected ENOENT")
+                except FileNotFound:
+                    pass
+    assert sorted(fs.listdir("/home/user")) == sorted(model)
+
+
+@given(
+    data_chunks=st.lists(st.binary(min_size=0, max_size=64), min_size=1, max_size=10)
+)
+@settings(max_examples=150)
+def test_sequential_writes_concatenate(data_chunks):
+    from repro.kernel.vfs import OpenFile, OpenMode
+
+    fs = Filesystem()
+    fs.makedirs("/home/user", owner=DEFAULT_USER)
+    inode = fs.create_file("/home/user/f", owner=DEFAULT_USER)
+    writer = OpenFile("/home/user/f", inode, OpenMode.WRITE, 1)
+    for chunk in data_chunks:
+        writer.write(chunk)
+    expected = b"".join(data_chunks)
+    reader = OpenFile("/home/user/f", inode, OpenMode.READ, 1)
+    assert reader.read(len(expected) + 10) == expected
+
+
+@given(parts=st.lists(names, min_size=1, max_size=6))
+@settings(max_examples=150)
+def test_makedirs_then_resolve_round_trip(parts):
+    fs = Filesystem()
+    path = "/" + "/".join(parts)
+    fs.makedirs(path)
+    assert fs.exists(path)
+    assert fs.stat(path).kind.value == "directory"

@@ -1,0 +1,49 @@
+"""Unit tests for the overhead decomposition and the report builder."""
+
+import pytest
+
+from repro.analysis.decomposition import measure_components, render_report
+from repro.analysis.report import build_report
+
+
+class TestDecomposition:
+    @pytest.fixture(scope="class")
+    def components(self):
+        return measure_components(ops=300)
+
+    def test_all_components_measured(self, components):
+        names = {component.name for component in components}
+        assert len(names) == 7
+        assert any("decide" in name for name in names)
+        assert any("netlink" in name for name in names)
+        assert any("shm fault" in name for name in names)
+
+    def test_costs_are_positive_and_sane(self, components):
+        for component in components:
+            assert 0 < component.microseconds_per_op < 10_000
+
+    def test_query_costs_more_than_bare_decision(self, components):
+        by_name = {c.name: c.microseconds_per_op for c in components}
+        decision = next(v for k, v in by_name.items() if k.startswith("decision"))
+        query = next(v for k, v in by_name.items() if k.startswith("netlink"))
+        assert query > decision  # the round trip wraps the decision
+
+    def test_render(self, components):
+        text = render_report(ops=200)
+        assert "decomposition" in text
+        assert "us/op" in text
+
+
+class TestReportBuilder:
+    def test_build_report_structure(self):
+        report = build_report(
+            table_scale=0.02,
+            usability_seed=66,
+            longterm_days=1,
+        )
+        assert "# Overhaul reproduction" in report
+        assert "Table I" in report
+        assert "Figure 1" in report
+        assert "usability" in report
+        assert "applicability" in report
+        assert "long-term" in report

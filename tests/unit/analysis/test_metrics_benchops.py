@@ -1,0 +1,103 @@
+"""Unit tests for timing metrics and the Table I benchmark rigs."""
+
+import pytest
+
+from repro.analysis.benchops import (
+    ClipboardRig,
+    DeviceAccessRig,
+    FilesystemRig,
+    ScreenCaptureRig,
+    SharedMemoryRig,
+)
+from repro.analysis.metrics import (
+    TimingResult,
+    mean,
+    overhead_percent,
+    stdev,
+    time_callable,
+)
+
+
+class TestMetrics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev_single_sample(self):
+        assert stdev([5.0]) == 0.0
+
+    def test_overhead_percent(self):
+        assert overhead_percent(100.0, 102.17) == pytest.approx(2.17)
+        assert overhead_percent(10.0, 9.0) == pytest.approx(-10.0)
+
+    def test_overhead_requires_positive_baseline(self):
+        with pytest.raises(ValueError):
+            overhead_percent(0.0, 1.0)
+
+    def test_time_callable_runs_warmup_plus_repeats(self):
+        calls = []
+        result = time_callable("x", lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert len(result.samples_seconds) == 3
+        assert result.mean_seconds >= 0.0
+        assert result.best_seconds <= result.mean_seconds
+
+    def test_time_callable_needs_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable("x", lambda: None, repeats=0)
+
+
+class TestRigs:
+    """Each rig must run in both configurations and do its real work."""
+
+    def test_device_rig_both_modes(self):
+        for protected in (False, True):
+            rig = DeviceAccessRig(protected)
+            rig.run(10)  # must not raise
+
+    def test_device_rig_overhaul_exercises_monitor(self):
+        rig = DeviceAccessRig(protected=True)
+        rig.run(5)
+        monitor = rig.machine.overhaul.monitor
+        assert len(monitor.decisions) >= 5
+
+    def test_clipboard_rig_transfers_data(self):
+        rig = ClipboardRig(protected=True)
+        rig.run(3)
+        assert rig.target.pasted[-1] == b"benchmark-clipboard-payload"
+
+    def test_screen_rig_captures_content(self):
+        rig = ScreenCaptureRig(protected=False)
+        rig.run(1)
+
+    def test_shm_rig_faults_and_rearm(self):
+        from repro.sim.time import from_millis
+
+        rig = SharedMemoryRig(protected=True, pages=16)
+        # Shrink the wait list so the test sees several re-arm cycles
+        # without needing the full 10k writes per 500 ms window.
+        rig.machine.kernel.shm.waitlist_duration = from_millis(1)
+        rig.run(200)  # 200 x 50 us = 10 ms of simulated time
+        assert rig.faults > 1
+
+    def test_shm_rig_baseline_never_faults(self):
+        rig = SharedMemoryRig(protected=False, pages=16)
+        rig.run(100)
+        assert rig.faults == 0
+
+    def test_shm_sequential_pattern(self):
+        rig = SharedMemoryRig(protected=True, pages=4, random_offsets=False)
+        rig.run(50)
+
+    def test_filesystem_rig_leaves_directory_clean(self):
+        rig = FilesystemRig(protected=True)
+        rig.run(20)
+        assert rig.machine.kernel.filesystem.listdir("/home/user/bench") == []
+
+    def test_filesystem_rig_unique_names_across_runs(self):
+        rig = FilesystemRig(protected=False)
+        rig.run(5)
+        rig.run(5)  # same names would raise EEXIST

@@ -1,0 +1,142 @@
+"""Unit tests for the SimApp framework."""
+
+import pytest
+
+from repro.apps.base import SimApp
+from repro.core import Machine
+from repro.sim.time import from_seconds
+from repro.xserver.window import Geometry
+
+
+@pytest.fixture
+def machine():
+    m = Machine.with_overhaul()
+    m.settle()
+    return m
+
+
+class TestLifecycle:
+    def test_app_has_task_and_client(self, machine):
+        app = SimApp(machine, "/usr/bin/app", comm="app")
+        assert app.pid == app.task.pid
+        assert app.client.pid == app.pid
+        assert app.window is not None
+        assert app.window.mapped
+
+    def test_windowless_app(self, machine):
+        daemon = SimApp(machine, "/usr/bin/daemon", comm="daemon", with_window=False)
+        assert daemon.window is None
+        with pytest.raises(RuntimeError):
+            daemon.click()
+
+    def test_unmapped_window_app(self, machine):
+        app = SimApp(machine, "/usr/bin/hidden", comm="hidden", map_window=False)
+        assert app.window is not None
+        assert not app.window.mapped
+
+    def test_custom_geometry(self, machine):
+        app = SimApp(machine, "/usr/bin/app", geometry=Geometry(5, 6, 70, 80))
+        assert app.window.geometry.width == 70
+
+    def test_exit_disconnects_and_kills(self, machine):
+        app = SimApp(machine, "/usr/bin/app", comm="app")
+        app.exit()
+        assert not app.task.is_alive
+        assert not app.client.connected
+
+    def test_spawn_child_inherits_interaction(self, machine):
+        app = SimApp(machine, "/usr/bin/app", comm="app")
+        machine.settle()
+        app.click()
+        child = app.spawn_child("/usr/bin/tool")
+        assert child.interaction_ts == app.task.interaction_ts
+
+
+class TestUserInteractionHelpers:
+    def test_click_records_interaction(self, machine):
+        app = SimApp(machine, "/usr/bin/app", comm="app")
+        machine.settle()
+        app.click()
+        assert app.task.interaction_ts == machine.now
+
+    def test_click_raises_window_first(self, machine):
+        below = SimApp(machine, "/usr/bin/below", geometry=Geometry(0, 0, 100, 100))
+        above = SimApp(machine, "/usr/bin/above", geometry=Geometry(0, 0, 100, 100))
+        machine.settle()
+        below.click()
+        # The click went to `below`, not the window stacked above it.
+        assert below.task.interaction_ts == machine.now
+
+    def test_type_keys_focuses_first(self, machine):
+        app = SimApp(machine, "/usr/bin/editor", comm="editor")
+        machine.settle()
+        app.type_keys("hi")
+        assert app.client.events_received >= 4  # 2 chars x press/release
+
+    def test_event_hooks_called(self, machine):
+        app = SimApp(machine, "/usr/bin/app", comm="app")
+        machine.settle()
+        seen = []
+        app.on_event(seen.append)
+        app.click()
+        assert seen  # press + release delivered
+
+
+class TestDeviceHelpers:
+    def test_record_from_device_after_click(self, machine):
+        app = SimApp(machine, "/usr/bin/rec", comm="rec")
+        machine.settle()
+        app.click()
+        data = app.record_from_device("mic0", count=16)
+        assert len(data) == 16
+
+    def test_open_device_closes_cleanly(self, machine):
+        app = SimApp(machine, "/usr/bin/rec", comm="rec")
+        machine.settle()
+        app.click()
+        fd = app.open_device("mic0")
+        app.close_fd(fd)
+        from repro.kernel.errors import BadFileDescriptor
+
+        with pytest.raises(BadFileDescriptor):
+            app.read_device(fd)
+
+
+class TestClipboardRoles:
+    def test_copy_paste_round_trip(self, machine):
+        source = SimApp(machine, "/usr/bin/src", comm="src")
+        target = SimApp(machine, "/usr/bin/dst", comm="dst")
+        machine.settle()
+        source.click()
+        source.copy_text(b"round-trip")
+        machine.run_for(from_seconds(0.1))
+        target.click()
+        assert target.paste_text() == b"round-trip"
+        assert target.pasted == [b"round-trip"]
+
+    def test_paste_with_empty_clipboard(self, machine):
+        app = SimApp(machine, "/usr/bin/app", comm="app")
+        machine.settle()
+        app.click()
+        assert app.paste_text() is None
+
+    def test_windowless_app_cannot_use_clipboard(self, machine):
+        daemon = SimApp(machine, "/usr/bin/d", with_window=False)
+        with pytest.raises(RuntimeError):
+            daemon.copy_text(b"x")
+        with pytest.raises(RuntimeError):
+            daemon.paste_text()
+
+    def test_second_copy_replaces_owner(self, machine):
+        a = SimApp(machine, "/usr/bin/a", comm="a")
+        b = SimApp(machine, "/usr/bin/b", comm="b")
+        target = SimApp(machine, "/usr/bin/t", comm="t")
+        machine.settle()
+        a.click()
+        a.copy_text(b"old")
+        machine.run_for(from_seconds(0.1))
+        b.click()
+        b.copy_text(b"new")
+        machine.run_for(from_seconds(0.1))
+        target.click()
+        assert target.paste_text() == b"new"

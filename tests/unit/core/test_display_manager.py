@@ -1,0 +1,136 @@
+"""Unit tests for the display-manager extension (trusted input/output)."""
+
+import pytest
+
+from repro.apps.base import SimApp
+from repro.core import Machine, OverhaulConfig
+from repro.sim.time import from_seconds
+from repro.xserver.window import Geometry
+
+
+@pytest.fixture
+def rig():
+    machine = Machine.with_overhaul()
+    machine.settle()
+    app = SimApp(machine, "/usr/bin/app", comm="app")
+    machine.settle()
+    return machine, machine.overhaul.extension, app
+
+
+class TestTrustedInput:
+    def test_hardware_click_sends_notification(self, rig):
+        machine, extension, app = rig
+        before = extension.notifications_sent
+        app.click()
+        assert extension.notifications_sent == before + 2  # press + release
+        assert app.task.interaction_ts == machine.now
+
+    def test_motion_does_not_notify(self, rig):
+        machine, extension, app = rig
+        before = extension.notifications_sent
+        machine.mouse.move_to(
+            app.window.geometry.x + 1, app.window.geometry.y + 1
+        )
+        assert extension.notifications_sent == before
+
+    def test_xtest_input_never_notifies(self, rig):
+        machine, extension, app = rig
+        before = extension.notifications_sent
+        machine.xserver.xtest_fake_input(
+            app.client, __import__("repro.xserver.events", fromlist=["EventKind"]).EventKind.BUTTON_PRESS,
+            detail=1, x=app.window.geometry.x + 1, y=app.window.geometry.y + 1,
+        )
+        assert extension.notifications_sent == before
+        assert extension.synthetic_inputs_seen >= 1
+
+    def test_sendevent_input_never_notifies(self, rig):
+        from repro.xserver.events import EventKind
+
+        machine, extension, app = rig
+        before = extension.notifications_sent
+        machine.xserver.send_event(
+            app.client, app.window.drawable_id, EventKind.BUTTON_PRESS, detail=1
+        )
+        assert extension.notifications_sent == before
+
+
+class TestClickjackingDefence:
+    def test_freshly_mapped_window_suppressed(self):
+        machine = Machine.with_overhaul()
+        machine.settle()
+        app = SimApp(machine, "/usr/bin/popup", comm="popup")
+        # No settle: the window just appeared.
+        app.click()
+        extension = machine.overhaul.extension
+        assert extension.notifications_sent == 0
+        assert any("visible only" in s.reason for s in extension.suppressed)
+
+    def test_window_visible_past_threshold_notifies(self):
+        machine = Machine.with_overhaul()
+        machine.settle()
+        app = SimApp(machine, "/usr/bin/app", comm="app")
+        machine.run_for(machine.overhaul.config.window_visibility_threshold + 1)
+        app.click()
+        assert machine.overhaul.extension.notifications_sent == 2
+
+    def test_transparent_window_never_notifies(self, rig):
+        machine, extension, _ = rig
+        ghost = SimApp(machine, "/usr/bin/ghost", comm="ghost", transparent=True)
+        machine.settle()  # even long visibility does not help transparency
+        ghost.click()
+        assert extension.notifications_sent == 0
+        assert any(s.reason == "transparent window" for s in extension.suppressed)
+
+    def test_suppression_records_pid_and_window(self):
+        machine = Machine.with_overhaul()
+        machine.settle()
+        app = SimApp(machine, "/usr/bin/popup", comm="popup")
+        app.click()
+        suppressed = machine.overhaul.extension.suppressed
+        assert suppressed[0].pid == app.pid
+        assert suppressed[0].window_id == app.window.drawable_id
+
+    def test_visibility_threshold_configurable(self):
+        machine = Machine.with_overhaul(
+            OverhaulConfig(window_visibility_threshold=from_seconds(0.1))
+        )
+        machine.settle()
+        app = SimApp(machine, "/usr/bin/app", comm="app")
+        machine.run_for(from_seconds(0.2))
+        app.click()
+        assert machine.overhaul.extension.notifications_sent == 2
+
+
+class TestDisplayResourceQueries:
+    def test_screen_capture_grant_displays_alert(self, rig):
+        machine, extension, app = rig
+        app.click()
+        image = app.capture_screen()
+        assert image is not None
+        alerts = machine.xserver.overlay.alerts_for_pid(app.pid)
+        assert any(a.operation == "screen" for a in alerts)
+
+    def test_screen_capture_denial_displays_blocked_alert(self, rig):
+        from repro.xserver.errors import BadAccess
+
+        machine, extension, app = rig
+        with pytest.raises(BadAccess):
+            app.capture_screen()
+        alerts = machine.xserver.overlay.alerts_for_pid(app.pid)
+        assert any("BLOCKED" in a.message for a in alerts)
+
+    def test_clipboard_ops_never_alert(self, rig):
+        machine, extension, app = rig
+        app.click()
+        app.copy_text(b"data")
+        machine.run_for(from_seconds(0.1))
+        app.click()
+        app.paste_text()
+        assert all(a.operation != "copy" for a in machine.xserver.overlay.history)
+        assert all(a.operation != "paste" for a in machine.xserver.overlay.history)
+
+    def test_queries_counted(self, rig):
+        machine, extension, app = rig
+        app.click()
+        app.copy_text(b"x")
+        assert extension.queries_sent >= 1

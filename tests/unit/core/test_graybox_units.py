@@ -1,0 +1,108 @@
+"""Unit tests for the gray-box building blocks."""
+
+import pytest
+
+from repro.core.graybox import (
+    GrayBoxRegistry,
+    InputDescriptor,
+    IntentProfile,
+    IntentRule,
+    Region,
+    descriptor_from_event,
+)
+from repro.xserver.events import EventKind, EventProvenance, XEvent
+from repro.xserver.window import Geometry, Window
+
+
+class TestRegion:
+    def test_contains_half_open(self):
+        region = Region(10, 10, 20, 20)
+        assert region.contains(10, 10)
+        assert region.contains(19, 19)
+        assert not region.contains(20, 19)
+        assert not region.contains(9, 15)
+
+
+class TestIntentRule:
+    def test_button_matching(self):
+        rule = IntentRule(regions=[Region(0, 0, 50, 50)])
+        assert rule.matches(InputDescriptor("button", 25, 25))
+        assert not rule.matches(InputDescriptor("button", 75, 25))
+
+    def test_key_matching(self):
+        rule = IntentRule(keycodes=[107])
+        assert rule.matches(InputDescriptor("key", keycode=107))
+        assert not rule.matches(InputDescriptor("key", keycode=42))
+
+    def test_kind_mismatch(self):
+        rule = IntentRule(regions=[Region(0, 0, 50, 50)])
+        assert not rule.matches(InputDescriptor("key", keycode=107))
+
+
+class TestIntentProfile:
+    def test_longest_prefix_wins(self):
+        profile = IntentProfile("app")
+        profile.allow_keycode("mic", 1)
+        profile.allow_keycode("microphone:/dev/mic0", 2)
+        rule = profile.rule_for("microphone:/dev/mic0")
+        assert rule is not None and rule.keycodes == [2]
+
+    def test_unruled_operation_unconstrained(self):
+        profile = IntentProfile("app")
+        profile.allow_keycode("microphone", 1)
+        assert profile.permits("screen", None)
+        assert profile.permits("screen", InputDescriptor("button", 1, 1))
+
+    def test_ruled_operation_requires_descriptor(self):
+        profile = IntentProfile("app").allow_keycode("microphone", 1)
+        assert not profile.permits("microphone:/dev/mic0", None)
+
+    def test_builder_chaining(self):
+        profile = (
+            IntentProfile("app")
+            .allow_region("camera", Region(0, 0, 10, 10))
+            .allow_keycode("camera", 9)
+        )
+        rule = profile.rule_for("camera:/dev/video0")
+        assert rule.regions and rule.keycodes
+
+
+class TestRegistry:
+    def test_no_profile_passes_everything(self):
+        registry = GrayBoxRegistry()
+        assert registry.check("anyapp", "microphone:/dev/mic0", None)
+        assert registry.intent_denials == 0
+
+    def test_denials_counted(self):
+        registry = GrayBoxRegistry()
+        registry.install_profile(IntentProfile("app").allow_keycode("microphone", 1))
+        assert not registry.check("app", "microphone:/dev/mic0", None)
+        assert registry.intent_denials == 1
+
+
+class TestDescriptorExtraction:
+    def _window(self):
+        window = Window(1, Geometry(100, 200, 640, 480))
+        window.mapped = True
+        return window
+
+    def test_button_descriptor_is_window_relative(self):
+        window = self._window()
+        event = XEvent(
+            EventKind.BUTTON_PRESS, 0, EventProvenance.HARDWARE, x=150, y=260
+        )
+        descriptor = descriptor_from_event(event, window)
+        assert descriptor == InputDescriptor("button", window_x=50, window_y=60)
+
+    def test_key_descriptor_carries_keycode(self):
+        window = self._window()
+        event = XEvent(
+            EventKind.KEY_PRESS, 0, EventProvenance.HARDWARE, detail=107
+        )
+        descriptor = descriptor_from_event(event, window)
+        assert descriptor == InputDescriptor("key", keycode=107)
+
+    def test_non_input_events_have_no_descriptor(self):
+        window = self._window()
+        event = XEvent(EventKind.EXPOSE, 0, EventProvenance.SERVER)
+        assert descriptor_from_event(event, window) is None

@@ -1,0 +1,44 @@
+"""Unit tests for the protocol message vocabulary."""
+
+import pytest
+
+from repro.core.notifications import (
+    InteractionNotification,
+    PermissionQuery,
+    PermissionResponse,
+    VisualAlertRequest,
+)
+
+
+class TestMessageObjects:
+    def test_interaction_notification_immutable(self):
+        notification = InteractionNotification(pid=10, timestamp=500)
+        with pytest.raises(AttributeError):
+            notification.pid = 11  # type: ignore[misc]
+
+    def test_permission_response_payload(self):
+        response = PermissionResponse(True, "within threshold", interaction_age=42)
+        payload = response.as_payload
+        assert payload == {
+            "granted": True,
+            "reason": "within threshold",
+            "interaction_age": 42,
+        }
+
+    def test_permission_response_without_age(self):
+        response = PermissionResponse(False, "no such process")
+        assert response.as_payload["interaction_age"] is None
+
+    def test_query_fields(self):
+        query = PermissionQuery(pid=3, operation="paste", timestamp=9)
+        assert (query.pid, query.operation, query.timestamp) == (3, "paste", 9)
+
+    def test_alert_request_blocked_flag(self):
+        request = VisualAlertRequest(pid=1, comm="spy", operation="cam", blocked=True)
+        assert request.blocked
+
+    def test_equality_semantics(self):
+        """Frozen dataclasses compare by value -- used by test assertions
+        and any deduplication logic."""
+        assert InteractionNotification(1, 2) == InteractionNotification(1, 2)
+        assert PermissionQuery(1, "copy", 3) != PermissionQuery(1, "paste", 3)

@@ -1,0 +1,178 @@
+"""Unit tests for the permission monitor's decision rule and messaging."""
+
+import pytest
+
+from repro.core import Machine, OverhaulConfig
+from repro.core.notifications import MSG_INTERACTION, MSG_PERMISSION_QUERY
+from repro.kernel.credentials import DEFAULT_USER
+from repro.sim.time import from_seconds
+
+
+@pytest.fixture
+def rig():
+    machine = Machine.with_overhaul()
+    machine.settle()
+    task = machine.kernel.sys_spawn(
+        machine.kernel.process_table.init, "/usr/bin/app", creds=DEFAULT_USER
+    )
+    return machine, machine.overhaul.monitor, task
+
+
+class TestDecisionRule:
+    def test_no_interaction_denied(self, rig):
+        machine, monitor, task = rig
+        response = monitor.decide(task, machine.now, "mic")
+        assert not response.granted
+        assert "no user interaction" in response.reason
+
+    def test_within_threshold_granted(self, rig):
+        machine, monitor, task = rig
+        task.record_interaction(machine.now)
+        response = monitor.decide(task, machine.now + from_seconds(1.9), "mic")
+        assert response.granted
+        assert response.interaction_age == from_seconds(1.9)
+
+    def test_at_threshold_denied(self, rig):
+        """The rule is strict: grant iff n < delta, so n == delta denies."""
+        machine, monitor, task = rig
+        task.record_interaction(machine.now)
+        response = monitor.decide(task, machine.now + from_seconds(2.0), "mic")
+        assert not response.granted
+
+    def test_future_interaction_denied(self, rig):
+        """An interaction recorded *after* the operation timestamp cannot
+        justify it."""
+        machine, monitor, task = rig
+        task.record_interaction(machine.now + from_seconds(1.0))
+        response = monitor.decide(task, machine.now, "mic")
+        assert not response.granted
+        assert "future" in response.reason
+
+    def test_immediate_operation_granted(self, rig):
+        machine, monitor, task = rig
+        task.record_interaction(machine.now)
+        assert monitor.decide(task, machine.now, "mic").granted
+
+    def test_traced_task_denied_even_with_fresh_interaction(self, rig):
+        machine, monitor, task = rig
+        tracer = machine.kernel.sys_fork(task)  # child of task... need parent
+        child = machine.kernel.sys_fork(task)
+        machine.kernel.ptrace.attach(task, child)
+        child.record_interaction(machine.now)
+        response = monitor.decide(child, machine.now, "mic")
+        assert not response.granted
+        assert "traced" in response.reason
+
+    def test_force_grant_overrides_but_runs_full_path(self):
+        machine = Machine.with_overhaul(OverhaulConfig(force_grant=True))
+        machine.settle()
+        task = machine.kernel.sys_spawn(
+            machine.kernel.process_table.init, "/usr/bin/bench", creds=DEFAULT_USER
+        )
+        response = machine.overhaul.monitor.decide(task, machine.now, "mic")
+        assert response.granted
+        assert "force_grant" in response.reason
+
+    def test_decision_counters(self, rig):
+        machine, monitor, task = rig
+        task.record_interaction(machine.now)
+        monitor.decide(task, machine.now, "a")
+        monitor.decide(task, machine.now + from_seconds(10), "b")
+        assert monitor.grant_count == 1
+        assert monitor.deny_count == 1
+        assert len(monitor.granted_decisions()) == 1
+        assert len(monitor.denied_decisions()) == 1
+        assert len(monitor.decisions_for_pid(task.pid)) == 2
+
+
+class TestNetlinkHandlers:
+    def test_interaction_notification_recorded_in_task_struct(self, rig):
+        machine, monitor, task = rig
+        channel = machine.overhaul.channel
+        xorg = machine.xserver_task
+        channel.send_to_kernel(
+            xorg, MSG_INTERACTION, {"pid": task.pid, "timestamp": machine.now}
+        )
+        assert task.interaction_ts == machine.now
+        assert monitor.notifications_received == 1
+
+    def test_notification_for_dead_pid_ignored(self, rig):
+        machine, monitor, task = rig
+        machine.kernel.sys_exit(task)
+        machine.overhaul.channel.send_to_kernel(
+            machine.xserver_task, MSG_INTERACTION, {"pid": task.pid, "timestamp": 1}
+        )
+        assert monitor.notifications_received == 0
+
+    def test_query_round_trip(self, rig):
+        machine, monitor, task = rig
+        task.record_interaction(machine.now)
+        result = machine.overhaul.channel.send_to_kernel(
+            machine.xserver_task,
+            MSG_PERMISSION_QUERY,
+            {"pid": task.pid, "operation": "paste", "timestamp": machine.now},
+        )
+        assert result["granted"]
+        assert monitor.queries_answered == 1
+
+    def test_query_for_unknown_pid_denied(self, rig):
+        machine, monitor, _ = rig
+        result = machine.overhaul.channel.send_to_kernel(
+            machine.xserver_task,
+            MSG_PERMISSION_QUERY,
+            {"pid": 99999, "operation": "paste", "timestamp": machine.now},
+        )
+        assert not result["granted"]
+
+    def test_query_audited_by_category(self, rig):
+        from repro.kernel.audit import AuditCategory
+
+        machine, monitor, task = rig
+        for operation, category in (
+            ("paste", AuditCategory.CLIPBOARD),
+            ("copy", AuditCategory.CLIPBOARD),
+            ("screen", AuditCategory.SCREEN),
+        ):
+            machine.overhaul.channel.send_to_kernel(
+                machine.xserver_task,
+                MSG_PERMISSION_QUERY,
+                {"pid": task.pid, "operation": operation, "timestamp": machine.now},
+            )
+        assert len(machine.kernel.audit.records(category=AuditCategory.CLIPBOARD)) == 2
+        assert len(machine.kernel.audit.records(category=AuditCategory.SCREEN)) == 1
+
+
+class TestAlertRequests:
+    def test_grant_alert_reaches_overlay(self, rig):
+        machine, monitor, task = rig
+        monitor.request_visual_alert(task, "microphone:/dev/mic0")
+        alerts = machine.xserver.overlay.alerts_for_pid(task.pid)
+        assert len(alerts) == 1
+        assert "microphone" in alerts[0].operation
+
+    def test_blocked_alert_message_differs(self, rig):
+        machine, monitor, task = rig
+        monitor.request_visual_alert(task, "camera:/dev/video0", blocked=True)
+        alert = machine.xserver.overlay.alerts_for_pid(task.pid)[0]
+        assert "BLOCKED" in alert.message
+
+    def test_alert_requests_coalesce_within_duration(self, rig):
+        machine, monitor, task = rig
+        monitor.request_visual_alert(task, "mic")
+        monitor.request_visual_alert(task, "mic")
+        assert monitor.alerts_requested == 1
+        machine.run_for(machine.overhaul.config.alert_duration + 1)
+        monitor.request_visual_alert(task, "mic")
+        assert monitor.alerts_requested == 2
+
+    def test_alert_policy_flags_respected(self):
+        machine = Machine.with_overhaul(
+            OverhaulConfig(alert_on_device_grant=False, alert_on_denial=False)
+        )
+        machine.settle()
+        task = machine.kernel.sys_spawn(
+            machine.kernel.process_table.init, "/usr/bin/app", creds=DEFAULT_USER
+        )
+        machine.overhaul.monitor.request_visual_alert(task, "mic")
+        machine.overhaul.monitor.request_visual_alert(task, "mic", blocked=True)
+        assert machine.xserver.overlay.total_shown == 0

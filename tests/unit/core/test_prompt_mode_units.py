@@ -1,0 +1,86 @@
+"""Unit tests for prompt-mode internals."""
+
+import pytest
+
+from repro.apps import SimApp
+from repro.core import Machine, OverhaulConfig
+from repro.core.prompt_mode import PROMPT_BAND_HEIGHT, PromptRequest
+from repro.kernel.errors import OverhaulDenied
+
+
+@pytest.fixture
+def machine():
+    m = Machine.with_overhaul(OverhaulConfig(prompt_mode=True))
+    m.settle()
+    return m
+
+
+class TestPromptRequest:
+    def test_render_contains_identity_and_secret(self):
+        request = PromptRequest(1, 42, "voiced", "microphone:/dev/mic0", 0, "SECRET")
+        text = request.render()
+        assert "voiced" in text
+        assert "microphone" in text
+        assert "SECRET" in text
+        assert "Approve" in text and "Deny" in text
+
+
+class TestPromptManagerGeometry:
+    def test_regions_partition_the_band(self, machine):
+        manager = machine.overhaul.extension.prompt_manager
+        ax0, ay0, ax1, ay1 = manager.approve_region()
+        dx0, dy0, dx1, dy1 = manager.deny_region()
+        assert ax0 == 0 and dx1 == machine.xserver.width
+        assert ax1 == dx0  # contiguous split
+        assert ay1 == dy1 == PROMPT_BAND_HEIGHT
+
+    def test_clicks_below_band_not_intercepted(self, machine):
+        daemon = SimApp(machine, "/usr/bin/d", comm="d", with_window=False)
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        manager = machine.overhaul.extension.prompt_manager
+        consumed = manager.intercept_hardware_click(100, PROMPT_BAND_HEIGHT + 1, machine.now)
+        assert not consumed
+        assert manager.active is not None
+
+    def test_no_active_prompt_no_interception(self, machine):
+        manager = machine.overhaul.extension.prompt_manager
+        assert not manager.intercept_hardware_click(10, 10, machine.now)
+
+    def test_banner_empty_when_idle(self, machine):
+        assert machine.overhaul.extension.prompt_manager.banner() == b""
+
+
+class TestPromptArbiter:
+    def test_answers_expire_and_are_pruned(self, machine):
+        daemon = SimApp(machine, "/usr/bin/d", comm="d", with_window=False)
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        machine.mouse.click(10, 10)
+        arbiter = machine.overhaul.monitor.prompt_arbiter
+        operation = "microphone:/dev/mic0"
+        assert arbiter.check_answer(daemon.task, operation, machine.now) is True
+        late = machine.now + machine.overhaul.config.interaction_threshold
+        assert arbiter.check_answer(daemon.task, operation, late) is None
+        # Expired entries are dropped from the table, not just masked.
+        assert (daemon.pid, operation) not in arbiter._answers
+
+    def test_counters(self, machine):
+        daemon = SimApp(machine, "/usr/bin/d", comm="d", with_window=False)
+        arbiter = machine.overhaul.monitor.prompt_arbiter
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        machine.mouse.click(10, 10)
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("video0")
+        machine.mouse.click(machine.xserver.width - 10, 10)
+        assert arbiter.prompts_posted == 2
+        assert arbiter.approvals == 1
+        assert arbiter.denials == 1
+
+    def test_headless_prompting_is_fail_closed(self, machine):
+        daemon = SimApp(machine, "/usr/bin/d", comm="d", with_window=False)
+        machine.overhaul.channel.close()
+        with pytest.raises(OverhaulDenied):
+            daemon.open_device("mic0")
+        assert machine.overhaul.monitor.prompt_arbiter.prompts_posted == 0

@@ -1,0 +1,86 @@
+"""Unit tests for machine assembly (Machine / OverhaulSystem)."""
+
+import pytest
+
+from repro.core import Machine, OverhaulConfig, paper_config
+from repro.kernel.credentials import ROOT
+from repro.sim.time import from_millis, from_seconds
+
+
+class TestBaselineMachine:
+    def test_not_protected(self):
+        machine = Machine.baseline()
+        assert not machine.protected
+        assert machine.monitor is None
+        assert machine.kernel.permission_monitor is None
+        assert machine.xserver.overhaul is None
+
+    def test_tracking_disabled(self):
+        assert not Machine.baseline().kernel.tracking.enabled
+
+
+class TestProtectedMachine:
+    def test_wiring(self):
+        machine = Machine.with_overhaul()
+        assert machine.protected
+        assert machine.kernel.permission_monitor is machine.overhaul.monitor
+        assert machine.xserver.overhaul is machine.overhaul.extension
+        assert machine.kernel.tracking.enabled
+
+    def test_display_manager_is_authenticated_root_task(self):
+        machine = Machine.with_overhaul()
+        assert machine.xserver_task.creds is ROOT
+        assert machine.overhaul.channel.label == "display-manager"
+        assert machine.overhaul.channel.owner is machine.xserver_task
+
+    def test_config_applied_to_subsystems(self):
+        config = OverhaulConfig(
+            shm_waitlist=from_millis(200),
+            alert_duration=from_seconds(5.0),
+            ptrace_protection=False,
+            shared_secret="my-dog-photo",
+        )
+        machine = Machine.with_overhaul(config)
+        assert machine.kernel.shm.waitlist_duration == from_millis(200)
+        assert machine.xserver.overlay.alert_duration == from_seconds(5.0)
+        assert machine.xserver.overlay.shared_secret == "my-dog-photo"
+        assert not machine.kernel.ptrace.protection_enabled
+
+    def test_settle_exceeds_visibility_threshold(self):
+        machine = Machine.with_overhaul()
+        start = machine.now
+        machine.settle()
+        assert machine.now - start >= paper_config().window_visibility_threshold
+
+
+class TestLaunch:
+    def test_launch_connects_x_client(self):
+        machine = Machine.baseline()
+        task, client = machine.launch("/usr/bin/app", comm="app")
+        assert client is not None
+        assert client.pid == task.pid
+
+    def test_launch_without_x(self):
+        machine = Machine.baseline()
+        task, client = machine.launch("/usr/bin/daemon", connect_x=False)
+        assert client is None
+        assert task.is_alive
+
+    def test_launch_from_parent_inherits_interaction(self):
+        machine = Machine.with_overhaul()
+        parent, _ = machine.launch("/usr/bin/parent")
+        parent.record_interaction(12345)
+        child, _ = machine.launch("/usr/bin/child", parent=parent)
+        assert child.interaction_ts == 12345
+
+    def test_launch_from_init_has_no_interaction(self):
+        from repro.sim.time import NEVER
+
+        machine = Machine.with_overhaul()
+        task, _ = machine.launch("/usr/bin/autostart")
+        assert task.interaction_ts == NEVER
+
+    def test_run_for_seconds(self):
+        machine = Machine.baseline()
+        machine.run_for_seconds(1.5)
+        assert machine.now == from_seconds(1.5)

@@ -1,0 +1,110 @@
+"""Unit tests for the audit log and the augmented-open device gate."""
+
+import pytest
+
+from repro.kernel.audit import AuditCategory, AuditDecision, AuditLog
+from repro.kernel.credentials import DEFAULT_USER
+from repro.kernel.errors import OverhaulDenied, PermissionDenied
+from repro.core import Machine
+from repro.kernel.vfs import OpenMode
+
+
+class TestAuditLog:
+    def test_record_and_filter(self):
+        log = AuditLog()
+        log.record(1, AuditCategory.DEVICE, AuditDecision.GRANTED, 10, "a", "mic")
+        log.record(2, AuditCategory.DEVICE, AuditDecision.DENIED, 11, "b", "cam")
+        log.record(3, AuditCategory.SCREEN, AuditDecision.DENIED, 11, "b", "scr")
+        assert len(log) == 3
+        assert len(log.grants(AuditCategory.DEVICE)) == 1
+        assert len(log.denials()) == 2
+        assert len(log.records(pid=11)) == 2
+        assert len(log.records(category=AuditCategory.SCREEN, decision=AuditDecision.DENIED)) == 1
+
+    def test_render_format(self):
+        log = AuditLog()
+        log.record(1_000_000, AuditCategory.DEVICE, AuditDecision.DENIED, 42, "spy", "microphone")
+        line = log.render()
+        assert "pid=42" in line
+        assert "denied" in line
+        assert "[1.000000s]" in line
+
+    def test_retention_bound(self):
+        log = AuditLog()
+        log.RECORD_LIMIT = 100
+        for i in range(250):
+            log.record(i, AuditCategory.DEVICE, AuditDecision.GRANTED, 1, "x", "op")
+        assert log.total_recorded == 250
+        assert len(log) <= 100
+
+    def test_clear(self):
+        log = AuditLog()
+        log.record(1, AuditCategory.ALERT, AuditDecision.INFO, 1, "x", "d")
+        log.clear()
+        assert len(log) == 0
+
+
+class TestDeviceGate:
+    def test_baseline_kernel_does_not_mediate(self, baseline_machine):
+        task = baseline_machine.kernel.sys_spawn(
+            baseline_machine.kernel.process_table.init, "/usr/bin/app", creds=DEFAULT_USER
+        )
+        fd = baseline_machine.kernel.sys_open(
+            task, baseline_machine.kernel.device_path("mic0"), OpenMode.READ
+        )
+        assert fd >= 3
+        assert baseline_machine.kernel.device_mediator.checks_performed == 0
+
+    def test_protected_kernel_denies_without_interaction(self, machine):
+        task = machine.kernel.sys_spawn(
+            machine.kernel.process_table.init, "/usr/bin/spy", creds=DEFAULT_USER
+        )
+        with pytest.raises(OverhaulDenied):
+            machine.kernel.sys_open(task, machine.kernel.device_path("mic0"), OpenMode.READ)
+        assert machine.kernel.device_mediator.denials == 1
+
+    def test_denial_is_an_ordinary_eacces(self, machine):
+        """Transparency: apps that only know UNIX semantics see EACCES."""
+        task = machine.kernel.sys_spawn(
+            machine.kernel.process_table.init, "/usr/bin/spy", creds=DEFAULT_USER
+        )
+        with pytest.raises(PermissionDenied):
+            machine.kernel.sys_open(task, machine.kernel.device_path("mic0"), OpenMode.READ)
+
+    def test_non_sensitive_device_not_mediated(self, machine):
+        task = machine.kernel.sys_spawn(
+            machine.kernel.process_table.init, "/usr/bin/app", creds=DEFAULT_USER
+        )
+        fd = machine.kernel.sys_open(
+            task, machine.kernel.device_path("speaker0"), OpenMode.READ
+        )
+        assert fd >= 3
+
+    def test_regular_file_open_not_mediated(self, machine):
+        task = machine.kernel.sys_spawn(
+            machine.kernel.process_table.init, "/usr/bin/app", creds=DEFAULT_USER
+        )
+        fd = machine.kernel.sys_creat(task, "/home/user/notes.txt")
+        assert fd >= 3
+        assert machine.kernel.device_mediator.checks_performed == 0
+
+    def test_grant_after_interaction_audited(self, machine):
+        task = machine.kernel.sys_spawn(
+            machine.kernel.process_table.init, "/usr/bin/app", creds=DEFAULT_USER
+        )
+        task.record_interaction(machine.now)
+        fd = machine.kernel.sys_open(task, machine.kernel.device_path("mic0"), OpenMode.READ)
+        assert fd >= 3
+        grants = machine.kernel.audit.grants(AuditCategory.DEVICE)
+        assert len(grants) == 1
+        assert grants[0].pid == task.pid
+
+    def test_denial_audited(self, machine):
+        task = machine.kernel.sys_spawn(
+            machine.kernel.process_table.init, "/usr/bin/spy", creds=DEFAULT_USER
+        )
+        with pytest.raises(OverhaulDenied):
+            machine.kernel.sys_open(task, machine.kernel.device_path("video0"), OpenMode.READ)
+        denials = machine.kernel.audit.denials(AuditCategory.DEVICE)
+        assert len(denials) == 1
+        assert "camera" in denials[0].detail

@@ -1,0 +1,55 @@
+"""Unit tests for the uid/gid model and classic UNIX checks."""
+
+import pytest
+
+from repro.kernel.credentials import DEFAULT_USER, ROOT, Credentials, can_access
+
+
+class TestCredentials:
+    def test_root_is_superuser(self):
+        assert ROOT.is_superuser
+
+    def test_user_is_not_superuser(self):
+        assert not DEFAULT_USER.is_superuser
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Credentials(-1, 0)
+        with pytest.raises(ValueError):
+            Credentials(0, -1)
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_USER.uid = 0  # type: ignore[misc]
+
+
+class TestCanAccess:
+    def test_superuser_bypasses_everything(self):
+        assert can_access(ROOT, DEFAULT_USER, 0o000, 0o7)
+
+    def test_owner_triplet(self):
+        owner = Credentials(1000, 1000)
+        assert can_access(owner, owner, 0o600, 0o4)
+        assert can_access(owner, owner, 0o600, 0o2)
+        assert not can_access(owner, owner, 0o600, 0o1)
+
+    def test_group_triplet(self):
+        subject = Credentials(1001, 1000)  # same gid, different uid
+        owner = Credentials(1000, 1000)
+        assert can_access(subject, owner, 0o640, 0o4)
+        assert not can_access(subject, owner, 0o640, 0o2)
+
+    def test_other_triplet(self):
+        subject = Credentials(2000, 2000)
+        owner = Credentials(1000, 1000)
+        assert can_access(subject, owner, 0o604, 0o4)
+        assert not can_access(subject, owner, 0o600, 0o4)
+
+    def test_combined_bits(self):
+        owner = Credentials(1000, 1000)
+        assert can_access(owner, owner, 0o700, 0o6)
+        assert not can_access(owner, owner, 0o500, 0o6)
+
+    def test_invalid_want_rejected(self):
+        with pytest.raises(ValueError):
+            can_access(DEFAULT_USER, DEFAULT_USER, 0o777, 0o10)

@@ -1,0 +1,80 @@
+"""Unit tests for /dev management and the udev-helper round trip."""
+
+import pytest
+
+from repro.kernel.device import Device, DeviceClass
+from repro.kernel.errors import NoDevice, OperationNotPermitted
+from repro.kernel.kernel import Kernel
+
+
+@pytest.fixture
+def kernel(scheduler):
+    return Kernel(scheduler)
+
+
+class TestBootPopulation:
+    def test_nodes_created(self, kernel):
+        assert kernel.filesystem.exists("/dev/mic0")
+        assert kernel.filesystem.exists("/dev/video0")
+
+    def test_sensitive_map_populated_via_helper(self, kernel):
+        """The map is filled by the helper's netlink messages, not directly."""
+        assert kernel.devfs.sensitive_map.is_sensitive("/dev/mic0")
+        assert kernel.devfs.sensitive_map.is_sensitive("/dev/video0")
+        assert not kernel.devfs.sensitive_map.is_sensitive("/dev/audio-out0")
+        assert kernel.udev_helper.updates_sent >= 4
+
+    def test_device_path_lookup(self, kernel):
+        assert kernel.device_path("mic0") == "/dev/mic0"
+        with pytest.raises(NoDevice):
+            kernel.device_path("nonexistent")
+
+    def test_sensitive_paths_listing(self, kernel):
+        assert kernel.devfs.sensitive_map.sensitive_paths() == ["/dev/mic0", "/dev/video0"]
+
+
+class TestHotplug:
+    def test_dynamic_names_increment(self, kernel):
+        second_cam = Device("video-extra", DeviceClass.CAMERA)
+        path = kernel.devfs.add_device(second_cam, kernel.now)
+        assert path == "/dev/video1"
+        assert kernel.devfs.sensitive_map.is_sensitive(path)
+
+    def test_remove_device_clears_map(self, kernel):
+        kernel.devfs.remove_device("mic0", kernel.now)
+        assert not kernel.filesystem.exists("/dev/mic0")
+        assert not kernel.devfs.sensitive_map.is_sensitive("/dev/mic0")
+
+    def test_remove_unknown_device(self, kernel):
+        with pytest.raises(NoDevice):
+            kernel.devfs.remove_device("ghost", kernel.now)
+
+
+class TestMapAuthority:
+    def test_display_manager_channel_cannot_update_map(self, kernel):
+        """Only the udev helper's channel may push device-map updates."""
+        from repro.kernel.credentials import ROOT
+        from repro.kernel.devfs import MSG_DEVICE_MAP_UPDATE
+        from repro.kernel.netlink import DISPLAY_MANAGER_PATH
+
+        xorg = kernel.sys_spawn(kernel.process_table.init, DISPLAY_MANAGER_PATH,
+                                comm="Xorg", creds=ROOT)
+        channel = kernel.netlink.connect(xorg)
+        with pytest.raises(OperationNotPermitted):
+            channel.send_to_kernel(
+                xorg,
+                MSG_DEVICE_MAP_UPDATE,
+                {"action": "remove", "path": "/dev/mic0",
+                 "device_class": DeviceClass.MICROPHONE},
+            )
+        assert kernel.devfs.sensitive_map.is_sensitive("/dev/mic0")
+
+    def test_helper_requires_trusted_binary(self, kernel):
+        from repro.kernel.credentials import ROOT
+        from repro.kernel.devfs import UdevHelper
+
+        imposter = kernel.sys_spawn(
+            kernel.process_table.init, "/usr/bin/imposter", creds=ROOT
+        )
+        with pytest.raises(OperationNotPermitted):
+            UdevHelper(imposter, kernel.netlink)

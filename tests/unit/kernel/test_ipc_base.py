@@ -1,0 +1,82 @@
+"""Unit tests for the P2 propagation primitive (InteractionStamp)."""
+
+from repro.kernel.credentials import DEFAULT_USER
+from repro.kernel.ipc.base import InteractionStamp, TrackingPolicy
+from repro.kernel.task import Task
+from repro.sim.time import NEVER
+
+
+def make_task(pid=1):
+    return Task(pid, None, "t", DEFAULT_USER, "/usr/bin/t", 0)
+
+
+class TestStampProtocol:
+    def test_fresh_stamp_is_expired(self):
+        """Step (1): new IPC resources embed an expired timestamp."""
+        stamp = InteractionStamp(TrackingPolicy(enabled=True))
+        assert stamp.timestamp == NEVER
+
+    def test_embed_from_sender(self):
+        """Step (2): sender's timestamp is embedded."""
+        policy = TrackingPolicy(enabled=True)
+        stamp = InteractionStamp(policy)
+        sender = make_task()
+        sender.record_interaction(500)
+        assert stamp.embed_from(sender)
+        assert stamp.timestamp == 500
+        assert policy.stamps_embedded == 1
+
+    def test_embed_keeps_more_recent_timestamp(self):
+        """Step (2): '...unless the structure already contains a more
+        recent timestamp.'"""
+        policy = TrackingPolicy(enabled=True)
+        stamp = InteractionStamp(policy)
+        fresh, stale = make_task(1), make_task(2)
+        fresh.record_interaction(900)
+        stale.record_interaction(300)
+        stamp.embed_from(fresh)
+        assert not stamp.embed_from(stale)
+        assert stamp.timestamp == 900
+
+    def test_adopt_to_receiver(self):
+        """Step (3): receiver adopts a newer embedded timestamp."""
+        policy = TrackingPolicy(enabled=True)
+        stamp = InteractionStamp(policy)
+        sender, receiver = make_task(1), make_task(2)
+        sender.record_interaction(700)
+        stamp.embed_from(sender)
+        assert stamp.adopt_to(receiver)
+        assert receiver.interaction_ts == 700
+        assert policy.stamps_adopted == 1
+
+    def test_adopt_does_not_regress_receiver(self):
+        policy = TrackingPolicy(enabled=True)
+        stamp = InteractionStamp(policy)
+        sender, receiver = make_task(1), make_task(2)
+        sender.record_interaction(100)
+        receiver.record_interaction(999)
+        stamp.embed_from(sender)
+        assert not stamp.adopt_to(receiver)
+        assert receiver.interaction_ts == 999
+
+    def test_disabled_policy_is_inert(self):
+        """Baseline kernel: no embedding, no adoption, no counters."""
+        policy = TrackingPolicy(enabled=False)
+        stamp = InteractionStamp(policy)
+        sender, receiver = make_task(1), make_task(2)
+        sender.record_interaction(700)
+        assert not stamp.embed_from(sender)
+        assert stamp.timestamp == NEVER
+        assert not stamp.adopt_to(receiver)
+        assert receiver.interaction_ts == NEVER
+        assert policy.stamps_embedded == 0
+
+    def test_counters_reset(self):
+        policy = TrackingPolicy(enabled=True)
+        stamp = InteractionStamp(policy)
+        sender = make_task()
+        sender.record_interaction(1)
+        stamp.embed_from(sender)
+        policy.reset_counters()
+        assert policy.stamps_embedded == 0
+        assert policy.stamps_adopted == 0

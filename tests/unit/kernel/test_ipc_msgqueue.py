@@ -1,0 +1,108 @@
+"""Unit tests for SysV and POSIX message queues (with P2)."""
+
+import pytest
+
+from repro.kernel.credentials import DEFAULT_USER
+from repro.kernel.errors import FileNotFound, InvalidArgument, WouldBlock
+from repro.kernel.ipc.base import TrackingPolicy
+from repro.kernel.ipc.msg_queue import MessageQueueSubsystem
+from repro.kernel.task import Task
+
+
+def make_task(pid):
+    return Task(pid, None, f"t{pid}", DEFAULT_USER, "/usr/bin/t", 0)
+
+
+@pytest.fixture
+def queues():
+    return MessageQueueSubsystem(TrackingPolicy(enabled=True))
+
+
+class TestSysV:
+    def test_msgget_creates_and_reuses(self, queues):
+        q1 = queues.msgget(100)
+        q2 = queues.msgget(100)
+        assert q1 is q2
+
+    def test_msgget_no_create(self, queues):
+        with pytest.raises(FileNotFound):
+            queues.msgget(42, create=False)
+
+    def test_send_receive_fifo_order(self, queues):
+        queue = queues.msgget(1)
+        a, b = make_task(1), make_task(2)
+        queue.send(a, b"first")
+        queue.send(a, b"second")
+        assert queue.receive(b)[1] == b"first"
+        assert queue.receive(b)[1] == b"second"
+
+    def test_type_selective_receive(self, queues):
+        queue = queues.msgget(1)
+        a, b = make_task(1), make_task(2)
+        queue.send(a, b"one", msg_type=1)
+        queue.send(a, b"two", msg_type=2)
+        assert queue.receive(b, msg_type=2) == (2, b"two")
+        assert queue.receive(b) == (1, b"one")
+
+    def test_no_message_of_type(self, queues):
+        queue = queues.msgget(1)
+        queue.send(make_task(1), b"x", msg_type=1)
+        with pytest.raises(WouldBlock):
+            queue.receive(make_task(2), msg_type=9)
+
+    def test_invalid_type_rejected(self, queues):
+        with pytest.raises(InvalidArgument):
+            queues.msgget(1).send(make_task(1), b"x", msg_type=0)
+
+    def test_remove(self, queues):
+        queues.msgget(5)
+        queues.msgctl_remove(5)
+        with pytest.raises(FileNotFound):
+            queues.msgget(5, create=False)
+
+    def test_p2_propagation(self, queues):
+        queue = queues.msgget(1)
+        a, b = make_task(1), make_task(2)
+        a.record_interaction(321)
+        queue.send(a, b"data")
+        queue.receive(b)
+        assert b.interaction_ts == 321
+
+    def test_queue_full(self, queues):
+        queue = queues.msgget(1)
+        queue.max_messages = 2
+        sender = make_task(1)
+        queue.send(sender, b"1")
+        queue.send(sender, b"2")
+        with pytest.raises(WouldBlock):
+            queue.send(sender, b"3")
+
+
+class TestPosix:
+    def test_mq_open_name_validation(self, queues):
+        with pytest.raises(InvalidArgument):
+            queues.mq_open("noslash")
+
+    def test_mq_namespaces_are_separate(self, queues):
+        sysv = queues.msgget(1)
+        posix = queues.mq_open("/1")
+        assert sysv is not posix
+
+    def test_mq_propagation(self, queues):
+        queue = queues.mq_open("/chat")
+        a, b = make_task(1), make_task(2)
+        a.record_interaction(888)
+        queue.send(a, b"hey")
+        queue.receive(b)
+        assert b.interaction_ts == 888
+
+    def test_mq_unlink(self, queues):
+        queues.mq_open("/gone")
+        queues.mq_unlink("/gone")
+        with pytest.raises(FileNotFound):
+            queues.mq_open("/gone", create=False)
+
+    def test_empty_receive_blocks(self, queues):
+        queue = queues.mq_open("/empty")
+        with pytest.raises(WouldBlock):
+            queue.receive(make_task(1))

@@ -1,0 +1,190 @@
+"""Unit tests for pipes/FIFOs and UNIX domain sockets (with P2)."""
+
+import pytest
+
+from repro.kernel.credentials import DEFAULT_USER
+from repro.kernel.errors import (
+    BrokenPipe,
+    ConnectionRefused,
+    FileExists,
+    InvalidArgument,
+    WouldBlock,
+)
+from repro.kernel.ipc.base import TrackingPolicy
+from repro.kernel.ipc.pipe import PipeChannel, PipeSubsystem
+from repro.kernel.ipc.unix_socket import UnixSocketSubsystem
+from repro.kernel.task import Task
+from repro.kernel.vfs import Filesystem
+
+
+def make_task(pid):
+    return Task(pid, None, f"t{pid}", DEFAULT_USER, "/usr/bin/t", 0)
+
+
+@pytest.fixture
+def policy():
+    return TrackingPolicy(enabled=True)
+
+
+class TestPipes:
+    def test_write_then_read(self, policy):
+        pipe = PipeChannel(policy)
+        a, b = make_task(1), make_task(2)
+        pipe.write(a, b"hello")
+        assert pipe.read(b, 5) == b"hello"
+
+    def test_partial_reads(self, policy):
+        pipe = PipeChannel(policy)
+        a, b = make_task(1), make_task(2)
+        pipe.write(a, b"abcdef")
+        assert pipe.read(b, 2) == b"ab"
+        assert pipe.read(b, 10) == b"cdef"
+
+    def test_p2_propagation_through_pipe(self, policy):
+        pipe = PipeChannel(policy)
+        a, b = make_task(1), make_task(2)
+        a.record_interaction(1234)
+        pipe.write(a, b"x")
+        pipe.read(b, 1)
+        assert b.interaction_ts == 1234
+
+    def test_empty_read_blocks(self, policy):
+        pipe = PipeChannel(policy)
+        with pytest.raises(WouldBlock):
+            pipe.read(make_task(1), 1)
+
+    def test_eof_after_writer_close(self, policy):
+        pipe = PipeChannel(policy)
+        pipe.write(make_task(1), b"z")
+        pipe.close_write()
+        reader = make_task(2)
+        assert pipe.read(reader, 10) == b"z"
+        assert pipe.read(reader, 10) == b""
+
+    def test_broken_pipe(self, policy):
+        pipe = PipeChannel(policy)
+        pipe.close_read()
+        with pytest.raises(BrokenPipe):
+            pipe.write(make_task(1), b"x")
+
+    def test_capacity_limit(self, policy):
+        pipe = PipeChannel(policy, capacity=4)
+        pipe.write(make_task(1), b"1234")
+        with pytest.raises(WouldBlock):
+            pipe.write(make_task(1), b"5")
+
+
+class TestFifos:
+    def test_fifo_shared_by_path(self, policy):
+        fs = Filesystem()
+        fs.makedirs("/tmp")
+        fs.create_fifo("/tmp/fifo", owner=DEFAULT_USER)
+        pipes = PipeSubsystem(policy, fs)
+        writer_view = pipes.open_fifo("/tmp/fifo")
+        reader_view = pipes.open_fifo("/tmp/fifo")
+        assert writer_view is reader_view  # same kernel object
+
+    def test_fifo_propagates_timestamps(self, policy):
+        fs = Filesystem()
+        fs.makedirs("/tmp")
+        fs.create_fifo("/tmp/fifo", owner=DEFAULT_USER)
+        pipes = PipeSubsystem(policy, fs)
+        channel = pipes.open_fifo("/tmp/fifo")
+        a, b = make_task(1), make_task(2)
+        a.record_interaction(42)
+        channel.write(a, b"cmd")
+        channel.read(b, 3)
+        assert b.interaction_ts == 42
+
+    def test_open_fifo_on_regular_file_rejected(self, policy):
+        fs = Filesystem()
+        fs.makedirs("/tmp")
+        fs.create_file("/tmp/notafifo", owner=DEFAULT_USER)
+        pipes = PipeSubsystem(policy, fs)
+        with pytest.raises(InvalidArgument):
+            pipes.open_fifo("/tmp/notafifo")
+
+
+class TestUnixSockets:
+    def test_connect_and_exchange(self, policy):
+        sockets = UnixSocketSubsystem(policy)
+        server, client = make_task(1), make_task(2)
+        sockets.listen(server, "/tmp/sock")
+        conn = sockets.connect(client, "/tmp/sock")
+        accepted = sockets.accept(server, "/tmp/sock")
+        assert accepted is conn
+        conn.send(client, b"ping")
+        assert conn.receive(server) == b"ping"
+        conn.send(server, b"pong")
+        assert conn.receive(client) == b"pong"
+
+    def test_p2_propagation_both_directions(self, policy):
+        sockets = UnixSocketSubsystem(policy)
+        server, client = make_task(1), make_task(2)
+        sockets.listen(server, "/tmp/sock")
+        conn = sockets.connect(client, "/tmp/sock")
+        client.record_interaction(11)
+        conn.send(client, b"a")
+        conn.receive(server)
+        assert server.interaction_ts == 11
+        server.record_interaction(99)
+        conn.send(server, b"b")
+        conn.receive(client)
+        assert client.interaction_ts == 99
+
+    def test_connect_refused_without_listener(self, policy):
+        sockets = UnixSocketSubsystem(policy)
+        with pytest.raises(ConnectionRefused):
+            sockets.connect(make_task(1), "/tmp/nobody")
+
+    def test_double_bind_rejected(self, policy):
+        sockets = UnixSocketSubsystem(policy)
+        sockets.listen(make_task(1), "/tmp/sock")
+        with pytest.raises(FileExists):
+            sockets.listen(make_task(2), "/tmp/sock")
+
+    def test_non_endpoint_cannot_send_or_receive(self, policy):
+        sockets = UnixSocketSubsystem(policy)
+        left, right, outsider = make_task(1), make_task(2), make_task(3)
+        conn = sockets.socketpair(left, right)
+        with pytest.raises(InvalidArgument):
+            conn.send(outsider, b"x")
+        with pytest.raises(InvalidArgument):
+            conn.receive(outsider)
+
+    def test_receive_empty_blocks(self, policy):
+        sockets = UnixSocketSubsystem(policy)
+        conn = sockets.socketpair(make_task(1), make_task(2))
+        with pytest.raises(WouldBlock):
+            conn.receive(make_task(1))
+
+    def test_closed_connection_eof_and_epipe(self, policy):
+        sockets = UnixSocketSubsystem(policy)
+        left, right = make_task(1), make_task(2)
+        conn = sockets.socketpair(left, right)
+        conn.close()
+        assert conn.receive(left) == b""
+        with pytest.raises(BrokenPipe):
+            conn.send(left, b"x")
+
+    def test_unlisten(self, policy):
+        sockets = UnixSocketSubsystem(policy)
+        server = make_task(1)
+        sockets.listen(server, "/tmp/sock")
+        sockets.unlisten(server, "/tmp/sock")
+        with pytest.raises(ConnectionRefused):
+            sockets.connect(make_task(2), "/tmp/sock")
+
+    def test_dbus_style_relay_propagates_transitively(self, policy):
+        """Higher-level IPC (D-Bus) on these sockets inherits P2: a message
+        relayed A -> daemon -> B carries A's timestamp to B."""
+        sockets = UnixSocketSubsystem(policy)
+        a, daemon, b = make_task(1), make_task(2), make_task(3)
+        conn_a = sockets.socketpair(a, daemon)
+        conn_b = sockets.socketpair(daemon, b)
+        a.record_interaction(555)
+        conn_a.send(a, b"broadcast")
+        payload = conn_a.receive(daemon)
+        conn_b.send(daemon, payload)
+        conn_b.receive(b)
+        assert b.interaction_ts == 555

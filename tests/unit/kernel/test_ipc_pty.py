@@ -1,0 +1,94 @@
+"""Unit tests for pseudo-terminal pairs and CLI propagation."""
+
+import pytest
+
+from repro.kernel.credentials import DEFAULT_USER
+from repro.kernel.errors import InvalidArgument, WouldBlock
+from repro.kernel.ipc.base import TrackingPolicy
+from repro.kernel.ipc.pty import PtySubsystem
+from repro.kernel.task import Task
+
+
+def make_task(pid):
+    return Task(pid, None, f"t{pid}", DEFAULT_USER, "/usr/bin/t", 0)
+
+
+@pytest.fixture
+def ptys():
+    return PtySubsystem(TrackingPolicy(enabled=True))
+
+
+class TestPlumbing:
+    def test_master_write_appears_on_slave(self, ptys):
+        pair = ptys.openpty()
+        emulator, shell = make_task(1), make_task(2)
+        pair.write(emulator, b"ls\n", from_master=True)
+        assert pair.read(shell, 10, from_master=False) == b"ls\n"
+
+    def test_slave_write_appears_on_master(self, ptys):
+        pair = ptys.openpty()
+        emulator, shell = make_task(1), make_task(2)
+        pair.write(shell, b"output", from_master=False)
+        assert pair.read(emulator, 10, from_master=True) == b"output"
+
+    def test_directions_are_independent(self, ptys):
+        pair = ptys.openpty()
+        emulator, shell = make_task(1), make_task(2)
+        pair.write(emulator, b"cmd", from_master=True)
+        with pytest.raises(WouldBlock):
+            pair.read(emulator, 10, from_master=True)
+
+    def test_empty_read_blocks(self, ptys):
+        pair = ptys.openpty()
+        with pytest.raises(WouldBlock):
+            pair.read(make_task(1), 10, from_master=False)
+
+    def test_pair_numbering_and_lookup(self, ptys):
+        first = ptys.openpty()
+        second = ptys.openpty()
+        assert first.number != second.number
+        assert ptys.lookup(second.number) is second
+        with pytest.raises(InvalidArgument):
+            ptys.lookup(9999)
+
+    def test_slave_path_names(self, ptys):
+        pair = ptys.openpty()
+        assert pair.slave_path == f"/dev/pts/{pair.number}"
+
+
+class TestCliPropagation:
+    def test_master_write_embeds_slave_read_adopts(self, ptys):
+        """The Section IV-B pty patch: emulator -> pty -> shell."""
+        pair = ptys.openpty()
+        emulator, shell = make_task(1), make_task(2)
+        emulator.record_interaction(4321)
+        pair.write(emulator, b"arecord\n", from_master=True)
+        pair.read(shell, 100, from_master=False)
+        assert shell.interaction_ts == 4321
+
+    def test_reader_keeps_more_recent_own_timestamp(self, ptys):
+        pair = ptys.openpty()
+        emulator, shell = make_task(1), make_task(2)
+        emulator.record_interaction(100)
+        shell.record_interaction(500)
+        pair.write(emulator, b"x", from_master=True)
+        pair.read(shell, 1, from_master=False)
+        assert shell.interaction_ts == 500
+
+    def test_empty_write_is_noop(self, ptys):
+        pair = ptys.openpty()
+        emulator = make_task(1)
+        emulator.record_interaction(7)
+        pair.write(emulator, b"", from_master=True)
+        assert pair.stamp.timestamp != 7  # nothing embedded for empty writes
+
+    def test_disabled_tracking_moves_data_not_timestamps(self):
+        ptys = PtySubsystem(TrackingPolicy(enabled=False))
+        pair = ptys.openpty()
+        emulator, shell = make_task(1), make_task(2)
+        emulator.record_interaction(77)
+        pair.write(emulator, b"data", from_master=True)
+        assert pair.read(shell, 4, from_master=False) == b"data"
+        from repro.sim.time import NEVER
+
+        assert shell.interaction_ts == NEVER

@@ -1,0 +1,180 @@
+"""Unit tests for shared memory: the page-fault interception machinery."""
+
+import pytest
+
+from repro.kernel.credentials import DEFAULT_USER
+from repro.kernel.errors import FileNotFound, SegmentationFault
+from repro.kernel.ipc.base import TrackingPolicy
+from repro.kernel.ipc.shared_memory import (
+    DEFAULT_WAITLIST_DURATION,
+    SharedMemorySubsystem,
+)
+from repro.kernel.task import Task
+from repro.sim.scheduler import EventScheduler
+from repro.sim.time import NEVER, from_millis
+
+
+def make_task(pid):
+    task = Task(pid, None, f"t{pid}", DEFAULT_USER, "/usr/bin/t", 0)
+    from repro.kernel.mm import AddressSpace
+
+    task.address_space = AddressSpace()
+    return task
+
+
+@pytest.fixture
+def scheduler():
+    return EventScheduler()
+
+
+def build(scheduler, enabled=True):
+    return SharedMemorySubsystem(TrackingPolicy(enabled=enabled), scheduler)
+
+
+class TestNaming:
+    def test_sysv_reuse(self, scheduler):
+        shm = build(scheduler)
+        assert shm.shmget(1, 4) is shm.shmget(1, 4)
+
+    def test_posix_name_validation(self, scheduler):
+        from repro.kernel.errors import InvalidArgument
+
+        with pytest.raises(InvalidArgument):
+            build(scheduler).shm_open("noslash", 1)
+
+    def test_posix_unlink(self, scheduler):
+        shm = build(scheduler)
+        shm.shm_open("/seg", 1)
+        shm.shm_unlink("/seg")
+        with pytest.raises(FileNotFound):
+            shm.shm_open("/seg", 1, create=False)
+
+    def test_zero_pages_rejected(self, scheduler):
+        from repro.kernel.errors import InvalidArgument
+
+        with pytest.raises(InvalidArgument):
+            build(scheduler).shmget(1, 0)
+
+
+class TestInterception:
+    def test_attach_arms_protection_when_enabled(self, scheduler):
+        shm = build(scheduler, enabled=True)
+        area = shm.attach(make_task(1), shm.shmget(1, 2))
+        assert area.protection_revoked
+
+    def test_attach_unarmed_on_baseline(self, scheduler):
+        shm = build(scheduler, enabled=False)
+        area = shm.attach(make_task(1), shm.shmget(1, 2))
+        assert not area.protection_revoked
+
+    def test_first_access_faults_and_restores(self, scheduler):
+        shm = build(scheduler)
+        task = make_task(1)
+        segment = shm.shmget(1, 2)
+        area = shm.attach(task, segment)
+        shm.write(task, area, 0, b"hi")
+        assert shm.total_faults == 1
+        assert not area.protection_revoked  # restored for the retry window
+
+    def test_accesses_within_window_do_not_fault(self, scheduler):
+        shm = build(scheduler)
+        task = make_task(1)
+        area = shm.attach(task, shm.shmget(1, 2))
+        shm.write(task, area, 0, b"a")
+        for offset in range(1, 10):
+            shm.write(task, area, offset, b"b")
+        assert shm.total_faults == 1
+
+    def test_rearm_after_waitlist_expiry(self, scheduler):
+        """'...we put the corresponding vm_area_struct on a wait list
+        before its permissions are revoked once again' -- 500 ms later."""
+        shm = build(scheduler)
+        task = make_task(1)
+        area = shm.attach(task, shm.shmget(1, 2))
+        shm.write(task, area, 0, b"a")
+        scheduler.run_for(DEFAULT_WAITLIST_DURATION + 1)
+        assert area.protection_revoked
+        shm.write(task, area, 0, b"b")
+        assert shm.total_faults == 2
+
+    def test_waitlist_duration_configurable(self, scheduler):
+        shm = build(scheduler)
+        shm.waitlist_duration = from_millis(100)
+        task = make_task(1)
+        area = shm.attach(task, shm.shmget(1, 2))
+        shm.write(task, area, 0, b"a")
+        scheduler.run_for(from_millis(99))
+        assert not area.protection_revoked
+        scheduler.run_for(from_millis(2))
+        assert area.protection_revoked
+
+    def test_detach_cancels_waitlist_timer(self, scheduler):
+        shm = build(scheduler)
+        task = make_task(1)
+        area = shm.attach(task, shm.shmget(1, 2))
+        shm.write(task, area, 0, b"a")
+        shm.detach(task, area)
+        scheduler.run_for(DEFAULT_WAITLIST_DURATION + 1)  # timer must not fire
+        assert area.waitlist_event is None
+
+
+class TestPropagation:
+    def test_write_fault_embeds_read_fault_adopts(self, scheduler):
+        shm = build(scheduler)
+        writer, reader = make_task(1), make_task(2)
+        segment = shm.shmget(1, 2)
+        w_area = shm.attach(writer, segment)
+        r_area = shm.attach(reader, segment)
+        writer.record_interaction(1000)
+        shm.write(writer, w_area, 0, b"cmd")
+        assert segment.stamp.timestamp == 1000
+        shm.read(reader, r_area, 0, 3)
+        assert reader.interaction_ts == 1000
+
+    def test_miss_window_fidelity(self, scheduler):
+        """The documented gap: accesses during the open window do NOT
+        propagate -- 'we would miss shared memory IPC attempts... during
+        this period'."""
+        shm = build(scheduler)
+        writer, reader = make_task(1), make_task(2)
+        segment = shm.shmget(1, 2)
+        w_area = shm.attach(writer, segment)
+        shm.write(writer, w_area, 0, b"x")  # fault, embeds NEVER (no input yet)
+        writer.record_interaction(2000)  # input arrives *after* the fault
+        shm.write(writer, w_area, 1, b"y")  # window still open: no propagation
+        assert segment.stamp.timestamp == NEVER
+
+    def test_data_actually_transfers(self, scheduler):
+        shm = build(scheduler)
+        a, b = make_task(1), make_task(2)
+        segment = shm.shmget(1, 1)
+        area_a = shm.attach(a, segment)
+        area_b = shm.attach(b, segment)
+        shm.write(a, area_a, 100, b"payload")
+        assert shm.read(b, area_b, 100, 7) == b"payload"
+
+
+class TestBounds:
+    def test_out_of_bounds_write(self, scheduler):
+        shm = build(scheduler)
+        task = make_task(1)
+        area = shm.attach(task, shm.shmget(1, 1))
+        with pytest.raises(SegmentationFault):
+            shm.write(task, area, 4090, b"1234567890")
+
+    def test_negative_offset(self, scheduler):
+        shm = build(scheduler)
+        task = make_task(1)
+        area = shm.attach(task, shm.shmget(1, 1))
+        with pytest.raises(SegmentationFault):
+            shm.read(task, area, -1, 4)
+
+    def test_non_shm_area_rejected(self, scheduler):
+        from repro.kernel.errors import InvalidArgument
+        from repro.kernel.mm import PageProtection
+
+        shm = build(scheduler)
+        task = make_task(1)
+        plain = task.address_space.map_area(1, PageProtection.rw())
+        with pytest.raises(InvalidArgument):
+            shm.write(task, plain, 0, b"x")

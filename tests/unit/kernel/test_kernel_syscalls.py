@@ -1,0 +1,125 @@
+"""Unit tests for the Kernel facade's syscall surface."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.credentials import DEFAULT_USER, ROOT, Credentials
+from repro.kernel.errors import (
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    PermissionDenied,
+)
+from repro.kernel.vfs import OpenMode
+
+
+@pytest.fixture
+def kernel(scheduler):
+    return Kernel(scheduler)
+
+
+@pytest.fixture
+def user(kernel):
+    return kernel.sys_spawn(
+        kernel.process_table.init, "/usr/bin/app", comm="app", creds=DEFAULT_USER
+    )
+
+
+class TestOpenSemantics:
+    def test_open_missing_file(self, kernel, user):
+        with pytest.raises(FileNotFound):
+            kernel.sys_open(user, "/home/user/ghost")
+
+    def test_open_directory_rejected(self, kernel, user):
+        with pytest.raises(IsADirectory):
+            kernel.sys_open(user, "/home/user")
+
+    def test_open_needs_some_access_mode(self, kernel, user):
+        kernel.sys_close(user, kernel.sys_creat(user, "/home/user/f"))
+        with pytest.raises(InvalidArgument):
+            kernel.sys_open(user, "/home/user/f", OpenMode.CREATE)
+
+    def test_create_respects_parent_permissions(self, kernel, user):
+        with pytest.raises(PermissionDenied):
+            kernel.sys_creat(user, "/usr/bin/own-binary")  # /usr/bin is root's
+
+    def test_create_is_idempotent_open_if_exists(self, kernel, user):
+        first = kernel.sys_creat(user, "/home/user/f")
+        kernel.sys_write(user, first, b"data")
+        kernel.sys_close(user, first)
+        second = kernel.sys_open(user, "/home/user/f", OpenMode.WRITE | OpenMode.CREATE)
+        kernel.sys_close(user, second)
+        assert kernel.sys_stat(user, "/home/user/f").size == 4
+
+    def test_read_write_round_trip_via_syscalls(self, kernel, user):
+        fd = kernel.sys_creat(user, "/home/user/notes")
+        kernel.sys_write(user, fd, b"hello syscalls")
+        kernel.sys_close(user, fd)
+        fd = kernel.sys_open(user, "/home/user/notes", OpenMode.READ)
+        assert kernel.sys_read(user, fd, 100) == b"hello syscalls"
+        kernel.sys_close(user, fd)
+
+    def test_device_read_via_syscalls(self, kernel, user):
+        fd = kernel.sys_open(user, kernel.device_path("mic0"), OpenMode.READ)
+        data = kernel.sys_read(user, fd, 32)
+        assert len(data) == 32
+        kernel.sys_close(user, fd)
+
+    def test_mkdir_then_populate(self, kernel, user):
+        kernel.sys_mkdir(user, "/home/user/project")
+        fd = kernel.sys_creat(user, "/home/user/project/readme")
+        kernel.sys_close(user, fd)
+        assert kernel.filesystem.listdir("/home/user/project") == ["readme"]
+
+    def test_mkdir_in_foreign_directory_rejected(self, kernel, user):
+        with pytest.raises(PermissionDenied):
+            kernel.sys_mkdir(user, "/usr/lib/mine")
+
+
+class TestProcessSyscalls:
+    def test_spawn_with_custom_creds(self, kernel):
+        task = kernel.sys_spawn(
+            kernel.process_table.init, "/usr/bin/svc", creds=Credentials(1234, 1234)
+        )
+        assert task.creds.uid == 1234
+
+    def test_wait_returns_exited_child(self, kernel, user):
+        child = kernel.sys_fork(user)
+        kernel.sys_exit(child, code=7)
+        reaped = kernel.sys_wait(user)
+        assert reaped is child
+        assert reaped.exit_code == 7
+
+    def test_exec_changes_comm(self, kernel, user):
+        child = kernel.sys_fork(user)
+        kernel.sys_exec(child, "/usr/bin/other-tool")
+        assert child.comm == "other-tool"
+
+    def test_run_for_advances_time(self, kernel):
+        from repro.sim.time import from_seconds
+
+        before = kernel.now
+        kernel.run_for(from_seconds(1.0))
+        assert kernel.now == before + from_seconds(1.0)
+
+
+class TestBootState:
+    def test_trusted_binaries_exist_and_root_owned(self, kernel):
+        from repro.kernel.netlink import DISPLAY_MANAGER_PATH, UDEV_HELPER_PATH
+
+        for path in (DISPLAY_MANAGER_PATH, UDEV_HELPER_PATH, "/sbin/init"):
+            stat = kernel.filesystem.stat(path)
+            assert stat.owner is ROOT or stat.owner.is_superuser
+
+    def test_home_directory_owned_by_user(self, kernel):
+        assert kernel.filesystem.stat("/home/user").owner == DEFAULT_USER
+
+    def test_tmp_world_writable(self, kernel, user):
+        fd = kernel.sys_creat(user, "/tmp/scratch")
+        kernel.sys_close(user, fd)
+        assert kernel.filesystem.exists("/tmp/scratch")
+
+    def test_udev_helper_is_live_root_task(self, kernel):
+        helper_task = kernel.udev_helper.task
+        assert helper_task.is_alive
+        assert helper_task.creds.is_superuser

@@ -1,0 +1,118 @@
+"""Unit tests for virtual memory areas and protections."""
+
+import pytest
+
+from repro.kernel.errors import InvalidArgument, SegmentationFault
+from repro.kernel.mm import PAGE_SIZE, AddressSpace, PageProtection, VMArea
+
+
+class TestVMArea:
+    def test_basic_geometry(self):
+        area = VMArea(start_page=0x1000, num_pages=4, prot=PageProtection.rw())
+        assert area.end_page == 0x1004
+        assert area.size_bytes == 4 * PAGE_SIZE
+        assert area.contains_page(0x1003)
+        assert not area.contains_page(0x1004)
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(InvalidArgument):
+            VMArea(0, 0, PageProtection.rw())
+
+    def test_revoke_and_restore(self):
+        area = VMArea(0, 1, PageProtection.rw(), shared=True)
+        area.revoke_protection()
+        assert area.protection_revoked
+        assert not area.permits(PageProtection.READ)
+        area.restore_protection()
+        assert not area.protection_revoked
+        assert area.permits(PageProtection.rw())
+
+    def test_double_revoke_preserves_original_prot(self):
+        area = VMArea(0, 1, PageProtection.rw())
+        area.revoke_protection()
+        area.revoke_protection()  # must not save NONE as "original"
+        area.restore_protection()
+        assert area.permits(PageProtection.rw())
+
+    def test_permits_subset_semantics(self):
+        area = VMArea(0, 1, PageProtection.READ)
+        assert area.permits(PageProtection.READ)
+        assert not area.permits(PageProtection.WRITE)
+        assert not area.permits(PageProtection.rw())
+
+
+class TestAddressSpace:
+    def test_map_and_find(self):
+        space = AddressSpace()
+        area = space.map_area(4, PageProtection.rw())
+        assert space.find_area(area.start_page) is area
+        assert space.find_area(area.end_page - 1) is area
+
+    def test_find_unmapped_faults(self):
+        space = AddressSpace()
+        with pytest.raises(SegmentationFault):
+            space.find_area(0x1)
+
+    def test_guard_pages_between_mappings(self):
+        space = AddressSpace()
+        first = space.map_area(2, PageProtection.rw())
+        second = space.map_area(2, PageProtection.rw())
+        assert second.start_page > first.end_page  # gap exists
+        with pytest.raises(SegmentationFault):
+            space.find_area(first.end_page)
+
+    def test_unmap(self):
+        space = AddressSpace()
+        area = space.map_area(1, PageProtection.rw())
+        space.unmap(area)
+        with pytest.raises(SegmentationFault):
+            space.find_area(area.start_page)
+
+    def test_unmap_foreign_area_rejected(self):
+        space = AddressSpace()
+        foreign = VMArea(0x9999, 1, PageProtection.rw())
+        with pytest.raises(InvalidArgument):
+            space.unmap(foreign)
+
+    def test_executable_mapping_lookup(self):
+        space = AddressSpace()
+        space.map_area(8, PageProtection.rw())  # heap-ish, not executable
+        exe = space.map_executable("/usr/bin/app")
+        assert space.executable_mapping() is exe
+        assert exe.backing_path == "/usr/bin/app"
+
+    def test_executable_mapping_none_without_exe(self):
+        assert AddressSpace().executable_mapping() is None
+
+    def test_shared_areas_listing(self):
+        space = AddressSpace()
+        space.map_area(1, PageProtection.rw())
+        shared = space.map_area(1, PageProtection.rw(), shared=True)
+        assert space.shared_areas() == [shared]
+
+
+class TestClone:
+    def test_clone_copies_layout(self):
+        space = AddressSpace()
+        space.map_executable("/usr/bin/app")
+        space.map_area(4, PageProtection.rw(), shared=True, backing_object=object())
+        child = space.clone()
+        assert len(child.areas) == 2
+        assert child.executable_mapping().backing_path == "/usr/bin/app"
+
+    def test_clone_aliases_shared_backing(self):
+        space = AddressSpace()
+        backing = object()
+        space.map_area(1, PageProtection.rw(), shared=True, backing_object=backing)
+        child = space.clone()
+        assert child.shared_areas()[0].backing_object is backing
+
+    def test_clone_resets_interception_state(self):
+        """A child's shared mapping starts un-revoked (the subsystem re-arms
+        it on attach in the child); revocation state is per-mapping."""
+        space = AddressSpace()
+        area = space.map_area(1, PageProtection.rw(), shared=True)
+        area.revoke_protection()
+        child = space.clone()
+        assert not child.shared_areas()[0].protection_revoked
+        assert child.shared_areas()[0].permits(PageProtection.rw())

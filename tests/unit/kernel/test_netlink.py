@@ -1,0 +1,123 @@
+"""Unit tests for the secure channel and its memory-map authentication."""
+
+import pytest
+
+from repro.kernel.credentials import DEFAULT_USER, ROOT
+from repro.kernel.errors import (
+    InvalidArgument,
+    OperationNotPermitted,
+    PermissionDenied,
+)
+from repro.kernel.kernel import Kernel
+from repro.kernel.netlink import DISPLAY_MANAGER_PATH
+
+
+@pytest.fixture
+def kernel(scheduler):
+    return Kernel(scheduler)
+
+
+def spawn_xorg(kernel):
+    return kernel.sys_spawn(
+        kernel.process_table.init, DISPLAY_MANAGER_PATH, comm="Xorg", creds=ROOT
+    )
+
+
+class TestAuthentication:
+    def test_trusted_binary_connects(self, kernel):
+        xorg = spawn_xorg(kernel)
+        channel = kernel.netlink.connect(xorg)
+        assert channel.label == "display-manager"
+
+    def test_untrusted_binary_rejected(self, kernel):
+        """The paper: the kernel 'ignore[s] communication attempts by other
+        processes'."""
+        malware = kernel.sys_spawn(
+            kernel.process_table.init, "/usr/bin/malware", creds=DEFAULT_USER
+        )
+        with pytest.raises(PermissionDenied):
+            kernel.netlink.connect(malware)
+        assert malware.pid in kernel.netlink.rejected_connections
+
+    def test_stale_trusted_path_rejected_if_not_root_owned(self, kernel):
+        """Dropping a user-owned binary at the trusted path must not grant a
+        channel: the check requires superuser ownership of the file."""
+        kernel.filesystem.unlink(DISPLAY_MANAGER_PATH, ROOT)
+        kernel.filesystem.create_file(
+            DISPLAY_MANAGER_PATH, owner=DEFAULT_USER, mode=0o755, data=b"evil"
+        )
+        fake_xorg = kernel.sys_spawn(
+            kernel.process_table.init, DISPLAY_MANAGER_PATH, comm="Xorg", creds=DEFAULT_USER
+        )
+        with pytest.raises(PermissionDenied):
+            kernel.netlink.connect(fake_xorg)
+
+    def test_introspection_examines_executable_mapping(self, kernel):
+        """Authentication reads the address space, not a self-reported name:
+        a process *claiming* comm='Xorg' but mapping another binary fails."""
+        liar = kernel.sys_spawn(
+            kernel.process_table.init, "/usr/bin/other", comm="Xorg", creds=ROOT
+        )
+        with pytest.raises(PermissionDenied):
+            kernel.netlink.connect(liar)
+
+    def test_second_live_channel_for_same_label_rejected(self, kernel):
+        first = spawn_xorg(kernel)
+        kernel.netlink.connect(first)
+        second = spawn_xorg(kernel)
+        with pytest.raises(OperationNotPermitted):
+            kernel.netlink.connect(second)
+
+    def test_channel_replaceable_after_owner_exit(self, kernel):
+        first = spawn_xorg(kernel)
+        kernel.netlink.connect(first)
+        kernel.sys_exit(first)
+        second = spawn_xorg(kernel)
+        channel = kernel.netlink.connect(second)
+        assert channel.owner is second
+
+
+class TestChannelUse:
+    def test_only_owner_can_send(self, kernel):
+        xorg = spawn_xorg(kernel)
+        channel = kernel.netlink.connect(xorg)
+        other = kernel.sys_spawn(kernel.process_table.init, "/usr/bin/other")
+        with pytest.raises(OperationNotPermitted):
+            channel.send_to_kernel(other, "anything", {})
+
+    def test_unknown_message_type_rejected(self, kernel):
+        xorg = spawn_xorg(kernel)
+        channel = kernel.netlink.connect(xorg)
+        with pytest.raises(InvalidArgument):
+            channel.send_to_kernel(xorg, "no.such.handler", {})
+
+    def test_kernel_to_userspace_delivery(self, kernel):
+        xorg = spawn_xorg(kernel)
+        channel = kernel.netlink.connect(xorg)
+        received = []
+        channel.userspace_receiver = received.append
+        channel.send_to_userspace("test.message", {"x": 1})
+        assert len(received) == 1
+        assert received[0].msg_type == "test.message"
+        assert received[0].sender_pid is None
+
+    def test_handler_result_returned_to_sender(self, kernel):
+        kernel.netlink.register_kernel_handler(
+            "test.echo", lambda ch, msg: {"echo": msg.payload["v"]}
+        )
+        xorg = spawn_xorg(kernel)
+        channel = kernel.netlink.connect(xorg)
+        assert channel.send_to_kernel(xorg, "test.echo", {"v": 7}) == {"echo": 7}
+
+    def test_closed_channel_unusable(self, kernel):
+        xorg = spawn_xorg(kernel)
+        channel = kernel.netlink.connect(xorg)
+        channel.close()
+        with pytest.raises(InvalidArgument):
+            channel.send_to_kernel(xorg, "x", {})
+        assert kernel.netlink.channel_for("display-manager") is None
+
+    def test_duplicate_handler_registration_rejected(self, kernel):
+        kernel.netlink.register_kernel_handler("test.dup", lambda ch, m: None)
+        with pytest.raises(InvalidArgument):
+            kernel.netlink.register_kernel_handler("test.dup", lambda ch, m: None)

@@ -1,0 +1,139 @@
+"""Unit tests for ptrace hardening and the procfs toggle."""
+
+import pytest
+
+from repro.kernel.credentials import DEFAULT_USER, ROOT, Credentials
+from repro.kernel.errors import (
+    FileNotFound,
+    InvalidArgument,
+    OperationNotPermitted,
+)
+from repro.kernel.kernel import Kernel
+from repro.kernel.procfs import PTRACE_PROTECTION_NODE
+
+
+@pytest.fixture
+def kernel(scheduler):
+    return Kernel(scheduler)
+
+
+def spawn(kernel, parent=None, creds=DEFAULT_USER, comm="app"):
+    parent = parent if parent is not None else kernel.process_table.init
+    return kernel.sys_spawn(parent, f"/usr/bin/{comm}", comm=comm, creds=creds)
+
+
+class TestAttachRules:
+    def test_parent_can_attach_to_child(self, kernel):
+        parent = spawn(kernel)
+        child = kernel.sys_fork(parent)
+        kernel.ptrace.attach(parent, child)
+        assert child.traced_by is parent
+        assert child.pid in parent.tracees
+
+    def test_unrelated_same_uid_processes_cannot_attach(self, kernel):
+        """'even if two unrelated processes run with identical (but
+        non-super user) credentials, they cannot manipulate each other's
+        state' (Section IV-B)."""
+        a = spawn(kernel, comm="a")
+        b = spawn(kernel, comm="b")
+        with pytest.raises(OperationNotPermitted):
+            kernel.ptrace.attach(a, b)
+        assert (a.pid, b.pid) in kernel.ptrace.denied_attaches
+
+    def test_different_uid_rejected(self, kernel):
+        a = spawn(kernel, creds=Credentials(1000, 1000), comm="a")
+        parent_b = spawn(kernel, creds=Credentials(2000, 2000), comm="b")
+        b_child = kernel.sys_fork(parent_b)
+        with pytest.raises(OperationNotPermitted):
+            kernel.ptrace.attach(a, b_child)
+
+    def test_superuser_can_attach_anywhere(self, kernel):
+        rootproc = spawn(kernel, creds=ROOT, comm="gdb-as-root")
+        victim = spawn(kernel, comm="victim")
+        kernel.ptrace.attach(rootproc, victim)
+        assert victim.traced_by is rootproc
+
+    def test_self_attach_rejected(self, kernel):
+        task = spawn(kernel)
+        with pytest.raises(InvalidArgument):
+            kernel.ptrace.attach(task, task)
+
+    def test_single_tracer(self, kernel):
+        parent = spawn(kernel)
+        child = kernel.sys_fork(parent)
+        grandchild = kernel.sys_fork(child)
+        kernel.ptrace.attach(parent, grandchild)
+        with pytest.raises(OperationNotPermitted):
+            kernel.ptrace.attach(child, grandchild)
+
+    def test_detach(self, kernel):
+        parent = spawn(kernel)
+        child = kernel.sys_fork(parent)
+        kernel.ptrace.attach(parent, child)
+        kernel.ptrace.detach(parent, child)
+        assert child.traced_by is None
+
+    def test_detach_by_non_tracer_rejected(self, kernel):
+        parent = spawn(kernel)
+        child = kernel.sys_fork(parent)
+        kernel.ptrace.attach(parent, child)
+        stranger = spawn(kernel, comm="stranger")
+        with pytest.raises(OperationNotPermitted):
+            kernel.ptrace.detach(stranger, child)
+
+    def test_exit_severs_trace_links(self, kernel):
+        parent = spawn(kernel)
+        child = kernel.sys_fork(parent)
+        kernel.ptrace.attach(parent, child)
+        kernel.sys_exit(child)
+        assert child.pid not in parent.tracees
+
+
+class TestPermissionRevocation:
+    def test_traced_task_loses_permissions(self, kernel):
+        parent = spawn(kernel)
+        child = kernel.sys_fork(parent)
+        kernel.ptrace.attach(parent, child)
+        assert kernel.ptrace.permissions_disabled(child)
+
+    def test_untraced_task_keeps_permissions(self, kernel):
+        task = spawn(kernel)
+        assert not kernel.ptrace.permissions_disabled(task)
+
+    def test_toggle_disables_hardening(self, kernel):
+        parent = spawn(kernel)
+        child = kernel.sys_fork(parent)
+        kernel.ptrace.attach(parent, child)
+        kernel.ptrace.protection_enabled = False
+        assert not kernel.ptrace.permissions_disabled(child)
+
+
+class TestProcfsToggle:
+    def test_read_default(self, kernel):
+        assert kernel.procfs.read(PTRACE_PROTECTION_NODE) == "1"
+
+    def test_superuser_can_toggle(self, kernel):
+        rootproc = spawn(kernel, creds=ROOT, comm="admin")
+        kernel.procfs.write(rootproc, PTRACE_PROTECTION_NODE, "0")
+        assert not kernel.ptrace.protection_enabled
+        kernel.procfs.write(rootproc, PTRACE_PROTECTION_NODE, "1")
+        assert kernel.ptrace.protection_enabled
+
+    def test_ordinary_user_cannot_toggle(self, kernel):
+        """'it could be toggled by the super user' -- only."""
+        user = spawn(kernel)
+        with pytest.raises(OperationNotPermitted):
+            kernel.procfs.write(user, PTRACE_PROTECTION_NODE, "0")
+        assert kernel.ptrace.protection_enabled
+
+    def test_invalid_value_rejected(self, kernel):
+        rootproc = spawn(kernel, creds=ROOT, comm="admin")
+        with pytest.raises(OperationNotPermitted):
+            kernel.procfs.write(rootproc, PTRACE_PROTECTION_NODE, "yes")
+
+    def test_unknown_node(self, kernel):
+        with pytest.raises(FileNotFound):
+            kernel.procfs.read("/proc/sys/overhaul/nonexistent")
+
+    def test_node_listing(self, kernel):
+        assert PTRACE_PROTECTION_NODE in kernel.procfs.nodes()

@@ -1,0 +1,98 @@
+"""Unit tests for the task_struct equivalent."""
+
+import pytest
+
+from repro.kernel.credentials import DEFAULT_USER
+from repro.kernel.errors import BadFileDescriptor
+from repro.kernel.task import Task, TaskState
+from repro.kernel.vfs import OpenFile, OpenMode, RegularFile
+from repro.sim.time import NEVER
+
+
+def make_task(pid=100, parent=None, comm="test") -> Task:
+    return Task(pid, parent, comm, DEFAULT_USER, f"/usr/bin/{comm}", start_time=0)
+
+
+class TestInteractionState:
+    def test_starts_with_no_interaction(self):
+        assert make_task().interaction_ts == NEVER
+
+    def test_record_interaction_advances(self):
+        task = make_task()
+        assert task.record_interaction(1000)
+        assert task.interaction_ts == 1000
+
+    def test_record_is_max_merge(self):
+        task = make_task()
+        task.record_interaction(1000)
+        assert not task.record_interaction(500)
+        assert task.interaction_ts == 1000
+
+    def test_record_same_timestamp_no_advance(self):
+        task = make_task()
+        task.record_interaction(1000)
+        assert not task.record_interaction(1000)
+
+    def test_interaction_age(self):
+        task = make_task()
+        task.record_interaction(1000)
+        assert task.interaction_age(1500) == 500
+
+    def test_interaction_age_without_interaction_is_huge(self):
+        task = make_task()
+        assert task.interaction_age(0) > 10**18
+
+
+class TestLifecycle:
+    def test_new_task_running(self):
+        task = make_task()
+        assert task.is_alive
+        assert task.state is TaskState.RUNNING
+
+    def test_descendant_chain(self):
+        grandparent = make_task(1, comm="gp")
+        parent = make_task(2, parent=grandparent, comm="p")
+        child = make_task(3, parent=parent, comm="c")
+        assert child.is_descendant_of(grandparent)
+        assert child.is_descendant_of(parent)
+        assert not parent.is_descendant_of(child)
+        assert not grandparent.is_descendant_of(child)
+
+    def test_not_descendant_of_self(self):
+        task = make_task()
+        assert not task.is_descendant_of(task)
+
+
+class TestFdTable:
+    def _open_file(self):
+        inode = RegularFile(DEFAULT_USER, 0o644, created_at=0)
+        return OpenFile("/tmp/x", inode, OpenMode.READ, opener_pid=100)
+
+    def test_install_and_lookup(self):
+        task = make_task()
+        fd = task.install_fd(self._open_file())
+        assert fd == 3  # std streams reserved
+        assert task.lookup_fd(fd).path == "/tmp/x"
+
+    def test_fds_increment(self):
+        task = make_task()
+        assert task.install_fd(self._open_file()) == 3
+        assert task.install_fd(self._open_file()) == 4
+
+    def test_lookup_unknown_fd(self):
+        with pytest.raises(BadFileDescriptor):
+            make_task().lookup_fd(3)
+
+    def test_remove_fd(self):
+        task = make_task()
+        fd = task.install_fd(self._open_file())
+        task.remove_fd(fd)
+        with pytest.raises(BadFileDescriptor):
+            task.lookup_fd(fd)
+
+    def test_open_fds_snapshot_is_copy(self):
+        task = make_task()
+        fd = task.install_fd(self._open_file())
+        snapshot = task.open_fds()
+        task.remove_fd(fd)
+        assert fd in snapshot

@@ -1,0 +1,51 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.errors import TimeError
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=42).now == 42
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(100)
+        assert clock.now == 100
+
+    def test_advance_to_same_instant_is_noop(self):
+        clock = VirtualClock(start=50)
+        clock.advance_to(50)
+        assert clock.now == 50
+
+    def test_advance_by(self):
+        clock = VirtualClock(start=10)
+        clock.advance_by(5)
+        assert clock.now == 15
+
+    def test_advance_by_zero(self):
+        clock = VirtualClock(start=10)
+        clock.advance_by(0)
+        assert clock.now == 10
+
+    def test_cannot_go_backwards(self):
+        clock = VirtualClock(start=100)
+        with pytest.raises(TimeError):
+            clock.advance_to(99)
+
+    def test_cannot_advance_by_negative(self):
+        clock = VirtualClock()
+        with pytest.raises(TimeError):
+            clock.advance_by(-1)
+
+    def test_rejects_non_integer_start(self):
+        with pytest.raises(TimeError):
+            VirtualClock(start=1.5)
+
+    def test_repr_mentions_time(self):
+        assert "1.500000s" in repr(VirtualClock(start=1_500_000))

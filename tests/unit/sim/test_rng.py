@@ -1,0 +1,86 @@
+"""Unit tests for the seeded random sources."""
+
+import pytest
+
+from repro.sim.errors import DeterminismError
+from repro.sim.rng import RandomSource, default_source
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(7)
+        b = RandomSource(7)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(7)
+        b = RandomSource(8)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_fork_is_stable(self):
+        child1 = RandomSource(7).fork("workload")
+        child2 = RandomSource(7).fork("workload")
+        assert child1.random() == child2.random()
+
+    def test_fork_labels_independent(self):
+        root = RandomSource(7)
+        a = root.fork("a")
+        b = root.fork("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_does_not_consume_parent_stream(self):
+        lone = RandomSource(7)
+        expected = [lone.random() for _ in range(3)]
+        forked_parent = RandomSource(7)
+        forked_parent.fork("child")
+        assert [forked_parent.random() for _ in range(3)] == expected
+
+    def test_default_source_default_seed(self):
+        assert default_source().seed == 2016
+        assert default_source(99).seed == 99
+
+    def test_seed_must_be_int(self):
+        with pytest.raises(DeterminismError):
+            RandomSource("not-a-seed")  # type: ignore[arg-type]
+
+
+class TestDraws:
+    def test_randint_bounds(self):
+        rng = RandomSource(1)
+        draws = [rng.randint(3, 5) for _ in range(100)]
+        assert set(draws) <= {3, 4, 5}
+
+    def test_chance_extremes(self):
+        rng = RandomSource(1)
+        assert all(rng.chance(1.0) for _ in range(20))
+        assert not any(rng.chance(0.0) for _ in range(20))
+
+    def test_chance_out_of_range(self):
+        with pytest.raises(DeterminismError):
+            RandomSource(1).chance(1.5)
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(DeterminismError):
+            RandomSource(1).choice([])
+
+    def test_shuffle_returns_new_list(self):
+        rng = RandomSource(1)
+        original = [1, 2, 3, 4, 5]
+        shuffled = rng.shuffle(original)
+        assert sorted(shuffled) == original
+        assert original == [1, 2, 3, 4, 5]
+
+    def test_reaction_time_floor(self):
+        rng = RandomSource(1)
+        draws = [rng.reaction_time(mean_seconds=0.0, stddev_seconds=0.0) for _ in range(10)]
+        assert all(d >= 80_000 for d in draws)  # 80 ms floor
+
+    def test_jittered_delay_within_bounds(self):
+        rng = RandomSource(1)
+        for _ in range(100):
+            delay = rng.jittered_delay(10.0, jitter_fraction=0.1)
+            assert 8_999_999 <= delay <= 11_000_001
+
+    def test_jittered_delay_rejects_negative(self):
+        with pytest.raises(DeterminismError):
+            RandomSource(1).jittered_delay(-1.0)

@@ -1,0 +1,136 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.errors import SchedulerError
+from repro.sim.scheduler import EventScheduler
+
+
+class TestScheduling:
+    def test_schedule_and_run(self, scheduler):
+        fired = []
+        scheduler.schedule_at(100, lambda: fired.append("a"))
+        scheduler.run_until(100)
+        assert fired == ["a"]
+        assert scheduler.now == 100
+
+    def test_events_fire_in_time_order(self, scheduler):
+        fired = []
+        scheduler.schedule_at(200, lambda: fired.append("late"))
+        scheduler.schedule_at(100, lambda: fired.append("early"))
+        scheduler.run_until(300)
+        assert fired == ["early", "late"]
+
+    def test_same_instant_insertion_order(self, scheduler):
+        fired = []
+        for name in ("first", "second", "third"):
+            scheduler.schedule_at(50, lambda n=name: fired.append(n))
+        scheduler.run_until(50)
+        assert fired == ["first", "second", "third"]
+
+    def test_schedule_after(self, scheduler):
+        scheduler.run_until(100)
+        fired = []
+        scheduler.schedule_after(25, lambda: fired.append(scheduler.now))
+        scheduler.run_for(25)
+        assert fired == [125]
+
+    def test_schedule_in_past_rejected(self, scheduler):
+        scheduler.run_until(100)
+        with pytest.raises(SchedulerError):
+            scheduler.schedule_at(99, lambda: None)
+
+    def test_run_until_past_rejected(self, scheduler):
+        scheduler.run_until(100)
+        with pytest.raises(SchedulerError):
+            scheduler.run_until(50)
+
+    def test_clock_advances_to_horizon_even_if_queue_empty(self, scheduler):
+        scheduler.run_until(500)
+        assert scheduler.now == 500
+
+    def test_events_beyond_horizon_stay_queued(self, scheduler):
+        fired = []
+        scheduler.schedule_at(200, lambda: fired.append("x"))
+        scheduler.run_until(100)
+        assert fired == []
+        assert scheduler.pending_count == 1
+        scheduler.run_until(200)
+        assert fired == ["x"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, scheduler):
+        fired = []
+        handle = scheduler.schedule_at(10, lambda: fired.append("x"))
+        handle.cancel()
+        scheduler.run_until(20)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, scheduler):
+        handle = scheduler.schedule_at(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert scheduler.run_until(20) == 0
+
+    def test_pending_count_excludes_cancelled(self, scheduler):
+        handle = scheduler.schedule_at(10, lambda: None)
+        scheduler.schedule_at(20, lambda: None)
+        handle.cancel()
+        assert scheduler.pending_count == 1
+
+
+class TestReentrancy:
+    def test_callback_can_schedule_more_events(self, scheduler):
+        fired = []
+
+        def first():
+            fired.append("first")
+            scheduler.schedule_after(10, lambda: fired.append("second"))
+
+        scheduler.schedule_at(100, first)
+        scheduler.run_until(200)
+        assert fired == ["first", "second"]
+
+    def test_callback_chain_within_horizon(self, scheduler):
+        count = []
+
+        def tick():
+            if len(count) < 5:
+                count.append(1)
+                scheduler.schedule_after(1, tick)
+
+        scheduler.schedule_at(0, tick)
+        scheduler.run_until(100)
+        assert len(count) == 5
+
+    def test_reentrant_run_rejected(self, scheduler):
+        def evil():
+            scheduler.run_until(500)
+
+        scheduler.schedule_at(10, evil)
+        with pytest.raises(SchedulerError):
+            scheduler.run_until(100)
+
+
+class TestDrain:
+    def test_drain_empties_queue(self, scheduler):
+        fired = []
+        scheduler.schedule_at(10, lambda: fired.append(1))
+        scheduler.schedule_at(20, lambda: fired.append(2))
+        assert scheduler.drain() == 2
+        assert fired == [1, 2]
+
+    def test_drain_detects_runaway(self, scheduler):
+        def forever():
+            scheduler.schedule_after(1, forever)
+
+        scheduler.schedule_at(0, forever)
+        with pytest.raises(SchedulerError):
+            scheduler.drain(max_events=100)
+
+    def test_events_dispatched_counter(self, scheduler):
+        for t in (1, 2, 3):
+            scheduler.schedule_at(t, lambda: None)
+        scheduler.run_until(10)
+        assert scheduler.events_dispatched == 3

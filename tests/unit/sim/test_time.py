@@ -1,0 +1,79 @@
+"""Unit tests for the virtual timebase."""
+
+import pytest
+
+from repro.sim.errors import TimeError
+from repro.sim.time import (
+    MICROSECONDS_PER_MILLISECOND,
+    MICROSECONDS_PER_SECOND,
+    NEVER,
+    format_timestamp,
+    from_millis,
+    from_seconds,
+    to_seconds,
+    validate_duration,
+)
+
+
+class TestConversions:
+    def test_from_seconds_whole(self):
+        assert from_seconds(2.0) == 2 * MICROSECONDS_PER_SECOND
+
+    def test_from_seconds_fractional(self):
+        assert from_seconds(0.5) == 500_000
+
+    def test_from_seconds_rounds(self):
+        assert from_seconds(1e-7) == 0
+        assert from_seconds(6e-7) == 1
+
+    def test_from_millis(self):
+        assert from_millis(500) == 500 * MICROSECONDS_PER_MILLISECOND
+
+    def test_round_trip(self):
+        assert to_seconds(from_seconds(3.25)) == pytest.approx(3.25)
+
+    def test_nan_rejected(self):
+        with pytest.raises(TimeError):
+            from_seconds(float("nan"))
+        with pytest.raises(TimeError):
+            from_millis(float("nan"))
+
+
+class TestFormatting:
+    def test_format_zero(self):
+        assert format_timestamp(0) == "[0.000000s]"
+
+    def test_format_fractional(self):
+        assert format_timestamp(1_500_000) == "[1.500000s]"
+
+    def test_format_negative(self):
+        assert format_timestamp(-250_000) == "[-0.250000s]"
+
+    def test_format_never(self):
+        assert format_timestamp(NEVER) == "[never]"
+
+
+class TestValidateDuration:
+    def test_accepts_zero(self):
+        assert validate_duration(0) == 0
+
+    def test_accepts_positive(self):
+        assert validate_duration(123) == 123
+
+    def test_rejects_negative(self):
+        with pytest.raises(TimeError):
+            validate_duration(-1)
+
+    def test_rejects_float(self):
+        with pytest.raises(TimeError):
+            validate_duration(1.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TimeError):
+            validate_duration(True)
+
+
+class TestNever:
+    def test_never_is_older_than_everything(self):
+        assert NEVER < 0
+        assert NEVER < -from_seconds(10_000_000.0)

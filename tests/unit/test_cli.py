@@ -1,0 +1,42 @@
+"""Smoke tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "GRANTED" in output
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "spyware mic attempt -> None" in output
+
+    def test_usability(self, capsys):
+        assert main(["usability", "--seed", "66"]) == 0
+        output = capsys.readouterr().out
+        assert "participants" in output
+
+    def test_longterm_short(self, capsys):
+        assert main(["longterm", "--days", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "OVERHAUL" in output and "unprotected" in output
+
+    def test_applicability(self, capsys):
+        assert main(["applicability"]) == 0
+        output = capsys.readouterr().out
+        assert "applications exercised : 108" in output
+
+    def test_table1_tiny(self, capsys):
+        assert main(["table1", "--scale", "0.02", "--repeats", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])

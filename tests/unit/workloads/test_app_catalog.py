@@ -1,0 +1,88 @@
+"""Unit tests for the V-C application catalogue and per-pattern exercisers."""
+
+import pytest
+
+from repro.workloads.app_catalog import (
+    AccessPattern,
+    build_clipboard_app_pool,
+    build_device_app_pool,
+    exercise_app,
+)
+
+
+class TestPools:
+    def test_device_pool_size_matches_paper(self):
+        assert len(build_device_app_pool()) == 58
+
+    def test_clipboard_pool_size_matches_paper(self):
+        assert len(build_clipboard_app_pool()) == 50
+
+    def test_skype_is_the_startup_probe_app(self):
+        specs = build_device_app_pool()
+        probes = [s for s in specs if s.pattern is AccessPattern.STARTUP_DEVICE_PROBE]
+        assert [s.name for s in probes] == ["skype"]
+
+    def test_delayed_screenshot_apps_present(self):
+        specs = build_device_app_pool()
+        delayed = {s.name for s in specs if s.pattern is AccessPattern.DELAYED_SCREENSHOT}
+        assert delayed == {"shutter", "flameshot"}
+
+    def test_names_unique(self):
+        names = [s.name for s in build_device_app_pool() + build_clipboard_app_pool()]
+        assert len(names) == len(set(names))
+
+    def test_pool_covers_paper_categories(self):
+        categories = {s.category for s in build_device_app_pool()}
+        for expected in ("video-conferencing", "audio-editor", "av-recorder",
+                         "screenshot", "screencast", "browser"):
+            assert expected in categories
+
+
+class TestExercisers:
+    def _one(self, pattern):
+        spec = next(
+            s
+            for s in build_device_app_pool() + build_clipboard_app_pool()
+            if s.pattern is pattern
+        )
+        return exercise_app(spec)
+
+    def test_interaction_then_device_functions(self):
+        result = self._one(AccessPattern.INTERACTION_THEN_DEVICE)
+        assert result.functioned and not result.false_positive
+
+    def test_startup_probe_yields_spurious_alert_only(self):
+        result = self._one(AccessPattern.STARTUP_DEVICE_PROBE)
+        assert result.functioned
+        assert result.spurious_alert
+        assert not result.false_positive
+
+    def test_gui_screenshot_functions(self):
+        result = self._one(AccessPattern.GUI_SCREENSHOT)
+        assert result.functioned
+
+    def test_delayed_screenshot_hits_limitation(self):
+        result = self._one(AccessPattern.DELAYED_SCREENSHOT)
+        assert not result.functioned
+        assert result.limitation_hit
+        assert not result.false_positive  # a documented design limit, not an FP
+
+    def test_screencast_functions(self):
+        result = self._one(AccessPattern.SCREENCAST)
+        assert result.functioned
+
+    def test_cli_device_functions(self):
+        result = self._one(AccessPattern.CLI_DEVICE)
+        assert result.functioned
+
+    def test_cli_screenshot_functions(self):
+        result = self._one(AccessPattern.CLI_SCREENSHOT)
+        assert result.functioned
+
+    def test_browser_webapp_functions(self):
+        result = self._one(AccessPattern.BROWSER_WEBAPP)
+        assert result.functioned
+
+    def test_clipboard_functions(self):
+        result = self._one(AccessPattern.CLIPBOARD)
+        assert result.functioned

@@ -1,0 +1,55 @@
+"""Unit tests for the scenario trace machinery."""
+
+import pytest
+
+from repro.core import Machine
+from repro.workloads.scenarios import (
+    ScenarioStep,
+    ScenarioTrace,
+    figure1_hardware_device,
+    figure2_clipboard_paste,
+)
+
+
+class TestTraceMechanics:
+    def test_step_render(self):
+        step = ScenarioStep("3", "event forwarded", "queue depth 2")
+        assert step.render() == "(3) event forwarded -- queue depth 2"
+
+    def test_step_render_without_detail(self):
+        assert ScenarioStep("1", "click").render() == "(1) click"
+
+    def test_trace_add_and_render(self):
+        trace = ScenarioTrace("demo", "Figure X")
+        trace.add("1", "first")
+        trace.add("2", "second", "detail")
+        trace.succeeded = True
+        text = trace.render()
+        assert "Figure X" in text
+        assert "(1) first" in text
+        assert "GRANTED" in text
+
+    def test_denied_rendering_with_notes(self):
+        trace = ScenarioTrace("demo", "Figure X")
+        trace.notes = "expired"
+        text = trace.render()
+        assert "DENIED" in text and "expired" in text
+
+
+class TestScenarioReuse:
+    def test_scenarios_accept_supplied_machine(self):
+        """Scenarios can run on a caller's machine (shared-state studies)."""
+        machine = Machine.with_overhaul()
+        trace1 = figure1_hardware_device(machine=machine)
+        trace2 = figure2_clipboard_paste(machine=machine)
+        assert trace1.succeeded and trace2.succeeded
+
+    def test_scenarios_on_fresh_machines_are_independent(self):
+        first = figure1_hardware_device()
+        second = figure1_hardware_device()
+        assert first.succeeded and second.succeeded
+        assert first.steps[0].detail == second.steps[0].detail  # deterministic
+
+    def test_figure1_step_numbering_matches_paper(self):
+        trace = figure1_hardware_device()
+        assert [s.number for s in trace.steps] == ["1", "2", "3", "4", "5", "6"]

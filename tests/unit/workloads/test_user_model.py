@@ -1,0 +1,74 @@
+"""Unit tests for the user behaviour models."""
+
+from collections import Counter
+
+from repro.sim.rng import RandomSource
+from repro.sim.time import from_seconds
+from repro.workloads.user_model import (
+    AlertAttentionModel,
+    AlertReaction,
+    DailyUsageModel,
+)
+
+
+class TestAttentionModel:
+    def test_distribution_roughly_matches_calibration(self):
+        rng = RandomSource(1234)
+        model = AlertAttentionModel(rng)
+        counts = Counter(model.react() for _ in range(10_000))
+        total = sum(counts.values())
+        assert counts[AlertReaction.DID_NOT_NOTICE] / total == pytest_approx(6 / 46, 0.03)
+        assert counts[AlertReaction.INTERRUPTED_AND_REPORTED] / total == pytest_approx(
+            24 / 46, 0.03
+        )
+
+    def test_deterministic_given_seed(self):
+        reactions_a = [AlertAttentionModel(RandomSource(5)).react() for _ in range(1)]
+        reactions_b = [AlertAttentionModel(RandomSource(5)).react() for _ in range(1)]
+        assert reactions_a == reactions_b
+
+    def test_extreme_probabilities(self):
+        always = AlertAttentionModel(RandomSource(1), p_notice=1.0, p_interrupt=1.0)
+        assert all(
+            always.react() is AlertReaction.INTERRUPTED_AND_REPORTED for _ in range(20)
+        )
+        never = AlertAttentionModel(RandomSource(1), p_notice=0.0)
+        assert all(never.react() is AlertReaction.DID_NOT_NOTICE for _ in range(20))
+
+
+def pytest_approx(value, tolerance):
+    import pytest
+
+    return pytest.approx(value, abs=tolerance)
+
+
+class TestDailyUsage:
+    def test_day_plan_contents(self):
+        model = DailyUsageModel(RandomSource(1))
+        plan = model.plan_day(0)
+        kinds = {activity.kind for activity in plan.activities}
+        assert "video_call" in kinds
+        assert "password_paste" in kinds
+        assert "document_edit" in kinds
+
+    def test_activities_sorted_and_within_day(self):
+        model = DailyUsageModel(RandomSource(2))
+        day_span = from_seconds(DailyUsageModel.ACTIVE_HOURS * 3600.0)
+        for day in range(5):
+            plan = model.plan_day(day)
+            offsets = [activity.at_offset for activity in plan.activities]
+            assert offsets == sorted(offsets)
+            assert all(0 <= off <= day_span for off in offsets)
+
+    def test_study_plan_length(self):
+        model = DailyUsageModel(RandomSource(3))
+        plans = model.plan_study(21)
+        assert len(plans) == 21
+        assert [plan.day_index for plan in plans] == list(range(21))
+
+    def test_same_seed_same_plan(self):
+        plan_a = DailyUsageModel(RandomSource(9)).plan_day(0)
+        plan_b = DailyUsageModel(RandomSource(9)).plan_day(0)
+        assert [(a.kind, a.at_offset) for a in plan_a.activities] == [
+            (b.kind, b.at_offset) for b in plan_b.activities
+        ]

@@ -1,0 +1,150 @@
+"""Unit tests for X events, provenance, windows, and stacking."""
+
+import pytest
+
+from repro.sim.time import NEVER
+from repro.xserver.errors import BadValue
+from repro.xserver.events import EventKind, EventProvenance, XEvent
+from repro.xserver.window import Geometry, Pixmap, StackingOrder, Window
+
+
+class TestProvenance:
+    def test_hardware_is_authentic(self):
+        assert EventProvenance.HARDWARE.is_user_authentic
+
+    def test_synthetic_sources_are_not(self):
+        assert not EventProvenance.SEND_EVENT.is_user_authentic
+        assert not EventProvenance.XTEST.is_user_authentic
+        assert not EventProvenance.SERVER.is_user_authentic
+
+    def test_synthetic_flag_only_for_sendevent(self):
+        """The on-the-wire SendEvent flag is forced by the protocol; XTest
+        events carry no flag -- that asymmetry is why provenance tagging
+        was needed."""
+        send = XEvent(EventKind.KEY_PRESS, 0, EventProvenance.SEND_EVENT)
+        xtest = XEvent(EventKind.KEY_PRESS, 0, EventProvenance.XTEST)
+        assert send.synthetic_flag
+        assert not xtest.synthetic_flag
+
+    def test_is_authentic_input(self):
+        hw_key = XEvent(EventKind.KEY_PRESS, 0, EventProvenance.HARDWARE)
+        hw_expose = XEvent(EventKind.EXPOSE, 0, EventProvenance.HARDWARE)
+        fake_key = XEvent(EventKind.KEY_PRESS, 0, EventProvenance.XTEST)
+        assert hw_key.is_authentic_input
+        assert not hw_expose.is_authentic_input
+        assert not fake_key.is_authentic_input
+
+    def test_input_kinds(self):
+        assert EventKind.BUTTON_PRESS.is_input
+        assert EventKind.MOTION.is_input
+        assert not EventKind.SELECTION_NOTIFY.is_input
+
+    def test_serials_increase(self):
+        a = XEvent(EventKind.MOTION, 0, EventProvenance.HARDWARE)
+        b = XEvent(EventKind.MOTION, 0, EventProvenance.HARDWARE)
+        assert b.serial > a.serial
+
+
+class TestGeometry:
+    def test_contains(self):
+        geometry = Geometry(10, 20, 100, 50)
+        assert geometry.contains(10, 20)
+        assert geometry.contains(109, 69)
+        assert not geometry.contains(110, 69)
+        assert not geometry.contains(9, 20)
+
+    def test_positive_dimensions_required(self):
+        with pytest.raises(BadValue):
+            Geometry(0, 0, 0, 10)
+
+
+class TestWindowVisibility:
+    def test_unmapped_window_has_no_visibility(self):
+        window = Window(1, Geometry(0, 0, 10, 10))
+        assert window.visible_since == NEVER
+        assert window.visible_duration(1000) == 0
+
+    def test_visible_duration(self):
+        window = Window(1, Geometry(0, 0, 10, 10))
+        window.mapped = True
+        window.visible_since = 100
+        assert window.visible_duration(500) == 400
+
+
+class TestStacking:
+    def _window(self, client_id, x=0, y=0, w=100, h=100):
+        window = Window(client_id, Geometry(x, y, w, h))
+        window.mapped = True
+        return window
+
+    def test_new_windows_on_top(self):
+        stack = StackingOrder()
+        bottom, top = self._window(1), self._window(2)
+        stack.add_top(bottom)
+        stack.add_top(top)
+        assert stack.bottom_to_top() == [bottom, top]
+        assert stack.topmost_at(50, 50) is top
+
+    def test_raise_and_lower(self):
+        stack = StackingOrder()
+        a, b = self._window(1), self._window(2)
+        stack.add_top(a)
+        stack.add_top(b)
+        stack.raise_window(a)
+        assert stack.topmost_at(50, 50) is a
+        stack.lower_window(a)
+        assert stack.topmost_at(50, 50) is b
+
+    def test_hit_testing_respects_geometry(self):
+        stack = StackingOrder()
+        left = self._window(1, x=0, w=50)
+        right = self._window(2, x=100, w=50)
+        stack.add_top(left)
+        stack.add_top(right)
+        assert stack.topmost_at(10, 10) is left
+        assert stack.topmost_at(120, 10) is right
+        assert stack.topmost_at(75, 10) is None
+
+    def test_transparent_window_receives_clicks_by_default(self):
+        """The clickjacking routing reality: a transparent overlay can
+        capture clicks (the defence is at notification level, not here)."""
+        stack = StackingOrder()
+        victim = self._window(1)
+        overlay = self._window(2)
+        overlay.transparent = True
+        stack.add_top(victim)
+        stack.add_top(overlay)
+        assert stack.topmost_at(50, 50) is overlay
+        assert stack.topmost_at(50, 50, include_transparent=False) is victim
+
+    def test_remove(self):
+        stack = StackingOrder()
+        window = self._window(1)
+        stack.add_top(window)
+        stack.remove(window)
+        assert len(stack) == 0
+        assert stack.topmost_at(50, 50) is None
+
+    def test_duplicate_add_ignored(self):
+        stack = StackingOrder()
+        window = self._window(1)
+        stack.add_top(window)
+        stack.add_top(window)
+        assert len(stack) == 1
+
+
+class TestDrawables:
+    def test_draw_replaces_content(self):
+        pixmap = Pixmap(1)
+        pixmap.draw(b"abc")
+        pixmap.draw(b"xyz")
+        assert bytes(pixmap.content) == b"xyz"
+
+    def test_append(self):
+        pixmap = Pixmap(1)
+        pixmap.append(b"ab")
+        pixmap.append(b"cd")
+        assert bytes(pixmap.content) == b"abcd"
+
+    def test_drawable_ids_unique(self):
+        assert Pixmap(1).drawable_id != Pixmap(1).drawable_id

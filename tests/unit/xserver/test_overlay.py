@@ -1,0 +1,88 @@
+"""Unit tests for the trusted overlay output path (Figure 5)."""
+
+from repro.sim.time import from_seconds
+from repro.xserver.overlay import OverlayManager
+
+
+class TestAlertLifecycle:
+    def test_alert_visible_for_duration(self):
+        overlay = OverlayManager()
+        overlay.show_alert("msg", "microphone", 10, "skype", now=0)
+        assert overlay.is_alert_visible(0)
+        assert overlay.is_alert_visible(overlay.alert_duration - 1)
+        assert not overlay.is_alert_visible(overlay.alert_duration)
+
+    def test_custom_duration(self):
+        overlay = OverlayManager()
+        overlay.show_alert("msg", "op", 1, "a", now=0, duration=from_seconds(1.0))
+        assert not overlay.is_alert_visible(from_seconds(1.5))
+
+    def test_alert_carries_shared_secret(self):
+        """Figure 5: the user's visual shared secret marks authentic alerts;
+        no client-reachable API can attach it to a window."""
+        overlay = OverlayManager(shared_secret="visual-secret:cat.png")
+        alert = overlay.show_alert("msg", "camera", 10, "skype", now=0)
+        assert alert.shared_secret == "visual-secret:cat.png"
+
+    def test_history_and_pid_queries(self):
+        overlay = OverlayManager()
+        overlay.show_alert("a", "mic", 10, "x", now=0)
+        overlay.show_alert("b", "cam", 20, "y", now=0)
+        assert len(overlay.alerts_for_pid(10)) == 1
+        assert overlay.total_shown == 2
+
+    def test_coalescing_identical_visible_alerts(self):
+        overlay = OverlayManager()
+        first = overlay.show_alert("m", "mic", 10, "x", now=0)
+        second = overlay.show_alert("m", "mic", 10, "x", now=100)
+        assert first is second
+        assert overlay.total_shown == 1
+
+    def test_no_coalescing_after_expiry(self):
+        overlay = OverlayManager()
+        overlay.show_alert("m", "mic", 10, "x", now=0)
+        later = overlay.alert_duration + 1
+        second = overlay.show_alert("m", "mic", 10, "x", now=later)
+        assert second.shown_at == later
+        assert overlay.total_shown == 2
+
+    def test_different_operations_not_coalesced(self):
+        overlay = OverlayManager()
+        overlay.show_alert("m", "mic", 10, "x", now=0)
+        overlay.show_alert("m", "cam", 10, "x", now=0)
+        assert overlay.total_shown == 2
+
+
+class TestComposition:
+    def test_banner_empty_without_alerts(self):
+        overlay = OverlayManager()
+        assert overlay.banner_bytes(0) == b""
+
+    def test_banner_includes_secret_and_operation(self):
+        overlay = OverlayManager(shared_secret="SECRET")
+        overlay.show_alert("m", "camera", 10, "skype", now=0)
+        banner = overlay.banner_bytes(1)
+        assert b"SECRET" in banner
+        assert b"camera" in banner
+        assert b"skype" in banner
+
+    def test_compose_over_prepends_banner(self):
+        overlay = OverlayManager()
+        overlay.show_alert("m", "mic", 1, "a", now=0)
+        composed = overlay.compose_over(b"SCREEN", 1)
+        assert composed.endswith(b"SCREEN")
+        assert composed != b"SCREEN"
+
+    def test_compose_over_identity_without_alerts(self):
+        overlay = OverlayManager()
+        screen = b"SCREEN"
+        assert overlay.compose_over(screen, 0) is screen
+
+    def test_history_retention_bounded(self):
+        overlay = OverlayManager()
+        overlay.HISTORY_LIMIT = 50
+        for i in range(200):
+            # distinct operations defeat coalescing
+            overlay.show_alert("m", f"op{i}", 1, "a", now=i * overlay.alert_duration * 2)
+        assert overlay.total_shown == 200
+        assert len(overlay.history) <= 50

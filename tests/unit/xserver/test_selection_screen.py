@@ -1,0 +1,180 @@
+"""Unit tests for selections, properties, screen capture (unmodified server).
+
+These exercise the *stock X11* behaviour -- including the insecurities the
+paper exploits in its attack analysis.  The Overhaul-enabled behaviour is
+tested in tests/unit/core and tests/integration.
+"""
+
+import pytest
+
+from repro.sim.scheduler import EventScheduler
+from repro.xserver.errors import BadAtom, BadMatch, BadWindow
+from repro.xserver.events import EventKind
+from repro.xserver.selection import TransferState
+from repro.xserver.server import XServer
+from repro.xserver.window import Geometry
+
+
+class FakeTask:
+    def __init__(self, pid, comm="app"):
+        self.pid = pid
+        self.comm = comm
+
+
+@pytest.fixture
+def server():
+    return XServer(EventScheduler())
+
+
+def client_with_window(server, pid):
+    client = server.connect(FakeTask(pid))
+    window = server.create_window(client, Geometry(0, 0, 10, 10))
+    server.map_window(client, window.drawable_id)
+    return client, window
+
+
+class TestSelectionOwnership:
+    def test_set_and_get_owner(self, server):
+        client, window = client_with_window(server, 1)
+        server.set_selection_owner(client, "CLIPBOARD", window.drawable_id)
+        assert server.get_selection_owner(client, "CLIPBOARD") == window.drawable_id
+
+    def test_no_owner_returns_none(self, server):
+        client, _ = client_with_window(server, 1)
+        assert server.get_selection_owner(client, "CLIPBOARD") is None
+
+    def test_previous_owner_receives_selection_clear(self, server):
+        first, first_window = client_with_window(server, 1)
+        second, second_window = client_with_window(server, 2)
+        server.set_selection_owner(first, "CLIPBOARD", first_window.drawable_id)
+        server.set_selection_owner(second, "CLIPBOARD", second_window.drawable_id)
+        clears = [e for e in first.event_queue if e.kind is EventKind.SELECTION_CLEAR]
+        assert len(clears) == 1
+
+    def test_empty_selection_name_rejected(self, server):
+        client, window = client_with_window(server, 1)
+        with pytest.raises(BadAtom):
+            server.set_selection_owner(client, "", window.drawable_id)
+
+    def test_cannot_own_with_foreign_window(self, server):
+        client, _ = client_with_window(server, 1)
+        other, other_window = client_with_window(server, 2)
+        with pytest.raises(BadMatch):
+            server.set_selection_owner(client, "CLIPBOARD", other_window.drawable_id)
+
+
+class TestTransferProtocol:
+    def test_full_round_trip_states(self, server):
+        owner, owner_window = client_with_window(server, 1)
+        requestor, req_window = client_with_window(server, 2)
+        server.set_selection_owner(owner, "CLIPBOARD", owner_window.drawable_id)
+        transfer = server.convert_selection(
+            requestor, "CLIPBOARD", "STRING", "XSEL_DATA", req_window.drawable_id
+        )
+        assert transfer.state is TransferState.REQUESTED
+        # Owner received SelectionRequest (step 7).
+        requests = [e for e in owner.event_queue if e.kind is EventKind.SELECTION_REQUEST]
+        assert len(requests) == 1
+        # Owner stores data (step 8).
+        server.change_property(owner, req_window.drawable_id, "XSEL_DATA", b"hello")
+        assert transfer.state is TransferState.DATA_STORED
+        # Owner sends SelectionNotify (step 9).
+        server.send_event(owner, req_window.drawable_id, EventKind.SELECTION_NOTIFY)
+        assert transfer.state is TransferState.NOTIFIED
+        # Requestor fetches and deletes (steps 11-13).
+        data = server.get_property(requestor, req_window.drawable_id, "XSEL_DATA", delete=True)
+        assert data == b"hello"
+        assert transfer.state is TransferState.COMPLETED
+
+    def test_convert_with_no_owner_returns_none(self, server):
+        requestor, req_window = client_with_window(server, 2)
+        assert server.convert_selection(
+            requestor, "CLIPBOARD", "STRING", "P", req_window.drawable_id
+        ) is None
+
+    def test_convert_after_owner_disconnect(self, server):
+        owner, owner_window = client_with_window(server, 1)
+        server.set_selection_owner(owner, "CLIPBOARD", owner_window.drawable_id)
+        server.disconnect(owner)
+        requestor, req_window = client_with_window(server, 2)
+        assert server.convert_selection(
+            requestor, "CLIPBOARD", "STRING", "P", req_window.drawable_id
+        ) is None
+
+
+class TestProperties:
+    def test_get_missing_property(self, server):
+        client, window = client_with_window(server, 1)
+        assert server.get_property(client, window.drawable_id, "NOPE") is None
+
+    def test_property_notify_delivered_to_subscribers(self, server):
+        owner, window = client_with_window(server, 1)
+        snoop, _ = client_with_window(server, 2)
+        server.subscribe_property_events(snoop, window.drawable_id)
+        server.change_property(owner, window.drawable_id, "PROP", b"v")
+        notifies = [e for e in snoop.event_queue if e.kind is EventKind.PROPERTY_NOTIFY]
+        assert len(notifies) == 1
+        assert notifies[0].payload["property"] == "PROP"
+
+    def test_delete_fires_deleted_notify(self, server):
+        client, window = client_with_window(server, 1)
+        server.change_property(client, window.drawable_id, "PROP", b"v")
+        server.get_property(client, window.drawable_id, "PROP", delete=True)
+        deleted = [
+            e
+            for e in client.event_queue
+            if e.kind is EventKind.PROPERTY_NOTIFY and e.payload.get("deleted")
+        ]
+        assert len(deleted) == 1
+
+    def test_unknown_window_rejected(self, server):
+        client, _ = client_with_window(server, 1)
+        with pytest.raises(BadWindow):
+            server.change_property(client, 0xDEAD, "P", b"x")
+
+
+class TestScreenCaptureUnprotected:
+    def test_get_image_own_window(self, server):
+        client, window = client_with_window(server, 1)
+        server.draw(client, window.drawable_id, b"mine")
+        assert server.get_image(client, window.drawable_id) == b"mine"
+
+    def test_get_image_root_composites_all_windows(self, server):
+        a_client, a_window = client_with_window(server, 1)
+        b_client, b_window = client_with_window(server, 2)
+        server.draw(a_client, a_window.drawable_id, b"AAA")
+        server.draw(b_client, b_window.drawable_id, b"BBB")
+        spy, _ = client_with_window(server, 3)
+        image = server.get_image(spy, server.root_window.drawable_id)
+        assert b"AAA" in image and b"BBB" in image
+
+    def test_get_image_foreign_window_allowed_on_stock_server(self, server):
+        victim, victim_window = client_with_window(server, 1)
+        server.draw(victim, victim_window.drawable_id, b"secret")
+        spy, _ = client_with_window(server, 2)
+        assert server.get_image(spy, victim_window.drawable_id) == b"secret"
+
+    def test_shm_variant_same_path(self, server):
+        client, window = client_with_window(server, 1)
+        server.draw(client, window.drawable_id, b"img")
+        assert server.get_image(client, window.drawable_id, via="mit-shm") == b"img"
+
+    def test_copy_area_same_owner(self, server):
+        client, window = client_with_window(server, 1)
+        server.draw(client, window.drawable_id, b"content")
+        pixmap = server.create_pixmap(client)
+        server.copy_area(client, window.drawable_id, pixmap.drawable_id)
+        assert bytes(pixmap.content) == b"content"
+
+    def test_copy_area_into_foreign_drawable_rejected(self, server):
+        a, a_window = client_with_window(server, 1)
+        b, b_window = client_with_window(server, 2)
+        with pytest.raises(BadMatch):
+            server.copy_area(a, a_window.drawable_id, b_window.drawable_id)
+
+    def test_copy_plane_aliases_copy_area(self, server):
+        client, window = client_with_window(server, 1)
+        server.draw(client, window.drawable_id, b"plane")
+        pixmap = server.create_pixmap(client)
+        server.copy_plane(client, window.drawable_id, pixmap.drawable_id)
+        assert bytes(pixmap.content) == b"plane"
