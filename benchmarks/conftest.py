@@ -30,3 +30,16 @@ CONFIG_IDS = ["baseline", "overhaul"]
 @pytest.fixture(params=CONFIGS, ids=CONFIG_IDS)
 def protected(request):
     return request.param
+
+
+def attach_counters(benchmark, machine):
+    """Store the machine's cross-layer operation counts on the benchmark.
+
+    The counts land in ``benchmark.extra_info`` (serialised into
+    ``--benchmark-json`` output), so a round that got faster by silently
+    doing less work is visible in the saved results.
+    """
+    from repro.obs.counters import collect_counters
+
+    for name, value in collect_counters(machine):
+        benchmark.extra_info[name] = value

@@ -7,7 +7,7 @@ scaled open/close loop through the identical syscall path.
 
 import pytest
 
-from benchmarks.conftest import DEVICE_OPS
+from benchmarks.conftest import DEVICE_OPS, attach_counters
 from repro.analysis.benchops import DeviceAccessRig
 
 
@@ -15,6 +15,7 @@ from repro.analysis.benchops import DeviceAccessRig
 def test_device_access(benchmark, protected):
     rig = DeviceAccessRig(protected)
     benchmark.pedantic(rig.run, args=(DEVICE_OPS,), rounds=5, warmup_rounds=1)
+    attach_counters(benchmark, rig.machine)
     if protected:
         # The measurement mode must have exercised the full decision path.
         assert rig.machine.overhaul.monitor.grant_count >= DEVICE_OPS

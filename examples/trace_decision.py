@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Decision-path tracing: replay *why* every verdict happened.
+
+The paper's authors verified Overhaul "by inspecting the logs produced by
+our system".  This example shows the reproduction's sharper version of that
+inspection: a cross-layer tracer records every hop of each decision --
+input provenance, interaction notification, netlink message, permission
+monitor verdict, overlay alert -- and the decision-path report reconstructs
+the full chain for every grant and deny.
+
+Run:  python examples/trace_decision.py
+
+Equivalent CLI:  python -m repro trace --tree --counters
+"""
+
+from repro.obs import collect_counters, render_decision_report, run_traced_quickstart
+
+
+def main() -> None:
+    # The quickstart scenario (spyware denied; a clicked recorder granted;
+    # the grant expiring 2.5 s later) on a machine with tracing enabled.
+    # Equivalent by hand:  machine = Machine.with_overhaul(trace=True)
+    machine = run_traced_quickstart()
+
+    print("--- decision-path report: every verdict back to its input ---")
+    print(render_decision_report(machine))
+
+    print("\n--- the raw span forest the report was built from ---")
+    print(machine.tracer.render_tree())
+
+    print("\n--- exact cross-layer operation counts ---")
+    print(collect_counters(machine).render())
+
+    # Everything above is deterministic: a second traced run renders the
+    # identical bytes (window ids are interned in first-seen order).
+    again = run_traced_quickstart()
+    assert again.tracer.render_tree() == machine.tracer.render_tree()
+    print("\nreplayed: second traced run rendered byte-identically")
+
+
+if __name__ == "__main__":
+    main()

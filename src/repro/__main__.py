@@ -8,7 +8,10 @@ Commands:
 - ``usability``     -- run the V-B study (accepts ``--seed``);
 - ``longterm``      -- run the V-D study (accepts ``--days``/``--seed``);
 - ``applicability`` -- run the V-C sweep;
-- ``report``        -- regenerate the full evaluation report.
+- ``report``        -- regenerate the full evaluation report;
+- ``trace``         -- replay the quickstart with tracing on and print the
+  decision-path report (``--tree`` adds the raw span forest,
+  ``--counters`` the cross-layer counter table).
 """
 
 from __future__ import annotations
@@ -41,6 +44,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     report = sub.add_parser("report", help="full evaluation report")
     report.add_argument("--full", action="store_true")
+
+    trace = sub.add_parser("trace", help="traced quickstart decision-path report")
+    trace.add_argument("--tree", action="store_true", help="also print the span forest")
+    trace.add_argument("--counters", action="store_true", help="also print counters")
 
     args = parser.parse_args(argv)
 
@@ -75,6 +82,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.workloads.app_catalog import run_applicability_sweep
 
         print(run_applicability_sweep().render())
+        return 0
+    if args.command == "trace":
+        from repro.obs import collect_counters, render_decision_report, run_traced_quickstart
+
+        machine = run_traced_quickstart()
+        print(render_decision_report(machine))
+        if args.tree:
+            print()
+            print(machine.tracer.render_tree())
+        if args.counters:
+            print()
+            print(collect_counters(machine).render())
         return 0
     if args.command == "report":
         from repro.analysis.report import build_report

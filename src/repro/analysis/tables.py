@@ -20,8 +20,8 @@ by exactly this harness.
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
-from typing import List, Optional, Type
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type
 
 from repro.analysis.benchops import (
     ALL_RIGS,
@@ -32,6 +32,7 @@ from repro.analysis.benchops import (
     SharedMemoryRig,
 )
 from repro.analysis.metrics import TimingResult, overhead_percent, time_callable
+from repro.obs.counters import collect_counters
 
 #: Operations per run() call for each row at scale 1.  Chosen so a full
 #: table regeneration takes tens of seconds, not the paper's hours.
@@ -53,6 +54,9 @@ class TableRow:
     baseline: TimingResult
     overhaul: TimingResult
     paper_overhead_percent: float
+    #: Cross-layer operation counts from the Overhaul rig after its timed
+    #: runs -- a faster round that silently did less work shows up here.
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def measured_overhead_percent(self) -> float:
@@ -81,6 +85,15 @@ class TableIResult:
         lines.append(rule)
         return "\n".join(lines)
 
+    def render_counters(self) -> str:
+        """The per-row work-count appendix (deterministic ordering)."""
+        lines = ["Operation counts (Overhaul configuration)"]
+        for row in self.rows:
+            lines.append(f"  {row.name}:")
+            for name, value in sorted(row.counters.items()):
+                lines.append(f"    {name} = {value}")
+        return "\n".join(lines)
+
 
 def measure_row(
     rig_class: Type,
@@ -102,6 +115,7 @@ def measure_row(
         baseline=baseline,
         overhaul=overhaul,
         paper_overhead_percent=rig_class.paper_overhead_percent,
+        counters=collect_counters(overhaul_rig.machine).snapshot(),
     )
 
 

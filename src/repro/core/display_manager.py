@@ -86,6 +86,7 @@ class DisplayManagerExtension:
         can never satisfy the check.
         """
         now = event.timestamp
+        tracer = self._xserver.tracer
         if event.kind is EventKind.MOTION:
             # Pointer motion alone is not an intentional interaction with an
             # application -- only presses/releases/keys express user intent
@@ -97,11 +98,21 @@ class DisplayManagerExtension:
                     client.pid, window.drawable_id, now, "transparent window"
                 )
             )
+            if tracer.enabled:
+                tracer.event(
+                    "input.suppress", "input",
+                    pid=client.pid, window=window.drawable_id, reason="transparent window",
+                )
             return
         if not window.mapped:
             self.suppressed.append(
                 SuppressedInteraction(client.pid, window.drawable_id, now, "unmapped window")
             )
+            if tracer.enabled:
+                tracer.event(
+                    "input.suppress", "input",
+                    pid=client.pid, window=window.drawable_id, reason="unmapped window",
+                )
             return
         if window.visible_duration(now) < self.config.window_visibility_threshold:
             self.suppressed.append(
@@ -112,6 +123,12 @@ class DisplayManagerExtension:
                     f"visible only {window.visible_duration(now)} us",
                 )
             )
+            if tracer.enabled:
+                tracer.event(
+                    "input.suppress", "input",
+                    pid=client.pid, window=window.drawable_id,
+                    reason="below visibility threshold",
+                )
             return
         # Step (2) of Figures 1-2: N_{A,t} over the secure channel.  A dead
         # channel (kernel restart of the link, teardown race) degrades to
@@ -126,11 +143,25 @@ class DisplayManagerExtension:
             from repro.core.graybox import descriptor_from_event
 
             payload["descriptor"] = descriptor_from_event(event, window)
+        span = None
+        if tracer.enabled:
+            span = tracer.start(
+                "input.notify",
+                "input",
+                pid=client.pid,
+                window=window.drawable_id,
+                kind=event.kind.value,
+                provenance=event.provenance.name,
+                timestamp=now,
+            )
         try:
             self._channel.send_to_kernel(self._task, MSG_INTERACTION, payload)
         except KernelError:
             self.channel_failures += 1
             return
+        finally:
+            if span is not None:
+                tracer.finish(span)
         self.notifications_sent += 1
 
     def on_synthetic_input(
@@ -143,6 +174,15 @@ class DisplayManagerExtension:
         which is the whole of security goal S2.
         """
         self.synthetic_inputs_seen += 1
+        tracer = self._xserver.tracer
+        if tracer.enabled:
+            tracer.event(
+                "input.filter",
+                "input",
+                pid=client.pid,
+                kind=event.kind.value,
+                provenance=event.provenance.name,
+            )
 
     # -- display-resource permission queries -------------------------------------
 

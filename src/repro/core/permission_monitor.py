@@ -79,6 +79,8 @@ class PermissionMonitor:
         self.alerts_requested = 0
         self.grant_count = 0
         self.deny_count = 0
+        #: Alert requests absorbed by the on-screen coalescing window.
+        self.alerts_coalesced = 0
         #: (pid, operation, blocked) -> expiry of the alert on screen.
         self._alert_coalesce: dict = {}
         #: Prompt-mode arbiter (Section IV-A's verified extension).
@@ -121,6 +123,15 @@ class PermissionMonitor:
         except NoSuchProcess:
             return  # the client raced with its own exit; nothing to record
         task.record_interaction(timestamp)
+        tracer = self._kernel.tracer
+        if tracer.enabled:
+            tracer.event(
+                "monitor.record",
+                "decision",
+                pid=pid,
+                timestamp=timestamp,
+                interaction_ts=task.interaction_ts,
+            )
         if "descriptor" in message.payload and timestamp >= task.interaction_ts:
             # Gray-box enrichment: remember what the blessing input was.
             # `>=` (not the merge result) so a same-instant newer event --
@@ -168,6 +179,18 @@ class PermissionMonitor:
         # code in the system (every mediated operation runs it), and the
         # age is stored alongside, so nothing is lost.
         age = task.interaction_age(op_time)
+        tracer = self._kernel.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start(
+                "monitor.decide",
+                "decision",
+                pid=task.pid,
+                comm=task.comm,
+                operation=operation,
+                age=age,
+                threshold=self.config.interaction_threshold,
+            )
         if self._kernel.ptrace.permissions_disabled(task):
             granted = False
             reason = "permissions disabled: task is being traced"
@@ -233,6 +256,8 @@ class PermissionMonitor:
         )
         if len(self.decisions) > self.DECISION_LOG_LIMIT:
             del self.decisions[: -self.DECISION_LOG_LIMIT // 2]
+        if span is not None:
+            tracer.finish(span, granted=granted, reason=reason)
         return PermissionResponse(granted, reason, interaction_age=age)
 
     # -- the Kernel-facing mediation interface ----------------------------------------
@@ -259,8 +284,15 @@ class PermissionMonitor:
             return
         key = (task.pid, operation, blocked)
         now = self._kernel.now
+        tracer = self._kernel.tracer
         expiry = self._alert_coalesce.get(key)
         if expiry is not None and now < expiry:
+            self.alerts_coalesced += 1
+            if tracer.enabled:
+                tracer.event(
+                    "alert.coalesce", "alert",
+                    pid=task.pid, operation=operation, blocked=blocked,
+                )
             return
         self._alert_coalesce[key] = now + self.config.alert_duration
         if len(self._alert_coalesce) > 4096:
@@ -270,6 +302,11 @@ class PermissionMonitor:
         channel = self._kernel.netlink.channel_for("display-manager")
         if channel is None:
             return  # no display manager (headless boot); nothing to show
+        if tracer.enabled:
+            tracer.event(
+                "alert.request", "alert",
+                pid=task.pid, operation=operation, blocked=blocked,
+            )
         channel.send_to_userspace(
             MSG_VISUAL_ALERT,
             {

@@ -27,6 +27,7 @@ from repro.kernel.task import Task
 from repro.core.config import OverhaulConfig, paper_config
 from repro.core.display_manager import DisplayManagerExtension
 from repro.core.permission_monitor import PermissionMonitor
+from repro.obs.tracer import Tracer
 from repro.sim.scheduler import EventScheduler
 from repro.sim.time import Timestamp, from_seconds
 from repro.xserver.client import XClient
@@ -83,10 +84,16 @@ class Machine:
         scheduler: Optional[EventScheduler] = None,
         inventory: Optional[DeviceInventory] = None,
         name: str = "machine",
+        trace: bool = False,
     ) -> None:
         self.name = name
         self.scheduler = scheduler if scheduler is not None else EventScheduler()
-        self.kernel = Kernel(self.scheduler, inventory)
+        # One tracer spans all four layers so kernel-side spans nest under
+        # the X-server/netlink spans that caused them.  Disabled by default:
+        # every instrumentation site checks `tracer.enabled` first, keeping
+        # the Table I hot paths untouched.
+        self.tracer = Tracer(lambda: self.scheduler.now, enabled=trace)
+        self.kernel = Kernel(self.scheduler, inventory, tracer=self.tracer)
 
         # The display manager runs as a real superuser task executing the
         # trusted X binary -- which is what the netlink authentication
@@ -94,7 +101,7 @@ class Machine:
         self.xserver_task = self.kernel.sys_spawn(
             self.kernel.process_table.init, DISPLAY_MANAGER_PATH, comm="Xorg", creds=ROOT
         )
-        self.xserver = XServer(self.scheduler)
+        self.xserver = XServer(self.scheduler, tracer=self.tracer)
         self.keyboard = HardwareKeyboard(self.xserver)
         self.mouse = HardwareMouse(self.xserver)
 
@@ -110,12 +117,14 @@ class Machine:
         config: Optional[OverhaulConfig] = None,
         inventory: Optional[DeviceInventory] = None,
         name: str = "protected",
+        trace: bool = False,
     ) -> "Machine":
         """A machine running the Overhaul-patched kernel and X server."""
         return cls(
             overhaul_config=config if config is not None else paper_config(),
             inventory=inventory,
             name=name,
+            trace=trace,
         )
 
     @classmethod
@@ -123,9 +132,10 @@ class Machine:
         cls,
         inventory: Optional[DeviceInventory] = None,
         name: str = "baseline",
+        trace: bool = False,
     ) -> "Machine":
         """An unmodified machine (the Table I baseline / V-D control)."""
-        return cls(overhaul_config=None, inventory=inventory, name=name)
+        return cls(overhaul_config=None, inventory=inventory, name=name, trace=trace)
 
     # -- properties -------------------------------------------------------------
 

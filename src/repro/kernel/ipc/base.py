@@ -23,6 +23,7 @@ stamp entirely -- mirroring an unmodified kernel.
 from __future__ import annotations
 
 from repro.kernel.task import Task
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.time import NEVER, Timestamp, format_timestamp
 
 
@@ -38,6 +39,8 @@ class TrackingPolicy:
         self.enabled = enabled
         self.stamps_embedded = 0
         self.stamps_adopted = 0
+        #: Machine assembly swaps in the shared decision-path tracer.
+        self.tracer = NULL_TRACER
 
     def reset_counters(self) -> None:
         self.stamps_embedded = 0
@@ -60,6 +63,8 @@ class InteractionStamp:
         # Step (1): fresh resources carry an expired timestamp.
         self.timestamp: Timestamp = NEVER
         self._policy = policy
+        if policy.tracer.enabled:
+            policy.tracer.event("stamp.init_expired", "ipc")
 
     def embed_from(self, sender: Task) -> bool:
         """Step (2): merge the sender's interaction timestamp into the resource.
@@ -67,11 +72,16 @@ class InteractionStamp:
         Returns True if the embedded timestamp advanced.  No-op when
         tracking is disabled (baseline kernel).
         """
-        if not self._policy.enabled:
+        policy = self._policy
+        if not policy.enabled:
             return False
         if sender.interaction_ts > self.timestamp:
             self.timestamp = sender.interaction_ts
-            self._policy.stamps_embedded += 1
+            policy.stamps_embedded += 1
+            if policy.tracer.enabled:
+                policy.tracer.event(
+                    "stamp.embed", "ipc", pid=sender.pid, timestamp=sender.interaction_ts
+                )
             return True
         return False
 
@@ -80,11 +90,16 @@ class InteractionStamp:
 
         Returns True if the receiver's timestamp advanced.
         """
-        if not self._policy.enabled:
+        policy = self._policy
+        if not policy.enabled:
             return False
         if self.timestamp > receiver.interaction_ts:
             receiver.record_interaction(self.timestamp)
-            self._policy.stamps_adopted += 1
+            policy.stamps_adopted += 1
+            if policy.tracer.enabled:
+                policy.tracer.event(
+                    "stamp.adopt", "ipc", pid=receiver.pid, timestamp=self.timestamp
+                )
             return True
         return False
 

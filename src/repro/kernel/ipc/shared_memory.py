@@ -34,6 +34,7 @@ from repro.kernel.errors import FileNotFound, InvalidArgument, SegmentationFault
 from repro.kernel.ipc.base import InteractionStamp, TrackingPolicy
 from repro.kernel.mm import PAGE_SIZE, PageProtection, VMArea
 from repro.kernel.task import Task
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.scheduler import EventScheduler
 from repro.sim.time import Timestamp, from_millis
 
@@ -82,6 +83,10 @@ class SharedMemorySubsystem:
         self._posix: Dict[str, SharedMemorySegment] = {}
         self.total_faults = 0
         self.total_accesses = 0
+        #: Wait-list expiries that actually re-revoked an area's pages.
+        self.total_rearms = 0
+        #: Machine assembly swaps in the shared decision-path tracer.
+        self.tracer = NULL_TRACER
 
     # -- naming ------------------------------------------------------------------
 
@@ -154,6 +159,18 @@ class SharedMemorySubsystem:
         area.last_fault_at = self._scheduler.now
         segment = self._segment_of(area)
 
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start(
+                "shm.fault",
+                "ipc",
+                pid=task.pid,
+                area=area.area_id,
+                segment=segment.segment_id,
+                direction="write" if is_write else "read",
+            )
+
         # The interaction-propagation protocol, direction-aware:
         # a faulting write is a send (embed), a faulting read is a receive
         # (adopt).  Running both merges would *strengthen* propagation
@@ -172,10 +189,15 @@ class SharedMemorySubsystem:
         def re_revoke() -> None:
             area.waitlist_event = None
             area.revoke_protection()
+            self.total_rearms += 1
+            if self.tracer.enabled:
+                self.tracer.event("shm.rearm", "ipc", area=area.area_id)
 
         area.waitlist_event = self._scheduler.schedule_after(
             self.waitlist_duration, re_revoke, label=f"shm-rearm(area={area.area_id})"
         )
+        if span is not None:
+            tracer.finish(span)
 
     def _access(
         self,

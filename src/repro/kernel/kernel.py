@@ -54,6 +54,7 @@ from repro.kernel.vfs import (
     OpenMode,
     StatResult,
 )
+from repro.obs.tracer import Tracer
 from repro.sim.scheduler import EventScheduler
 from repro.sim.time import Timestamp
 
@@ -65,18 +66,27 @@ class Kernel:
         self,
         scheduler: Optional[EventScheduler] = None,
         inventory: Optional[DeviceInventory] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.scheduler = scheduler if scheduler is not None else EventScheduler()
+        #: The (machine-shared) decision-path tracer; disabled by default,
+        #: so an unconfigured kernel pays only an `enabled` test per site.
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.tracer.bind_clock(lambda: self.scheduler.now)
         self.filesystem = Filesystem()
         self.tracking = TrackingPolicy(enabled=False)
+        self.tracking.tracer = self.tracer
         self.audit = AuditLog()
         self.process_table = ProcessTable(self.scheduler)
-        self.netlink = NetlinkSubsystem(self.filesystem, lambda: self.scheduler.now)
+        self.netlink = NetlinkSubsystem(
+            self.filesystem, lambda: self.scheduler.now, tracer=self.tracer
+        )
         self.devfs = DevfsManager(self.filesystem, self.netlink)
         self.pipes = PipeSubsystem(self.tracking, self.filesystem)
         self.sockets = UnixSocketSubsystem(self.tracking)
         self.msg_queues = MessageQueueSubsystem(self.tracking)
         self.shm = SharedMemorySubsystem(self.tracking, self.scheduler)
+        self.shm.tracer = self.tracer
         self.pty = PtySubsystem(self.tracking)
         self.ptrace = PtraceSubsystem()
         self.procfs = ProcFilesystem()

@@ -69,26 +69,37 @@ class DeviceMediator:
         if operation is None:
             operation = f"{device_class.label}:{path}"
             self._operation_names[path] = operation
-        granted = monitor.authorize(task, now, operation)
-        kernel.audit.record(
-            timestamp=now,
-            category=AuditCategory.DEVICE,
-            decision=AuditDecision.GRANTED if granted else AuditDecision.DENIED,
-            pid=task.pid,
-            comm=task.comm,
-            detail=operation,
-        )
-        if not granted:
-            self.denials += 1
-            # The blocked access itself is alerted (the V-B user study's
-            # hidden camera process produced exactly this alert).
-            monitor.request_visual_alert(task, operation, blocked=True)
-            raise OverhaulDenied(
-                f"pid {task.pid} ({task.comm}) denied {operation}: "
-                "no authentic user interaction within the threshold"
+        tracer = kernel.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start(
+                "device.gate", "decision", pid=task.pid, comm=task.comm, operation=operation
             )
-        # Step (6) of Figure 1: the kernel asks the display manager to alert
-        # the user.  This is kernel-initiated because, after IPC/process
-        # indirection, the display manager may not know which process
-        # actually touched the device.
-        monitor.request_visual_alert(task, operation)
+        granted = False
+        try:
+            granted = monitor.authorize(task, now, operation)
+            kernel.audit.record(
+                timestamp=now,
+                category=AuditCategory.DEVICE,
+                decision=AuditDecision.GRANTED if granted else AuditDecision.DENIED,
+                pid=task.pid,
+                comm=task.comm,
+                detail=operation,
+            )
+            if not granted:
+                self.denials += 1
+                # The blocked access itself is alerted (the V-B user study's
+                # hidden camera process produced exactly this alert).
+                monitor.request_visual_alert(task, operation, blocked=True)
+                raise OverhaulDenied(
+                    f"pid {task.pid} ({task.comm}) denied {operation}: "
+                    "no authentic user interaction within the threshold"
+                )
+            # Step (6) of Figure 1: the kernel asks the display manager to
+            # alert the user.  This is kernel-initiated because, after
+            # IPC/process indirection, the display manager may not know
+            # which process actually touched the device.
+            monitor.request_visual_alert(task, operation)
+        finally:
+            if span is not None:
+                tracer.finish(span, granted=granted)

@@ -35,6 +35,7 @@ from repro.kernel.errors import (
 )
 from repro.kernel.task import Task
 from repro.kernel.vfs import Filesystem
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.time import Timestamp
 
 #: Canonical trusted binary locations (superuser-owned in a stock install).
@@ -88,7 +89,25 @@ class NetlinkChannel:
             timestamp=self._subsystem.now,
         )
         self.sent_to_kernel += 1
-        return self._subsystem.dispatch_to_kernel(self, message)
+        subsystem = self._subsystem
+        subsystem.messages_to_kernel += 1
+        tracer = subsystem.tracer
+        if tracer.enabled:
+            # The span wraps dispatch, so kernel-side handler spans (the
+            # monitor's verdicts) nest under the netlink hop that caused
+            # them -- the cross-layer link the decision-path report walks.
+            span = tracer.start(
+                "netlink.to_kernel",
+                "netlink",
+                msg_type=msg_type,
+                channel=self.label,
+                pid=payload.get("pid", task.pid),
+            )
+            try:
+                return subsystem.dispatch_to_kernel(self, message)
+            finally:
+                tracer.finish(span)
+        return subsystem.dispatch_to_kernel(self, message)
 
     def send_to_userspace(self, msg_type: str, payload: Dict[str, Any]) -> None:
         """Deliver a kernel-originated message to the userspace endpoint."""
@@ -101,6 +120,23 @@ class NetlinkChannel:
             timestamp=self._subsystem.now,
         )
         self.sent_to_userspace += 1
+        subsystem = self._subsystem
+        subsystem.messages_to_userspace += 1
+        tracer = subsystem.tracer
+        if tracer.enabled:
+            span = tracer.start(
+                "netlink.to_userspace",
+                "netlink",
+                msg_type=msg_type,
+                channel=self.label,
+                pid=payload.get("pid", -1),
+            )
+            try:
+                if self.userspace_receiver is not None:
+                    self.userspace_receiver(message)
+            finally:
+                tracer.finish(span)
+            return
         if self.userspace_receiver is not None:
             self.userspace_receiver(message)
 
@@ -117,9 +153,15 @@ class NetlinkChannel:
 class NetlinkSubsystem:
     """Kernel-side netlink: authentication, routing, handler registry."""
 
-    def __init__(self, filesystem: Filesystem, now_fn: Callable[[], Timestamp]) -> None:
+    def __init__(
+        self,
+        filesystem: Filesystem,
+        now_fn: Callable[[], Timestamp],
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self._filesystem = filesystem
         self._now_fn = now_fn
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: path -> label for binaries allowed to hold a trusted channel.
         self._trusted_binaries: Dict[str, str] = {
             DISPLAY_MANAGER_PATH: "display-manager",
@@ -128,6 +170,9 @@ class NetlinkSubsystem:
         self._kernel_handlers: Dict[str, Callable[[NetlinkChannel, NetlinkMessage], Any]] = {}
         self._channels_by_label: Dict[str, NetlinkChannel] = {}
         self.rejected_connections: List[int] = []  # pids, for tests/audit
+        #: Exact subsystem-wide message totals (survive channel teardown).
+        self.messages_to_kernel = 0
+        self.messages_to_userspace = 0
 
     @property
     def now(self) -> Timestamp:

@@ -1,0 +1,40 @@
+"""Observability: decision-path tracing and cross-layer counters.
+
+The paper verified correctness by log inspection; :mod:`repro.obs` makes
+that inspection structural.  Three pieces:
+
+- :class:`~repro.obs.tracer.Tracer` -- virtual-time-stamped spans with
+  parent/child links across all four layers, zero-cost when disabled;
+- :class:`~repro.obs.counters.Counters` /
+  :func:`~repro.obs.counters.collect_counters` -- exact per-category
+  operation counts gathered from every subsystem, attached to benchmark
+  results so latency numbers always ship with the op counts behind them;
+- :func:`~repro.obs.decision_path.render_decision_report` -- reconstructs,
+  for every permission verdict, the full input provenance -> notification
+  -> netlink -> verdict -> alert chain from one trace.
+
+Try it::
+
+    python -m repro trace
+"""
+
+from repro.obs.counters import Counters, collect_counters
+from repro.obs.decision_path import (
+    DecisionPath,
+    build_decision_paths,
+    render_decision_report,
+    run_traced_quickstart,
+)
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counters",
+    "DecisionPath",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "build_decision_paths",
+    "collect_counters",
+    "render_decision_report",
+    "run_traced_quickstart",
+]

@@ -1,0 +1,195 @@
+"""Decision-path reconstruction: from one trace back to *why*.
+
+Aware (Petracca et al.) argues that binding authorization decisions to the
+observable user-interaction context is what makes I/O access control
+auditable; Overhaul's audit log alone cannot exhibit that binding.  This
+module rebuilds it from a trace: for every permission verdict the monitor
+produced, it finds the input event whose notification blessed (or failed to
+bless) the decision, the netlink hops in between, and the overlay alert the
+user saw -- the complete
+
+    input provenance -> notification -> netlink query -> verdict -> alert
+
+chain, rendered as one deterministic report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.obs.tracer import Span, Tracer
+from repro.sim.time import format_timestamp, to_seconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import Machine
+
+
+@dataclass
+class DecisionPath:
+    """One reconstructed end-to-end decision."""
+
+    decision: Span
+    #: The notification span for the input that the verdict was measured
+    #: against (None when no authentic input ever reached the process).
+    blessing: Optional[Span]
+    #: netlink hops between the decision and the display manager.
+    netlink_hops: List[Span]
+    #: Alert activity (request/coalesce/overlay events) tied to the verdict.
+    alerts: List[Span]
+
+    @property
+    def granted(self) -> bool:
+        return bool(self.decision.attrs.get("granted"))
+
+    @property
+    def pid(self) -> int:
+        return int(self.decision.attrs["pid"])
+
+
+def build_decision_paths(tracer: Tracer) -> List[DecisionPath]:
+    """Reconstruct every verdict's path from the recorded spans."""
+    spans = tracer.spans
+    paths: List[DecisionPath] = []
+    for index, span in enumerate(spans):
+        if span.name != "monitor.decide":
+            continue
+        pid = span.attrs.get("pid")
+        # The blessing input: the latest notification for this pid that the
+        # kernel recorded at or before the operation time.
+        blessing: Optional[Span] = None
+        for candidate in spans[:index]:
+            if candidate.name != "input.notify":
+                continue
+            if candidate.attrs.get("pid") != pid or candidate.start > span.start:
+                continue
+            blessing = candidate
+        # netlink hops: the decision's ancestors of category "netlink"
+        # (present for display-resource queries; device opens reach the
+        # monitor without a userspace round trip).
+        hops: List[Span] = []
+        by_id = {s.span_id: s for s in spans}
+        parent_id = span.parent_id
+        while parent_id is not None:
+            parent = by_id.get(parent_id)
+            if parent is None:
+                break
+            if parent.category == "netlink":
+                hops.append(parent)
+            parent_id = parent.parent_id
+        # Alert activity caused by this verdict: alert-category events for
+        # the same pid recorded before the next decision for any pid.
+        alerts: List[Span] = []
+        for later in spans[index + 1 :]:
+            if later.name == "monitor.decide":
+                break
+            if later.category == "alert" and later.attrs.get("pid") == pid:
+                alerts.append(later)
+        paths.append(DecisionPath(span, blessing, hops, alerts))
+    return paths
+
+
+def _verdict_line(path: DecisionPath, delta_us: int) -> str:
+    attrs = path.decision.attrs
+    age = attrs.get("age")
+    reason = attrs.get("reason", "?")
+    if age is not None and age >= 0 and age < 2**61:
+        age_text = f"last interaction {to_seconds(age):.1f}s ago"
+    else:
+        age_text = "no interaction on record"
+    return f"verdict: {reason} ({age_text}; delta={to_seconds(delta_us):.1f}s)"
+
+
+def render_decision_report(machine: "Machine") -> str:
+    """The human-readable decision-path report for a traced machine.
+
+    Rendering is deterministic: window identifiers are interned in
+    first-seen order (``w1``, ``w2``, ...) exactly as in
+    :meth:`Tracer.render_tree`.
+    """
+    tracer = machine.tracer
+    normalize = tracer._normalizer()
+    delta = (
+        machine.overhaul.config.interaction_threshold
+        if machine.overhaul is not None
+        else 0
+    )
+    lines: List[str] = []
+    for number, path in enumerate(build_decision_paths(tracer), start=1):
+        attrs = path.decision.attrs
+        outcome = "GRANTED" if path.granted else "DENIED"
+        lines.append(
+            f"#{number} {format_timestamp(path.decision.start)} PID {path.pid} "
+            f"({attrs.get('comm', '?')}) {outcome} {attrs.get('operation', '?')}"
+        )
+        lines.append(f"    {_verdict_line(path, delta)}")
+        if path.blessing is not None:
+            blessing = path.blessing.attrs
+            lines.append(
+                "    input: "
+                f"{blessing.get('provenance', '?')} {blessing.get('kind', '?')} "
+                f"on window {normalize('window', blessing.get('window'))} at "
+                f"{format_timestamp(path.blessing.start)} "
+                "-> interaction notification -> netlink 'interaction'"
+            )
+        else:
+            lines.append(
+                f"    input: no authentic user input was ever delivered to PID {path.pid}"
+            )
+        if path.netlink_hops:
+            hop_types = ", ".join(
+                str(hop.attrs.get("msg_type", "?")) for hop in path.netlink_hops
+            )
+            lines.append(f"    query: netlink round trip ({hop_types})")
+        else:
+            lines.append("    query: in-kernel (device mediation, no userspace round trip)")
+        if path.alerts:
+            for alert in path.alerts:
+                if alert.name == "overlay.show":
+                    lines.append(
+                        f"    alert: overlay banner shown -- {alert.attrs.get('message', '')!r}"
+                    )
+                elif alert.name == "overlay.coalesce":
+                    lines.append("    alert: coalesced with identical on-screen banner")
+                elif alert.name == "alert.coalesce":
+                    lines.append("    alert: kernel request coalesced (alert still on screen)")
+                else:
+                    blocked = " (blocked)" if alert.attrs.get("blocked") else ""
+                    lines.append(f"    alert: requested over netlink{blocked}")
+        else:
+            lines.append("    alert: none (not an alerting operation)")
+    if not lines:
+        return "(no decisions recorded -- is tracing enabled?)"
+    return "\n".join(lines)
+
+
+def run_traced_quickstart() -> "Machine":
+    """The quickstart grant/deny scenario on a machine with tracing enabled.
+
+    Used by ``python -m repro trace``, the trace-determinism test, and
+    ``examples/trace_decision.py``.  Produces at least one granted and two
+    denied device decisions:
+
+    1. background spyware tries the microphone -> denied (no interaction);
+    2. the user clicks the recorder -> its open is granted, alert shown;
+    3. 2.5 simulated seconds later a re-open is denied (interaction expired).
+    """
+    from repro.apps import AudioRecorder, Spyware
+    from repro.core.system import Machine
+    from repro.kernel.errors import OverhaulDenied
+    from repro.sim.time import from_seconds
+
+    machine = Machine.with_overhaul(trace=True)
+    recorder = AudioRecorder(machine)
+    spy = Spyware(machine)
+    machine.settle()
+    spy.attempt_microphone()
+    recorder.click_record()
+    recorder.capture_samples(16)
+    recorder.stop_recording()
+    machine.run_for(from_seconds(2.5))
+    try:
+        recorder.start_recording()
+    except OverhaulDenied:
+        pass
+    return machine

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.time import Timestamp, from_seconds
 
 #: The paper displays alerts "for a few seconds"; we default to three.
@@ -55,6 +56,10 @@ class OverlayManager:
         self.history: List[Alert] = []
         self.alert_duration: Timestamp = DEFAULT_ALERT_DURATION
         self.total_shown = 0
+        #: Show requests absorbed by an identical on-screen alert.
+        self.total_coalesced = 0
+        #: Machine assembly swaps in the shared decision-path tracer.
+        self.tracer = NULL_TRACER
         #: Only alerts that may still be on screen; pruned on query so the
         #: composition path stays O(visible), not O(history).
         self._active: List[Alert] = []
@@ -78,6 +83,11 @@ class OverlayManager:
         lifetime = duration if duration is not None else self.alert_duration
         for alert in self.visible_alerts(now):
             if alert.pid == pid and alert.operation == operation and alert.message == message:
+                self.total_coalesced += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "overlay.coalesce", "alert", pid=pid, operation=operation
+                    )
                 return alert
         alert = Alert(
             message=message,
@@ -93,6 +103,10 @@ class OverlayManager:
             del self.history[: -self.HISTORY_LIMIT // 2]
         self._active.append(alert)
         self.total_shown += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "overlay.show", "alert", pid=pid, operation=operation, message=message
+            )
         return alert
 
     def visible_alerts(self, now: Timestamp) -> List[Alert]:

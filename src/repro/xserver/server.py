@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Protocol, Set
 
+from repro.obs.tracer import Tracer
 from repro.sim.scheduler import EventScheduler
 from repro.sim.time import NEVER, Timestamp
 from repro.xserver.client import XClient
@@ -78,11 +79,15 @@ class XServer:
         width: int = 1920,
         height: int = 1080,
         shared_secret: str = "visual-secret:cat.png",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._scheduler = scheduler
         self.width = width
         self.height = height
+        #: The (machine-shared) decision-path tracer; disabled by default.
+        self.tracer = tracer if tracer is not None else Tracer(lambda: scheduler.now)
         self.overlay = OverlayManager(shared_secret)
+        self.overlay.tracer = self.tracer
         self.selections = SelectionSubsystem()
         self.stacking = StackingOrder()
 
@@ -328,21 +333,43 @@ class XServer:
         legitimately-visible window trigger the Overhaul hook that sends
         the interaction notification to the kernel (Figures 1-2, step 2).
         """
+        tracer = self.tracer
         if window is None:
             self.input_events_dropped += 1
+            if tracer.enabled:
+                tracer.event(
+                    "input.drop", "input", kind=event.kind.value,
+                    provenance=event.provenance.name,
+                )
             return
         client = self._clients.get(window.owner_client_id)
         if client is None or not client.connected:
             self.input_events_dropped += 1
             return
         event.window_id = window.drawable_id
-        if self.overhaul is not None:
-            if event.is_authentic_input:
-                self.overhaul.on_authentic_input(client, window, event)
-            elif event.kind.is_input:
-                self.overhaul.on_synthetic_input(client, window, event)
-        self.input_events_routed += 1
-        client.deliver(event)
+        span = None
+        if tracer.enabled:
+            # The provenance filter is the root of every trusted-input
+            # decision path: notification spans nest under it.
+            span = tracer.start(
+                "input.route",
+                "input",
+                kind=event.kind.value,
+                provenance=event.provenance.name,
+                window=window.drawable_id,
+                pid=client.pid,
+            )
+        try:
+            if self.overhaul is not None:
+                if event.is_authentic_input:
+                    self.overhaul.on_authentic_input(client, window, event)
+                elif event.kind.is_input:
+                    self.overhaul.on_synthetic_input(client, window, event)
+            self.input_events_routed += 1
+            client.deliver(event)
+        finally:
+            if span is not None:
+                tracer.finish(span)
 
     # -- SendEvent ---------------------------------------------------------------
 
@@ -382,6 +409,11 @@ class XServer:
             )
             if transfer is not None and transfer.state is TransferState.DATA_STORED:
                 transfer.state = TransferState.NOTIFIED
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "selection.notify", "selection",
+                        selection=transfer.selection_name, window=window_id,
+                    )
             elif self.overhaul is not None:
                 self.sendevent_blocked += 1
                 raise BadAccess(
@@ -465,6 +497,11 @@ class XServer:
         previous = self.selections.set_owner(
             Selection(selection_name, client.client_id, window_id, self.now)
         )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "selection.own", "selection",
+                selection=selection_name, pid=client.pid, window=window_id,
+            )
         if previous is not None and previous.owner_client_id != client.client_id:
             previous_client = self._clients.get(previous.owner_client_id)
             if previous_client is not None and previous_client.connected:
@@ -525,6 +562,11 @@ class XServer:
                 started_at=self.now,
             )
         )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "selection.requested", "selection",
+                selection=selection_name, pid=client.pid, window=requestor_window_id,
+            )
         owner_client.deliver(
             XEvent(
                 kind=EventKind.SELECTION_REQUEST,
@@ -563,6 +605,11 @@ class XServer:
         )
         if transfer is not None and transfer.state is TransferState.REQUESTED:
             transfer.state = TransferState.DATA_STORED
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "selection.data_stored", "selection",
+                    selection=transfer.selection_name, window=window_id,
+                )
         self._notify_property(window, property_name, deleted=False)
 
     def get_property(
@@ -599,6 +646,11 @@ class XServer:
             del window.properties[property_name]
             if guarded is not None and client.client_id == guarded.requestor_client_id:
                 self.selections.complete(guarded)
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "selection.complete", "selection",
+                        selection=guarded.selection_name, pid=client.pid,
+                    )
             self._notify_property(window, property_name, deleted=True)
         return data
 
@@ -662,7 +714,19 @@ class XServer:
         drawable = self._drawable(drawable_id)
         foreign = drawable.owner_client_id != client.client_id
         if foreign and self.overhaul is not None:
-            if not self.overhaul.authorize_screen_capture(client, self.now):
+            span = None
+            if self.tracer.enabled:
+                span = self.tracer.start(
+                    "screen.gate", "decision",
+                    pid=client.pid, via=via, drawable=drawable_id,
+                )
+            granted = False
+            try:
+                granted = self.overhaul.authorize_screen_capture(client, self.now)
+            finally:
+                if span is not None:
+                    self.tracer.finish(span, granted=granted)
+            if not granted:
                 self.screen_captures_denied += 1
                 raise BadAccess(
                     f"screen capture ({via}) denied for pid {client.pid}: "
@@ -687,7 +751,19 @@ class XServer:
         if dst.owner_client_id != client.client_id:
             raise BadMatch(f"cannot copy into foreign drawable {dst_id:#x}")
         if src.owner_client_id != dst.owner_client_id and self.overhaul is not None:
-            if not self.overhaul.authorize_screen_capture(client, self.now):
+            span = None
+            if self.tracer.enabled:
+                span = self.tracer.start(
+                    "screen.gate", "decision",
+                    pid=client.pid, via="copy-area", drawable=src_id,
+                )
+            granted = False
+            try:
+                granted = self.overhaul.authorize_screen_capture(client, self.now)
+            finally:
+                if span is not None:
+                    self.tracer.finish(span, granted=granted)
+            if not granted:
                 self.screen_captures_denied += 1
                 raise BadAccess(
                     f"CopyArea from foreign drawable denied for pid {client.pid}"

@@ -1,0 +1,159 @@
+"""Model-based property tests for the P2 interaction-stamp protocol.
+
+The paper's three-step protocol (Section IV-B) is, semantically, a max-merge
+lattice walk: a receiver's ``interaction_ts`` must always equal the maximum
+over (a) interactions authentically delivered to it and (b) stamps it
+adopted from channels -- and it must never move backwards.  These tests
+check the implementation against an explicit reference model under
+arbitrary interleavings of interactions, sends, receives, and channel
+expiry (teardown + re-establishment, which re-embeds an *expired* stamp per
+protocol step 1).
+
+Complements ``test_propagation_properties.py``: that file checks global
+safety invariants ("no minted timestamps"); this one checks *exact*
+step-by-step equivalence with the protocol's specification.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.credentials import DEFAULT_USER
+from repro.kernel.ipc.base import InteractionStamp, TrackingPolicy
+from repro.kernel.task import Task
+from repro.sim.time import NEVER
+
+N_TASKS = 4
+N_CHANNELS = 3
+
+#: One protocol step:
+#:   ("interact", task_index, timestamp)  -- authentic input notification
+#: | ("send",     task_index, channel)    -- protocol step (2), embed
+#: | ("recv",     task_index, channel)    -- protocol step (3), adopt
+#: | ("expire",   channel,    0)          -- channel torn down + recreated,
+#:                                           i.e. protocol step (1) again
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("interact"), st.integers(0, N_TASKS - 1), st.integers(0, 50_000)),
+        st.tuples(st.just("send"), st.integers(0, N_TASKS - 1), st.integers(0, N_CHANNELS - 1)),
+        st.tuples(st.just("recv"), st.integers(0, N_TASKS - 1), st.integers(0, N_CHANNELS - 1)),
+        st.tuples(st.just("expire"), st.integers(0, N_CHANNELS - 1), st.just(0)),
+    ),
+    max_size=100,
+)
+
+
+def make_tasks():
+    return [
+        Task(i + 1, None, f"t{i}", DEFAULT_USER, "/usr/bin/t", 0) for i in range(N_TASKS)
+    ]
+
+
+@given(script=steps)
+@settings(max_examples=300)
+def test_implementation_matches_reference_model(script):
+    """After every step, tasks and channels match the max-merge model, and
+    the embed/adopt return values report advancement exactly."""
+    policy = TrackingPolicy(enabled=True)
+    tasks = make_tasks()
+    channels = [InteractionStamp(policy) for _ in range(N_CHANNELS)]
+    model_task = [NEVER] * N_TASKS
+    model_chan = [NEVER] * N_CHANNELS
+
+    for op, first, second in script:
+        if op == "interact":
+            tasks[first].record_interaction(second)
+            model_task[first] = max(model_task[first], second)
+        elif op == "send":
+            advanced = channels[second].embed_from(tasks[first])
+            expected = model_task[first] > model_chan[second]
+            assert advanced == expected
+            model_chan[second] = max(model_chan[second], model_task[first])
+        elif op == "recv":
+            advanced = channels[second].adopt_to(tasks[first])
+            expected = model_chan[second] > model_task[first]
+            assert advanced == expected
+            model_task[first] = max(model_task[first], model_chan[second])
+        else:  # expire: fresh resource, fresh *expired* stamp (step 1)
+            channels[first] = InteractionStamp(policy)
+            model_chan[first] = NEVER
+
+        assert [t.interaction_ts for t in tasks] == model_task
+        assert [c.timestamp for c in channels] == model_chan
+
+
+@given(script=steps)
+@settings(max_examples=200)
+def test_receiver_timestamp_is_max_merge_of_authentic_stamps(script):
+    """The ISSUE property, stated directly: each task's final timestamp is
+    the max over its own authentic interactions and every stamp value at
+    the moment it adopted -- nothing else."""
+    policy = TrackingPolicy(enabled=True)
+    tasks = make_tasks()
+    channels = [InteractionStamp(policy) for _ in range(N_CHANNELS)]
+    #: per task: every value that may lawfully contribute to its timestamp.
+    contributions = [[NEVER] for _ in range(N_TASKS)]
+
+    for op, first, second in script:
+        if op == "interact":
+            tasks[first].record_interaction(second)
+            contributions[first].append(second)
+        elif op == "send":
+            channels[second].embed_from(tasks[first])
+        elif op == "recv":
+            before = channels[second].timestamp
+            channels[second].adopt_to(tasks[first])
+            contributions[first].append(before)
+        else:
+            channels[first] = InteractionStamp(policy)
+
+    for index, task in enumerate(tasks):
+        assert task.interaction_ts == max(contributions[index])
+
+
+@given(script=steps)
+@settings(max_examples=200)
+def test_timestamps_never_move_backwards(script):
+    """No step -- including channel expiry -- ever lowers any task's
+    interaction timestamp."""
+    policy = TrackingPolicy(enabled=True)
+    tasks = make_tasks()
+    channels = [InteractionStamp(policy) for _ in range(N_CHANNELS)]
+    for op, first, second in script:
+        before = [t.interaction_ts for t in tasks]
+        if op == "interact":
+            tasks[first].record_interaction(second)
+        elif op == "send":
+            channels[second].embed_from(tasks[first])
+        elif op == "recv":
+            channels[second].adopt_to(tasks[first])
+        else:
+            channels[first] = InteractionStamp(policy)
+        after = [t.interaction_ts for t in tasks]
+        assert all(b <= a for b, a in zip(before, after))
+
+
+@given(script=steps)
+@settings(max_examples=150)
+def test_expired_channels_contribute_nothing(script):
+    """A freshly (re-)established channel carries an expired stamp: adopting
+    from it before any send cannot advance anyone."""
+    policy = TrackingPolicy(enabled=True)
+    tasks = make_tasks()
+    channels = [InteractionStamp(policy) for _ in range(N_CHANNELS)]
+    #: Channels with no send since their last (re-)creation.
+    untouched = set(range(N_CHANNELS))
+    for op, first, second in script:
+        if op == "interact":
+            tasks[first].record_interaction(second)
+        elif op == "send":
+            channels[second].embed_from(tasks[first])
+            untouched.discard(second)
+        elif op == "recv":
+            before = tasks[first].interaction_ts
+            advanced = channels[second].adopt_to(tasks[first])
+            if second in untouched:
+                assert not advanced
+                assert tasks[first].interaction_ts == before
+        else:
+            channels[first] = InteractionStamp(policy)
+            untouched.add(first)

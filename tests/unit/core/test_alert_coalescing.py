@@ -1,0 +1,111 @@
+"""Negative tests for visual-alert coalescing.
+
+Coalescing exists so a process hammering a device produces one banner per
+alert-duration window instead of a flicker of duplicates -- but it must
+never *suppress* information: alerts about distinct resources, distinct
+processes, or distinct outcomes are all separate facts the user must see.
+Two layers coalesce independently (the kernel monitor on
+``(pid, operation, blocked)`` before the netlink round trip; the overlay on
+``(pid, operation, message)`` at display time) and both keep exact counters.
+"""
+
+import pytest
+
+from repro.apps.base import SimApp
+from repro.core import Machine
+from repro.kernel.errors import OverhaulDenied
+from repro.sim.time import from_seconds
+
+
+@pytest.fixture
+def machine():
+    machine = Machine.with_overhaul()
+    machine.settle()
+    return machine
+
+
+def denied_open(app, device):
+    with pytest.raises(OverhaulDenied):
+        app.open_device(device)
+
+
+class TestDistinctFactsAreNotSuppressed:
+    def test_distinct_devices_each_alert(self, machine):
+        """mic0 and video0 are different resources: one banner each."""
+        spy = SimApp(machine, "/usr/bin/spy", comm="spy")
+        denied_open(spy, "mic0")
+        denied_open(spy, "video0")
+        overlay = machine.xserver.overlay
+        assert overlay.total_shown == 2
+        operations = {alert.operation for alert in overlay.history}
+        assert len(operations) == 2
+        assert machine.monitor.alerts_coalesced == 0
+
+    def test_distinct_processes_each_alert(self, machine):
+        spy_a = SimApp(machine, "/usr/bin/spya", comm="spya")
+        spy_b = SimApp(machine, "/usr/bin/spyb", comm="spyb")
+        denied_open(spy_a, "mic0")
+        denied_open(spy_b, "mic0")
+        assert machine.xserver.overlay.total_shown == 2
+        assert machine.monitor.alerts_coalesced == 0
+
+    def test_blocked_and_granted_outcomes_each_alert(self, machine):
+        """A denial banner and a grant banner for the same (pid, device)
+        are different facts; the outcome is part of the coalescing key."""
+        app = SimApp(machine, "/usr/bin/rec", comm="rec")
+        machine.settle()  # the fresh window must pass the visibility check
+        denied_open(app, "mic0")
+        app.click()  # authentic interaction -> next open is granted
+        fd = app.open_device("mic0")
+        app.close_fd(fd)
+        overlay = machine.xserver.overlay
+        assert overlay.total_shown == 2
+        messages = {alert.message for alert in overlay.history}
+        assert any(m.startswith("BLOCKED") for m in messages)
+        assert any(not m.startswith("BLOCKED") for m in messages)
+
+
+class TestSameFactCoalesces:
+    def test_hammering_a_device_shows_one_banner_per_window(self, machine):
+        spy = SimApp(machine, "/usr/bin/spy", comm="spy")
+        for _ in range(25):
+            denied_open(spy, "mic0")
+        overlay = machine.xserver.overlay
+        assert overlay.total_shown == 1
+        # The kernel-side coalescer absorbed the rest before netlink.
+        assert machine.monitor.alerts_coalesced == 24
+        assert machine.monitor.alerts_requested == 1
+
+    def test_window_expiry_allows_a_fresh_banner(self, machine):
+        spy = SimApp(machine, "/usr/bin/spy", comm="spy")
+        denied_open(spy, "mic0")
+        machine.run_for(from_seconds(4.0))  # past the 3 s alert duration
+        denied_open(spy, "mic0")
+        assert machine.xserver.overlay.total_shown == 2
+
+    def test_overlay_layer_coalesces_direct_duplicates(self, machine):
+        """The overlay's own defence: identical show_alert calls while the
+        banner is visible return the existing alert and count it."""
+        overlay = machine.xserver.overlay
+        now = machine.now
+        first = overlay.show_alert("msg", "microphone:/dev/mic0", 42, "spy", now)
+        second = overlay.show_alert("msg", "microphone:/dev/mic0", 42, "spy", now)
+        assert second is first
+        assert overlay.total_shown == 1
+        assert overlay.total_coalesced == 1
+        # A different operation is NOT absorbed.
+        third = overlay.show_alert("msg", "camera:/dev/video0", 42, "spy", now)
+        assert third is not first
+        assert overlay.total_shown == 2
+        assert overlay.total_coalesced == 1
+
+    def test_coalescing_counters_in_cross_layer_snapshot(self, machine):
+        from repro.obs import collect_counters
+
+        spy = SimApp(machine, "/usr/bin/spy", comm="spy")
+        for _ in range(5):
+            denied_open(spy, "mic0")
+        counters = collect_counters(machine)
+        assert counters.get("overlay.shown") == 1
+        assert counters.get("monitor.alerts_coalesced") == 4
+        assert counters.get("monitor.alerts_requested") == 1

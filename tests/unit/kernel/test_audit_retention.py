@@ -1,0 +1,105 @@
+"""Exact behavior of the audit log's bounded retention.
+
+The log is the artifact the paper's authors "inspected" to verify
+functionality, so its retention semantics must be precise: ``total_recorded``
+is exact forever, the in-memory window trims to half the limit when
+exceeded, and the newest records always survive.  The cross-layer
+``Counters`` snapshot must agree with a recount of the retained records in
+scenarios below the limit.
+"""
+
+import pytest
+
+from repro.kernel.audit import AuditCategory, AuditDecision, AuditLog
+
+
+def fill(log, count, start=0):
+    for index in range(start, start + count):
+        log.record(
+            timestamp=index,
+            category=AuditCategory.DEVICE,
+            decision=AuditDecision.GRANTED,
+            pid=1,
+            comm="filler",
+            detail=f"op-{index}",
+        )
+
+
+class TestRetentionBoundary:
+    def test_exactly_at_limit_keeps_everything(self):
+        log = AuditLog()
+        log.RECORD_LIMIT = 100  # instance override; class default untouched
+        fill(log, 100)
+        assert len(log) == 100
+        assert log.total_recorded == 100
+
+    def test_one_past_limit_trims_to_half(self):
+        log = AuditLog()
+        log.RECORD_LIMIT = 100
+        fill(log, 101)
+        # The trim fires once, keeping the newest LIMIT // 2 records.
+        assert len(log) == 50
+        assert log.total_recorded == 101
+
+    def test_newest_records_survive_the_trim(self):
+        log = AuditLog()
+        log.RECORD_LIMIT = 100
+        fill(log, 101)
+        timestamps = [record.timestamp for record in log]
+        assert timestamps == list(range(51, 101))
+
+    def test_counter_stays_exact_across_many_trims(self):
+        log = AuditLog()
+        log.RECORD_LIMIT = 40
+        fill(log, 500)
+        assert log.total_recorded == 500
+        assert len(log) <= 40
+        # The retained window is always a contiguous, newest-first suffix.
+        timestamps = [record.timestamp for record in log]
+        assert timestamps == list(range(500 - len(timestamps), 500))
+
+    def test_query_helpers_see_only_retained_records(self):
+        log = AuditLog()
+        log.RECORD_LIMIT = 20
+        fill(log, 30)
+        assert len(log.grants()) == len(log)
+        assert log.denials() == []
+
+    def test_clear_resets_window_not_total(self):
+        log = AuditLog()
+        fill(log, 10)
+        log.clear()
+        assert len(log) == 0
+        assert log.total_recorded == 10
+
+
+class TestCountersAgreeWithRecount:
+    """Below the retention limit, the Counters snapshot must match an exact
+    recount of the records -- the counters are derived truth, not estimates."""
+
+    @pytest.fixture
+    def traced_machine(self):
+        from repro.obs import run_traced_quickstart
+
+        return run_traced_quickstart()
+
+    def test_audit_totals_match(self, traced_machine):
+        from repro.obs import collect_counters
+
+        counters = collect_counters(traced_machine)
+        audit = traced_machine.kernel.audit
+        assert counters.get("audit.recorded") == audit.total_recorded
+        assert counters.get("audit.retained") == len(audit)
+        assert audit.total_recorded == len(audit)  # scenario is below the limit
+
+    def test_monitor_counts_match_audit_recount(self, traced_machine):
+        from repro.obs import collect_counters
+
+        counters = collect_counters(traced_machine)
+        audit = traced_machine.kernel.audit
+        granted = len(audit.grants(AuditCategory.DEVICE))
+        denied = len(audit.denials(AuditCategory.DEVICE))
+        assert counters.get("monitor.grants") == granted
+        assert counters.get("monitor.denials") == denied
+        assert counters.get("device.checks") == granted + denied
+        assert counters.get("device.denials") == denied

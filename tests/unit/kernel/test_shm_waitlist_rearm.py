@@ -1,0 +1,105 @@
+"""Negative tests for the shared-memory wait-list re-arm machinery.
+
+The paper's scheme: after a fault restores an area's permissions, the
+``vm_area_struct`` sits on a wait list and is re-revoked once, 500 ms later.
+The subtle properties worth locking down:
+
+- re-revocation fires **exactly once** per open window, no matter how many
+  accesses happen inside it (accesses during the window don't fault, so
+  they cannot extend or multiply the timer -- the paper's documented
+  coverage gap);
+- a new fault after the window closes arms a new, single re-revocation;
+- detach cancels a pending re-arm (no timer fires on an unmapped area).
+"""
+
+import pytest
+
+from repro.core import Machine
+from repro.sim.time import from_millis
+
+
+@pytest.fixture
+def rig():
+    machine = Machine.with_overhaul()
+    writer, _ = machine.launch("/usr/bin/shmwriter", comm="shmwriter", connect_x=False)
+    segment = machine.kernel.shm.shmget(0xABCD, num_pages=2)
+    area = machine.kernel.shm.attach(writer, segment)
+    return machine, writer, segment, area
+
+
+class TestSingleRearmPerWindow:
+    def test_one_fault_one_rearm(self, rig):
+        machine, writer, _, area = rig
+        shm = machine.kernel.shm
+        shm.write(writer, area, 0, b"x")
+        assert shm.total_faults == 1
+        assert shm.total_rearms == 0
+        machine.run_for(from_millis(600))
+        assert shm.total_rearms == 1
+        assert area.protection_revoked
+
+    def test_accesses_inside_window_do_not_refault_or_extend(self, rig):
+        machine, writer, _, area = rig
+        shm = machine.kernel.shm
+        shm.write(writer, area, 0, b"x")  # fault; window opens at t=0
+        for step in range(4):
+            machine.run_for(from_millis(100))  # t = 100..400 ms
+            shm.write(writer, area, 0, b"y")  # open window: no fault
+        assert shm.total_faults == 1
+        # The re-revocation still fires at the *original* 500 ms deadline:
+        # the accesses at 100-400 ms did not push it out.
+        machine.run_for(from_millis(150))  # t = 550 ms
+        assert shm.total_rearms == 1
+        assert area.protection_revoked
+
+    def test_next_window_gets_its_own_single_rearm(self, rig):
+        machine, writer, _, area = rig
+        shm = machine.kernel.shm
+        shm.write(writer, area, 0, b"x")
+        machine.run_for(from_millis(600))
+        shm.write(writer, area, 0, b"y")  # second fault, second window
+        assert shm.total_faults == 2
+        machine.run_for(from_millis(600))
+        assert shm.total_rearms == 2
+
+    def test_refault_before_expiry_replaces_timer_not_stacks_it(self, rig):
+        """A fault while a timer is pending cancels and replaces it -- two
+        overlapping wait-list entries for one area would re-revoke twice."""
+        machine, writer, _, area = rig
+        shm = machine.kernel.shm
+        shm.write(writer, area, 0, b"x")  # fault at t=0, rearm due 500 ms
+        machine.run_for(from_millis(600))  # rearm #1 fires
+        shm.write(writer, area, 0, b"y")  # fault at 600 ms, rearm due 1100
+        machine.run_for(from_millis(50))
+        # Force a second fault while the timer is pending by re-revoking
+        # through a fresh protection cycle: simulate with direct revoke.
+        area.revoke_protection()
+        shm.write(writer, area, 0, b"z")  # fault at 650 ms, timer replaced
+        assert shm.total_faults == 3
+        machine.run_for(from_millis(1000))
+        # Exactly one more rearm fired (at 1150 ms), not two.
+        assert shm.total_rearms == 2
+
+
+class TestDetachCancelsRearm:
+    def test_detach_with_pending_timer_never_fires(self, rig):
+        machine, writer, _, area = rig
+        shm = machine.kernel.shm
+        shm.write(writer, area, 0, b"x")
+        assert area.waitlist_event is not None
+        shm.detach(writer, area)
+        assert area.waitlist_event is None
+        machine.run_for(from_millis(1000))
+        assert shm.total_rearms == 0
+
+    def test_counters_visible_in_cross_layer_snapshot(self, rig):
+        from repro.obs import collect_counters
+
+        machine, writer, _, area = rig
+        shm = machine.kernel.shm
+        shm.write(writer, area, 0, b"x")
+        machine.run_for(from_millis(600))
+        counters = collect_counters(machine)
+        assert counters.get("shm.faults") == shm.total_faults == 1
+        assert counters.get("shm.rearms") == shm.total_rearms == 1
+        assert counters.get("shm.accesses") == shm.total_accesses

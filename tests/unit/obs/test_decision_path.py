@@ -1,0 +1,77 @@
+"""Unit tests for decision-path reconstruction and the rendered report."""
+
+import pytest
+
+from repro.obs import build_decision_paths, render_decision_report, run_traced_quickstart
+
+
+@pytest.fixture(scope="module")
+def traced():
+    machine = run_traced_quickstart()
+    return machine, build_decision_paths(machine.tracer)
+
+
+class TestPathReconstruction:
+    def test_scenario_yields_one_grant_two_denies(self, traced):
+        _, paths = traced
+        assert len(paths) == 3
+        assert [path.granted for path in paths] == [False, True, False]
+
+    def test_denied_spyware_has_no_blessing_input(self, traced):
+        _, paths = traced
+        spy_path = paths[0]
+        assert spy_path.blessing is None
+        assert spy_path.decision.attrs["reason"] == "no user interaction on record"
+
+    def test_granted_decision_links_back_to_hardware_input(self, traced):
+        _, paths = traced
+        granted = paths[1]
+        assert granted.blessing is not None
+        assert granted.blessing.attrs["provenance"] == "HARDWARE"
+        assert granted.blessing.attrs["pid"] == granted.pid
+        assert granted.blessing.start <= granted.decision.start
+
+    def test_expired_decision_reuses_the_old_blessing(self, traced):
+        _, paths = traced
+        expired = paths[2]
+        assert expired.blessing is not None
+        assert expired.decision.attrs["reason"] == "interaction too old (age >= delta)"
+        # The blessing it was measured against is the same click that
+        # justified the earlier grant.
+        assert expired.blessing is paths[1].blessing
+
+    def test_device_decisions_have_no_netlink_hops(self, traced):
+        """Device mediation is in-kernel: the verdict's ancestry contains
+        no netlink span (unlike clipboard/screen queries)."""
+        _, paths = traced
+        assert all(path.netlink_hops == [] for path in paths)
+
+    def test_every_decision_produced_alert_activity(self, traced):
+        _, paths = traced
+        for path in paths:
+            names = {span.name for span in path.alerts}
+            assert "alert.request" in names
+            assert "overlay.show" in names
+
+
+class TestReportRendering:
+    def test_report_contains_grant_and_deny_lines(self, traced):
+        machine, _ = traced
+        report = render_decision_report(machine)
+        assert "GRANTED microphone:/dev/mic0" in report
+        assert "DENIED microphone:/dev/mic0" in report
+
+    def test_report_explains_the_full_path(self, traced):
+        machine, _ = traced
+        report = render_decision_report(machine)
+        assert "HARDWARE button-release on window w1" in report
+        assert "no authentic user input was ever delivered" in report
+        assert "interaction too old" in report
+        assert "delta=2.0s" in report
+        assert "overlay banner shown" in report
+
+    def test_untraced_machine_reports_nothing(self):
+        from repro.core import Machine
+
+        report = render_decision_report(Machine.with_overhaul())
+        assert "no decisions recorded" in report

@@ -1,0 +1,159 @@
+"""Unit tests for the span tracer: recording, nesting, retention, rendering."""
+
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+
+
+def make_tracer(clock=None):
+    times = clock if clock is not None else iter(range(0, 10_000, 10))
+    tracer = Tracer(lambda: next(times), enabled=True)
+    return tracer
+
+
+class TestDisabledMode:
+    def test_start_returns_none(self):
+        tracer = Tracer()
+        assert tracer.start("x", "test") is None
+        assert tracer.event("x", "test") is None
+        assert tracer.spans == []
+        assert tracer.total_spans == 0
+
+    def test_finish_none_is_noop(self):
+        Tracer().finish(None)  # must not raise
+
+    def test_null_tracer_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_enable_disable_toggle(self):
+        tracer = Tracer(lambda: 0)
+        tracer.enable()
+        assert tracer.start("x", "test") is not None
+        tracer.disable()
+        assert tracer.start("x", "test") is None
+
+
+class TestNesting:
+    def test_children_parent_to_open_span(self):
+        tracer = make_tracer()
+        outer = tracer.start("outer", "test")
+        inner = tracer.start("inner", "test")
+        event = tracer.event("point", "test")
+        tracer.finish(inner)
+        tracer.finish(outer)
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert event.parent_id == inner.span_id
+        assert tracer.children_of(outer) == [inner]
+        assert tracer.roots() == [outer]
+
+    def test_sibling_after_finish_is_not_nested(self):
+        tracer = make_tracer()
+        first = tracer.start("first", "test")
+        tracer.finish(first)
+        second = tracer.start("second", "test")
+        tracer.finish(second)
+        assert second.parent_id is None
+
+    def test_unwind_tolerates_unfinished_inner_span(self):
+        """An exception that propagates past an inner finish must not
+        corrupt the stack: finishing the outer span unwinds through it."""
+        tracer = make_tracer()
+        outer = tracer.start("outer", "test")
+        tracer.start("inner-left-open", "test")
+        tracer.finish(outer)
+        fresh = tracer.start("fresh", "test")
+        assert fresh.parent_id is None
+
+    def test_durations_and_final_attrs(self):
+        tracer = make_tracer()
+        span = tracer.start("op", "test", pid=1)
+        tracer.finish(span, granted=True)
+        assert span.duration == 10
+        assert span.attrs == {"pid": 1, "granted": True}
+        point = tracer.event("ev", "test")
+        assert point.duration == 0
+
+
+class TestRetention:
+    def test_span_limit_trims_but_total_is_exact(self):
+        tracer = make_tracer(iter(range(10**9)))
+        tracer.SPAN_LIMIT = 100
+        for index in range(150):
+            tracer.event("e", "test", n=index)
+        assert tracer.total_spans == 150
+        assert len(tracer.spans) <= 100
+        # Newest spans survive.
+        assert tracer.spans[-1].attrs["n"] == 149
+
+    def test_clear_keeps_total(self):
+        tracer = make_tracer()
+        tracer.event("e", "test")
+        tracer.clear()
+        assert tracer.spans == []
+        assert tracer.total_spans == 1
+
+
+class TestQueries:
+    def test_find_by_name_category_and_attrs(self):
+        tracer = make_tracer()
+        tracer.event("a", "x", pid=1)
+        tracer.event("a", "y", pid=2)
+        tracer.event("b", "x", pid=1)
+        assert len(tracer.find("a")) == 2
+        assert len(tracer.find(category="x")) == 2
+        assert len(tracer.find("a", pid=2)) == 1
+        assert tracer.find("a", pid=99) == []
+
+
+class TestRendering:
+    def test_render_interns_global_ids_in_first_seen_order(self):
+        tracer = make_tracer()
+        tracer.event("e", "test", window=0x40_1234)
+        tracer.event("e", "test", window=0x40_9999)
+        tracer.event("e", "test", window=0x40_1234)
+        text = tracer.render_tree()
+        assert "window=w1" in text
+        assert "window=w2" in text
+        assert "0x40" not in text and "4198" not in text  # raw ids never leak
+
+    def test_same_structure_different_raw_ids_render_identically(self):
+        def build(offset):
+            tracer = make_tracer()
+            span = tracer.start("route", "test", window=offset + 1, client=offset + 2)
+            tracer.event("hit", "test", window=offset + 1)
+            tracer.finish(span)
+            return tracer.render_tree()
+
+        assert build(1000) == build(5000)
+
+    def test_tree_indentation_follows_parenting(self):
+        tracer = make_tracer()
+        outer = tracer.start("outer", "test")
+        tracer.event("inner", "test")
+        tracer.finish(outer)
+        lines = tracer.render_tree().splitlines()
+        assert not lines[0].startswith(" ")
+        assert lines[1].startswith("  ")
+
+    def test_orphaned_children_render_as_roots_after_trim(self):
+        tracer = make_tracer(iter(range(10**9)))
+        tracer.SPAN_LIMIT = 4
+        parent = tracer.start("parent", "test")
+        for index in range(10):
+            tracer.event("child", "test", n=index)
+        tracer.finish(parent)
+        # The parent span was trimmed away; render must not lose children.
+        text = tracer.render_tree()
+        assert "child" in text
+
+    def test_attrs_render_sorted(self):
+        tracer = make_tracer()
+        tracer.event("e", "test", zebra=1, alpha=2)
+        line = tracer.render_tree()
+        assert line.index("alpha=2") < line.index("zebra=1")
+
+
+class TestSpanBasics:
+    def test_point_span_repr(self):
+        span = Span(1, None, "n", "c", 5, {"k": 1})
+        assert span.duration == 0
+        assert "n" in repr(span)

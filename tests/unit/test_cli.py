@@ -37,6 +37,23 @@ class TestCli:
         output = capsys.readouterr().out
         assert "Table I" in output
 
+    def test_trace(self, capsys):
+        assert main(["trace"]) == 0
+        output = capsys.readouterr().out
+        # The acceptance criterion: one grant and one deny, each with its
+        # full decision path reconstructed from the trace.
+        assert "GRANTED microphone:/dev/mic0" in output
+        assert "DENIED microphone:/dev/mic0" in output
+        assert "HARDWARE button-release on window w1" in output
+        assert "no authentic user input was ever delivered" in output
+
+    def test_trace_tree_and_counters(self, capsys):
+        assert main(["trace", "--tree", "--counters"]) == 0
+        output = capsys.readouterr().out
+        assert "monitor.decide" in output
+        assert "netlink.to_kernel" in output
+        assert "obs.spans" in output
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["no-such-command"])
