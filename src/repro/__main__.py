@@ -7,6 +7,10 @@ Commands:
 - ``table1``        -- regenerate Table I (accepts ``--scale``/``--repeats``);
 - ``usability``     -- run the V-B study (accepts ``--seed``);
 - ``longterm``      -- run the V-D study (accepts ``--days``/``--seed``);
+- ``fleet``         -- run a study over a sharded *population* of simulated
+  machines/users on a multiprocessing worker pool (``--machines``/
+  ``--users``/``--workers``/``--resume``); aggregate output is
+  byte-identical for any worker count;
 - ``applicability`` -- run the V-C sweep;
 - ``report``        -- regenerate the full evaluation report;
 - ``trace``         -- replay the quickstart with tracing on and print the
@@ -34,13 +38,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     table1 = sub.add_parser("table1", help="regenerate Table I")
     table1.add_argument("--scale", type=float, default=1.0)
     table1.add_argument("--repeats", type=int, default=5)
+    table1.add_argument("--json", action="store_true", help="machine-readable output")
 
     usability = sub.add_parser("usability", help="Section V-B study")
     usability.add_argument("--seed", type=int, default=2016)
+    usability.add_argument("--json", action="store_true", help="machine-readable output")
 
     longterm = sub.add_parser("longterm", help="Section V-D study")
     longterm.add_argument("--days", type=int, default=21)
     longterm.add_argument("--seed", type=int, default=2016)
+    longterm.add_argument("--json", action="store_true", help="machine-readable output")
+
+    fleet = sub.add_parser("fleet", help="sharded population run of a study")
+    fleet.add_argument("study", help="study to shard (longterm, usability)")
+    fleet.add_argument("--machines", type=int, default=16, help="longterm population")
+    fleet.add_argument("--users", type=int, default=None, help="usability population")
+    fleet.add_argument("--days", type=int, default=21, help="days per longterm machine")
+    fleet.add_argument("--seed", type=int, default=2016)
+    fleet.add_argument("--workers", type=int, default=None, help="default: CPU count")
+    fleet.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="checkpoint spool directory; an interrupted run restarted with "
+        "the same DIR re-executes only unfinished shards",
+    )
+    fleet.add_argument("--timeout", type=float, default=300.0, help="per-shard seconds")
+    fleet.add_argument("--retries", type=int, default=2, help="retries per failing shard")
+    fleet.add_argument("--json", action="store_true", help="print the aggregate as JSON")
 
     report = sub.add_parser("report", help="full evaluation report")
     report.add_argument("--full", action="store_true")
@@ -62,22 +85,43 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
         return 0
     if args.command == "table1":
+        import json
+
         from repro.analysis.tables import measure_table_i
 
-        print(measure_table_i(scale=args.scale, repeats=args.repeats).render())
+        table = measure_table_i(scale=args.scale, repeats=args.repeats)
+        if args.json:
+            print(json.dumps(table.to_dict(), sort_keys=True, indent=2))
+        else:
+            print(table.render())
         return 0
     if args.command == "usability":
+        import json
+
         from repro.workloads.usability import run_usability_study
 
-        print(run_usability_study(seed=args.seed).render())
+        study = run_usability_study(seed=args.seed)
+        if args.json:
+            print(json.dumps(study.to_dict(), sort_keys=True, indent=2))
+        else:
+            print(study.render())
         return 0
     if args.command == "longterm":
+        import json
+
         from repro.workloads.longterm import run_comparison
 
-        for results in run_comparison(seed=args.seed, days=args.days).values():
-            print(results.render())
-            print()
+        comparison = run_comparison(seed=args.seed, days=args.days)
+        if args.json:
+            payload = {name: results.to_dict() for name, results in comparison.items()}
+            print(json.dumps(payload, sort_keys=True, indent=2))
+        else:
+            for results in comparison.values():
+                print(results.render())
+                print()
         return 0
+    if args.command == "fleet":
+        return run_fleet_command(args)
     if args.command == "applicability":
         from repro.workloads.app_catalog import run_applicability_sweep
 
@@ -106,6 +150,55 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
     return 1  # pragma: no cover
+
+
+def run_fleet_command(args: argparse.Namespace) -> int:
+    """Drive one ``python -m repro fleet <study>`` invocation."""
+    import os
+    import sys
+
+    from repro.fleet import FleetError, run_fleet, study_names
+
+    if args.study not in study_names():
+        print(
+            f"unknown study {args.study!r}; available: {', '.join(study_names())}",
+            file=sys.stderr,
+        )
+        return 2
+
+    params = {}
+    if args.study == "longterm":
+        population = args.machines
+        params["days"] = args.days
+    else:  # usability-style studies shard a population of users
+        population = args.users if args.users is not None else args.machines
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+
+    try:
+        report = run_fleet(
+            args.study,
+            population=population,
+            seed=args.seed,
+            workers=workers,
+            params=params,
+            spool_dir=args.resume,
+            timeout_seconds=args.timeout,
+            max_retries=args.retries,
+        )
+    except FleetError as error:
+        print(f"fleet error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        # Canonical aggregate only -- byte-identical across worker counts.
+        sys.stdout.write(report.aggregate_json())
+    else:
+        print(report.render())
+        print()
+        import json
+
+        print(json.dumps(report.aggregate, sort_keys=True, indent=2))
+    return 0 if not report.quarantined else 3
 
 
 def run_demo() -> None:

@@ -4,7 +4,9 @@
   shared by the pytest-benchmark suite and the table renderer;
 - :mod:`repro.analysis.metrics` -- timing and overhead statistics;
 - :mod:`repro.analysis.tables` -- ``python -m repro.analysis.tables``
-  regenerates Table I.
+  regenerates Table I;
+- :mod:`repro.analysis.population` -- population-level aggregation (rates
+  with confidence intervals) for ``python -m repro fleet`` runs.
 """
 
 from repro.analysis.benchops import (
@@ -27,9 +29,19 @@ from repro.analysis.metrics import (
     stdev,
     time_callable,
 )
+from repro.analysis.population import (
+    aggregate_longterm,
+    aggregate_usability,
+    proportion_summary,
+    wilson_interval,
+)
 from repro.analysis.tables import TableIResult, TableRow, measure_row, measure_table_i
 
 __all__ = [
+    "aggregate_longterm",
+    "aggregate_usability",
+    "proportion_summary",
+    "wilson_interval",
     "ALL_RIGS",
     "ClipboardRig",
     "ComponentCost",

@@ -1,0 +1,162 @@
+"""Population-level aggregation for fleet runs.
+
+The paper reports point observations from two machines and 46 students;
+a fleet run turns the same studies into *populations* (thousands of
+machines/users), so the aggregates here report rates **with confidence
+intervals** -- the statistical upgrade the original evaluation could not
+make at n=2.
+
+Everything returned is JSON-safe and deterministic: integer sums are
+exact, floats are computed from those sums in a fixed order and rounded
+to a fixed precision, and no wall-clock value ever enters an aggregate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.counters import Counters
+
+#: Decimal places for every float in an aggregate -- byte-stable JSON.
+_PRECISION = 6
+
+#: z for 95% two-sided intervals.
+_Z95 = 1.959963984540054
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = _Z95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because fleet proportions are
+    routinely extreme (block rate ~1.0, false-positive rate ~0.0), where
+    the Wald interval collapses to a useless zero width.
+    """
+    if trials < 0:
+        raise ValueError(f"trials must be >= 0, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} out of range for {trials} trials")
+    if trials == 0:
+        return (0.0, 1.0)
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = phat + z * z / (2 * trials)
+    margin = z * math.sqrt(phat * (1.0 - phat) / trials + z * z / (4 * trials * trials))
+    return ((centre - margin) / denom, (centre + margin) / denom)
+
+
+def proportion_summary(successes: int, trials: int) -> Dict[str, Any]:
+    """A rate plus its 95% Wilson interval, rounded for stable JSON."""
+    low, high = wilson_interval(successes, trials)
+    rate = successes / trials if trials else 0.0
+    return {
+        "successes": successes,
+        "trials": trials,
+        "rate": round(rate, _PRECISION),
+        "ci95_low": round(low, _PRECISION),
+        "ci95_high": round(high, _PRECISION),
+    }
+
+
+def _distribution(values: List[int]) -> Dict[str, Any]:
+    """Min/mean/max of a per-machine integer metric (empty-safe)."""
+    if not values:
+        return {"min": 0, "mean": 0.0, "max": 0, "n": 0}
+    return {
+        "min": min(values),
+        "mean": round(sum(values) / len(values), _PRECISION),
+        "max": max(values),
+        "n": len(values),
+    }
+
+
+def _sum_counts(dicts: List[Dict[str, int]]) -> Dict[str, int]:
+    total: Dict[str, int] = {}
+    for entry in dicts:
+        for key in sorted(entry):
+            total[key] = total.get(key, 0) + int(entry[key])
+    return dict(sorted(total.items()))
+
+
+def aggregate_longterm(
+    envelopes: List[Dict[str, Any]], meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Combine per-machine long-term shard envelopes into one report.
+
+    *envelopes* must already be ordered by shard index (the engine
+    guarantees it); each is the dict built by
+    :func:`repro.workloads.longterm.run_longterm_shard`.
+    """
+    arms: Dict[str, Dict[str, Any]] = {}
+    for arm in ("protected", "unprotected"):
+        results = [envelope[arm] for envelope in envelopes]
+        stolen = _sum_counts([r["stolen_counts"] for r in results])
+        blocked = _sum_counts([r["blocked_counts"] for r in results])
+        stolen_total = sum(stolen.values())
+        blocked_total = sum(blocked.values())
+        attempts = stolen_total + blocked_total
+        legit_actions = sum(r["legit_actions"] for r in results)
+        legit_failures = sum(r["legit_failures"] for r in results)
+        arms[arm] = {
+            "machines": len(results),
+            "stolen_counts": stolen,
+            "blocked_counts": blocked,
+            "items_stolen": stolen_total,
+            "attempts_blocked": blocked_total,
+            "passwords_captured": sum(r["passwords_captured"] for r in results),
+            "legit_actions": legit_actions,
+            "legit_failures": legit_failures,
+            "device_grants": sum(r["device_grants"] for r in results),
+            "device_denials": sum(r["device_denials"] for r in results),
+            "alerts_shown": sum(r["alerts_shown"] for r in results),
+            "spy_rounds": sum(r["spy_rounds"] for r in results),
+            "block_rate": proportion_summary(blocked_total, attempts),
+            "steal_rate": proportion_summary(stolen_total, attempts),
+            "false_positive_rate": proportion_summary(legit_failures, legit_actions),
+            "stolen_per_machine": _distribution(
+                [sum(r["stolen_counts"].values()) for r in results]
+            ),
+            "counters": Counters.merged(
+                envelope["counters"][arm] for envelope in envelopes
+            ).snapshot(),
+        }
+    aggregate: Dict[str, Any] = {
+        "study": "longterm",
+        "machines": len(envelopes),
+        "protected": arms["protected"],
+        "unprotected": arms["unprotected"],
+    }
+    if meta:
+        aggregate["meta"] = meta
+    return aggregate
+
+
+def aggregate_usability(
+    envelopes: List[Dict[str, Any]], meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Combine usability shard envelopes into one population report."""
+    outcomes: List[Dict[str, Any]] = []
+    for envelope in envelopes:
+        outcomes.extend(envelope["outcomes"])
+    participants = len(outcomes)
+    identical = sum(1 for o in outcomes if o["likert_score"] == 1)
+    blocked = sum(1 for o in outcomes if o["camera_blocked"])
+    displayed = sum(1 for o in outcomes if o["alert_displayed"])
+    reactions: Dict[str, int] = {}
+    for outcome in outcomes:
+        reactions[outcome["reaction"]] = reactions.get(outcome["reaction"], 0) + 1
+    noticed = participants - reactions.get("DID_NOT_NOTICE", 0)
+    aggregate: Dict[str, Any] = {
+        "study": "usability",
+        "participants": participants,
+        "reactions": dict(sorted(reactions.items())),
+        "identical_experience": proportion_summary(identical, participants),
+        "camera_blocked": proportion_summary(blocked, participants),
+        "alert_displayed": proportion_summary(displayed, participants),
+        "alert_noticed": proportion_summary(noticed, participants),
+    }
+    if meta:
+        aggregate["meta"] = meta
+    return aggregate

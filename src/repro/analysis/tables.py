@@ -62,6 +62,20 @@ class TableRow:
     def measured_overhead_percent(self) -> float:
         return overhead_percent(self.baseline.mean_seconds, self.overhaul.mean_seconds)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe row for ``python -m repro table1 --json`` consumers."""
+        return {
+            "name": self.name,
+            "operations": self.operations,
+            "baseline_mean_seconds": self.baseline.mean_seconds,
+            "baseline_stdev_seconds": self.baseline.stdev_seconds,
+            "overhaul_mean_seconds": self.overhaul.mean_seconds,
+            "overhaul_stdev_seconds": self.overhaul.stdev_seconds,
+            "measured_overhead_percent": self.measured_overhead_percent,
+            "paper_overhead_percent": self.paper_overhead_percent,
+            "counters": dict(sorted(self.counters.items())),
+        }
+
 
 @dataclass
 class TableIResult:
@@ -84,6 +98,9 @@ class TableIResult:
             )
         lines.append(rule)
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"table": "I", "rows": [row.to_dict() for row in self.rows]}
 
     def render_counters(self) -> str:
         """The per-row work-count appendix (deterministic ordering)."""

@@ -1,0 +1,43 @@
+"""repro.fleet: the sharded multi-process population engine.
+
+Scales the paper's two-machine, 46-participant evaluation to thousands of
+independently seeded simulated machines and users::
+
+    python -m repro fleet longterm  --machines 1000 --workers 8
+    python -m repro fleet usability --users 10000 --workers 8 --resume spool/
+
+Pieces:
+
+- :mod:`repro.fleet.studies` -- shardable study definitions + registry;
+- :mod:`repro.fleet.engine`  -- the work-queue driver (worker pool,
+  per-shard timeout, bounded retries, poison-shard quarantine);
+- :mod:`repro.fleet.spool`   -- atomic per-shard checkpoints for resume.
+"""
+
+from repro.fleet.engine import FleetReport, QuarantinedShard, run_fleet
+from repro.fleet.errors import FleetError, SpoolMismatchError, UnknownStudyError
+from repro.fleet.spool import Spool
+from repro.fleet.studies import (
+    ShardSpec,
+    StudyDefinition,
+    get_study,
+    register_study,
+    study_names,
+    unregister_study,
+)
+
+__all__ = [
+    "FleetError",
+    "FleetReport",
+    "QuarantinedShard",
+    "ShardSpec",
+    "Spool",
+    "SpoolMismatchError",
+    "StudyDefinition",
+    "UnknownStudyError",
+    "get_study",
+    "register_study",
+    "run_fleet",
+    "study_names",
+    "unregister_study",
+]

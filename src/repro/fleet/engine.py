@@ -1,0 +1,421 @@
+"""The sharded multi-process population engine.
+
+``run_fleet`` drives a study's shard list to completion:
+
+- **workers=1** runs shards inline, in order -- the reference executor
+  (exceptions still get bounded retries and quarantine);
+- **workers>1** dispatches shards to a pool of forked worker processes,
+  each with a private task queue and a shared result queue.  The driver
+  enforces a per-shard wall-clock deadline (an over-deadline worker is
+  terminated and replaced), retries failed shards a bounded number of
+  times, and quarantines shards that keep failing instead of crashing the
+  run.
+
+Either way, every completed shard is checkpointed to the spool before it
+counts as done, and aggregation reads the checkpoints back in shard-index
+order -- so the aggregate is a pure function of (study, seed, population,
+params), independent of worker count, scheduling, retries, or resumption.
+Wall-clock timings live only on the :class:`FleetReport`, never inside the
+aggregate, to keep the aggregate JSON byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue as queue_module
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.fleet.errors import FleetError
+from repro.fleet.spool import Spool
+from repro.fleet.studies import ShardSpec, get_study
+
+#: How long the driver sleeps on the result queue between bookkeeping
+#: passes (deadline checks, dispatch) -- the engine's reaction latency.
+_POLL_SECONDS = 0.05
+
+
+@dataclass
+class QuarantinedShard:
+    """A shard that exhausted its retry budget."""
+
+    index: int
+    attempts: int
+    reason: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"index": self.index, "attempts": self.attempts, "reason": self.reason}
+
+
+@dataclass
+class FleetReport:
+    """Everything one fleet run produced, for humans and machines."""
+
+    study: str
+    population: int
+    seed: int
+    workers: int
+    total_shards: int
+    executed: List[int] = field(default_factory=list)
+    resumed: List[int] = field(default_factory=list)
+    retries: int = 0
+    quarantined: List[QuarantinedShard] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    spool_dir: Optional[str] = None
+    aggregate: Dict[str, Any] = field(default_factory=dict)
+
+    def aggregate_json(self) -> str:
+        """The canonical aggregate serialisation.
+
+        ``sort_keys`` + fixed separators + trailing newline: two runs with
+        the same study inputs produce byte-identical files, which is the
+        determinism contract CI diffs against.
+        """
+        return json.dumps(self.aggregate, sort_keys=True, indent=2) + "\n"
+
+    def render(self) -> str:
+        lines = [
+            f"fleet {self.study!r}: population {self.population}, seed {self.seed}",
+            f"  shards                 : {self.total_shards}",
+            f"  executed / resumed     : {len(self.executed)} / {len(self.resumed)}",
+            f"  retries                : {self.retries}",
+            f"  quarantined            : {len(self.quarantined)}",
+            f"  workers                : {self.workers}",
+            f"  wall clock             : {self.wall_seconds:.2f} s",
+        ]
+        for shard in self.quarantined:
+            lines.append(
+                f"    !! shard {shard.index}: {shard.reason} "
+                f"(after {shard.attempts} attempts)"
+            )
+        return "\n".join(lines)
+
+
+def _worker_loop(
+    worker_id: int,
+    task_queue: "multiprocessing.Queue",
+    result_queue: "multiprocessing.Queue",
+    spool_root: str,
+) -> None:
+    """Worker body: pull specs, run them, checkpoint, report home.
+
+    The checkpoint write happens *in the worker*, before the "done"
+    message -- if the driver dies, finished work is already durable.
+    """
+    spool = Spool(spool_root)
+    while True:
+        spec = task_queue.get()
+        if spec is None:
+            return
+        started = time.perf_counter()
+        try:
+            study = get_study(spec.study)
+            result = study.run_shard(spec)
+            spool.write_shard(spec.to_dict(), result)
+        except BaseException as error:  # noqa: BLE001 - forwarded to driver
+            result_queue.put(
+                ("error", worker_id, spec.index, f"{type(error).__name__}: {error}")
+            )
+        else:
+            result_queue.put(
+                ("done", worker_id, spec.index, time.perf_counter() - started)
+            )
+
+
+class _WorkerHandle:
+    """Driver-side state for one worker process."""
+
+    def __init__(self, worker_id: int, ctx, result_queue, spool_root: str) -> None:
+        self.worker_id = worker_id
+        self.task_queue = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_loop,
+            args=(worker_id, self.task_queue, result_queue, spool_root),
+            daemon=True,
+            name=f"fleet-worker-{worker_id}",
+        )
+        self.process.start()
+        self.current: Optional[ShardSpec] = None
+        self.started_at: float = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+    def dispatch(self, spec: ShardSpec) -> None:
+        self.current = spec
+        self.started_at = time.monotonic()
+        self.task_queue.put(spec)
+
+    def overdue(self, timeout_seconds: Optional[float]) -> bool:
+        return (
+            self.busy
+            and timeout_seconds is not None
+            and time.monotonic() - self.started_at > timeout_seconds
+        )
+
+    def shutdown(self) -> None:
+        if self.process.is_alive():
+            self.task_queue.put(None)
+            self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+        self.task_queue.close()
+
+    def kill(self) -> None:
+        """Terminate a misbehaving worker immediately."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+        self.task_queue.close()
+
+
+def _mp_context():
+    """Fork where available (Linux): cheap worker start-up and test studies
+    registered in the parent are inherited by children."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_fleet(
+    study_name: str,
+    population: int,
+    seed: int = 2016,
+    workers: int = 1,
+    params: Optional[Dict[str, Any]] = None,
+    spool_dir: Optional[str] = None,
+    timeout_seconds: Optional[float] = 300.0,
+    max_retries: int = 2,
+) -> FleetReport:
+    """Run *study_name* over a *population*, sharded across *workers*.
+
+    With *spool_dir* set, the run is resumable: completed shards are read
+    back from disk and only the missing ones execute.  Without it, a
+    temporary spool keeps the same code path but is deleted on return.
+    """
+    if population < 1:
+        raise FleetError(f"population must be >= 1, got {population}")
+    if workers < 1:
+        raise FleetError(f"workers must be >= 1, got {workers}")
+    study = get_study(study_name)
+    params = dict(params or {})
+    started = time.perf_counter()
+
+    if spool_dir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-fleet-") as scratch:
+            report = _run_with_spool(
+                study, population, seed, workers, params, scratch,
+                timeout_seconds, max_retries,
+            )
+            report.spool_dir = None  # scratch dir is gone; do not advertise it
+    else:
+        report = _run_with_spool(
+            study, population, seed, workers, params, spool_dir,
+            timeout_seconds, max_retries,
+        )
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def _run_with_spool(
+    study,
+    population: int,
+    seed: int,
+    workers: int,
+    params: Dict[str, Any],
+    spool_dir: str,
+    timeout_seconds: Optional[float],
+    max_retries: int,
+) -> FleetReport:
+    spool = Spool(spool_dir)
+    specs = study.build_shards(population, seed, params)
+    spool.ensure_manifest(
+        {
+            "study": study.name,
+            "population": population,
+            "seed": seed,
+            "params": {key: params[key] for key in sorted(params)},
+            "shards": len(specs),
+        }
+    )
+    known = {spec.index for spec in specs}
+    completed = spool.completed_indexes() & known
+    pending = [spec for spec in specs if spec.index not in completed]
+
+    report = FleetReport(
+        study=study.name,
+        population=population,
+        seed=seed,
+        workers=workers,
+        total_shards=len(specs),
+        resumed=sorted(completed),
+        spool_dir=spool_dir,
+    )
+
+    if pending:
+        if workers == 1:
+            _execute_inline(study, pending, spool, max_retries, report)
+        else:
+            _execute_pool(
+                study, pending, spool, workers, timeout_seconds, max_retries, report
+            )
+
+    healthy = [
+        spec.index
+        for spec in specs
+        if spec.index not in {shard.index for shard in report.quarantined}
+    ]
+    envelopes = [spool.read_shard(index) for index in sorted(healthy)]
+    meta = {
+        "study": study.name,
+        "population": population,
+        "seed": seed,
+        "params": {key: params[key] for key in sorted(params)},
+        "shards": len(specs),
+        "quarantined_shards": sorted(shard.index for shard in report.quarantined),
+    }
+    report.aggregate = study.aggregate(envelopes, meta)
+    return report
+
+
+def _execute_inline(
+    study, pending: List[ShardSpec], spool: Spool, max_retries: int, report: FleetReport
+) -> None:
+    """The workers=1 path: same retry/quarantine semantics, no processes.
+
+    (Wall-clock timeouts need a killable process, so they are enforced
+    only by the pool executor.)
+    """
+    for spec in pending:
+        failures = 0
+        while True:
+            try:
+                result = study.run_shard(spec)
+                spool.write_shard(spec.to_dict(), result)
+            except Exception as error:  # noqa: BLE001 - quarantine, don't crash
+                failures += 1
+                if failures > max_retries:
+                    report.quarantined.append(
+                        QuarantinedShard(
+                            index=spec.index,
+                            attempts=failures,
+                            reason=f"{type(error).__name__}: {error}",
+                        )
+                    )
+                    break
+                report.retries += 1
+            else:
+                report.executed.append(spec.index)
+                break
+    report.executed.sort()
+
+
+def _execute_pool(
+    study,
+    pending: List[ShardSpec],
+    spool: Spool,
+    workers: int,
+    timeout_seconds: Optional[float],
+    max_retries: int,
+    report: FleetReport,
+) -> None:
+    ctx = _mp_context()
+    result_queue = ctx.Queue()
+    spool_root = str(spool.root)
+    pool: Dict[int, _WorkerHandle] = {}
+    next_worker_id = 0
+
+    def spawn_worker() -> None:
+        nonlocal next_worker_id
+        handle = _WorkerHandle(next_worker_id, ctx, result_queue, spool_root)
+        pool[next_worker_id] = handle
+        next_worker_id += 1
+
+    for _ in range(min(workers, len(pending))):
+        spawn_worker()
+
+    todo: Deque[ShardSpec] = deque(pending)
+    spec_by_index = {spec.index: spec for spec in pending}
+    failures: Dict[int, int] = {}
+    done: set = set()
+
+    def record_failure(spec: ShardSpec, reason: str) -> None:
+        failures[spec.index] = failures.get(spec.index, 0) + 1
+        if failures[spec.index] > max_retries:
+            report.quarantined.append(
+                QuarantinedShard(
+                    index=spec.index, attempts=failures[spec.index], reason=reason
+                )
+            )
+        else:
+            report.retries += 1
+            todo.append(spec)
+
+    def handle_message(message) -> None:
+        kind, worker_id, shard_index, detail = message
+        handle = pool.get(worker_id)
+        if (
+            handle is not None
+            and handle.current is not None
+            and handle.current.index == shard_index
+        ):
+            handle.current = None
+        if kind == "done":
+            done.add(shard_index)
+        elif shard_index not in done:
+            record_failure(spec_by_index[shard_index], detail)
+
+    try:
+        while todo or any(handle.busy for handle in pool.values()):
+            # 1. Drain every finished/failed notification first, so the
+            #    deadline pass below never kills a worker that already
+            #    reported completion.
+            while True:
+                try:
+                    handle_message(result_queue.get_nowait())
+                except queue_module.Empty:
+                    break
+
+            # 2. Deadline + liveness pass: replace overdue or dead workers.
+            for worker_id, handle in list(pool.items()):
+                if handle.overdue(timeout_seconds):
+                    spec = handle.current
+                    handle.kill()
+                    del pool[worker_id]
+                    spawn_worker()
+                    record_failure(
+                        spec,
+                        f"timeout: exceeded {timeout_seconds:.1f}s wall-clock budget",
+                    )
+                elif handle.busy and not handle.process.is_alive():
+                    spec = handle.current
+                    handle.kill()
+                    del pool[worker_id]
+                    spawn_worker()
+                    record_failure(
+                        spec,
+                        f"worker died (exit code {handle.process.exitcode})",
+                    )
+
+            # 3. Feed idle workers.
+            for handle in pool.values():
+                if todo and not handle.busy and handle.process.is_alive():
+                    handle.dispatch(todo.popleft())
+
+            # 4. Block briefly for the next event.
+            try:
+                handle_message(result_queue.get(timeout=_POLL_SECONDS))
+            except queue_module.Empty:
+                pass
+    finally:
+        for handle in pool.values():
+            handle.shutdown()
+        result_queue.close()
+
+    report.executed = sorted(done)

@@ -1,0 +1,20 @@
+"""Errors raised by the fleet population engine."""
+
+from __future__ import annotations
+
+
+class FleetError(Exception):
+    """Base class for fleet engine failures."""
+
+
+class UnknownStudyError(FleetError):
+    """A study name that is not in the registry."""
+
+
+class SpoolMismatchError(FleetError):
+    """A resume directory was produced by a different fleet configuration.
+
+    Resuming a 1000-machine seed-7 run from a spool written by a
+    500-machine seed-9 run would silently mix populations; the manifest
+    check turns that into a loud error instead.
+    """

@@ -1,0 +1,118 @@
+"""The checkpoint spool: one pickle per completed shard, plus a manifest.
+
+Layout of a spool directory::
+
+    manifest.json      -- study name, seed, population, params, shard count
+    shard-00000.pkl    -- {"spec": <ShardSpec as dict>, "result": <envelope>}
+    shard-00001.pkl
+    ...
+
+Writes are atomic (``.tmp`` + :func:`os.replace`), so a run killed
+mid-shard leaves either a complete checkpoint or none -- never a torn one.
+A resumed run re-executes exactly the shards whose files are missing or
+unreadable; everything else is served from disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+from pathlib import Path
+from typing import Any, Dict, Optional, Set
+
+from repro.fleet.errors import SpoolMismatchError
+
+#: Bumped when the checkpoint layout changes; old spools refuse to resume.
+SPOOL_VERSION = 1
+
+_SHARD_FILE = re.compile(r"^shard-(\d{5})\.pkl$")
+
+
+class Spool:
+    """A directory of per-shard result checkpoints."""
+
+    MANIFEST_NAME = "manifest.json"
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+
+    # -- manifest ----------------------------------------------------------
+
+    def manifest_path(self) -> Path:
+        return self.root / self.MANIFEST_NAME
+
+    def ensure_manifest(self, manifest: Dict[str, Any]) -> None:
+        """Create the manifest, or verify an existing one matches exactly.
+
+        *manifest* must be JSON-safe; the comparison is on the parsed
+        values, so key order does not matter.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        manifest = dict(manifest, version=SPOOL_VERSION)
+        existing = self.read_manifest()
+        if existing is not None:
+            if existing != manifest:
+                raise SpoolMismatchError(
+                    f"spool {self.root} was written by a different run: "
+                    f"existing manifest {existing!r} != requested {manifest!r}"
+                )
+            return
+        self._atomic_write_bytes(
+            self.manifest_path(),
+            (json.dumps(manifest, sort_keys=True, indent=2) + "\n").encode(),
+        )
+
+    def read_manifest(self) -> Optional[Dict[str, Any]]:
+        path = self.manifest_path()
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # -- shard checkpoints -------------------------------------------------
+
+    def shard_path(self, index: int) -> Path:
+        return self.root / f"shard-{index:05d}.pkl"
+
+    def write_shard(self, spec_dict: Dict[str, Any], result: Dict[str, Any]) -> None:
+        """Atomically checkpoint one completed shard."""
+        payload = pickle.dumps({"spec": spec_dict, "result": result}, protocol=4)
+        self._atomic_write_bytes(self.shard_path(spec_dict["index"]), payload)
+
+    def read_shard(self, index: int) -> Dict[str, Any]:
+        """Load a completed shard's result envelope."""
+        with open(self.shard_path(index), "rb") as handle:
+            return pickle.load(handle)["result"]
+
+    def completed_indexes(self) -> Set[int]:
+        """Indexes of shards with a *readable* checkpoint on disk.
+
+        Unreadable files (e.g. truncated by a hard kill before the rename,
+        or a stray partial copy) are deleted so the engine recomputes them.
+        """
+        completed: Set[int] = set()
+        if not self.root.is_dir():
+            return completed
+        for entry in sorted(self.root.iterdir()):
+            match = _SHARD_FILE.match(entry.name)
+            if not match:
+                continue
+            index = int(match.group(1))
+            try:
+                with open(entry, "rb") as handle:
+                    payload = pickle.load(handle)
+                if payload["spec"]["index"] != index:
+                    raise ValueError("index mismatch")
+            except Exception:
+                entry.unlink(missing_ok=True)
+                continue
+            completed.add(index)
+        return completed
+
+    # -- internals ---------------------------------------------------------
+
+    def _atomic_write_bytes(self, path: Path, data: bytes) -> None:
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)

@@ -1,0 +1,187 @@
+"""Shardable study definitions for the fleet engine.
+
+A *study* is anything that can be cut into independent, deterministic
+shards: it knows how to (1) partition a population of a given size into
+:class:`ShardSpec` work items with hierarchically derived seeds, (2) run
+one shard to a picklable result envelope, and (3) aggregate the ordered
+envelopes into one population-level report.
+
+The two built-ins mirror the paper's evaluation:
+
+- ``longterm``  -- the Section V-D study; one shard per simulated machine
+  pair (protected + unprotected), each living its *own* seeded weeks
+  (``--machines 1000`` instead of the paper's two physical computers);
+- ``usability`` -- the Section V-B study; shards are batches of simulated
+  participants (``--users 10000`` instead of the paper's 46 students).
+
+Determinism contract: shard seeds come from
+:meth:`repro.sim.rng.RandomSource.spawn` keyed only by (study, root seed,
+unit index), never by worker id or shard boundaries, so aggregate output
+is byte-identical for any ``--workers``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.fleet.errors import FleetError, UnknownStudyError
+from repro.sim.rng import RandomSource
+
+#: Usability participants grouped per shard -- fixed (never derived from
+#: the worker count) so shard layout is a pure function of the population.
+USABILITY_SHARD_SIZE = 8
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of fleet work.  Frozen, picklable, JSON-safe."""
+
+    study: str
+    index: int
+    seed: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "study": self.study,
+            "index": self.index,
+            "seed": self.seed,
+            "params": {name: value for name, value in sorted(self.params)},
+        }
+
+
+@dataclass(frozen=True)
+class StudyDefinition:
+    """How the engine partitions, runs, and aggregates one study."""
+
+    name: str
+    description: str
+    #: (population, root_seed, params) -> ordered shard list.
+    build_shards: Callable[[int, int, Dict[str, Any]], List[ShardSpec]]
+    #: spec -> picklable result envelope (runs inside a worker process).
+    run_shard: Callable[[ShardSpec], Dict[str, Any]]
+    #: (ordered envelopes, meta) -> population aggregate (JSON-safe).
+    aggregate: Callable[[List[Dict[str, Any]], Dict[str, Any]], Dict[str, Any]]
+
+
+_REGISTRY: Dict[str, StudyDefinition] = {}
+
+
+def register_study(definition: StudyDefinition, replace: bool = False) -> None:
+    """Add a study to the registry (tests register synthetic ones)."""
+    if definition.name in _REGISTRY and not replace:
+        raise FleetError(f"study {definition.name!r} is already registered")
+    _REGISTRY[definition.name] = definition
+
+
+def unregister_study(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def get_study(name: str) -> StudyDefinition:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownStudyError(
+            f"unknown study {name!r}; available: {', '.join(study_names())}"
+        ) from None
+
+
+def study_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# -- longterm (Section V-D at population scale) ----------------------------
+
+
+def _longterm_build(population: int, seed: int, params: Dict[str, Any]) -> List[ShardSpec]:
+    days = int(params.get("days", 21))
+    root = RandomSource(seed, name="fleet")
+    return [
+        ShardSpec(
+            study="longterm",
+            index=machine,
+            seed=root.spawn(("longterm", machine)).seed,
+            params=(("days", days),),
+        )
+        for machine in range(population)
+    ]
+
+
+def _longterm_run(spec: ShardSpec) -> Dict[str, Any]:
+    from repro.workloads.longterm import run_longterm_shard
+
+    return run_longterm_shard(
+        machine_index=spec.index, seed=spec.seed, days=spec.param("days", 21)
+    )
+
+
+def _longterm_aggregate(
+    envelopes: List[Dict[str, Any]], meta: Dict[str, Any]
+) -> Dict[str, Any]:
+    from repro.analysis.population import aggregate_longterm
+
+    return aggregate_longterm(envelopes, meta)
+
+
+# -- usability (Section V-B at population scale) ---------------------------
+
+
+def _usability_build(population: int, seed: int, params: Dict[str, Any]) -> List[ShardSpec]:
+    size = int(params.get("shard_size", USABILITY_SHARD_SIZE))
+    if size < 1:
+        raise FleetError(f"usability shard size must be >= 1, got {size}")
+    specs = []
+    for index, first in enumerate(range(0, population, size)):
+        count = min(size, population - first)
+        specs.append(
+            ShardSpec(
+                study="usability",
+                index=index,
+                seed=seed,
+                params=(("count", count), ("first", first)),
+            )
+        )
+    return specs
+
+
+def _usability_run(spec: ShardSpec) -> Dict[str, Any]:
+    from repro.workloads.usability import run_usability_shard
+
+    first = spec.param("first")
+    return run_usability_shard(spec.seed, range(first, first + spec.param("count")))
+
+
+def _usability_aggregate(
+    envelopes: List[Dict[str, Any]], meta: Dict[str, Any]
+) -> Dict[str, Any]:
+    from repro.analysis.population import aggregate_usability
+
+    return aggregate_usability(envelopes, meta)
+
+
+register_study(
+    StudyDefinition(
+        name="longterm",
+        description="Section V-D long-term study, one machine pair per shard",
+        build_shards=_longterm_build,
+        run_shard=_longterm_run,
+        aggregate=_longterm_aggregate,
+    )
+)
+register_study(
+    StudyDefinition(
+        name="usability",
+        description="Section V-B usability study, a batch of participants per shard",
+        build_shards=_usability_build,
+        run_shard=_usability_run,
+        aggregate=_usability_aggregate,
+    )
+)

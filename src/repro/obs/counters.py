@@ -14,17 +14,27 @@ analysis tables key on them.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Mapping, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.system import Machine
 
 
 class Counters:
-    """A named-integer registry with deterministic iteration order."""
+    """A named-integer registry with deterministic iteration order.
 
-    def __init__(self) -> None:
+    Snapshots, pickles, and merges are all *order-stable*: two registries
+    holding the same name/value pairs serialise to identical bytes no
+    matter what order the counters were touched in.  Fleet shards rely on
+    this -- a merged population table must not depend on which worker
+    finished first or which module was imported first.
+    """
+
+    def __init__(self, initial: Mapping[str, int] | None = None) -> None:
         self._counts: Dict[str, int] = {}
+        if initial:
+            for name in sorted(initial):
+                self._counts[name] = int(initial[name])
 
     def inc(self, name: str, amount: int = 1) -> int:
         """Add *amount* to the counter, creating it at zero."""
@@ -44,8 +54,37 @@ class Counters:
         return dict(sorted(self._counts.items()))
 
     def merge(self, other: "Counters") -> None:
-        for name, value in other._counts.items():
-            self.inc(name, value)
+        """Add *other*'s counts into this registry (commutative on values)."""
+        for name in sorted(other._counts):
+            self.inc(name, other._counts[name])
+
+    @classmethod
+    def merged(cls, snapshots: Iterable[Mapping[str, int]]) -> "Counters":
+        """Combine many :meth:`snapshot` dicts into one registry.
+
+        The fleet aggregation path: each shard ships its machines' counter
+        snapshots home as plain dicts; the driver sums them here.  The
+        result is independent of the order the snapshots arrive in.
+        """
+        combined = cls()
+        for snapshot in snapshots:
+            for name in sorted(snapshot):
+                combined.inc(name, int(snapshot[name]))
+        return combined
+
+    # Pickle via the sorted snapshot so equal-content registries produce
+    # byte-identical payloads regardless of insertion order -- shard
+    # checkpoints are compared and cached by content.
+    def __getstate__(self) -> Dict[str, int]:
+        return self.snapshot()
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        self._counts = dict(sorted(state.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Counters):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()
 
     def __len__(self) -> int:
         return len(self._counts)

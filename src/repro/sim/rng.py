@@ -8,13 +8,37 @@ from a :class:`RandomSource` so a single seed replays an entire experiment.
 
 from __future__ import annotations
 
+import hashlib
 import random
-from typing import List, Optional, Sequence, TypeVar
+from typing import List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.sim.errors import DeterminismError
 from repro.sim.time import Timestamp, from_seconds
 
 T = TypeVar("T")
+
+#: Keys accepted by :meth:`RandomSource.spawn`: strings, ints, or (nested)
+#: tuples of either -- enough to name a shard hierarchically, e.g.
+#: ``("longterm", 412)``.
+SpawnKey = Union[str, int, Tuple["SpawnKey", ...]]
+
+
+def _canonical_key(key: SpawnKey) -> str:
+    """Flatten a spawn key into an unambiguous canonical string.
+
+    Types are tagged (``s:``/``i:``) and tuples bracketed so distinct keys
+    can never collide after flattening (``1`` vs ``"1"``, ``("a","b")`` vs
+    ``("a,b",)``).
+    """
+    if isinstance(key, bool) or (
+        not isinstance(key, (str, int, tuple))
+    ):
+        raise DeterminismError(f"spawn key must be str, int, or tuple, got {key!r}")
+    if isinstance(key, str):
+        return f"s:{key}"
+    if isinstance(key, int):
+        return f"i:{key}"
+    return "(" + ",".join(_canonical_key(part) for part in key) + ")"
 
 
 class RandomSource:
@@ -52,11 +76,30 @@ class RandomSource:
         Reproducibility across runs is a core requirement of the
         experiment harness, so this uses SHA-256.
         """
-        import hashlib
-
         digest = hashlib.sha256(f"{self._seed}:{label}".encode()).digest()
         child_seed = int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
         return RandomSource(child_seed, name=f"{self._name}/{label}")
+
+    def spawn(self, key: SpawnKey) -> "RandomSource":
+        """Derive an independent child stream keyed by *key*.
+
+        The fleet engine's hierarchical seeding primitive: a parent seed
+        plus a structured key (``("longterm", machine_index)``) always
+        yields the same child stream, on any worker process, regardless of
+        how shards are partitioned or scheduled.  That is the property that
+        makes ``--workers 8`` byte-identical to ``--workers 1``.
+
+        Differences from :meth:`fork`:
+
+        - keys may be ints or tuples, not just strings, and are
+          canonicalised so distinct keys cannot collide;
+        - the derivation runs in a separate hash domain (``spawn|``), so
+          ``spawn("x")`` and ``fork("x")`` are independent streams.
+        """
+        canon = _canonical_key(key)
+        digest = hashlib.sha256(f"spawn|{self._seed}|{canon}".encode()).digest()
+        child_seed = int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+        return RandomSource(child_seed, name=f"{self._name}/{canon}")
 
     # -- primitive draws ---------------------------------------------------
 

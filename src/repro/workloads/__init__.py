@@ -37,6 +37,7 @@ from repro.workloads.longterm import (
     STUDY_DAYS,
     LongTermResults,
     run_comparison,
+    run_longterm_shard,
     run_longterm_study,
 )
 from repro.workloads.scenarios import (
@@ -53,6 +54,8 @@ from repro.workloads.usability import (
     PARTICIPANT_COUNT,
     ParticipantOutcome,
     UsabilityStudyResults,
+    run_participant,
+    run_usability_shard,
     run_usability_study,
 )
 from repro.workloads.user_model import (
@@ -97,6 +100,9 @@ __all__ = [
     "figure6_selection_protocol",
     "run_applicability_sweep",
     "run_comparison",
+    "run_longterm_shard",
     "run_longterm_study",
+    "run_participant",
+    "run_usability_shard",
     "run_usability_study",
 ]

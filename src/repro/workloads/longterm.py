@@ -22,7 +22,7 @@ what was stolen, what was blocked, and whether any legitimate action failed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.apps.clipboard_apps import PasswordManager, TextEditor
 from repro.apps.malware import Spyware
@@ -64,6 +64,29 @@ class LongTermResults:
     @property
     def total_stolen(self) -> int:
         return sum(self.stolen_counts.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe, order-stable dict (bytes rendered as hex).
+
+        This is the serialisation fleet shards ship home and the payload
+        behind ``python -m repro longterm --json``.
+        """
+        return {
+            "machine_name": self.machine_name,
+            "protected": self.protected,
+            "days": self.days,
+            "stolen_counts": dict(sorted(self.stolen_counts.items())),
+            "blocked_counts": dict(sorted(self.blocked_counts.items())),
+            "total_stolen": self.total_stolen,
+            "stolen_passwords_hex": [item.hex() for item in self.stolen_passwords],
+            "passwords_captured": len(self.stolen_passwords),
+            "legit_actions": self.legit_actions,
+            "legit_failures": self.legit_failures,
+            "device_grants": self.device_grants,
+            "device_denials": self.device_denials,
+            "alerts_shown": self.alerts_shown,
+            "spy_rounds": self.spy_rounds,
+        }
 
     def render(self) -> str:
         mode = "OVERHAUL" if self.protected else "unprotected"
@@ -168,11 +191,25 @@ def run_longterm_study(
     protected/unprotected pair differs only in the installed defence --
     matching the paper's two-computer design as closely as a simulation can.
     """
+    results, _machine = _run_study_with_machine(
+        protected, seed=seed, days=days, config=config
+    )
+    return results
+
+
+def _run_study_with_machine(
+    protected: bool,
+    seed: Optional[int] = None,
+    days: int = STUDY_DAYS,
+    config: Optional[OverhaulConfig] = None,
+    machine_name: str = "author-workstation",
+) -> Tuple[LongTermResults, Machine]:
+    """The study body, also handing back the machine for counter collection."""
     rng = default_source(seed).fork("longterm")
     machine = (
-        Machine.with_overhaul(config, name="author-workstation")
+        Machine.with_overhaul(config, name=machine_name)
         if protected
-        else Machine.baseline(name="author-workstation")
+        else Machine.baseline(name=machine_name)
     )
     driver = _DailyDriver(machine, rng.fork("driver"))
     usage = DailyUsageModel(rng.fork("usage"))
@@ -201,7 +238,45 @@ def run_longterm_study(
     results.device_grants = len(audit.grants(AuditCategory.DEVICE))
     results.device_denials = len(audit.denials(AuditCategory.DEVICE))
     results.alerts_shown = len(machine.xserver.overlay.history)
-    return results
+    return results, machine
+
+
+def run_longterm_shard(
+    machine_index: int,
+    seed: int,
+    days: int = STUDY_DAYS,
+    config: Optional[OverhaulConfig] = None,
+) -> Dict[str, Any]:
+    """One fleet shard: a full protected/unprotected machine pair.
+
+    *seed* is the shard's own derived seed (see
+    :meth:`repro.sim.rng.RandomSource.spawn`), so every simulated machine
+    in a population lives a *different* 21 days -- unlike
+    :func:`run_comparison`, which replays one fixed household.  The return
+    value is a picklable, JSON-safe envelope: study results for both arms
+    plus each machine's cross-layer counter snapshot, ready for
+    :func:`repro.analysis.population.aggregate_longterm`.
+    """
+    from repro.obs.counters import collect_counters
+
+    name = f"fleet-machine-{machine_index:05d}"
+    protected, protected_machine = _run_study_with_machine(
+        True, seed=seed, days=days, config=config, machine_name=name
+    )
+    unprotected, unprotected_machine = _run_study_with_machine(
+        False, seed=seed, days=days, config=config, machine_name=name
+    )
+    return {
+        "machine_index": machine_index,
+        "seed": seed,
+        "days": days,
+        "protected": protected.to_dict(),
+        "unprotected": unprotected.to_dict(),
+        "counters": {
+            "protected": collect_counters(protected_machine).snapshot(),
+            "unprotected": collect_counters(unprotected_machine).snapshot(),
+        },
+    }
 
 
 def run_comparison(

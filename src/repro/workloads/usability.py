@@ -21,7 +21,7 @@ and models only the human reaction with
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.apps.base import SimApp
 from repro.apps.videoconf import VideoConfApp
@@ -51,6 +51,29 @@ class ParticipantOutcome:
     alert_displayed: bool
     #: Task 2 reaction.
     reaction: AlertReaction
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (the reaction enum by name)."""
+        return {
+            "participant_id": self.participant_id,
+            "likert_score": self.likert_score,
+            "behaviour_differences": self.behaviour_differences,
+            "camera_blocked": self.camera_blocked,
+            "alert_displayed": self.alert_displayed,
+            "reaction": self.reaction.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ParticipantOutcome":
+        """Rebuild an outcome from :meth:`to_dict` (fleet aggregation path)."""
+        return cls(
+            participant_id=data["participant_id"],
+            likert_score=data["likert_score"],
+            behaviour_differences=data["behaviour_differences"],
+            camera_blocked=data["camera_blocked"],
+            alert_displayed=data["alert_displayed"],
+            reaction=AlertReaction[data["reaction"]],
+        )
 
 
 @dataclass
@@ -85,6 +108,17 @@ class UsabilityStudyResults:
     @property
     def missed(self) -> int:
         return self.reaction_counts()[AlertReaction.DID_NOT_NOTICE]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict: the aggregate counts plus every outcome."""
+        return {
+            "participants": self.participants,
+            "identical_experience": self.identical_experience_count,
+            "interrupted": self.interrupted,
+            "noticed": self.noticed,
+            "missed": self.missed,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
 
     def render(self) -> str:
         return "\n".join(
@@ -168,26 +202,63 @@ def _run_task2_hidden_camera(machine: Machine, rng: RandomSource) -> Participant
     )
 
 
+def run_participant(
+    index: int,
+    rng: RandomSource,
+    config: Optional[OverhaulConfig] = None,
+) -> ParticipantOutcome:
+    """Both tasks for one participant, each on a fresh protected machine.
+
+    The participant's entire stochastic behaviour comes from *rng*, so a
+    participant produces the same outcome whether they are run in the
+    46-person in-process study or as one of 10 000 fleet-sharded users.
+    """
+    task1 = _run_task1_skype_call(Machine.with_overhaul(config))
+    task2 = _run_task2_hidden_camera(Machine.with_overhaul(config), rng)
+    return ParticipantOutcome(
+        participant_id=index,
+        likert_score=task1.likert_score,
+        behaviour_differences=task1.behaviour_differences,
+        camera_blocked=task2.camera_blocked,
+        alert_displayed=task2.alert_displayed,
+        reaction=task2.reaction,
+    )
+
+
+def participant_rng(seed: Optional[int], index: int) -> RandomSource:
+    """The canonical per-participant stream: derived from the *study* seed
+    and the participant index only, never from shard boundaries -- the
+    property that keeps fleet output independent of ``--workers`` and
+    shard size."""
+    return default_source(seed).fork("usability-study").fork(f"participant-{index}")
+
+
 def run_usability_study(
     seed: Optional[int] = None,
     participants: int = PARTICIPANT_COUNT,
     config: Optional[OverhaulConfig] = None,
 ) -> UsabilityStudyResults:
     """Run both tasks for every participant on fresh protected machines."""
-    root_rng = default_source(seed).fork("usability-study")
     results = UsabilityStudyResults()
     for index in range(participants):
-        participant_rng = root_rng.fork(f"participant-{index}")
-        task1 = _run_task1_skype_call(Machine.with_overhaul(config))
-        task2 = _run_task2_hidden_camera(Machine.with_overhaul(config), participant_rng)
         results.outcomes.append(
-            ParticipantOutcome(
-                participant_id=index,
-                likert_score=task1.likert_score,
-                behaviour_differences=task1.behaviour_differences,
-                camera_blocked=task2.camera_blocked,
-                alert_displayed=task2.alert_displayed,
-                reaction=task2.reaction,
-            )
+            run_participant(index, participant_rng(seed, index), config)
         )
     return results
+
+
+def run_usability_shard(
+    seed: Optional[int],
+    participant_ids: Iterable[int],
+    config: Optional[OverhaulConfig] = None,
+) -> Dict[str, Any]:
+    """One fleet shard: a contiguous batch of participants.
+
+    Returns a picklable, JSON-safe envelope consumed by
+    :func:`repro.analysis.population.aggregate_usability`.
+    """
+    outcomes = [
+        run_participant(index, participant_rng(seed, index), config)
+        for index in participant_ids
+    ]
+    return {"outcomes": [outcome.to_dict() for outcome in outcomes]}

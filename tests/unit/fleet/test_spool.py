@@ -1,0 +1,71 @@
+"""Unit tests for the checkpoint spool."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.fleet.errors import SpoolMismatchError
+from repro.fleet.spool import Spool
+from repro.fleet.studies import ShardSpec
+
+
+def _spec(index: int) -> ShardSpec:
+    return ShardSpec(study="demo", index=index, seed=index * 7, params=(("days", 1),))
+
+
+class TestManifest:
+    def test_manifest_created_and_idempotent(self, tmp_path):
+        spool = Spool(tmp_path / "spool")
+        manifest = {"study": "longterm", "population": 4, "seed": 9, "params": {}, "shards": 4}
+        spool.ensure_manifest(manifest)
+        spool.ensure_manifest(manifest)  # same config resumes fine
+        stored = json.loads(spool.manifest_path().read_text())
+        assert stored["study"] == "longterm"
+        assert stored["version"] == 1
+
+    def test_mismatched_manifest_rejected(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.ensure_manifest({"study": "longterm", "population": 4, "seed": 9})
+        with pytest.raises(SpoolMismatchError):
+            spool.ensure_manifest({"study": "longterm", "population": 8, "seed": 9})
+
+    def test_missing_manifest_reads_none(self, tmp_path):
+        assert Spool(tmp_path / "nope").read_manifest() is None
+
+
+class TestShardCheckpoints:
+    def test_write_read_round_trip(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.root.mkdir(exist_ok=True)
+        spec = _spec(3)
+        spool.write_shard(spec.to_dict(), {"value": [1, 2, 3]})
+        assert spool.read_shard(3) == {"value": [1, 2, 3]}
+        assert spool.completed_indexes() == {3}
+
+    def test_corrupt_checkpoint_dropped(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.root.mkdir(exist_ok=True)
+        spool.write_shard(_spec(0).to_dict(), {"ok": True})
+        # A hard kill can leave a truncated file with a valid name.
+        spool.shard_path(1).write_bytes(b"\x80\x04 truncated garbage")
+        assert spool.completed_indexes() == {0}
+        assert not spool.shard_path(1).exists()  # dropped for recomputation
+
+    def test_index_mismatch_inside_payload_dropped(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.root.mkdir(exist_ok=True)
+        # A checkpoint copied to the wrong filename must not be trusted.
+        payload = pickle.dumps({"spec": _spec(7).to_dict(), "result": {}})
+        spool.shard_path(2).write_bytes(payload)
+        assert spool.completed_indexes() == set()
+
+    def test_tmp_files_ignored(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.root.mkdir(exist_ok=True)
+        (tmp_path / "shard-00005.pkl.tmp.123").write_bytes(b"partial")
+        assert spool.completed_indexes() == set()
+
+    def test_empty_dir_and_missing_dir(self, tmp_path):
+        assert Spool(tmp_path).completed_indexes() == set()
+        assert Spool(tmp_path / "absent").completed_indexes() == set()

@@ -80,3 +80,67 @@ class TestCollector:
         first = collect_counters(machine).snapshot()
         second = collect_counters(machine).snapshot()
         assert first == second
+
+
+class TestCountersSerialization:
+    """Order-stability and picklability: what fleet shard merging relies on."""
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        counters = Counters()
+        counters.set("b.two", 2)
+        counters.set("a.one", 1)
+        clone = pickle.loads(pickle.dumps(counters))
+        assert clone == counters
+        assert clone.snapshot() == {"a.one": 1, "b.two": 2}
+
+    def test_pickle_bytes_independent_of_insertion_order(self):
+        import pickle
+
+        forward = Counters()
+        forward.set("a", 1)
+        forward.set("b", 2)
+        forward.set("c", 3)
+        backward = Counters()
+        backward.set("c", 3)
+        backward.set("b", 2)
+        backward.set("a", 1)
+        assert pickle.dumps(forward, protocol=4) == pickle.dumps(backward, protocol=4)
+
+    def test_equality_is_content_based(self):
+        a = Counters({"x": 1})
+        b = Counters()
+        b.set("x", 1)
+        assert a == b
+        b.inc("x")
+        assert a != b
+        assert a != "not-counters"
+
+    def test_init_from_mapping_sorts(self):
+        counters = Counters({"z": 9, "a": 1})
+        assert [name for name, _ in counters] == ["a", "z"]
+
+    def test_merged_snapshots_order_independent(self):
+        snap_a = {"x.ops": 3, "y.ops": 1}
+        snap_b = {"x.ops": 2, "z.ops": 5}
+        one = Counters.merged([snap_a, snap_b]).snapshot()
+        other = Counters.merged([snap_b, snap_a]).snapshot()
+        assert one == other == {"x.ops": 5, "y.ops": 1, "z.ops": 5}
+
+    def test_merge_order_stable_after_interleaved_updates(self):
+        import pickle
+
+        a = Counters({"m": 1})
+        b = Counters({"a": 2, "m": 1})
+        a.merge(b)
+        direct = Counters({"a": 2, "m": 2})
+        assert a == direct
+        assert pickle.dumps(a, protocol=4) == pickle.dumps(direct, protocol=4)
+
+    def test_machine_collection_pickles(self, machine):
+        import pickle
+
+        collected = collect_counters(machine)
+        clone = pickle.loads(pickle.dumps(collected))
+        assert clone.snapshot() == collected.snapshot()

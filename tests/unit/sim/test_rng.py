@@ -84,3 +84,57 @@ class TestDraws:
     def test_jittered_delay_rejects_negative(self):
         with pytest.raises(DeterminismError):
             RandomSource(1).jittered_delay(-1.0)
+
+
+class TestSpawn:
+    """The fleet engine's hierarchical derived-stream API."""
+
+    def test_same_parent_same_key_identical_stream(self):
+        a = RandomSource(7).spawn(("longterm", 3))
+        b = RandomSource(7).spawn(("longterm", 3))
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_keys_differ(self):
+        root = RandomSource(7)
+        a = root.spawn(("longterm", 3))
+        b = root.spawn(("longterm", 4))
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_spawn_does_not_consume_parent_stream(self):
+        lone = RandomSource(7)
+        expected = [lone.random() for _ in range(3)]
+        spawning = RandomSource(7)
+        spawning.spawn("child")
+        assert [spawning.random() for _ in range(3)] == expected
+
+    def test_spawn_and_fork_are_separate_domains(self):
+        root = RandomSource(7)
+        assert root.spawn("x").seed != root.fork("x").seed
+
+    def test_int_and_str_keys_do_not_collide(self):
+        root = RandomSource(7)
+        assert root.spawn(1).seed != root.spawn("1").seed
+
+    def test_tuple_flattening_is_unambiguous(self):
+        root = RandomSource(7)
+        assert root.spawn(("a", "b")).seed != root.spawn(("a,b",)).seed
+        assert root.spawn((("a",), "b")).seed != root.spawn(("a", ("b",))).seed
+
+    def test_spawn_is_hierarchical(self):
+        a = RandomSource(7).spawn("fleet").spawn(("machine", 2))
+        b = RandomSource(7).spawn("fleet").spawn(("machine", 2))
+        assert a.seed == b.seed
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_spawn_name_reflects_key(self):
+        child = RandomSource(7, name="root").spawn(("fleet", 5))
+        assert "root/" in child.name
+
+    def test_invalid_keys_rejected(self):
+        root = RandomSource(7)
+        with pytest.raises(DeterminismError):
+            root.spawn(1.5)  # type: ignore[arg-type]
+        with pytest.raises(DeterminismError):
+            root.spawn(True)  # type: ignore[arg-type]
+        with pytest.raises(DeterminismError):
+            root.spawn(("a", [1]))  # type: ignore[arg-type]

@@ -134,3 +134,106 @@ class TestDrain:
             scheduler.schedule_at(t, lambda: None)
         scheduler.run_until(10)
         assert scheduler.events_dispatched == 3
+
+
+class TestEdgeCasesUnderLoad:
+    """Edge cases the fleet engine leans on: cancellation of fired events,
+    same-instant scheduling from inside callbacks, and re-entrancy."""
+
+    def test_cancel_after_fired_is_harmless(self, scheduler):
+        fired = []
+        handle = scheduler.schedule_at(10, lambda: fired.append("x"))
+        scheduler.run_until(20)
+        assert fired == ["x"]
+        handle.cancel()  # already dispatched; must not raise or corrupt
+        handle.cancel()
+        assert scheduler.pending_count == 0
+        assert scheduler.run_until(30) == 0
+
+    def test_cancel_after_fired_does_not_affect_later_events(self, scheduler):
+        fired = []
+        early = scheduler.schedule_at(10, lambda: fired.append("early"))
+        scheduler.schedule_at(30, lambda: fired.append("late"))
+        scheduler.run_until(20)
+        early.cancel()
+        scheduler.run_until(40)
+        assert fired == ["early", "late"]
+
+    def test_schedule_at_current_instant_from_callback_fires_same_run(self, scheduler):
+        fired = []
+
+        def outer():
+            scheduler.schedule_at(scheduler.now, lambda: fired.append("inner"))
+            fired.append("outer")
+
+        scheduler.schedule_at(50, outer)
+        dispatched = scheduler.run_until(50)
+        assert fired == ["outer", "inner"]
+        assert dispatched == 2
+        assert scheduler.now == 50
+
+    def test_same_instant_chain_from_callbacks_preserves_order(self, scheduler):
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 4:
+                scheduler.schedule_at(scheduler.now, lambda: chain(depth + 1))
+
+        scheduler.schedule_at(5, lambda: chain(0))
+        scheduler.run_until(5)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_callback_cancelling_same_instant_sibling(self, scheduler):
+        fired = []
+        handles = {}
+
+        def killer():
+            fired.append("killer")
+            handles["victim"].cancel()
+
+        scheduler.schedule_at(10, killer)
+        handles["victim"] = scheduler.schedule_at(10, lambda: fired.append("victim"))
+        scheduler.run_until(10)
+        assert fired == ["killer"]
+
+    def test_reentrant_run_for_rejected_from_callback(self, scheduler):
+        def evil():
+            scheduler.run_for(5)
+
+        scheduler.schedule_at(10, evil)
+        with pytest.raises(SchedulerError):
+            scheduler.run_for(20)
+
+    def test_reentrant_drain_rejected_from_callback(self, scheduler):
+        def evil():
+            scheduler.drain()
+
+        scheduler.schedule_at(10, evil)
+        with pytest.raises(SchedulerError):
+            scheduler.run_until(20)
+
+    def test_scheduler_usable_after_rejected_reentrant_run(self, scheduler):
+        def evil():
+            scheduler.run_until(500)
+
+        scheduler.schedule_at(10, evil)
+        with pytest.raises(SchedulerError):
+            scheduler.run_until(100)
+        # The failed run must release the running flag and keep the clock
+        # consistent so the scheduler remains usable.
+        fired = []
+        scheduler.schedule_at(scheduler.now + 1, lambda: fired.append("ok"))
+        scheduler.run_for(10)
+        assert fired == ["ok"]
+
+    def test_many_events_with_interleaved_cancellation(self, scheduler):
+        fired = []
+        handles = [
+            scheduler.schedule_at(t, lambda t=t: fired.append(t)) for t in range(1000)
+        ]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert scheduler.pending_count == 500
+        assert scheduler.run_until(1000) == 500
+        assert fired == list(range(1, 1000, 2))

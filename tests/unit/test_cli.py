@@ -57,3 +57,84 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["no-such-command"])
+
+
+class TestJsonFlags:
+    """`--json` turns each study subcommand into a machine-readable feed."""
+
+    def test_longterm_json(self, capsys):
+        import json
+
+        assert main(["longterm", "--days", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"protected", "unprotected"}
+        assert payload["protected"]["legit_failures"] == 0
+        assert payload["unprotected"]["total_stolen"] > 0
+
+    def test_usability_json(self, capsys):
+        import json
+
+        assert main(["usability", "--seed", "66", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["participants"] == 46
+        assert len(payload["outcomes"]) == 46
+        assert payload["identical_experience"] == 46
+
+    def test_table1_json(self, capsys):
+        import json
+
+        assert main(["table1", "--scale", "0.02", "--repeats", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["table"] == "I"
+        names = {row["name"] for row in payload["rows"]}
+        assert "device-access" in names or len(names) == 5
+
+
+class TestFleetCommand:
+    def test_fleet_longterm_human_output(self, capsys):
+        assert main([
+            "fleet", "longterm", "--machines", "2", "--days", "1", "--workers", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "fleet 'longterm': population 2" in output
+        assert "executed / resumed     : 2 / 0" in output
+
+    def test_fleet_json_deterministic_across_workers(self, capsys):
+        assert main([
+            "fleet", "longterm", "--machines", "3", "--days", "1",
+            "--workers", "1", "--seed", "8", "--json",
+        ]) == 0
+        serial = capsys.readouterr().out
+        assert main([
+            "fleet", "longterm", "--machines", "3", "--days", "1",
+            "--workers", "2", "--seed", "8", "--json",
+        ]) == 0
+        pooled = capsys.readouterr().out
+        assert serial == pooled
+
+    def test_fleet_usability_users_flag(self, capsys):
+        import json
+
+        assert main([
+            "fleet", "usability", "--users", "6", "--workers", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["participants"] == 6
+
+    def test_fleet_resume_flag(self, capsys, tmp_path):
+        spool = str(tmp_path / "spool")
+        assert main([
+            "fleet", "longterm", "--machines", "2", "--days", "1",
+            "--workers", "1", "--resume", spool,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "fleet", "longterm", "--machines", "2", "--days", "1",
+            "--workers", "1", "--resume", spool,
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "executed / resumed     : 0 / 2" in output
+
+    def test_fleet_unknown_study_rejected(self, capsys):
+        assert main(["fleet", "nope"]) == 2
+        assert "unknown study" in capsys.readouterr().err
