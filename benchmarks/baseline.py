@@ -1,0 +1,214 @@
+"""Perf-baseline harness: measure, record, and regression-check hot paths.
+
+The Table I pytest-benchmark suite answers "what is Overhaul's relative
+overhead"; this harness answers a different question the ROADMAP cares
+about: *is the mediation hot path itself getting faster or slower over
+time?*  It measures absolute mediated-path throughput (operations per
+second of host time) for the four mediated Table I workloads plus the
+isolated decision path, and keeps the numbers in ``BENCH_baseline.json``:
+
+- ``pre``     -- the throughput recorded *before* the hot-path overhaul
+  landed (written once, never overwritten by ``--write``);
+- ``current`` -- the most recent committed measurement.
+
+Workflows
+---------
+
+Record a fresh baseline (updates the ``current`` section)::
+
+    PYTHONPATH=src python benchmarks/baseline.py --write
+
+Check the working tree against the committed baseline (the CI perf gate;
+fails when any benchmark regresses by more than ``--threshold``)::
+
+    PYTHONPATH=src python benchmarks/baseline.py --check
+
+Compare the committed ``current`` numbers against ``pre``::
+
+    PYTHONPATH=src python benchmarks/baseline.py --compare
+
+``--check`` exits 0 with a notice when the baseline file (or the section
+being compared against) is absent, so first runs and fresh clones never
+fail; CI caches the measured artifact across runs for a same-machine
+comparison (see ``.github/workflows/ci.yml``).
+
+Numbers are host-specific: ``--check`` only ever compares measurements
+from the same file/cache, and the committed numbers document the
+development machine (see the ``meta`` section).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_baseline.json"
+SCHEMA_VERSION = 1
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _rig_factories() -> Dict[str, Callable[[], object]]:
+    from repro.analysis.benchops import (
+        ClipboardRig,
+        DecisionPathRig,
+        DeviceAccessRig,
+        ScreenCaptureRig,
+        SharedMemoryRig,
+    )
+
+    # Every rig runs in the protected configuration: this harness tracks
+    # the *mediated* path.  Ops counts are sized so one round takes
+    # ~0.1-1 s on a development machine.
+    return {
+        "device_access": lambda: (DeviceAccessRig(True), 2_000),
+        "clipboard": lambda: (ClipboardRig(True), 600),
+        "screen_capture": lambda: (ScreenCaptureRig(True), 600),
+        "shared_memory": lambda: (SharedMemoryRig(True), 8_000),
+        "mediated_decision_path": lambda: (DecisionPathRig(True), 5_000),
+    }
+
+
+def measure_all(repeats: int = 5, ops_scale: float = 1.0, quiet: bool = False) -> Dict[str, dict]:
+    """Run every benchmark; return name -> {ops_per_sec, ops, rounds}.
+
+    Methodology matches the Table I suite: one warmup round, then
+    *repeats* timed rounds on the same rig; throughput is taken from the
+    fastest round (least scheduler noise), like pytest-benchmark's
+    ``min``.
+    """
+    results: Dict[str, dict] = {}
+    for name, factory in _rig_factories().items():
+        rig, base_ops = factory()
+        ops = max(1, int(base_ops * ops_scale))
+        rig.run(ops)  # warmup: caches populated, allocator steady
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            rig.run(ops)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+        ops_per_sec = ops / best
+        results[name] = {
+            "ops_per_sec": round(ops_per_sec, 1),
+            "ops": ops,
+            "rounds": repeats,
+        }
+        if not quiet:
+            print(f"  {name:<24s} {ops_per_sec:>12,.0f} ops/s  ({ops} ops, best of {repeats})")
+    return results
+
+
+def load_baseline(path: Path) -> Optional[dict]:
+    if not path.exists():
+        return None
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def write_baseline(path: Path, results: Dict[str, dict], section: str) -> None:
+    """Write *results* into *section*, preserving the other sections."""
+    data = load_baseline(path) or {"schema": SCHEMA_VERSION, "unit": "ops_per_sec"}
+    if section == "pre" and "pre" in data:
+        raise SystemExit(
+            "refusing to overwrite the 'pre' section: it records the "
+            "pre-overhaul numbers and is written exactly once"
+        )
+    data[section] = {"results": results}
+    data["meta"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+    }
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {section!r} section of {path}")
+
+
+def check_regression(
+    path: Path, threshold: float, repeats: int, ops_scale: float
+) -> int:
+    """Measure now and compare to the committed ``current`` section.
+
+    Returns the process exit code: 0 when within threshold (or no
+    baseline to compare against), 1 on regression.
+    """
+    data = load_baseline(path)
+    if data is None or "current" not in data:
+        print(f"no baseline at {path}; skipping perf gate (run --write first)")
+        return 0
+    committed = data["current"]["results"]
+    print(f"measuring against {path} (threshold {threshold:.0%})")
+    measured = measure_all(repeats=repeats, ops_scale=ops_scale)
+    failures = []
+    for name, record in sorted(committed.items()):
+        if name not in measured:
+            print(f"  {name:<24s} missing from this build; skipped")
+            continue
+        base = record["ops_per_sec"]
+        now = measured[name]["ops_per_sec"]
+        ratio = now / base if base else float("inf")
+        verdict = "ok" if ratio >= (1.0 - threshold) else "REGRESSION"
+        print(f"  {name:<24s} {now:>12,.0f} vs {base:>12,.0f} ops/s  x{ratio:.2f}  {verdict}")
+        if verdict != "ok":
+            failures.append(name)
+    if failures:
+        print(f"perf gate FAILED: {', '.join(failures)} regressed more than {threshold:.0%}")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+def compare_sections(path: Path) -> int:
+    """Print current-vs-pre speedups from the committed file."""
+    data = load_baseline(path)
+    if data is None or "pre" not in data or "current" not in data:
+        print(f"{path} needs both 'pre' and 'current' sections to compare")
+        return 1
+    pre = data["pre"]["results"]
+    current = data["current"]["results"]
+    print(f"{'benchmark':<24s} {'pre':>12s} {'current':>12s} {'speedup':>8s}")
+    for name in sorted(pre):
+        if name not in current:
+            continue
+        before = pre[name]["ops_per_sec"]
+        after = current[name]["ops_per_sec"]
+        print(f"{name:<24s} {before:>12,.0f} {after:>12,.0f} {after / before:>7.2f}x")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true", help="measure and record")
+    mode.add_argument("--check", action="store_true", help="measure and regression-check")
+    mode.add_argument("--compare", action="store_true", help="print current-vs-pre speedups")
+    parser.add_argument(
+        "--section", choices=["pre", "current"], default="current",
+        help="which section --write records (pre is write-once)",
+    )
+    parser.add_argument("--file", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional slowdown before --check fails")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--ops-scale", type=float, default=1.0,
+                        help="scale every benchmark's op count (CI uses < 1)")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check_regression(args.file, args.threshold, args.repeats, args.ops_scale)
+    if args.compare:
+        return compare_sections(args.file)
+    print(f"measuring ({args.repeats} rounds per benchmark)")
+    results = measure_all(repeats=args.repeats, ops_scale=args.ops_scale)
+    write_baseline(args.file, results, args.section)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

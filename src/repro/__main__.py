@@ -15,7 +15,10 @@ Commands:
 - ``report``        -- regenerate the full evaluation report;
 - ``trace``         -- replay the quickstart with tracing on and print the
   decision-path report (``--tree`` adds the raw span forest,
-  ``--counters`` the cross-layer counter table).
+  ``--counters`` the cross-layer counter table);
+- ``profile``       -- cProfile a hot-path scenario and print per-span
+  timings (``--ops``/``--top``/``--no-spans``); see
+  :mod:`repro.analysis.profiling`.
 """
 
 from __future__ import annotations
@@ -71,6 +74,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace = sub.add_parser("trace", help="traced quickstart decision-path report")
     trace.add_argument("--tree", action="store_true", help="also print the span forest")
     trace.add_argument("--counters", action="store_true", help="also print counters")
+
+    profile = sub.add_parser("profile", help="cProfile a hot-path scenario")
+    profile.add_argument(
+        "scenario",
+        help="decision-path, device-access, clipboard, screen-capture, "
+        "shared-memory, or quickstart",
+    )
+    profile.add_argument("--ops", type=int, default=0, help="op count (0: scenario default)")
+    profile.add_argument("--top", type=int, default=25, help="cProfile rows to print")
+    profile.add_argument("--no-spans", action="store_true",
+                         help="skip the traced per-span pass")
 
     args = parser.parse_args(argv)
 
@@ -139,6 +153,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
             print(collect_counters(machine).render())
         return 0
+    if args.command == "profile":
+        from repro.analysis.profiling import run_profile
+
+        return run_profile(
+            args.scenario, ops=args.ops, top=args.top, spans=not args.no_spans
+        )
     if args.command == "report":
         from repro.analysis.report import build_report
 

@@ -21,6 +21,7 @@ from typing import Optional
 from repro.apps.base import SimApp
 from repro.apps.clipboard_apps import TextEditor
 from repro.core.config import OverhaulConfig, benchmark_config
+from repro.core.notifications import MSG_INTERACTION, MSG_PERMISSION_QUERY
 from repro.core.system import Machine
 from repro.kernel.mm import PAGE_SIZE
 from repro.kernel.vfs import OpenMode
@@ -202,6 +203,45 @@ class FilesystemRig:
             kernel.sys_close(task, fd)
             kernel.sys_stat(task, path)
             kernel.sys_unlink(task, path)
+
+
+class DecisionPathRig:
+    """The mediated decision hot path, end to end.
+
+    Not a Table I row: this rig isolates the critical path every mediated
+    operation shares -- interaction notification -> netlink -> permission
+    monitor -> decision -> audit record -- without any workload on top.
+    Each ``run`` iteration is one N_{A,t} notification followed by one
+    Q_{A,t} paste query through the display manager's authenticated
+    channel, so its throughput is the ceiling for every Table I row.
+    """
+
+    name = "Decision Path"
+    paper_overhead_percent = None
+
+    def __init__(self, protected: bool = True, config: Optional[OverhaulConfig] = None) -> None:
+        if not protected:
+            raise ValueError("the decision-path rig only exists on a protected machine")
+        self.machine = _build_machine(True, config)
+        self.app = SimApp(self.machine, "/usr/bin/decbench", comm="decbench")
+        self.machine.settle()
+        overhaul = self.machine.overhaul
+        assert overhaul is not None
+        self._channel = overhaul.channel
+        self._xtask = self.machine.xserver_task
+        self._pid = self.app.task.pid
+
+    def run(self, n: int) -> None:
+        channel = self._channel
+        xtask = self._xtask
+        send = channel.send_to_kernel
+        now = self.machine.scheduler.now
+        pid = self._pid
+        notify = {"pid": pid, "timestamp": now}
+        query = {"pid": pid, "operation": "paste", "timestamp": now}
+        for _ in range(n):
+            send(xtask, MSG_INTERACTION, notify)
+            send(xtask, MSG_PERMISSION_QUERY, query)
 
 
 #: Every Table I row, in paper order.

@@ -19,7 +19,12 @@ Quickstart::
     machine = Machine.with_overhaul()
 """
 
-from repro.core.config import OverhaulConfig, benchmark_config, paper_config
+from repro.core.config import (
+    OverhaulConfig,
+    benchmark_config,
+    paper_config,
+    reference_config,
+)
 from repro.core.display_manager import DisplayManagerExtension, SuppressedInteraction
 from repro.core.notifications import (
     MSG_INTERACTION,
@@ -76,4 +81,5 @@ __all__ = [
     "VisualAlertRequest",
     "benchmark_config",
     "paper_config",
+    "reference_config",
 ]

@@ -66,6 +66,23 @@ class OverhaulConfig:
     #: match the operation's intent rule.
     graybox_enabled: bool = False
 
+    # -- hot-path switches ---------------------------------------------------
+    # Every fast path is observably equivalent to the reference path (the
+    # differential property tests drive both and compare decision logs,
+    # audit records, and counters byte for byte).  The switches exist so the
+    # equivalence is *testable* and so a regression can be bisected to one
+    # mechanism; production and benchmark configurations leave them on.
+
+    #: Zero-copy netlink delivery for the dominant message types
+    #: (payload-level handlers, pooled datagrams, batched flushes).
+    fast_netlink: bool = True
+    #: Memoize the per-pid ptrace verdict per (interaction_ts, ptrace
+    #: version) epoch, making the delta-comparison pure integer arithmetic.
+    fast_decision_cache: bool = True
+    #: Batch audit-log appends (flushed on first read; retention window
+    #: identical to eager appends).
+    fast_audit_batch: bool = True
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -95,3 +112,16 @@ def paper_config() -> OverhaulConfig:
 def benchmark_config() -> OverhaulConfig:
     """The Section V-A measurement configuration: full path, forced grants."""
     return OverhaulConfig(force_grant=True)
+
+
+def reference_config() -> OverhaulConfig:
+    """The paper configuration with every hot-path optimisation disabled.
+
+    Used by the differential equivalence tests as the ground truth the
+    fast paths are compared against.
+    """
+    return OverhaulConfig(
+        fast_netlink=False,
+        fast_decision_cache=False,
+        fast_audit_batch=False,
+    )

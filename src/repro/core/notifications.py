@@ -13,7 +13,7 @@ display manager and the kernel permission monitor:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.sim.time import Timestamp
 
@@ -50,9 +50,13 @@ class PermissionQuery:
     timestamp: Timestamp
 
 
-@dataclass(frozen=True)
-class PermissionResponse:
-    """R_{A,t}: grant or deny, with the reasoning for the audit trail."""
+class PermissionResponse(NamedTuple):
+    """R_{A,t}: grant or deny, with the reasoning for the audit trail.
+
+    A ``NamedTuple`` (not a frozen dataclass) because one is constructed
+    per decision on the mediation hot path; tuple construction is several
+    times cheaper than ``object.__setattr__``-per-field.
+    """
 
     granted: bool
     reason: str

@@ -18,12 +18,33 @@ field the decisions read.
 The monitor also enforces the ptrace hardening (a traced task's permissions
 are revoked) and implements the benchmark ``force_grant`` mode used for the
 Table I methodology.
+
+Hot-path structure
+------------------
+
+Every mediated operation runs the decision rule, so the monitor carries two
+implementations that must stay observably identical:
+
+- :meth:`decide` is the reference path: tracer spans, a
+  :class:`~repro.core.notifications.PermissionResponse` per call, eager
+  audit appends.  It always runs when tracing is enabled (span-tree
+  fidelity) or when the fast paths are toggled off.
+- :meth:`_decide_core` is the fast core: no span plumbing, constant-string
+  reasons, and a per-pid memo of the ptrace verdict keyed by the
+  ``(interaction_ts, ptrace.version)`` epoch -- a new interaction, a fork
+  (fresh pid; pids are never reused), or any trace-state change invalidates
+  in O(1).  The fast netlink handlers (:meth:`_fast_handle_interaction`,
+  :meth:`_fast_handle_query`) sit on top and skip datagram construction
+  entirely.
+
+Grant/deny counters, the decision log (contents, order, retention), and
+audit records are byte-identical whichever path ran; the differential
+property tests enforce that.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Tuple
 
 from repro.kernel.audit import AuditCategory, AuditDecision
 from repro.kernel.errors import NoSuchProcess
@@ -42,9 +63,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
 
 
-@dataclass(frozen=True)
-class Decision:
-    """One permission decision, for the monitor's decision log."""
+class Decision(NamedTuple):
+    """One permission decision, for the monitor's decision log.
+
+    A ``NamedTuple``: one of these is appended per mediated operation, and
+    tuple construction is the cheapest instantiation Python offers.
+    """
 
     timestamp: Timestamp
     pid: int
@@ -55,13 +79,33 @@ class Decision:
     reason: str
 
 
+#: operation string -> audit category, filled on first sight.  Operation
+#: strings are drawn from a small set (clipboard verbs, screen verbs, one
+#: string per sensitive device path), so the cache is naturally bounded;
+#: the guard below is a backstop against adversarial operation churn.
+_CATEGORY_CACHE: Dict[str, AuditCategory] = {}
+_CATEGORY_CACHE_LIMIT = 4096
+
+
 def _category_for(operation: str) -> AuditCategory:
     """Map an operation string to its audit category."""
-    if operation in ("copy", "paste"):
-        return AuditCategory.CLIPBOARD
-    if operation.startswith("screen"):
-        return AuditCategory.SCREEN
-    return AuditCategory.DEVICE
+    category = _CATEGORY_CACHE.get(operation)
+    if category is None:
+        if operation in ("copy", "paste"):
+            category = AuditCategory.CLIPBOARD
+        elif operation.startswith("screen"):
+            category = AuditCategory.SCREEN
+        else:
+            category = AuditCategory.DEVICE
+        if len(_CATEGORY_CACHE) >= _CATEGORY_CACHE_LIMIT:
+            _CATEGORY_CACHE.clear()
+        _CATEGORY_CACHE[operation] = category
+    return category
+
+
+#: Decision-cache size backstop; entries die naturally with their epoch,
+#: but a workload churning through pids could otherwise grow it unbounded.
+_DECISION_CACHE_LIMIT = 4096
 
 
 class PermissionMonitor:
@@ -83,6 +127,13 @@ class PermissionMonitor:
         self.alerts_coalesced = 0
         #: (pid, operation, blocked) -> expiry of the alert on screen.
         self._alert_coalesce: dict = {}
+        #: pid -> (interaction_ts, ptrace_version, permissions_disabled).
+        #: The epoch memo of the fast core; see the module docstring.
+        self._decision_cache: Dict[int, Tuple[Timestamp, int, bool]] = {}
+        #: Epoch-memo effectiveness counters (diagnostics; not compared by
+        #: the equivalence tests since the reference path never caches).
+        self.cache_hits = 0
+        self.cache_misses = 0
         #: Prompt-mode arbiter (Section IV-A's verified extension).
         self.prompt_arbiter = None
         if config.prompt_mode:
@@ -95,6 +146,11 @@ class PermissionMonitor:
             from repro.core.graybox import GrayBoxRegistry
 
             self.graybox = GrayBoxRegistry()
+        # The fast core implements exactly the temporal-proximity rule; the
+        # prompt and gray-box extensions hang extra state off the decision,
+        # so their presence routes everything through the reference path.
+        self._fast_core_ok = self.prompt_arbiter is None and self.graybox is None
+        self._use_decision_cache = config.fast_decision_cache and self._fast_core_ok
 
     # -- netlink wiring --------------------------------------------------------
 
@@ -103,6 +159,12 @@ class PermissionMonitor:
         netlink = self._kernel.netlink
         netlink.register_kernel_handler(MSG_INTERACTION, self._handle_interaction)
         netlink.register_kernel_handler(MSG_PERMISSION_QUERY, self._handle_query)
+        if self.config.fast_netlink and self._fast_core_ok:
+            # Payload-level zero-copy handlers for the two dominant message
+            # types.  The regular handlers above stay registered: they are
+            # the reference path (tracing on / fast path off).
+            netlink.register_fast_handler(MSG_INTERACTION, self._fast_handle_interaction)
+            netlink.register_fast_handler(MSG_PERMISSION_QUERY, self._fast_handle_query)
         if self.prompt_arbiter is not None:
             self.prompt_arbiter.install()
 
@@ -165,7 +227,120 @@ class PermissionMonitor:
         )
         return response.as_payload
 
+    # -- zero-copy netlink handlers (fast path) --------------------------------
+
+    def _fast_handle_interaction(self, channel: NetlinkChannel, payload: dict, sender_pid: int) -> None:
+        """Payload-level twin of :meth:`_handle_interaction`.
+
+        Runs only with tracing off (the netlink layer guarantees it), so
+        the tracer event of the reference handler is not skipped -- it
+        would not have fired either way.
+        """
+        if channel.label != "display-manager":
+            self._require_display_manager(channel)  # raises canonically
+        pid = payload["pid"]
+        timestamp = payload["timestamp"]
+        try:
+            task = self._kernel.process_table.get_live(pid)
+        except NoSuchProcess:
+            return  # the client raced with its own exit; nothing to record
+        # record_interaction, inlined (single write path semantics kept:
+        # newer timestamps win).
+        if timestamp > task.interaction_ts:
+            task.interaction_ts = timestamp
+        if "descriptor" in payload and timestamp >= task.interaction_ts:
+            descriptor = payload["descriptor"]
+            if descriptor is not None:
+                task.last_input_descriptor = descriptor
+        self.notifications_received += 1
+
+    def _fast_handle_query(self, channel: NetlinkChannel, payload: dict, sender_pid: int) -> dict:
+        """Payload-level twin of :meth:`_handle_query`."""
+        if channel.label != "display-manager":
+            self._require_display_manager(channel)  # raises canonically
+        pid = payload["pid"]
+        operation = payload["operation"]
+        timestamp = payload["timestamp"]
+        try:
+            task = self._kernel.process_table.get_live(pid)
+        except NoSuchProcess:
+            return {"granted": False, "reason": f"no such process {pid}",
+                    "interaction_age": None}
+        granted, reason, age = self._decide_core(task, timestamp, operation)
+        self.queries_answered += 1
+        audit = self._kernel.audit
+        append = audit.record_deferred if self.config.fast_audit_batch else audit.record
+        append(
+            timestamp,
+            _category_for(operation),
+            AuditDecision.GRANTED if granted else AuditDecision.DENIED,
+            pid,
+            task.comm,
+            operation,
+        )
+        return {"granted": granted, "reason": reason, "interaction_age": age}
+
     # -- the decision rule ---------------------------------------------------------
+
+    def _decide_core(self, task: Task, op_time: Timestamp, operation: str) -> Tuple[bool, str, Timestamp]:
+        """The temporal-proximity rule, fast form: ``(granted, reason, age)``.
+
+        Only valid when neither the prompt arbiter nor the gray-box
+        registry is active (``_fast_core_ok``); callers route through
+        :meth:`decide` otherwise.  Counter updates and the decision-log
+        append are identical to the reference path.
+        """
+        interaction_ts = task.interaction_ts
+        age = op_time - interaction_ts
+        if self._use_decision_cache:
+            ptrace = self._kernel.ptrace
+            version = ptrace.version
+            cache = self._decision_cache
+            entry = cache.get(task.pid)
+            if entry is not None and entry[0] == interaction_ts and entry[1] == version:
+                disabled = entry[2]
+                self.cache_hits += 1
+            else:
+                disabled = ptrace.permissions_disabled(task)
+                if len(cache) >= _DECISION_CACHE_LIMIT:
+                    cache.clear()
+                cache[task.pid] = (interaction_ts, version, disabled)
+                self.cache_misses += 1
+        else:
+            disabled = self._kernel.ptrace.permissions_disabled(task)
+        if disabled:
+            granted = False
+            reason = "permissions disabled: task is being traced"
+        elif interaction_ts == NEVER:
+            granted = False
+            reason = "no user interaction on record"
+        elif age < 0:
+            granted = False
+            reason = "interaction is in the operation's future"
+        elif age < self.config.interaction_threshold:
+            granted = True
+            reason = "interaction within threshold"
+        else:
+            granted = False
+            reason = "interaction too old (age >= delta)"
+
+        if granted:
+            self.grant_count += 1
+        elif self.config.force_grant:
+            # Benchmark methodology (Section V-A): the full decision path
+            # ran; now override so the benchmarked operation proceeds.
+            granted = True
+            reason = "force_grant override"
+            self.grant_count += 1
+        else:
+            self.deny_count += 1
+        decisions = self.decisions
+        decisions.append(
+            Decision(op_time, task.pid, task.comm, operation, age, granted, reason)
+        )
+        if len(decisions) > self.DECISION_LOG_LIMIT:
+            del decisions[: -self.DECISION_LOG_LIMIT // 2]
+        return granted, reason, age
 
     def decide(self, task: Task, op_time: Timestamp, operation: str) -> PermissionResponse:
         """The temporal-proximity rule: grant iff ``0 <= n < delta``.
@@ -174,6 +349,9 @@ class PermissionMonitor:
         interaction and the privileged operation.  Interactions *after* the
         operation never count (n < 0 is a deny), and ptrace'd tasks are
         denied outright when the hardening is on.
+
+        This is the reference implementation; :meth:`_decide_core` is the
+        fast twin the mediation hot paths use.
         """
         # Reasons are constant strings: the decision path is the hottest
         # code in the system (every mediated operation runs it), and the
@@ -264,6 +442,8 @@ class PermissionMonitor:
 
     def authorize(self, task: Task, now: Timestamp, operation: str) -> bool:
         """Device-mediation entry point (called from the augmented open)."""
+        if self._use_decision_cache and not self._kernel.tracer.enabled:
+            return self._decide_core(task, now, operation)[0]
         return self.decide(task, now, operation).granted
 
     def request_visual_alert(

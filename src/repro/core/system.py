@@ -50,6 +50,10 @@ class OverhaulSystem:
         kernel.install_permission_monitor(self.monitor)
         kernel.shm.waitlist_duration = config.shm_waitlist
         kernel.ptrace.protection_enabled = config.ptrace_protection
+        # Hot-path switches (each fast path is observably equivalent to the
+        # reference path; see docs/performance.md).
+        kernel.netlink.fast_path = config.fast_netlink
+        kernel.device_mediator.use_deferred_audit = config.fast_audit_batch
 
         # Display-manager side: authenticated channel + the X patch.
         self.channel = kernel.netlink.connect(machine.xserver_task)

@@ -6,13 +6,26 @@ false-positive analysis) and "We checked OVERHAUL's logs and verified that
 attempts to access the protected resources were detected and blocked"
 (21-day study).  The log is append-only and carries enough context to answer
 exactly those questions: who asked for what, when, and what was decided.
+
+Hot-path design: every mediated operation appends exactly one record, so
+append cost is part of the decision critical path.  Two mechanisms keep it
+cheap without changing what a reader ever sees:
+
+- :class:`AuditRecord` is a ``NamedTuple`` (tuple-speed construction,
+  immutable, field access by name -- same API as the former frozen
+  dataclass).
+- :meth:`AuditLog.record_deferred` batches appends: the hot path stores the
+  raw field tuple and every read path (:meth:`records`, iteration, ``len``,
+  :meth:`render`) flushes the batch first.  Flushing replays the records
+  one by one through the same retention rule as :meth:`record`, so the
+  retained window, ``total_recorded``, and record contents are byte-for-
+  byte identical whichever append path produced them.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.sim.time import Timestamp, format_timestamp
 
@@ -38,8 +51,7 @@ class AuditDecision(enum.Enum):
     INFO = "info"  # non-decision record
 
 
-@dataclass(frozen=True)
-class AuditRecord:
+class AuditRecord(NamedTuple):
     """One immutable log line."""
 
     timestamp: Timestamp
@@ -57,6 +69,11 @@ class AuditRecord:
         )
 
 
+#: Deferred appends are flushed once the batch reaches this size, bounding
+#: the memory held outside the retention window.
+_FLUSH_BATCH_SIZE = 1024
+
+
 class AuditLog:
     """Append-only record store with the query helpers experiments need."""
 
@@ -65,6 +82,7 @@ class AuditLog:
 
     def __init__(self) -> None:
         self._records: List[AuditRecord] = []
+        self._pending: List[Tuple] = []
         self.total_recorded = 0
 
     def record(
@@ -76,7 +94,9 @@ class AuditLog:
         comm: str,
         detail: str,
     ) -> AuditRecord:
-        """Append one record and return it."""
+        """Append one record and return it (the reference append path)."""
+        if self._pending:
+            self._flush()
         entry = AuditRecord(timestamp, category, decision, pid, comm, detail)
         self._records.append(entry)
         self.total_recorded += 1
@@ -84,10 +104,54 @@ class AuditLog:
             del self._records[: -self.RECORD_LIMIT // 2]
         return entry
 
+    def record_deferred(
+        self,
+        timestamp: Timestamp,
+        category: AuditCategory,
+        decision: AuditDecision,
+        pid: int,
+        comm: str,
+        detail: str,
+    ) -> None:
+        """Batched append: store the raw fields, materialise on first read.
+
+        Used by the mediation fast paths.  ``total_recorded`` stays exact
+        immediately; the record itself joins the retained window at the
+        next flush, producing the same final log as :meth:`record` would.
+        """
+        pending = self._pending
+        pending.append((timestamp, category, decision, pid, comm, detail))
+        self.total_recorded += 1
+        if len(pending) >= _FLUSH_BATCH_SIZE:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Materialise deferred appends through the retention rule.
+
+        Replays each pending tuple exactly as :meth:`record` would have
+        appended it (append, then trim when the window exceeds the limit),
+        so retention boundaries land on the same record indices regardless
+        of batching.
+        """
+        records = self._records
+        limit = self.RECORD_LIMIT
+        keep = -(limit // 2)
+        make = AuditRecord._make
+        append = records.append
+        for fields in self._pending:
+            append(make(fields))
+            if len(records) > limit:
+                del records[:keep]
+        self._pending.clear()
+
     def __len__(self) -> int:
+        if self._pending:
+            self._flush()
         return len(self._records)
 
-    def __iter__(self) -> Iterable[AuditRecord]:
+    def __iter__(self) -> Iterator[AuditRecord]:
+        if self._pending:
+            self._flush()
         return iter(self._records)
 
     def records(
@@ -97,6 +161,8 @@ class AuditLog:
         pid: Optional[int] = None,
     ) -> List[AuditRecord]:
         """Filtered view of the log."""
+        if self._pending:
+            self._flush()
         result = self._records
         if category is not None:
             result = [r for r in result if r.category is category]
@@ -116,8 +182,11 @@ class AuditLog:
 
     def render(self) -> str:
         """The whole log as text (what the authors 'inspected')."""
+        if self._pending:
+            self._flush()
         return "\n".join(record.render() for record in self._records)
 
     def clear(self) -> None:
         """Reset between experiment phases."""
         self._records.clear()
+        self._pending.clear()

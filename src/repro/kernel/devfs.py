@@ -52,19 +52,39 @@ class SensitiveDeviceMap:
 
     def __init__(self) -> None:
         self._by_path: Dict[str, DeviceClass] = {}
+        #: path -> "label:path" mediation operation string, maintained by
+        #: the two write paths below so the augmented-open hot path answers
+        #: "sensitive? and under what name?" with a single dict probe.
+        #: Keyed per *current* registration: re-registering a path under a
+        #: different class replaces the entry, so the index can never serve
+        #: a stale operation name (unlike a fill-on-first-use cache).
+        self._operation_names: Dict[str, str] = {}
         self.update_count = 0
 
     def set_mapping(self, path: str, device_class: DeviceClass) -> None:
         self._by_path[path] = device_class
+        if device_class.sensitive:
+            self._operation_names[path] = f"{device_class.label}:{path}"
+        else:
+            self._operation_names.pop(path, None)
         self.update_count += 1
 
     def drop_mapping(self, path: str) -> None:
         self._by_path.pop(path, None)
+        self._operation_names.pop(path, None)
         self.update_count += 1
 
     def classify(self, path: str) -> Optional[DeviceClass]:
         """The device class registered for *path*, or None."""
         return self._by_path.get(path)
+
+    def operation_name(self, path: str) -> Optional[str]:
+        """The mediation operation string for *path*, or None.
+
+        None means "not a sensitive device" (unknown path or a registered
+        non-sensitive class) -- the augmented open passes it untouched.
+        """
+        return self._operation_names.get(path)
 
     def is_sensitive(self, path: str) -> bool:
         """True if *path* maps to a class Overhaul protects."""
@@ -147,14 +167,8 @@ class DevfsManager:
         except KeyError:
             raise NoDevice(f"device {device_name!r} has no /dev node") from None
 
-    def add_device(self, device: Device, now: Timestamp) -> str:
-        """Create a /dev node for *device* with a dynamic name.
-
-        Returns the assigned path and notifies the helper (which, in turn,
-        updates the kernel's sensitive map over netlink -- the full udev
-        round trip, so a compromised or missing helper genuinely degrades
-        mediation, as it would on the real system).
-        """
+    def _create_node(self, device: Device, now: Timestamp) -> DevfsChange:
+        """Create the /dev node for *device*; return the change event."""
         prefix = _CLASS_NAME_PREFIXES[device.device_class]
         index = self._next_index.get(device.device_class, 0)
         self._next_index[device.device_class] = index + 1
@@ -165,9 +179,20 @@ class DevfsManager:
         # malware, which is exactly the gap Overhaul closes.
         self._filesystem.create_device_node(path, device, mode=0o666, now=now)
         self._node_paths[device.name] = path
+        return DevfsChange("add", path, device.device_class, now)
+
+    def add_device(self, device: Device, now: Timestamp) -> str:
+        """Create a /dev node for *device* with a dynamic name.
+
+        Returns the assigned path and notifies the helper (which, in turn,
+        updates the kernel's sensitive map over netlink -- the full udev
+        round trip, so a compromised or missing helper genuinely degrades
+        mediation, as it would on the real system).
+        """
+        change = self._create_node(device, now)
         if self._helper is not None:
-            self._helper.on_devfs_change(DevfsChange("add", path, device.device_class, now))
-        return path
+            self._helper.on_devfs_change(change)
+        return change.path
 
     def remove_device(self, device_name: str, now: Timestamp) -> None:
         """Remove the node for *device_name* (device unplugged)."""
@@ -185,11 +210,23 @@ class DevfsManager:
             )
 
     def populate(self, inventory: DeviceInventory, now: Timestamp) -> Dict[str, str]:
-        """Create nodes for every device in *inventory*; name -> path map."""
-        return {
-            name: self.add_device(device, now)
-            for name, device in sorted(inventory.devices.items())
-        }
+        """Create nodes for every device in *inventory*; name -> path map.
+
+        The coldplug burst: all nodes are created first and the helper is
+        notified with one batched flush (one authenticated netlink round
+        instead of one per device), matching how udev replays the backlog
+        of kernel uevents at boot.  Map contents and update counts are
+        identical to per-device delivery.
+        """
+        paths: Dict[str, str] = {}
+        changes: List[DevfsChange] = []
+        for name, device in sorted(inventory.devices.items()):
+            change = self._create_node(device, now)
+            paths[name] = change.path
+            changes.append(change)
+        if self._helper is not None and changes:
+            self._helper.on_devfs_changes(changes)
+        return paths
 
 
 class UdevHelper:
@@ -223,3 +260,20 @@ class UdevHelper:
             },
         )
         self.updates_sent += 1
+
+    def on_devfs_changes(self, changes: List[DevfsChange]) -> None:
+        """Push a burst of devfs changes in one batched netlink flush.
+
+        Used for the boot-time coldplug replay; per-change map effects and
+        the ``updates_sent`` count match a loop of single pushes.
+        """
+        payloads = [
+            {
+                "action": change.action,
+                "path": change.path,
+                "device_class": change.device_class,
+            }
+            for change in changes
+        ]
+        self._channel.send_many_to_kernel(self.task, MSG_DEVICE_MAP_UPDATE, payloads)
+        self.updates_sent += len(payloads)

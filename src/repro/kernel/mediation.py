@@ -38,8 +38,10 @@ class DeviceMediator:
         self._kernel = kernel
         self.checks_performed = 0
         self.denials = 0
-        #: path -> "label:path" operation string (hot-path cache).
-        self._operation_names: dict = {}
+        #: Batched audit appends (set by the Overhaul wiring when
+        #: ``OverhaulConfig.fast_audit_batch`` is on); the retained log is
+        #: identical either way, see :mod:`repro.kernel.audit`.
+        self.use_deferred_audit = False
 
     def gate_open(self, task: Task, path: str) -> None:
         """Decide whether *task* may open the device node at *path*.
@@ -60,15 +62,15 @@ class DeviceMediator:
         # The augmented open runs for *every* open: the sensitive-device
         # lookup itself is the per-open cost the Bonnie++ row of Table I
         # measures (only file creation shows it; stat/unlink are untouched).
-        device_class = kernel.devfs.sensitive_map.classify(path)
-        if device_class is None or not device_class.sensitive:
+        # One dict probe answers both "is it sensitive?" and "what is the
+        # operation string?"; the index is maintained by the map's only
+        # writers, so a path re-registered under a different device class
+        # can never serve a stale name.
+        operation = kernel.devfs.sensitive_map.operation_name(path)
+        if operation is None:
             return
         self.checks_performed += 1
         now = kernel.now
-        operation = self._operation_names.get(path)
-        if operation is None:
-            operation = f"{device_class.label}:{path}"
-            self._operation_names[path] = operation
         tracer = kernel.tracer
         span = None
         if tracer.enabled:
@@ -78,13 +80,15 @@ class DeviceMediator:
         granted = False
         try:
             granted = monitor.authorize(task, now, operation)
-            kernel.audit.record(
-                timestamp=now,
-                category=AuditCategory.DEVICE,
-                decision=AuditDecision.GRANTED if granted else AuditDecision.DENIED,
-                pid=task.pid,
-                comm=task.comm,
-                detail=operation,
+            audit = kernel.audit
+            append = audit.record_deferred if self.use_deferred_audit else audit.record
+            append(
+                now,
+                AuditCategory.DEVICE,
+                AuditDecision.GRANTED if granted else AuditDecision.DENIED,
+                task.pid,
+                task.comm,
+                operation,
             )
             if not granted:
                 self.denials += 1

@@ -65,6 +65,9 @@ class NetlinkChannel:
         self.userspace_receiver: Optional[Callable[[NetlinkMessage], None]] = None
         self.sent_to_kernel: int = 0
         self.sent_to_userspace: int = 0
+        #: Preallocated datagram reused by the pooled slow-handler path;
+        #: ``None`` while lent out to a handler (re-entrancy guard).
+        self._pool: Optional[NetlinkMessage] = NetlinkMessage("", {}, None, 0)
 
     def send_to_kernel(self, task: Task, msg_type: str, payload: Dict[str, Any]) -> Any:
         """Deliver a message from the owning task to the kernel.
@@ -72,6 +75,20 @@ class NetlinkChannel:
         Only the authenticated owner may use the channel; this prevents a
         malicious process from piggybacking on the X server's link even if
         it somehow obtained a reference to it.
+
+        Delivery picks one of three paths, cheapest first:
+
+        1. **fast handler** -- for the dominant message types the kernel
+           side registers a payload-level handler; no datagram object is
+           built at all (the zero-copy path).
+        2. **pooled datagram** -- a preallocated :class:`NetlinkMessage` is
+           refilled and lent to the regular handler (kernel handlers do
+           not retain datagrams; re-entrant sends fall back to a fresh
+           allocation).
+        3. **reference path** -- a fresh datagram per message, used
+           whenever tracing is on or the fast path is toggled off, so the
+           traced span tree and the equivalence tests see the unmodified
+           protocol.
         """
         if self.closed:
             raise InvalidArgument(f"netlink channel {self.label!r} is closed")
@@ -82,16 +99,38 @@ class NetlinkChannel:
             )
         if not task.is_alive:
             raise OperationNotPermitted(f"channel owner pid {task.pid} is dead")
-        message = NetlinkMessage(
-            msg_type=msg_type,
-            payload=payload,
-            sender_pid=task.pid,
-            timestamp=self._subsystem.now,
-        )
         self.sent_to_kernel += 1
         subsystem = self._subsystem
         subsystem.messages_to_kernel += 1
         tracer = subsystem.tracer
+        if subsystem.fast_path and not tracer.enabled:
+            fast = subsystem._fast_handlers.get(msg_type)
+            if fast is not None:
+                return fast(self, payload, task.pid)
+            handler = subsystem._kernel_handlers.get(msg_type)
+            if handler is None:
+                raise InvalidArgument(
+                    f"no kernel handler for netlink type {msg_type!r}"
+                )
+            message = self._pool
+            if message is None:  # re-entrant send: pool is lent out
+                message = NetlinkMessage(msg_type, payload, task.pid, subsystem.now)
+                return handler(self, message)
+            self._pool = None
+            try:
+                message.msg_type = msg_type
+                message.payload = payload
+                message.sender_pid = task.pid
+                message.timestamp = subsystem.now
+                return handler(self, message)
+            finally:
+                self._pool = message
+        message = NetlinkMessage(
+            msg_type=msg_type,
+            payload=payload,
+            sender_pid=task.pid,
+            timestamp=subsystem.now,
+        )
         if tracer.enabled:
             # The span wraps dispatch, so kernel-side handler spans (the
             # monitor's verdicts) nest under the netlink hop that caused
@@ -108,6 +147,48 @@ class NetlinkChannel:
             finally:
                 tracer.finish(span)
         return subsystem.dispatch_to_kernel(self, message)
+
+    def send_many_to_kernel(
+        self, task: Task, msg_type: str, payloads: List[Dict[str, Any]]
+    ) -> List[Any]:
+        """Deliver a burst of same-type messages in one authenticated flush.
+
+        On the fast path the channel checks (closed/owner/liveness) and the
+        handler lookup run once for the whole batch; each payload then
+        dispatches in order, so counters and handler effects are identical
+        to a loop of single sends.  With tracing on (or the fast path
+        toggled off) the batch degrades to per-message sends so the span
+        tree is unchanged.  Used by the udev helper to push the boot-time
+        device map in one flush.
+        """
+        subsystem = self._subsystem
+        if not subsystem.fast_path or subsystem.tracer.enabled:
+            return [self.send_to_kernel(task, msg_type, p) for p in payloads]
+        if self.closed:
+            raise InvalidArgument(f"netlink channel {self.label!r} is closed")
+        if task.pid != self.owner.pid:
+            raise OperationNotPermitted(
+                f"pid {task.pid} is not the authenticated owner "
+                f"(pid {self.owner.pid}) of channel {self.label!r}"
+            )
+        if not task.is_alive:
+            raise OperationNotPermitted(f"channel owner pid {task.pid} is dead")
+        count = len(payloads)
+        self.sent_to_kernel += count
+        subsystem.messages_to_kernel += count
+        fast = subsystem._fast_handlers.get(msg_type)
+        if fast is not None:
+            pid = task.pid
+            return [fast(self, payload, pid) for payload in payloads]
+        handler = subsystem._kernel_handlers.get(msg_type)
+        if handler is None:
+            raise InvalidArgument(f"no kernel handler for netlink type {msg_type!r}")
+        message = NetlinkMessage(msg_type, {}, task.pid, subsystem.now)
+        results = []
+        for payload in payloads:
+            message.payload = payload
+            results.append(handler(self, message))
+        return results
 
     def send_to_userspace(self, msg_type: str, payload: Dict[str, Any]) -> None:
         """Deliver a kernel-originated message to the userspace endpoint."""
@@ -162,12 +243,19 @@ class NetlinkSubsystem:
         self._filesystem = filesystem
         self._now_fn = now_fn
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Hot-path switch (see OverhaulConfig.fast_netlink); with tracing
+        #: enabled the reference path is used regardless.
+        self.fast_path = True
         #: path -> label for binaries allowed to hold a trusted channel.
         self._trusted_binaries: Dict[str, str] = {
             DISPLAY_MANAGER_PATH: "display-manager",
             UDEV_HELPER_PATH: "udev-helper",
         }
         self._kernel_handlers: Dict[str, Callable[[NetlinkChannel, NetlinkMessage], Any]] = {}
+        #: Payload-level handlers for the dominant message types; these
+        #: bypass datagram construction entirely (the zero-copy path).
+        #: Signature: handler(channel, payload, sender_pid) -> Any.
+        self._fast_handlers: Dict[str, Callable[[NetlinkChannel, Dict[str, Any], int], Any]] = {}
         self._channels_by_label: Dict[str, NetlinkChannel] = {}
         self.rejected_connections: List[int] = []  # pids, for tests/audit
         #: Exact subsystem-wide message totals (survive channel teardown).
@@ -191,6 +279,22 @@ class NetlinkSubsystem:
         if msg_type in self._kernel_handlers:
             raise InvalidArgument(f"duplicate netlink handler for {msg_type!r}")
         self._kernel_handlers[msg_type] = handler
+
+    def register_fast_handler(
+        self,
+        msg_type: str,
+        handler: Callable[["NetlinkChannel", Dict[str, Any], int], Any],
+    ) -> None:
+        """Bind a payload-level fast handler for a hot message type.
+
+        The fast handler must be observably equivalent to the regular
+        handler registered for the same type: the regular one stays
+        registered and serves the reference path (tracing on, fast path
+        off), and the differential tests compare the two end to end.
+        """
+        if msg_type in self._fast_handlers:
+            raise InvalidArgument(f"duplicate fast netlink handler for {msg_type!r}")
+        self._fast_handlers[msg_type] = handler
 
     # -- authentication -------------------------------------------------------
 

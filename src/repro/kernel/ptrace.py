@@ -11,6 +11,12 @@ proc filesystem node" -- see :mod:`repro.kernel.procfs`.
 The permission monitor consults :meth:`PtraceSubsystem.permissions_disabled`
 before every grant, which is how the "trivial patch" manifests in the
 simulation.
+
+Hot-path note: the monitor's decision cache keys its validity on
+:attr:`PtraceSubsystem.version`, a counter bumped by every state change that
+can flip a ``permissions_disabled`` verdict (attach, detach, tracee exit,
+and toggling :attr:`protection_enabled`).  That gives the cache O(1)
+invalidation without subscribing to individual tasks.
 """
 
 from __future__ import annotations
@@ -25,10 +31,24 @@ class PtraceSubsystem:
     """Attach/detach bookkeeping plus the Overhaul permission-revocation rule."""
 
     def __init__(self, protection_enabled: bool = True) -> None:
+        #: Monotonic counter of trace-state changes; cached permission
+        #: decisions are valid only while this is unchanged.
+        self.version = 0
         #: Overhaul hardening switch (procfs-toggleable, default on).
-        self.protection_enabled = protection_enabled
+        self._protection_enabled = protection_enabled
         self.attach_log: List[Tuple[int, int]] = []  # (tracer_pid, tracee_pid)
         self.denied_attaches: List[Tuple[int, int]] = []
+
+    @property
+    def protection_enabled(self) -> bool:
+        """Overhaul hardening switch (procfs-toggleable, default on)."""
+        return self._protection_enabled
+
+    @protection_enabled.setter
+    def protection_enabled(self, value: bool) -> None:
+        if value != self._protection_enabled:
+            self._protection_enabled = value
+            self.version += 1
 
     def attach(self, tracer: Task, tracee: Task) -> None:
         """ptrace(PTRACE_ATTACH) with stock-Linux eligibility rules.
@@ -59,6 +79,7 @@ class PtraceSubsystem:
                 )
         tracee.traced_by = tracer
         tracer.tracees.add(tracee.pid)
+        self.version += 1
         self.attach_log.append((tracer.pid, tracee.pid))
 
     def detach(self, tracer: Task, tracee: Task) -> None:
@@ -69,6 +90,7 @@ class PtraceSubsystem:
             )
         tracee.traced_by = None
         tracer.tracees.discard(tracee.pid)
+        self.version += 1
 
     def permissions_disabled(self, task: Task) -> bool:
         """Overhaul rule: a traced task has *all* resource permissions revoked.
@@ -76,10 +98,11 @@ class PtraceSubsystem:
         Consulted by the permission monitor on every decision.  Returns
         False when the superuser has toggled the hardening off.
         """
-        return self.protection_enabled and task.is_traced
+        return self._protection_enabled and task.is_traced
 
     def on_task_exit(self, task: Task) -> None:
         """Cleanup hook: sever trace relationships of an exiting task."""
         if task.traced_by is not None:
             task.traced_by.tracees.discard(task.pid)
             task.traced_by = None
+            self.version += 1

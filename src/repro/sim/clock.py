@@ -21,6 +21,8 @@ class VirtualClock:
         Initial timestamp, defaulting to the simulation epoch (0).
     """
 
+    __slots__ = ("_now",)
+
     def __init__(self, start: Timestamp = 0) -> None:
         if not isinstance(start, int) or isinstance(start, bool):
             raise TimeError(f"clock start must be an integer, got {start!r}")
@@ -44,6 +46,16 @@ class VirtualClock:
             )
         self._now = timestamp
         return self._now
+
+    def _jump_to(self, timestamp: Timestamp) -> None:
+        """Unchecked advance for the scheduler's dispatch loop.
+
+        The heap pops events in non-decreasing time order and ``run_until``
+        validates its horizon up front, so the monotonicity check of
+        :meth:`advance_to` is provably redundant on that path.  Everyone
+        else must go through the checked methods.
+        """
+        self._now = timestamp
 
     def advance_by(self, duration: Timestamp) -> Timestamp:
         """Move the clock forward by a non-negative *duration*."""

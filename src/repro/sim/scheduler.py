@@ -11,6 +11,16 @@ Determinism guarantees:
   increasing sequence number breaks ties).
 - Callbacks may schedule or cancel further events freely; re-entrant *runs*
   of the loop are rejected.
+
+Hot-path properties (the shm wait list cancels and re-arms its 500 ms timer
+on every fault, so schedule/cancel churn is the common case, not the edge
+case):
+
+- ``cancel`` is O(1) and lazily deleted entries are *compacted* once they
+  make up more than half the heap, so the heap stays proportional to the
+  number of live events rather than growing with total churn.
+- ``pending_count`` is O(1) (live bookkeeping, not a heap scan).
+- ``run_until`` with nothing due is a constant-time clock advance.
 """
 
 from __future__ import annotations
@@ -22,6 +32,10 @@ from repro.sim.clock import VirtualClock
 from repro.sim.errors import SchedulerError
 from repro.sim.time import Timestamp, format_timestamp, validate_duration
 
+#: Never compact heaps smaller than this; the rebuild would cost more than
+#: the dead entries ever could.
+_COMPACT_MIN_SIZE = 64
+
 
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation.
@@ -31,7 +45,7 @@ class ScheduledEvent:
     they can live directly in the scheduler's heap.
     """
 
-    __slots__ = ("time", "seq", "callback", "label", "cancelled")
+    __slots__ = ("time", "seq", "callback", "label", "cancelled", "_scheduler")
 
     def __init__(
         self,
@@ -39,16 +53,29 @@ class ScheduledEvent:
         seq: int,
         callback: Callable[[], Any],
         label: str,
+        scheduler: Optional["EventScheduler"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.label = label
         self.cancelled = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
-        """Prevent the callback from running.  Idempotent."""
+        """Prevent the callback from running.  Idempotent, O(1).
+
+        The entry stays in the heap (lazy deletion) but is counted; the
+        owning scheduler compacts the heap when dead entries dominate.
+        Cancelling an event that already fired (or was already reaped) is
+        a pure flag set -- the scheduler link is severed at pop time.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -65,12 +92,19 @@ class EventScheduler:
     :attr:`now` and never mutate the clock directly.
     """
 
+    __slots__ = ("_clock", "_heap", "_seq", "_running", "_events_dispatched",
+                 "_cancelled", "compactions")
+
     def __init__(self, clock: Optional[VirtualClock] = None) -> None:
         self._clock = clock if clock is not None else VirtualClock()
         self._heap: List[ScheduledEvent] = []
         self._seq = 0
         self._running = False
         self._events_dispatched = 0
+        #: Cancelled entries still sitting in the heap (lazy deletion).
+        self._cancelled = 0
+        #: Total heap compactions performed (diagnostics).
+        self.compactions = 0
 
     @property
     def clock(self) -> VirtualClock:
@@ -80,7 +114,7 @@ class EventScheduler:
     @property
     def now(self) -> Timestamp:
         """Current simulated time."""
-        return self._clock.now
+        return self._clock._now
 
     @property
     def events_dispatched(self) -> int:
@@ -89,8 +123,38 @@ class EventScheduler:
 
     @property
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still queued.  O(1)."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length including lazily-deleted entries (diagnostics)."""
+        return len(self._heap)
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`ScheduledEvent.cancel`."""
+        self._cancelled += 1
+        heap = self._heap
+        if self._cancelled * 2 > len(heap) and len(heap) >= _COMPACT_MIN_SIZE:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        O(n), triggered only when dead entries exceed half the heap, so the
+        cost amortises to O(1) per cancellation.  (time, seq) ordering is
+        preserved by heapify -- live events keep their sequence numbers.
+        The rebuild is in place: the dispatch loops hold a reference to the
+        heap list, so the list object itself must survive.
+        """
+        heap = self._heap
+        reaped = [event for event in heap if event.cancelled]
+        heap[:] = [event for event in heap if not event.cancelled]
+        heapq.heapify(heap)
+        for event in reaped:
+            event._scheduler = None
+        self._cancelled = 0
+        self.compactions += 1
 
     def schedule_at(
         self,
@@ -103,13 +167,13 @@ class EventScheduler:
         Scheduling at the current instant is allowed (the event runs on the
         next loop iteration); scheduling in the past is an error.
         """
-        if time < self._clock.now:
+        if time < self._clock._now:
             raise SchedulerError(
                 f"cannot schedule {label!r} in the past: "
-                f"now={format_timestamp(self._clock.now)}, "
+                f"now={format_timestamp(self._clock._now)}, "
                 f"requested={format_timestamp(time)}"
             )
-        event = ScheduledEvent(time, self._seq, callback, label)
+        event = ScheduledEvent(time, self._seq, callback, label, self)
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
@@ -122,7 +186,7 @@ class EventScheduler:
     ) -> ScheduledEvent:
         """Schedule *callback* to run *delay* microseconds from now."""
         validate_duration(delay, "delay")
-        return self.schedule_at(self._clock.now + delay, callback, label)
+        return self.schedule_at(self._clock._now + delay, callback, label)
 
     def run_until(self, time: Timestamp) -> int:
         """Dispatch every event with ``event.time <= time``; advance clock to *time*.
@@ -133,31 +197,42 @@ class EventScheduler:
         """
         if self._running:
             raise SchedulerError("re-entrant scheduler run detected")
-        if time < self._clock.now:
+        clock = self._clock
+        if time < clock._now:
             raise SchedulerError(
-                f"cannot run until the past: now={format_timestamp(self._clock.now)}, "
+                f"cannot run until the past: now={format_timestamp(clock._now)}, "
                 f"requested={format_timestamp(time)}"
             )
+        heap = self._heap
+        if not heap or heap[0].time > time:
+            # Empty/none-due fast path: nothing can dispatch, so no state
+            # needs protecting -- a bare clock advance suffices.  This is
+            # the common case for fine-grained ``run_for`` ticks.
+            clock._now = time
+            return 0
         self._running = True
         dispatched = 0
+        pop = heapq.heappop
         try:
-            while self._heap and self._heap[0].time <= time:
-                event = heapq.heappop(self._heap)
+            while heap and heap[0].time <= time:
+                event = pop(heap)
+                event._scheduler = None  # off-heap: later cancels are flag-only
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
-                self._clock.advance_to(event.time)
+                clock._jump_to(event.time)
                 event.callback()
                 dispatched += 1
-                self._events_dispatched += 1
-            self._clock.advance_to(time)
+            clock._now = time
         finally:
+            self._events_dispatched += dispatched
             self._running = False
         return dispatched
 
     def run_for(self, duration: Timestamp) -> int:
         """Dispatch events for the next *duration* microseconds."""
         validate_duration(duration)
-        return self.run_until(self._clock.now + duration)
+        return self.run_until(self._clock._now + duration)
 
     def drain(self, max_events: int = 1_000_000) -> int:
         """Run until the queue is empty (or *max_events* were dispatched).
@@ -169,21 +244,26 @@ class EventScheduler:
             raise SchedulerError("re-entrant scheduler run detected")
         self._running = True
         dispatched = 0
+        heap = self._heap
+        clock = self._clock
+        pop = heapq.heappop
         try:
-            while self._heap:
-                event = heapq.heappop(self._heap)
+            while heap:
+                event = pop(heap)
+                event._scheduler = None  # off-heap: later cancels are flag-only
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
                 if dispatched >= max_events:
                     raise SchedulerError(
                         f"drain exceeded event budget of {max_events}; "
                         f"likely a runaway timer loop (last label: {event.label!r})"
                     )
-                self._clock.advance_to(event.time)
+                clock._jump_to(event.time)
                 event.callback()
                 dispatched += 1
-                self._events_dispatched += 1
         finally:
+            self._events_dispatched += dispatched
             self._running = False
         return dispatched
 

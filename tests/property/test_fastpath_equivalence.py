@@ -1,0 +1,180 @@
+"""Differential property test: fast paths vs the reference implementation.
+
+Two protected machines run the same random script of protocol operations --
+interaction notifications, permission queries, device opens, forks, process
+exits, ptrace attach/detach, and protection toggles.  One machine has every
+hot-path optimisation on (the default configuration: zero-copy netlink,
+epoch decision cache, batched audit appends); the other runs the reference
+configuration with all of them off.
+
+The assertion is total: every query response, the full decision log, the
+full audit log, and every Table I counter must be byte-identical.  This is
+the contract that lets the optimisations exist at all -- they may change
+how fast a decision is made, never which decision, what gets logged, or
+what the experiments count.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Machine, paper_config, reference_config
+from repro.core.notifications import MSG_INTERACTION, MSG_PERMISSION_QUERY
+from repro.kernel.credentials import ROOT
+from repro.kernel.errors import (
+    InvalidArgument,
+    OperationNotPermitted,
+    OverhaulDenied,
+)
+from repro.sim.time import from_seconds
+
+#: Operations a script step can issue (timestamps offsets in microseconds
+#: straddle the 2 s threshold in both directions).
+_OFFSETS = st.integers(-int(from_seconds(3.0)), int(from_seconds(3.0)))
+
+script_steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("interact"), st.integers(0, 5), _OFFSETS),
+        st.tuples(st.just("query"), st.integers(0, 5), st.integers(0, 2), _OFFSETS),
+        st.tuples(st.just("device"), st.integers(0, 5)),
+        st.tuples(st.just("advance"), st.integers(1, int(from_seconds(2.5)))),
+        st.tuples(st.just("fork"), st.integers(0, 5)),
+        st.tuples(st.just("kill"), st.integers(0, 5)),
+        st.tuples(st.just("attach"), st.integers(0, 5)),
+        st.tuples(st.just("detach"), st.integers(0, 5)),
+        st.tuples(st.just("toggle_protection"),),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+_QUERY_OPS = ["copy", "paste", "screen.capture"]
+
+
+def _build(config):
+    machine = Machine.with_overhaul(config)
+    machine.settle()
+    kernel = machine.kernel
+    # A superuser debugger for the ptrace steps and three seed apps; forks
+    # extend the task list identically on both machines (pids are assigned
+    # by the same deterministic counter).
+    debugger = kernel.sys_spawn(kernel.process_table.init, "/usr/bin/gdb",
+                                comm="gdb", creds=ROOT)
+    tasks = [
+        machine.launch(f"/usr/bin/app{i}", comm=f"app{i}")[0] for i in range(3)
+    ]
+    return machine, debugger, tasks
+
+
+def _apply(machine, debugger, tasks, script):
+    """Run *script*; return the observable transcript."""
+    kernel = machine.kernel
+    channel = machine.overhaul.channel
+    xtask = machine.xserver_task
+    transcript = []
+    for step in script:
+        action = step[0]
+        if action == "interact":
+            task = tasks[step[1] % len(tasks)]
+            channel.send_to_kernel(
+                xtask, MSG_INTERACTION,
+                {"pid": task.pid, "timestamp": machine.now + step[2]},
+            )
+        elif action == "query":
+            task = tasks[step[1] % len(tasks)]
+            response = channel.send_to_kernel(
+                xtask, MSG_PERMISSION_QUERY,
+                {
+                    "pid": task.pid,
+                    "operation": _QUERY_OPS[step[2]],
+                    "timestamp": machine.now + step[3],
+                },
+            )
+            transcript.append(("response", response))
+        elif action == "device":
+            task = tasks[step[1] % len(tasks)]
+            try:
+                kernel.device_mediator.gate_open(task, "/dev/mic0")
+                transcript.append(("device", task.pid, "granted"))
+            except OverhaulDenied:
+                transcript.append(("device", task.pid, "denied"))
+        elif action == "advance":
+            machine.run_for(step[1])
+        elif action == "fork":
+            parent = tasks[step[1] % len(tasks)]
+            if parent.is_alive:
+                child = kernel.sys_spawn(parent, parent.exe_path, comm=parent.comm)
+                tasks.append(child)
+                transcript.append(("fork", parent.pid, child.pid))
+        elif action == "kill":
+            task = tasks[step[1] % len(tasks)]
+            if task.is_alive:
+                kernel.process_table.exit(task)
+                transcript.append(("kill", task.pid))
+        elif action == "attach":
+            task = tasks[step[1] % len(tasks)]
+            try:
+                kernel.ptrace.attach(debugger, task)
+                transcript.append(("attach", task.pid))
+            except (OperationNotPermitted, InvalidArgument):
+                transcript.append(("attach-denied", task.pid))
+        elif action == "detach":
+            task = tasks[step[1] % len(tasks)]
+            try:
+                kernel.ptrace.detach(debugger, task)
+                transcript.append(("detach", task.pid))
+            except OperationNotPermitted:
+                transcript.append(("detach-denied", task.pid))
+        elif action == "toggle_protection":
+            ptrace = kernel.ptrace
+            ptrace.protection_enabled = not ptrace.protection_enabled
+    return transcript
+
+
+def _observable_state(machine):
+    monitor = machine.monitor
+    return {
+        "decisions": list(monitor.decisions),
+        "audit": list(machine.kernel.audit),
+        "audit_total": machine.kernel.audit.total_recorded,
+        "notifications_received": monitor.notifications_received,
+        "queries_answered": monitor.queries_answered,
+        "grant_count": monitor.grant_count,
+        "deny_count": monitor.deny_count,
+        "alerts_requested": monitor.alerts_requested,
+        "alerts_coalesced": monitor.alerts_coalesced,
+        "mediator_checks": machine.kernel.device_mediator.checks_performed,
+        "mediator_denials": machine.kernel.device_mediator.denials,
+    }
+
+
+@given(script=script_steps)
+@settings(max_examples=50, deadline=None)
+def test_fast_and_reference_paths_are_byte_identical(script):
+    fast_machine, fast_dbg, fast_tasks = _build(paper_config())
+    ref_machine, ref_dbg, ref_tasks = _build(reference_config())
+
+    # Sanity: the toggles actually selected different code paths.
+    assert fast_machine.kernel.netlink.fast_path
+    assert not ref_machine.kernel.netlink.fast_path
+
+    fast_transcript = _apply(fast_machine, fast_dbg, fast_tasks, script)
+    ref_transcript = _apply(ref_machine, ref_dbg, ref_tasks, script)
+
+    assert fast_transcript == ref_transcript
+    assert _observable_state(fast_machine) == _observable_state(ref_machine)
+
+
+@given(script=script_steps)
+@settings(max_examples=25, deadline=None)
+def test_tracing_forces_the_reference_path_with_identical_results(script):
+    """With the tracer on, a fast-configured machine must behave like the
+    reference machine too (the span tree rides on the reference path)."""
+    traced_machine, traced_dbg, traced_tasks = _build(paper_config())
+    traced_machine.tracer.enabled = True
+    ref_machine, ref_dbg, ref_tasks = _build(reference_config())
+
+    traced_transcript = _apply(traced_machine, traced_dbg, traced_tasks, script)
+    ref_transcript = _apply(ref_machine, ref_dbg, ref_tasks, script)
+
+    assert traced_transcript == ref_transcript
+    assert _observable_state(traced_machine) == _observable_state(ref_machine)

@@ -1,0 +1,111 @@
+"""The sensitive-map operation index: one dict probe on the open hot path.
+
+These tests pin the property the index was introduced for: the operation
+string served to the mediator always reflects the *current* registration of
+a path.  The previous design (a fill-on-first-use cache inside the
+mediator) kept serving the first-seen name forever, so a path re-registered
+under a different device class -- the udev collision case, e.g. a node name
+reused by a different kind of hardware -- was audited under a stale label.
+"""
+
+import pytest
+
+from repro.core import Machine
+from repro.kernel.device import DeviceClass
+from repro.kernel.devfs import SensitiveDeviceMap
+from repro.kernel.errors import OverhaulDenied
+
+
+class TestOperationIndex:
+    def test_sensitive_paths_get_operation_names(self):
+        sensitive_map = SensitiveDeviceMap()
+        sensitive_map.set_mapping("/dev/mic0", DeviceClass.MICROPHONE)
+        assert sensitive_map.operation_name("/dev/mic0") == "microphone:/dev/mic0"
+
+    def test_unknown_and_non_sensitive_paths_are_none(self):
+        sensitive_map = SensitiveDeviceMap()
+        sensitive_map.set_mapping("/dev/audio-out0", DeviceClass.SPEAKER)
+        assert sensitive_map.operation_name("/dev/audio-out0") is None
+        assert sensitive_map.operation_name("/dev/unknown") is None
+
+    def test_drop_mapping_clears_index(self):
+        sensitive_map = SensitiveDeviceMap()
+        sensitive_map.set_mapping("/dev/mic0", DeviceClass.MICROPHONE)
+        sensitive_map.drop_mapping("/dev/mic0")
+        assert sensitive_map.operation_name("/dev/mic0") is None
+        assert sensitive_map.classify("/dev/mic0") is None
+
+    def test_reregistration_with_new_class_updates_name(self):
+        """The collision case: same path, different device class."""
+        sensitive_map = SensitiveDeviceMap()
+        sensitive_map.set_mapping("/dev/node0", DeviceClass.MICROPHONE)
+        assert sensitive_map.operation_name("/dev/node0") == "microphone:/dev/node0"
+        sensitive_map.set_mapping("/dev/node0", DeviceClass.CAMERA)
+        assert sensitive_map.operation_name("/dev/node0") == "camera:/dev/node0"
+
+    def test_reregistration_to_non_sensitive_demotes_path(self):
+        """A path re-registered as non-sensitive must stop being mediated."""
+        sensitive_map = SensitiveDeviceMap()
+        sensitive_map.set_mapping("/dev/node0", DeviceClass.CAMERA)
+        sensitive_map.set_mapping("/dev/node0", DeviceClass.SPEAKER)
+        assert sensitive_map.operation_name("/dev/node0") is None
+        assert not sensitive_map.is_sensitive("/dev/node0")
+
+    def test_index_matches_classify_for_every_registration(self):
+        """The index is a pure function of the registration map."""
+        sensitive_map = SensitiveDeviceMap()
+        classes = [
+            DeviceClass.MICROPHONE,
+            DeviceClass.SPEAKER,
+            DeviceClass.CAMERA,
+            DeviceClass.DISK,
+        ]
+        for i, device_class in enumerate(classes):
+            sensitive_map.set_mapping(f"/dev/n{i}", device_class)
+        for i, device_class in enumerate(classes):
+            path = f"/dev/n{i}"
+            name = sensitive_map.operation_name(path)
+            if device_class.sensitive:
+                assert name == f"{device_class.label}:{path}"
+            else:
+                assert name is None
+
+
+class TestMediationUsesCurrentRegistration:
+    def test_denial_reports_the_current_device_class(self):
+        """End to end: audit and denial use the post-collision label."""
+        machine = Machine.with_overhaul()
+        machine.settle()
+        kernel = machine.kernel
+        task, _ = machine.launch("/usr/bin/recorder", comm="recorder")
+
+        # First life of the node: a microphone.  One denied open caches
+        # nothing stale anymore, but this is exactly the sequence that
+        # poisoned the old mediator-side cache.
+        kernel.devfs.sensitive_map.set_mapping("/dev/node7", DeviceClass.MICROPHONE)
+        with pytest.raises(OverhaulDenied) as exc_info:
+            kernel.device_mediator.gate_open(task, "/dev/node7")
+        assert "microphone:/dev/node7" in str(exc_info.value)
+
+        # The node is reused by a camera (udev collision).
+        kernel.devfs.sensitive_map.set_mapping("/dev/node7", DeviceClass.CAMERA)
+        with pytest.raises(OverhaulDenied) as exc_info:
+            kernel.device_mediator.gate_open(task, "/dev/node7")
+        assert "camera:/dev/node7" in str(exc_info.value)
+
+        device_records = kernel.audit.records(pid=task.pid)
+        assert [r.detail for r in device_records] == [
+            "microphone:/dev/node7",
+            "camera:/dev/node7",
+        ]
+
+    def test_demoted_path_passes_untouched(self):
+        machine = Machine.with_overhaul()
+        machine.settle()
+        kernel = machine.kernel
+        task, _ = machine.launch("/usr/bin/recorder", comm="recorder")
+        kernel.devfs.sensitive_map.set_mapping("/dev/node8", DeviceClass.CAMERA)
+        kernel.devfs.sensitive_map.set_mapping("/dev/node8", DeviceClass.SPEAKER)
+        checks_before = kernel.device_mediator.checks_performed
+        kernel.device_mediator.gate_open(task, "/dev/node8")  # must not raise
+        assert kernel.device_mediator.checks_performed == checks_before

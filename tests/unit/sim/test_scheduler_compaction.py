@@ -1,0 +1,138 @@
+"""Lazy-deletion compaction: the heap stays bounded under cancel churn.
+
+The shm wait list cancels and re-arms its 500 ms timer on every fault, so a
+long-running simulation performs schedule/cancel cycles constantly.  Without
+compaction the heap grows with *total churn*; with it, the heap is bounded
+by a small multiple of the number of live events.
+"""
+
+import pytest
+
+from repro.sim.errors import SchedulerError
+from repro.sim.scheduler import _COMPACT_MIN_SIZE, EventScheduler
+
+
+class TestCompactionBoundsHeap:
+    def test_schedule_cancel_churn_keeps_heap_bounded(self):
+        """The shm-timer pattern: cancel + re-arm, thousands of times."""
+        scheduler = EventScheduler()
+        live = [scheduler.schedule_after(10_000, lambda: None, "shm-timer")]
+        for _ in range(10_000):
+            live[0].cancel()
+            live[0] = scheduler.schedule_after(10_000, lambda: None, "shm-timer")
+        # One live event; the heap may hold some dead entries but must be
+        # bounded by the compaction floor, not the 10k churn count.
+        assert scheduler.pending_count == 1
+        assert scheduler.heap_size <= _COMPACT_MIN_SIZE
+        assert scheduler.compactions > 0
+
+    def test_heap_bounded_with_many_live_events(self):
+        """With n live events the heap stays O(n) despite heavy cancels."""
+        scheduler = EventScheduler()
+        keepers = [
+            scheduler.schedule_at(1_000_000 + i, lambda: None, "keeper")
+            for i in range(500)
+        ]
+        for _ in range(20):
+            doomed = [
+                scheduler.schedule_at(2_000_000 + i, lambda: None, "doomed")
+                for i in range(1_000)
+            ]
+            for event in doomed:
+                event.cancel()
+        assert scheduler.pending_count == len(keepers)
+        # Dead entries never exceed half the heap (plus the in-flight one
+        # that triggers the compaction).
+        assert scheduler.heap_size <= 2 * len(keepers) + 1
+
+    def test_small_heaps_are_never_compacted(self):
+        """Below the size floor, rebuilds would cost more than they save."""
+        scheduler = EventScheduler()
+        for _ in range(10):
+            scheduler.schedule_after(100, lambda: None).cancel()
+        assert scheduler.compactions == 0
+        assert scheduler.heap_size == 10  # lazy entries, reaped at dispatch
+        assert scheduler.pending_count == 0
+
+    def test_compaction_preserves_order_and_counts(self):
+        """Live events fire in (time, seq) order across a compaction."""
+        scheduler = EventScheduler()
+        fired = []
+        keep = []
+        for i in range(_COMPACT_MIN_SIZE * 2):
+            event = scheduler.schedule_at(100 + i, lambda i=i: fired.append(i))
+            if i % 3 == 0:
+                keep.append(i)
+            else:
+                event.cancel()
+        assert scheduler.compactions > 0
+        scheduler.drain()
+        assert fired == keep
+        assert scheduler.heap_size == 0
+        assert scheduler.pending_count == 0
+
+
+class TestCancelEdgeCases:
+    def test_cancel_is_idempotent_for_counters(self):
+        scheduler = EventScheduler()
+        events = [scheduler.schedule_after(50, lambda: None) for _ in range(8)]
+        events[0].cancel()
+        events[0].cancel()
+        events[0].cancel()
+        assert scheduler.pending_count == 7
+
+    def test_cancel_after_fire_does_not_corrupt_counts(self):
+        """A handle cancelled after its callback ran is a pure flag set."""
+        scheduler = EventScheduler()
+        fired_event = scheduler.schedule_at(10, lambda: None)
+        pending = [scheduler.schedule_at(1_000 + i, lambda: None) for i in range(4)]
+        scheduler.run_until(10)
+        fired_event.cancel()  # already popped: must not count against heap
+        assert scheduler.pending_count == 4
+        pending[0].cancel()
+        assert scheduler.pending_count == 3
+        assert scheduler.drain() == 3
+
+    def test_cancel_during_dispatch_of_same_instant(self):
+        """A callback cancelling a same-instant sibling suppresses it."""
+        scheduler = EventScheduler()
+        fired = []
+        second = scheduler.schedule_at(100, lambda: fired.append("second"))
+        scheduler.schedule_at(100, lambda: second.cancel())
+        # Insertion order: the canceller was scheduled after `second`, so
+        # schedule a third event whose cancellation happens first.
+        third = scheduler.schedule_at(100, lambda: fired.append("third"))
+        scheduler.schedule_at(99, lambda: third.cancel())
+        scheduler.run_until(200)
+        assert fired == ["second"]
+
+    def test_mass_cancel_inside_callback_compacts_safely(self):
+        """Compaction triggered mid-dispatch must not desync the loop."""
+        scheduler = EventScheduler()
+        fired = []
+        doomed = [
+            scheduler.schedule_at(500 + i, lambda: fired.append("doomed"))
+            for i in range(_COMPACT_MIN_SIZE * 2)
+        ]
+
+        def cancel_all():
+            for event in doomed:
+                event.cancel()
+
+        scheduler.schedule_at(10, cancel_all)
+        survivor = scheduler.schedule_at(900, lambda: fired.append("survivor"))
+        scheduler.run_until(1_000)
+        assert fired == ["survivor"]
+        assert survivor.cancelled is False
+        assert scheduler.compactions > 0
+        assert scheduler.pending_count == 0
+
+    def test_drain_budget_still_enforced(self):
+        scheduler = EventScheduler()
+
+        def reschedule():
+            scheduler.schedule_after(1, reschedule)
+
+        scheduler.schedule_after(1, reschedule)
+        with pytest.raises(SchedulerError):
+            scheduler.drain(max_events=100)
