@@ -57,6 +57,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 def _rig_factories() -> Dict[str, Callable[[], object]]:
     from repro.analysis.benchops import (
         ClipboardRig,
+        ComposeRig,
         DecisionPathRig,
         DeviceAccessRig,
         ScreenCaptureRig,
@@ -72,19 +73,39 @@ def _rig_factories() -> Dict[str, Callable[[], object]]:
         "screen_capture": lambda: (ScreenCaptureRig(True), 600),
         "shared_memory": lambda: (SharedMemoryRig(True), 8_000),
         "mediated_decision_path": lambda: (DecisionPathRig(True), 5_000),
+        # Display pipeline: warm composition over an unchanged 16-window
+        # stack (the cache-hit path) and the same stack with one window
+        # redrawn before every capture (the recomposition path).
+        "compose": lambda: (ComposeRig(True, windows=16), 2_000),
+        "compose_damaged": lambda: (ComposeRig(True, windows=16, damaged=True), 400),
     }
 
 
-def measure_all(repeats: int = 5, ops_scale: float = 1.0, quiet: bool = False) -> Dict[str, dict]:
+def measure_all(
+    repeats: int = 5,
+    ops_scale: float = 1.0,
+    quiet: bool = False,
+    scenarios: Optional[list] = None,
+) -> Dict[str, dict]:
     """Run every benchmark; return name -> {ops_per_sec, ops, rounds}.
 
     Methodology matches the Table I suite: one warmup round, then
     *repeats* timed rounds on the same rig; throughput is taken from the
     fastest round (least scheduler noise), like pytest-benchmark's
-    ``min``.
+    ``min``.  *scenarios* restricts the run to the named subset (the CI
+    perf gate measures an explicit scenario list to keep runs bounded).
     """
+    factories = _rig_factories()
+    if scenarios is not None:
+        unknown = [name for name in scenarios if name not in factories]
+        if unknown:
+            raise SystemExit(
+                f"unknown scenario(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(factories))})"
+            )
+        factories = {name: factories[name] for name in scenarios}
     results: Dict[str, dict] = {}
-    for name, factory in _rig_factories().items():
+    for name, factory in factories.items():
         rig, base_ops = factory()
         ops = max(1, int(base_ops * ops_scale))
         rig.run(ops)  # warmup: caches populated, allocator steady
@@ -113,14 +134,20 @@ def load_baseline(path: Path) -> Optional[dict]:
 
 
 def write_baseline(path: Path, results: Dict[str, dict], section: str) -> None:
-    """Write *results* into *section*, preserving the other sections."""
+    """Write *results* into *section*, preserving the other sections.
+
+    Results merge into the section rather than replacing it, so a
+    ``--scenarios`` subset run updates only the benchmarks it measured.
+    """
     data = load_baseline(path) or {"schema": SCHEMA_VERSION, "unit": "ops_per_sec"}
     if section == "pre" and "pre" in data:
         raise SystemExit(
             "refusing to overwrite the 'pre' section: it records the "
             "pre-overhaul numbers and is written exactly once"
         )
-    data[section] = {"results": results}
+    merged = dict(data.get(section, {}).get("results", {}))
+    merged.update(results)
+    data[section] = {"results": merged}
     data["meta"] = {
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -131,12 +158,17 @@ def write_baseline(path: Path, results: Dict[str, dict], section: str) -> None:
 
 
 def check_regression(
-    path: Path, threshold: float, repeats: int, ops_scale: float
+    path: Path,
+    threshold: float,
+    repeats: int,
+    ops_scale: float,
+    scenarios: Optional[list] = None,
 ) -> int:
     """Measure now and compare to the committed ``current`` section.
 
     Returns the process exit code: 0 when within threshold (or no
-    baseline to compare against), 1 on regression.
+    baseline to compare against), 1 on regression.  With *scenarios*,
+    only the named benchmarks are measured and gated.
     """
     data = load_baseline(path)
     if data is None or "current" not in data:
@@ -144,9 +176,11 @@ def check_regression(
         return 0
     committed = data["current"]["results"]
     print(f"measuring against {path} (threshold {threshold:.0%})")
-    measured = measure_all(repeats=repeats, ops_scale=ops_scale)
+    measured = measure_all(repeats=repeats, ops_scale=ops_scale, scenarios=scenarios)
     failures = []
     for name, record in sorted(committed.items()):
+        if scenarios is not None and name not in scenarios:
+            continue
         if name not in measured:
             print(f"  {name:<24s} missing from this build; skipped")
             continue
@@ -198,14 +232,24 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--ops-scale", type=float, default=1.0,
                         help="scale every benchmark's op count (CI uses < 1)")
+    parser.add_argument("--scenarios", type=str, default=None,
+                        help="comma-separated benchmark subset to run "
+                             "(default: all; CI passes an explicit list)")
     args = parser.parse_args(argv)
+    scenarios = (
+        [name.strip() for name in args.scenarios.split(",") if name.strip()]
+        if args.scenarios
+        else None
+    )
 
     if args.check:
-        return check_regression(args.file, args.threshold, args.repeats, args.ops_scale)
+        return check_regression(
+            args.file, args.threshold, args.repeats, args.ops_scale, scenarios
+        )
     if args.compare:
         return compare_sections(args.file)
     print(f"measuring ({args.repeats} rounds per benchmark)")
-    results = measure_all(repeats=args.repeats, ops_scale=args.ops_scale)
+    results = measure_all(repeats=args.repeats, ops_scale=args.ops_scale, scenarios=scenarios)
     write_baseline(args.file, results, args.section)
     return 0
 

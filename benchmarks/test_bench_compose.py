@@ -1,0 +1,69 @@
+"""Display-pipeline benchmark: damage-tracked screen composition.
+
+Not a Table I row.  Screen capture cost is dominated by composition --
+walking the stacking order and concatenating every mapped window's
+content.  The damage-tracked pipeline makes that walk conditional: a
+capture of an *unchanged* screen is a cache hit and costs O(1) regardless
+of how many windows are mapped.  This suite measures both sides of that
+trade at three stack sizes:
+
+- **warm**: repeated captures over an unchanged stack.  On the fast path
+  every capture after the first hits the composition cache; throughput
+  should be flat in the window count.
+- **damaged**: one window is redrawn before every capture, so every
+  composition is a miss.  This bounds the bookkeeping the damage tracking
+  adds on top of the unavoidable recomposition.
+
+Counter assertions pin the mechanism: a round that got fast by serving
+stale frames (or by not caching at all) fails the test rather than
+polluting the numbers.
+"""
+
+import pytest
+
+from repro.analysis.benchops import ComposeRig
+
+#: Captures per timed round.
+COMPOSE_OPS = 1_000
+DAMAGED_OPS = 200
+
+#: Stack sizes: a lone window, the baseline.py default, and a desktop's
+#: worth -- enough spread to expose O(windows) behaviour in the warm mode.
+WINDOW_COUNTS = [1, 16, 128]
+
+
+@pytest.fixture(params=WINDOW_COUNTS, ids=lambda n: f"{n}w")
+def window_count(request):
+    return request.param
+
+
+@pytest.mark.benchmark(group="display-compose-warm")
+def test_compose_warm(benchmark, protected, window_count):
+    """Repeat captures, unchanged stack: the cache-hit path."""
+    rig = ComposeRig(protected, windows=window_count)
+    benchmark.pedantic(rig.run, args=(COMPOSE_OPS,), rounds=5, warmup_rounds=1)
+    xserver = rig.machine.xserver
+    benchmark.extra_info["windows"] = window_count
+    benchmark.extra_info["compose_cache_hits"] = xserver.compose_cache_hits
+    benchmark.extra_info["compose_cache_misses"] = xserver.compose_cache_misses
+    # Every capture but the very first must have been served from the
+    # composition cache, however many rounds ran (--benchmark-disable runs
+    # one).  The damage pipeline is a simulator-level optimisation, so it
+    # is active in both Table I configurations.
+    assert xserver.compose_cache_hits >= COMPOSE_OPS - 1
+    assert xserver.compose_cache_misses <= 1
+
+
+@pytest.mark.benchmark(group="display-compose-damaged")
+def test_compose_damaged(benchmark, protected, window_count):
+    """One window redrawn before every capture: the recomposition path."""
+    rig = ComposeRig(protected, windows=window_count, damaged=True)
+    benchmark.pedantic(rig.run, args=(DAMAGED_OPS,), rounds=5, warmup_rounds=1)
+    xserver = rig.machine.xserver
+    benchmark.extra_info["windows"] = window_count
+    benchmark.extra_info["compose_cache_hits"] = xserver.compose_cache_hits
+    benchmark.extra_info["compose_cache_misses"] = xserver.compose_cache_misses
+    # Every damaged capture must recompose -- a hit here would mean a
+    # stale frame was served after a draw.
+    assert xserver.compose_cache_misses >= DAMAGED_OPS
+    assert xserver.compose_cache_hits == 0

@@ -244,5 +244,62 @@ class DecisionPathRig:
             send(xtask, MSG_PERMISSION_QUERY, query)
 
 
+class ComposeRig:
+    """The display composition path, isolated.
+
+    Not a Table I row: this rig tracks the damage-driven composition cache
+    that backs every screen capture.  It maps *windows* painted windows and
+    then captures the root window repeatedly:
+
+    - **warm** (``damaged=False``): the stack never changes between
+      captures, so on the fast path every composition after the first is a
+      cache hit -- throughput measures the O(1) unchanged-screen path;
+    - **damaged** (``damaged=True``): one window is redrawn before every
+      capture, so every composition is a miss -- throughput measures the
+      full recomposition walk plus the invalidation bookkeeping.
+
+    The gap between the two modes is the benefit the cache buys; the
+    damaged mode bounds the bookkeeping cost it adds.
+    """
+
+    name = "Compose"
+    paper_overhead_percent = None
+
+    #: Alternating damage payloads: two pre-built buffers so the damaged
+    #: mode measures recomposition, not bytes construction.
+    _PAYLOADS = (b"\x01" * 1024, b"\x02" * 1024)
+
+    def __init__(
+        self,
+        protected: bool,
+        config: Optional[OverhaulConfig] = None,
+        windows: int = 16,
+        damaged: bool = False,
+    ) -> None:
+        self.machine = _build_machine(protected, config)
+        self.app = SimApp(self.machine, "/usr/bin/composebench", comm="composebench")
+        self.painters = []
+        for index in range(windows):
+            painter = SimApp(
+                self.machine, f"/usr/bin/cpaint{index}", comm=f"cpaint{index}"
+            )
+            painter.paint(bytes([index % 255 + 1]) * 1024)
+            self.painters.append(painter)
+        self.machine.settle()
+        self.damaged = damaged
+
+    def run(self, n: int) -> None:
+        capture = self.app.capture_screen
+        if not self.damaged:
+            for _ in range(n):
+                capture()
+            return
+        draw = self.painters[0].window.draw
+        payloads = self._PAYLOADS
+        for i in range(n):
+            draw(payloads[i & 1])
+            capture()
+
+
 #: Every Table I row, in paper order.
 ALL_RIGS = [DeviceAccessRig, ClipboardRig, ScreenCaptureRig, SharedMemoryRig, FilesystemRig]

@@ -66,6 +66,11 @@ class SimApp:
         assert client is not None
         self.client: XClient = client
         self.client.on_event(self._dispatch_event)
+        # The dispatch handler above consumes every event synchronously
+        # (the Xlib event-loop equivalent); with nothing ever polling the
+        # queue, retaining delivered events would only grow memory across
+        # benchmark-scale workloads.
+        self.client.queue_events = False
 
         self.window: Optional[Window] = None
         if with_window:
@@ -85,6 +90,10 @@ class SimApp:
         self.pasted: List[bytes] = []
         #: Extra event hooks subclasses/tests may add.
         self._event_hooks: List[Callable[[XEvent], None]] = []
+        #: SelectionNotify payloads, reused across repeat transfers of the
+        #: same (selection, property) pair -- real clipboard owners reuse
+        #: their reply buffers the same way.
+        self._selection_reply_cache: dict = {}
 
     # -- identity -----------------------------------------------------------
 
@@ -140,8 +149,9 @@ class SimApp:
         """Default event loop: serve selection requests, run hooks."""
         if event.kind is EventKind.SELECTION_REQUEST:
             self._handle_selection_request(event)
-        for hook in list(self._event_hooks):
-            hook(event)
+        if self._event_hooks:
+            for hook in list(self._event_hooks):
+                hook(event)
 
     # -- ICCCM clipboard: owner role (Figure 6 steps 2-4, 8-9) ------------------------
 
@@ -166,17 +176,20 @@ class SimApp:
             return
         requestor_window = event.payload["requestor"]
         property_name = event.payload["property"]
+        selection = event.payload["selection"]
         self.xserver.change_property(
             self.client, requestor_window, property_name, self._selection_data
         )
+        key = (selection, property_name)
+        payload = self._selection_reply_cache.get(key)
+        if payload is None:
+            payload = {"selection": selection, "property": property_name}
+            self._selection_reply_cache[key] = payload
         self.xserver.send_event(
             self.client,
             requestor_window,
             EventKind.SELECTION_NOTIFY,
-            payload={
-                "selection": event.payload["selection"],
-                "property": property_name,
-            },
+            payload=payload,
         )
 
     # -- ICCCM clipboard: requestor role (steps 6, 10-13) ------------------------------

@@ -82,6 +82,12 @@ class OverhaulConfig:
     #: Batch audit-log appends (flushed on first read; retention window
     #: identical to eager appends).
     fast_audit_batch: bool = True
+    #: Damage-tracked display pipeline: composition caching for root
+    #: captures, zero-copy drawable snapshots for GetImage/CopyArea, the
+    #: expiry-windowed overlay banner cache, and selection-transfer reuse
+    #: for repeat pastes.  Forced off by tracing at call time and by
+    #: prompt-mode / gray-box configurations at assembly time.
+    fast_display: bool = True
 
     def __post_init__(self) -> None:
         self.validate()
@@ -124,4 +130,5 @@ def reference_config() -> OverhaulConfig:
         fast_netlink=False,
         fast_decision_cache=False,
         fast_audit_batch=False,
+        fast_display=False,
     )

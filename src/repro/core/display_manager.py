@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.kernel.errors import KernelError
 from repro.kernel.netlink import NetlinkChannel, NetlinkMessage
 from repro.kernel.task import Task
 from repro.core.config import OverhaulConfig
@@ -73,6 +74,11 @@ class DisplayManagerExtension:
         self.queries_sent = 0
         self.alerts_displayed = 0
         self.channel_failures = 0
+        #: Fast-display payload pool: Q_{A,t} datagrams keyed by
+        #: (client, operation), refreshed with the current timestamp.  The
+        #: kernel-side fast handler reads the payload without retaining it,
+        #: so reuse is invisible to everything but the allocator.
+        self._query_payloads: dict = {}
 
     # -- trusted input path ---------------------------------------------------
 
@@ -192,14 +198,27 @@ class DisplayManagerExtension:
         An unanswerable query (channel torn down) is a denial: the display
         manager never fails open.
         """
-        from repro.kernel.errors import KernelError
-
         self.queries_sent += 1
+        xserver = self._xserver
+        if (
+            xserver.fast_display
+            and not xserver.tracer.enabled
+            and xserver.prompt_interceptor is None
+        ):
+            pool = self._query_payloads
+            key = (client.client_id, operation)
+            payload = pool.get(key)
+            if payload is None:
+                payload = {"pid": client.pid, "operation": operation, "timestamp": now}
+                if len(pool) < 1024:
+                    pool[key] = payload
+            else:
+                payload["timestamp"] = now
+        else:
+            payload = {"pid": client.pid, "operation": operation, "timestamp": now}
         try:
             response = self._channel.send_to_kernel(
-                self._task,
-                MSG_PERMISSION_QUERY,
-                {"pid": client.pid, "operation": operation, "timestamp": now},
+                self._task, MSG_PERMISSION_QUERY, payload
             )
         except KernelError:
             self.channel_failures += 1

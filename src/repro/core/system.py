@@ -60,6 +60,17 @@ class OverhaulSystem:
         machine.xserver_task.is_display_manager = True
         xserver.overlay.shared_secret = config.shared_secret
         xserver.overlay.alert_duration = config.alert_duration
+        # Damage-tracked display pipeline: like the kernel-side fast paths,
+        # prompt mode and gray-box route everything through the reference
+        # path (the prompt band composites above the stack and gray-box
+        # hangs extra state off the input path).
+        fast_display = (
+            config.fast_display
+            and not config.prompt_mode
+            and not config.graybox_enabled
+        )
+        xserver.fast_display = fast_display
+        xserver.overlay.fast_banner_cache = fast_display
         self.extension = DisplayManagerExtension(
             xserver, machine.xserver_task, self.channel, config
         )

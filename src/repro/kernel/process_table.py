@@ -167,9 +167,11 @@ class ProcessTable:
             if child.is_alive:
                 child.parent = self.init
                 self.init.add_child(child)
-        if task.traced_by is not None:
-            task.traced_by.tracees.discard(task.pid)
-            task.traced_by = None
+        # Trace links are severed by the registered exit hooks (the ptrace
+        # subsystem's on_task_exit), NOT inline here: the subsystem must
+        # observe the link still in place so it can bump its version --
+        # epoch-cached ptrace verdicts would otherwise survive the tracee's
+        # death.
         task.state = TaskState.ZOMBIE
         task.exit_code = code
         for hook in self._exit_hooks:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.xserver.errors import BadClient
 from repro.xserver.events import XEvent
@@ -31,8 +31,19 @@ class XClient:
         self.pid = pid
         self.comm = comm
         self.connected = True
+        #: Poll-style clients read events from this queue; callback-driven
+        #: clients (the SimApp event loop) consume every event synchronously
+        #: inside :meth:`deliver` and set this False so the queue -- which
+        #: nothing would ever pop -- does not grow without bound across
+        #: benchmark-scale workloads.
+        self.queue_events = True
         self.event_queue: Deque[XEvent] = deque()
         self._handlers: List[Callable[[XEvent], None]] = []
+        #: Immutable snapshot iterated at delivery time.  Rebuilt on
+        #: registration, so a handler registered mid-delivery takes effect
+        #: from the *next* event -- exactly the semantics the previous
+        #: copy-per-delivery loop had, without a list allocation per event.
+        self._handler_snapshot: Tuple[Callable[[XEvent], None], ...] = ()
         self.events_received = 0
 
     def on_event(self, handler: Callable[[XEvent], None]) -> None:
@@ -42,14 +53,16 @@ class XClient:
         ``XNextEvent`` equivalent for our callback-driven apps).
         """
         self._handlers.append(handler)
+        self._handler_snapshot = tuple(self._handlers)
 
     def deliver(self, event: XEvent) -> None:
         """Server-side: queue an event and run the client's handlers."""
         if not self.connected:
             raise BadClient(f"client {self.client_id} is disconnected")
-        self.event_queue.append(event)
+        if self.queue_events:
+            self.event_queue.append(event)
         self.events_received += 1
-        for handler in list(self._handlers):
+        for handler in self._handler_snapshot:
             handler(event)
 
     def next_event(self) -> Optional[XEvent]:

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.sim.time import Timestamp
@@ -61,36 +60,68 @@ class EventKind(enum.Enum):
     @property
     def is_input(self) -> bool:
         """True for the device-input event kinds."""
-        return self in (
-            EventKind.KEY_PRESS,
-            EventKind.KEY_RELEASE,
-            EventKind.BUTTON_PRESS,
-            EventKind.BUTTON_RELEASE,
-            EventKind.MOTION,
-        )
+        return self in _INPUT_KINDS
 
+
+#: Membership set for :attr:`EventKind.is_input` -- the property is on the
+#: selection/input hot paths, so the tuple is built once, not per call.
+_INPUT_KINDS = frozenset(
+    (
+        EventKind.KEY_PRESS,
+        EventKind.KEY_RELEASE,
+        EventKind.BUTTON_PRESS,
+        EventKind.BUTTON_RELEASE,
+        EventKind.MOTION,
+    )
+)
 
 _event_serials = itertools.count(1)
 
 
-@dataclass
 class XEvent:
     """One event as queued to a client.
 
     ``synthetic_flag`` is the on-the-wire SendEvent marker (always True for
     SEND_EVENT provenance -- the protocol forces it); ``provenance`` is
     Overhaul's server-internal tag and is never visible to clients.
+
+    A plain ``__slots__`` class rather than a dataclass: every clipboard
+    round trip mints four of these, every capture and input event one more,
+    so construction cost is squarely on the Table I hot paths.
     """
 
-    kind: EventKind
-    timestamp: Timestamp
-    provenance: EventProvenance
-    window_id: Optional[int] = None
-    detail: Optional[int] = None  # keycode or button number
-    x: int = 0
-    y: int = 0
-    payload: Dict[str, Any] = field(default_factory=dict)
-    serial: int = field(default_factory=lambda: next(_event_serials))
+    __slots__ = (
+        "kind",
+        "timestamp",
+        "provenance",
+        "window_id",
+        "detail",
+        "x",
+        "y",
+        "payload",
+        "serial",
+    )
+
+    def __init__(
+        self,
+        kind: EventKind,
+        timestamp: Timestamp,
+        provenance: EventProvenance,
+        window_id: Optional[int] = None,
+        detail: Optional[int] = None,  # keycode or button number
+        x: int = 0,
+        y: int = 0,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.kind = kind
+        self.timestamp = timestamp
+        self.provenance = provenance
+        self.window_id = window_id
+        self.detail = detail
+        self.x = x
+        self.y = y
+        self.payload = payload if payload is not None else {}
+        self.serial = next(_event_serials)
 
     @property
     def synthetic_flag(self) -> bool:

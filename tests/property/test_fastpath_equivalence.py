@@ -178,3 +178,236 @@ def test_tracing_forces_the_reference_path_with_identical_results(script):
 
     assert traced_transcript == ref_transcript
     assert _observable_state(traced_machine) == _observable_state(ref_machine)
+
+
+# -- display-pipeline differential tests --------------------------------------
+#
+# The damage-tracked display pipeline (composition cache, zero-copy drawable
+# snapshots, banner cache, selection-transfer reuse) must be invisible in
+# everything but host time.  These scripts drive window lifecycle, painting,
+# captures (core and MIT-SHM), CopyArea/CopyPlane, the full ICCCM clipboard,
+# property traffic including snooping subscriptions, and overlay alerts on a
+# fast and a reference machine, and require byte-identical screens, pixmap
+# contents, properties, pasted data, denial texts, and counters.
+#
+# Transcripts deliberately never record raw drawable ids: the id counter is
+# process-global, so the two machines allocate different ids for the same
+# windows.  Pids, by contrast, are per-machine deterministic.
+
+from repro.apps.base import SELECTION_PROPERTY, SimApp
+from repro.xserver.errors import BadAccess
+from repro.xserver.events import EventKind
+from repro.xserver.selection import CLIPBOARD
+from repro.xserver.window import Geometry
+
+display_steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("click"), st.integers(0, 2)),
+        st.tuples(st.just("draw"), st.integers(0, 2), st.integers(0, 255)),
+        st.tuples(st.just("map"), st.integers(0, 2)),
+        st.tuples(st.just("unmap"), st.integers(0, 2)),
+        st.tuples(st.just("raise"), st.integers(0, 2)),
+        st.tuples(st.just("capture"), st.integers(0, 2), st.integers(0, 1)),
+        st.tuples(st.just("capture_win"), st.integers(0, 2), st.integers(0, 2)),
+        st.tuples(st.just("copy_area"), st.integers(0, 2), st.integers(0, 3)),
+        st.tuples(st.just("copy_plane"), st.integers(0, 2), st.integers(0, 3)),
+        st.tuples(st.just("copy"), st.integers(0, 2), st.integers(0, 255)),
+        st.tuples(st.just("paste"), st.integers(0, 2)),
+        st.tuples(st.just("sendevent"), st.integers(0, 2), st.integers(0, 2)),
+        st.tuples(st.just("prop"), st.integers(0, 2), st.integers(0, 2), st.integers(0, 255)),
+        st.tuples(st.just("prop_del"), st.integers(0, 2), st.integers(0, 2)),
+        st.tuples(st.just("subscribe"), st.integers(0, 2), st.integers(0, 2)),
+        st.tuples(st.just("alert"), st.integers(0, 3)),
+        st.tuples(st.just("advance"), st.integers(1, int(from_seconds(4.0)))),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+_CAPTURE_VIAS = ["core", "mit-shm"]
+
+
+def _build_display(config):
+    machine = Machine.with_overhaul(config)
+    apps = [
+        SimApp(
+            machine,
+            f"/usr/bin/winapp{i}",
+            comm=f"winapp{i}",
+            geometry=Geometry(60 * i, 60 * i, 200, 200),
+        )
+        for i in range(3)
+    ]
+    for i, app in enumerate(apps):
+        machine.xserver.draw(app.client, app.window.drawable_id, bytes([i + 1]) * 24)
+        app.pixmap = machine.xserver.create_pixmap(app.client)
+    machine.settle()
+    return machine, apps
+
+
+def _apply_display(machine, apps, script):
+    """Run *script*; return the observable display transcript."""
+    xserver = machine.xserver
+    transcript = []
+    for step in script:
+        action = step[0]
+        app = apps[step[1] % len(apps)]
+        if action == "click":
+            app.click()
+        elif action == "draw":
+            xserver.draw(app.client, app.window.drawable_id, bytes([step[2]]) * 24)
+        elif action == "map":
+            xserver.map_window(app.client, app.window.drawable_id)
+        elif action == "unmap":
+            xserver.unmap_window(app.client, app.window.drawable_id)
+        elif action == "raise":
+            xserver.raise_window(app.client, app.window.drawable_id)
+        elif action == "capture":
+            via = _CAPTURE_VIAS[step[2]]
+            try:
+                transcript.append(("capture", via, app.capture_screen(via=via)))
+            except BadAccess as exc:
+                transcript.append(("capture-denied", via, str(exc)))
+        elif action == "capture_win":
+            other = apps[step[2] % len(apps)]
+            try:
+                transcript.append(("capture-win", app.capture_window(other.window)))
+            except BadAccess as exc:
+                transcript.append(("capture-win-denied", str(exc)))
+        elif action in ("copy_area", "copy_plane"):
+            src_sel = step[2]
+            if src_sel == 0:
+                src_id = xserver.root_window.drawable_id
+            else:
+                src_id = apps[(src_sel - 1) % len(apps)].window.drawable_id
+            request = xserver.copy_area if action == "copy_area" else xserver.copy_plane
+            try:
+                request(app.client, src_id, app.pixmap.drawable_id)
+                transcript.append((action, bytes(app.pixmap.content)))
+            except BadAccess as exc:
+                transcript.append((action + "-denied", str(exc)))
+        elif action == "copy":
+            try:
+                app.copy_text(bytes([step[2]]) * 12)
+                transcript.append(("copy", "ok"))
+            except BadAccess as exc:
+                transcript.append(("copy-denied", str(exc)))
+        elif action == "paste":
+            try:
+                transcript.append(("paste", app.paste_text()))
+            except BadAccess as exc:
+                transcript.append(("paste-denied", str(exc)))
+        elif action == "sendevent":
+            other = apps[step[2] % len(apps)]
+            try:
+                xserver.send_event(
+                    app.client,
+                    other.window.drawable_id,
+                    EventKind.SELECTION_NOTIFY,
+                    payload={"selection": CLIPBOARD, "property": SELECTION_PROPERTY},
+                )
+                transcript.append(("sendevent", "ok"))
+            except BadAccess as exc:
+                transcript.append(("sendevent-denied", str(exc)))
+        elif action == "prop":
+            other = apps[step[2] % len(apps)]
+            xserver.change_property(
+                app.client,
+                other.window.drawable_id,
+                SELECTION_PROPERTY,
+                bytes([step[3]]) * 8,
+            )
+        elif action == "prop_del":
+            other = apps[step[2] % len(apps)]
+            try:
+                data = xserver.get_property(
+                    app.client, other.window.drawable_id, SELECTION_PROPERTY, delete=True
+                )
+                transcript.append(("prop-del", data))
+            except BadAccess as exc:
+                transcript.append(("prop-del-denied", str(exc)))
+        elif action == "subscribe":
+            other = apps[step[2] % len(apps)]
+            xserver.subscribe_property_events(app.client, other.window.drawable_id)
+        elif action == "alert":
+            k = step[1] % 4
+            xserver.display_alert(f"alert {k}", f"op{k}", pid=9000 + k, comm=f"daemon{k}")
+        elif action == "advance":
+            machine.run_for(step[1])
+    return transcript
+
+
+def _display_observable_state(machine, apps):
+    xserver = machine.xserver
+    monitor = machine.monitor
+    extension = machine.overhaul.extension
+    return {
+        "decisions": list(monitor.decisions),
+        "audit": list(machine.kernel.audit),
+        "audit_total": machine.kernel.audit.total_recorded,
+        "queries_answered": monitor.queries_answered,
+        "grant_count": monitor.grant_count,
+        "deny_count": monitor.deny_count,
+        "queries_sent": extension.queries_sent,
+        "alerts_displayed": extension.alerts_displayed,
+        "notifications_sent": extension.notifications_sent,
+        "requests_processed": xserver.requests_processed,
+        "captures_served": xserver.screen_captures_served,
+        "captures_denied": xserver.screen_captures_denied,
+        "sendevent_blocked": xserver.sendevent_blocked,
+        "property_snoops_blocked": xserver.property_snoops_blocked,
+        "copy_requests": dict(xserver.copy_requests),
+        "completed_transfers": xserver.selections.completed_transfers,
+        "failed_transfers": xserver.selections.failed_transfers,
+        "overlay_shown": xserver.overlay.total_shown,
+        "overlay_coalesced": xserver.overlay.total_coalesced,
+        "events_received": [app.client.events_received for app in apps],
+        "pasted": [list(app.pasted) for app in apps],
+        "window_properties": [dict(app.window.properties) for app in apps],
+        "screen": xserver.compose_screen(),
+    }
+
+
+@given(script=display_steps)
+@settings(max_examples=50, deadline=None)
+def test_display_fast_paths_are_byte_identical(script):
+    fast_machine, fast_apps = _build_display(paper_config())
+    ref_machine, ref_apps = _build_display(reference_config())
+
+    # Sanity: the toggle actually selected different code paths.
+    assert fast_machine.xserver._fast_display_active()
+    assert not ref_machine.xserver._fast_display_active()
+    assert not ref_machine.xserver.overlay.fast_banner_cache
+
+    fast_transcript = _apply_display(fast_machine, fast_apps, script)
+    ref_transcript = _apply_display(ref_machine, ref_apps, script)
+
+    assert fast_transcript == ref_transcript
+    assert _display_observable_state(fast_machine, fast_apps) == _display_observable_state(
+        ref_machine, ref_apps
+    )
+
+
+@given(script=display_steps)
+@settings(max_examples=25, deadline=None)
+def test_tracing_forces_the_reference_display_path(script):
+    """A fast-configured machine with the tracer on must match the
+    reference machine: tracing disables every display fast path at call
+    time (composition cache, snapshot handoff, banner cache, transfer
+    reuse), so the span tree always describes the reference protocol."""
+    traced_machine, traced_apps = _build_display(paper_config())
+    traced_machine.tracer.enabled = True
+    ref_machine, ref_apps = _build_display(reference_config())
+
+    assert not traced_machine.xserver._fast_display_active()
+
+    traced_transcript = _apply_display(traced_machine, traced_apps, script)
+    ref_transcript = _apply_display(ref_machine, ref_apps, script)
+
+    assert traced_transcript == ref_transcript
+    assert _display_observable_state(traced_machine, traced_apps) == _display_observable_state(
+        ref_machine, ref_apps
+    )
+    # The fast machine must not have used any cache while traced.
+    assert traced_machine.xserver.compose_cache_hits == 0
+    assert traced_machine.xserver.selections.transfer_reuses == 0
