@@ -74,10 +74,13 @@ def _rig_factories() -> Dict[str, Callable[[], object]]:
         "shared_memory": lambda: (SharedMemoryRig(True), 8_000),
         "mediated_decision_path": lambda: (DecisionPathRig(True), 5_000),
         # Display pipeline: warm composition over an unchanged 16-window
-        # stack (the cache-hit path) and the same stack with one window
-        # redrawn before every capture (the recomposition path).
+        # stack (the cache-hit path), the same stack with one window
+        # redrawn before every capture (the recomposition path), and a
+        # 128-window stack with a single dirty region per composition
+        # (the incremental damage-rect patch path).
         "compose": lambda: (ComposeRig(True, windows=16), 2_000),
         "compose_damaged": lambda: (ComposeRig(True, windows=16, damaged=True), 400),
+        "compose_partial": lambda: (ComposeRig(True, windows=128, partial=True), 10_000),
     }
 
 

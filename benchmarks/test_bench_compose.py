@@ -10,14 +10,22 @@ trade at three stack sizes:
 - **warm**: repeated captures over an unchanged stack.  On the fast path
   every capture after the first hits the composition cache; throughput
   should be flat in the window count.
-- **damaged**: one window is redrawn before every capture, so every
-  composition is a miss.  This bounds the bookkeeping the damage tracking
-  adds on top of the unavoidable recomposition.
+- **damaged**: one window is fully redrawn before every capture, so every
+  composition must fold that window's new bytes into the frame.  Under
+  the damage-rect pipeline this is an incremental patch of the cached
+  frame, not a full recomposition -- the assertions pin exactly that.
+- **partial**: one window takes a *region* draw before every composition
+  over a 128-window stack, exercising the single-dirty-band fast path.
+  ``test_compose_partial_speedup`` additionally races the incremental
+  path against the full-recompose fallback on the same workload and
+  requires a >=5x win with byte-identical output.
 
 Counter assertions pin the mechanism: a round that got fast by serving
 stale frames (or by not caching at all) fails the test rather than
 polluting the numbers.
 """
+
+import time
 
 import pytest
 
@@ -26,6 +34,7 @@ from repro.analysis.benchops import ComposeRig
 #: Captures per timed round.
 COMPOSE_OPS = 1_000
 DAMAGED_OPS = 200
+PARTIAL_OPS = 2_000
 
 #: Stack sizes: a lone window, the baseline.py default, and a desktop's
 #: worth -- enough spread to expose O(windows) behaviour in the warm mode.
@@ -56,14 +65,91 @@ def test_compose_warm(benchmark, protected, window_count):
 
 @pytest.mark.benchmark(group="display-compose-damaged")
 def test_compose_damaged(benchmark, protected, window_count):
-    """One window redrawn before every capture: the recomposition path."""
+    """One window redrawn before every capture: the damage-refresh path."""
     rig = ComposeRig(protected, windows=window_count, damaged=True)
     benchmark.pedantic(rig.run, args=(DAMAGED_OPS,), rounds=5, warmup_rounds=1)
     xserver = rig.machine.xserver
     benchmark.extra_info["windows"] = window_count
     benchmark.extra_info["compose_cache_hits"] = xserver.compose_cache_hits
     benchmark.extra_info["compose_cache_misses"] = xserver.compose_cache_misses
-    # Every damaged capture must recompose -- a hit here would mean a
-    # stale frame was served after a draw.
-    assert xserver.compose_cache_misses >= DAMAGED_OPS
+    benchmark.extra_info["compose_partial_hits"] = xserver.compose_partial_hits
+    # Every damaged capture must fold the redraw into the frame: none may
+    # be a clean cache hit (that would be a stale frame served after a
+    # draw), and under the damage-rect pipeline each one is an in-place
+    # patch of the cached frame, not a full recomposition miss.
     assert xserver.compose_cache_hits == 0
+    assert xserver.compose_partial_hits >= DAMAGED_OPS - 1
+    assert xserver.compose_cache_misses <= 1
+
+
+@pytest.mark.benchmark(group="display-compose-partial")
+def test_compose_partial(benchmark, protected):
+    """One dirty region over a 128-window stack: the incremental path."""
+    rig = ComposeRig(protected, windows=128, partial=True)
+    benchmark.pedantic(rig.run, args=(PARTIAL_OPS,), rounds=5, warmup_rounds=1)
+    xserver = rig.machine.xserver
+    benchmark.extra_info["windows"] = 128
+    benchmark.extra_info["compose_cache_hits"] = xserver.compose_cache_hits
+    benchmark.extra_info["compose_cache_misses"] = xserver.compose_cache_misses
+    benchmark.extra_info["compose_partial_hits"] = xserver.compose_partial_hits
+    # Every composition after the first patches the cached frame in place.
+    assert xserver.compose_partial_hits >= PARTIAL_OPS - 1
+    assert xserver.compose_cache_misses <= 1
+    assert xserver.compose_cache_hits == 0
+
+
+def test_compose_partial_speedup(protected):
+    """The incremental path beats full recomposition >=5x, byte for byte.
+
+    Not a pytest-benchmark case: this is the acceptance gate for the
+    damage-rect pipeline, so it must run (and fail loudly) even under
+    ``--benchmark-disable``.  Two identically built 128-window rigs run
+    the same single-dirty-region workload; one composes incrementally,
+    the other through the full-recompose fallback
+    (``incremental_compose = False``).  Their frames must stay
+    byte-identical, and the incremental rounds must be at least 5x
+    faster (measured best-of to shrug off scheduler noise; the gap is
+    ~7x on a quiet machine).
+    """
+    fast = ComposeRig(protected, windows=128, partial=True)
+    reference = ComposeRig(protected, windows=128, partial=True)
+    reference.machine.xserver.incremental_compose = False
+
+    # Correctness first: identical draw sequences produce identical
+    # frames on both paths, composition by composition.
+    payloads = ComposeRig._RECT_PAYLOADS
+    for i in range(32):
+        for rig in (fast, reference):
+            rig.painters[0].window.draw_rect(16, 0, 32, 1, payloads[i & 1])
+        assert (
+            fast.machine.xserver.compose_screen()
+            == reference.machine.xserver.compose_screen()
+        )
+
+    # Then the race: interleaved best-of rounds on the same workload.
+    ops = 1_500
+    fast.run(ops)  # warmup both rigs
+    reference.run(ops)
+    best_fast = best_reference = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        fast.run(ops)
+        best_fast = min(best_fast, time.perf_counter() - start)
+        start = time.perf_counter()
+        reference.run(ops)
+        best_reference = min(best_reference, time.perf_counter() - start)
+
+    # The mechanism pins: the fast rig patched, the reference recomposed.
+    fast_x = fast.machine.xserver
+    reference_x = reference.machine.xserver
+    assert fast_x.compose_partial_hits >= 6 * ops + 31
+    assert fast_x.compose_cache_misses <= 1
+    assert reference_x.compose_partial_hits == 0
+    assert reference_x.compose_cache_misses >= 6 * ops + 32
+
+    speedup = best_reference / best_fast
+    assert speedup >= 5.0, (
+        f"incremental compose only {speedup:.2f}x faster than full "
+        f"recompose ({best_fast * 1e6 / ops:.2f} vs "
+        f"{best_reference * 1e6 / ops:.2f} us/op)"
+    )

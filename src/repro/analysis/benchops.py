@@ -254,12 +254,20 @@ class ComposeRig:
     - **warm** (``damaged=False``): the stack never changes between
       captures, so on the fast path every composition after the first is a
       cache hit -- throughput measures the O(1) unchanged-screen path;
-    - **damaged** (``damaged=True``): one window is redrawn before every
-      capture, so every composition is a miss -- throughput measures the
-      full recomposition walk plus the invalidation bookkeeping.
+    - **damaged** (``damaged=True``): one window is redrawn in full before
+      every capture, so every composition must refresh that window --
+      throughput measures the damage-driven recomposition path plus the
+      invalidation bookkeeping;
+    - **partial** (``partial=True``): one window takes a *region* draw
+      (``draw_rect``) before every composition, so the incremental path
+      patches a single band of the cached frame in place.  The stack uses
+      small windows so the measured cost is the patch machinery, not byte
+      shoveling.  Set ``incremental_compose = False`` on the rig's X server
+      to measure the same workload through the full-recompose fallback --
+      the gap is what damage rectangles buy.
 
-    The gap between the two modes is the benefit the cache buys; the
-    damaged mode bounds the bookkeeping cost it adds.
+    The gap between the modes is the benefit the cache buys; the damaged
+    and partial modes bound the bookkeeping cost it adds.
     """
 
     name = "Compose"
@@ -269,26 +277,50 @@ class ComposeRig:
     #: mode measures recomposition, not bytes construction.
     _PAYLOADS = (b"\x01" * 1024, b"\x02" * 1024)
 
+    #: Alternating region payloads for the partial mode (one 32-byte band).
+    _RECT_PAYLOADS = (b"\x01" * 32, b"\x02" * 32)
+
     def __init__(
         self,
         protected: bool,
         config: Optional[OverhaulConfig] = None,
         windows: int = 16,
         damaged: bool = False,
+        partial: bool = False,
     ) -> None:
+        from repro.xserver.window import Geometry
+
         self.machine = _build_machine(protected, config)
         self.app = SimApp(self.machine, "/usr/bin/composebench", comm="composebench")
         self.painters = []
+        # The partial mode keeps windows small (64x4) so a round measures
+        # the incremental patch path itself rather than memcpy throughput
+        # over megabytes of unchanged neighbours.
+        shape = Geometry(0, 0, 64, 4) if partial else None
+        content = 64 if partial else 1024
         for index in range(windows):
             painter = SimApp(
-                self.machine, f"/usr/bin/cpaint{index}", comm=f"cpaint{index}"
+                self.machine, f"/usr/bin/cpaint{index}", comm=f"cpaint{index}",
+                geometry=shape,
             )
-            painter.paint(bytes([index % 255 + 1]) * 1024)
+            painter.paint(bytes([index % 255 + 1]) * content)
             self.painters.append(painter)
         self.machine.settle()
         self.damaged = damaged
+        self.partial = partial
 
     def run(self, n: int) -> None:
+        if self.partial:
+            # Compose directly: the capture request path (ownership checks,
+            # permission gate, reply plumbing) is measured by the capture
+            # rigs; this mode isolates composition itself.
+            draw_rect = self.painters[0].window.draw_rect
+            compose = self.machine.xserver.compose_screen
+            payloads = self._RECT_PAYLOADS
+            for i in range(n):
+                draw_rect(16, 0, 32, 1, payloads[i & 1])
+                compose()
+            return
         capture = self.app.capture_screen
         if not self.damaged:
             for _ in range(n):

@@ -17,6 +17,7 @@ into the X server by :class:`repro.core.system.OverhaulSystem`.  It provides:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -34,6 +35,10 @@ from repro.xserver.client import XClient
 from repro.xserver.events import EventKind, XEvent
 from repro.xserver.server import XServer
 from repro.xserver.window import Window
+
+
+#: Query-payload pool bound (LRU-evicted).
+_QUERY_POOL_LIMIT = 1024
 
 
 @dataclass(frozen=True)
@@ -77,8 +82,11 @@ class DisplayManagerExtension:
         #: Fast-display payload pool: Q_{A,t} datagrams keyed by
         #: (client, operation), refreshed with the current timestamp.  The
         #: kernel-side fast handler reads the payload without retaining it,
-        #: so reuse is invisible to everything but the allocator.
-        self._query_payloads: dict = {}
+        #: so reuse is invisible to everything but the allocator.  Bounded
+        #: by LRU eviction -- a machine cycling through many clients keeps
+        #: its active ones pooled instead of freezing the pool at the
+        #: first 1024 keys.
+        self._query_payloads: "OrderedDict[tuple, dict]" = OrderedDict()
 
     # -- trusted input path ---------------------------------------------------
 
@@ -210,10 +218,12 @@ class DisplayManagerExtension:
             payload = pool.get(key)
             if payload is None:
                 payload = {"pid": client.pid, "operation": operation, "timestamp": now}
-                if len(pool) < 1024:
-                    pool[key] = payload
+                pool[key] = payload
+                if len(pool) > _QUERY_POOL_LIMIT:
+                    pool.popitem(last=False)
             else:
                 payload["timestamp"] = now
+                pool.move_to_end(key)
         else:
             payload = {"pid": client.pid, "operation": operation, "timestamp": now}
         try:

@@ -21,7 +21,7 @@ invalidation without subscribing to individual tasks.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.kernel.errors import InvalidArgument, OperationNotPermitted
 from repro.kernel.task import Task
@@ -38,6 +38,11 @@ class PtraceSubsystem:
         self._protection_enabled = protection_enabled
         self.attach_log: List[Tuple[int, int]] = []  # (tracer_pid, tracee_pid)
         self.denied_attaches: List[Tuple[int, int]] = []
+        #: Live trace links, tracee pid -> tracee Task.  ``Task.tracees``
+        #: stays a plain pid set (procfs renders it); this index is what
+        #: lets a dying *tracer* reach its tracee objects to sever their
+        #: ``traced_by`` links.
+        self._traced: Dict[int, Task] = {}
 
     @property
     def protection_enabled(self) -> bool:
@@ -79,6 +84,7 @@ class PtraceSubsystem:
                 )
         tracee.traced_by = tracer
         tracer.tracees.add(tracee.pid)
+        self._traced[tracee.pid] = tracee
         self.version += 1
         self.attach_log.append((tracer.pid, tracee.pid))
 
@@ -90,6 +96,7 @@ class PtraceSubsystem:
             )
         tracee.traced_by = None
         tracer.tracees.discard(tracee.pid)
+        self._traced.pop(tracee.pid, None)
         self.version += 1
 
     def permissions_disabled(self, task: Task) -> bool:
@@ -101,8 +108,27 @@ class PtraceSubsystem:
         return self._protection_enabled and task.is_traced
 
     def on_task_exit(self, task: Task) -> None:
-        """Cleanup hook: sever trace relationships of an exiting task."""
+        """Cleanup hook: sever trace relationships of an exiting task.
+
+        Both directions matter.  A dying *tracee* leaves its tracer's
+        ``tracees`` set.  A dying *tracer* detaches every tracee it holds
+        -- exactly what Linux does on tracer exit -- because a stale
+        ``traced_by`` link would keep ``permissions_disabled`` (and any
+        verdict cached under the current :attr:`version`) denying a task
+        nobody is debugging anymore.
+        """
+        changed = False
         if task.traced_by is not None:
             task.traced_by.tracees.discard(task.pid)
             task.traced_by = None
+            self._traced.pop(task.pid, None)
+            changed = True
+        if task.tracees:
+            for pid in sorted(task.tracees):
+                tracee = self._traced.pop(pid, None)
+                if tracee is not None and tracee.traced_by is task:
+                    tracee.traced_by = None
+                    changed = True
+            task.tracees.clear()
+        if changed:
             self.version += 1

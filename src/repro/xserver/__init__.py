@@ -44,7 +44,7 @@ from repro.xserver.selection import (
     TransferState,
 )
 from repro.xserver.server import OverhaulXExtension, XServer
-from repro.xserver.window import Drawable, Geometry, Pixmap, StackingOrder, Window
+from repro.xserver.window import Drawable, Geometry, Pixmap, Rect, StackingOrder, Window
 
 __all__ = [
     "Alert",
@@ -72,6 +72,7 @@ __all__ = [
     "PRIMARY",
     "PendingTransfer",
     "Pixmap",
+    "Rect",
     "Selection",
     "SelectionSubsystem",
     "StackingOrder",

@@ -79,6 +79,14 @@ class OverlayManager:
         #: composition cache.  Byte-identical to the uncached render.
         self.fast_banner_cache = True
         self._banner_cache: Optional[tuple] = None  # (gen, from, until, bytes)
+        #: Band epoch: bumped exactly when the rendered alert band differs
+        #: from the previously returned one (appearance, expiry, or a
+        #: changed alert set).  The banner composes as its *own region* of
+        #: the screen: the server's incremental compose compares this epoch
+        #: to decide whether the band needs re-splicing, independent of
+        #: window damage.
+        self.band_epoch = 0
+        self._last_band: bytes = b""
 
     def show_alert(
         self,
@@ -163,14 +171,20 @@ class OverlayManager:
                 and cached[0] == self.generation
                 and cached[1] <= now < cached[2]
             ):
+                # Provably unchanged interval: the band epoch cannot have
+                # moved, so skip the comparison entirely.
                 return cached[3]
             banner = self._render_banner(now)
             valid_until = min(
                 (alert.expires_at for alert in self._active), default=_FAR_FUTURE
             )
             self._banner_cache = (self.generation, now, valid_until, banner)
-            return banner
-        return self._render_banner(now)
+        else:
+            banner = self._render_banner(now)
+        if banner != self._last_band:
+            self._last_band = banner
+            self.band_epoch += 1
+        return banner
 
     def _render_banner(self, now: Timestamp) -> bytes:
         """The uncached reference render of the alert band."""

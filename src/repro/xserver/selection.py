@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -43,7 +44,10 @@ from repro.sim.time import Timestamp
 CLIPBOARD = "CLIPBOARD"
 PRIMARY = "PRIMARY"
 
-#: Retired-transfer pool bound (distinct repeat keys kept for reuse).
+#: Retired-transfer pool bound.  Eviction is LRU (least-recently completed
+#: or reused), never a wholesale clear, so fleet-scale workloads cycling
+#: through more than this many distinct clipboard pairs keep their hot
+#: working set poolable.
 _REUSE_POOL_LIMIT = 1024
 
 
@@ -151,8 +155,9 @@ class SelectionSubsystem:
         self._transfers: List[PendingTransfer] = []
         #: (requestor_window_id, property_name) -> in-flight transfers.
         self._in_flight: Dict[Tuple[int, str], List[PendingTransfer]] = {}
-        #: Retired transfers poolable for an identical repeat round trip.
-        self._retired: Dict[tuple, PendingTransfer] = {}
+        #: Retired transfers poolable for an identical repeat round trip,
+        #: in least-recently-used order (oldest first).
+        self._retired: "OrderedDict[tuple, PendingTransfer]" = OrderedDict()
         self.completed_transfers = 0
         self.failed_transfers = 0
         #: Diagnostics: round trips served from the reuse pool (not part of
@@ -312,9 +317,13 @@ class SelectionSubsystem:
         except ValueError:
             pass
         retired = self._retired
-        if len(retired) >= _REUSE_POOL_LIMIT:
-            retired.clear()
-        retired[transfer._reuse_key()] = transfer
+        key = transfer._reuse_key()
+        # Re-inserting an existing key must move it to the MRU end, so
+        # pop-then-set; overflow evicts the least-recently-used entry.
+        retired.pop(key, None)
+        retired[key] = transfer
+        if len(retired) > _REUSE_POOL_LIMIT:
+            retired.popitem(last=False)
 
     def fail(self, transfer: PendingTransfer) -> None:
         self._unguard(transfer)
@@ -350,6 +359,9 @@ class SelectionSubsystem:
 
     def _retire(self, transfer: PendingTransfer) -> None:
         """Park a completed transfer for potential repeat-round reuse."""
-        if len(self._retired) >= _REUSE_POOL_LIMIT:
-            self._retired.clear()
-        self._retired[transfer._reuse_key()] = transfer
+        retired = self._retired
+        key = transfer._reuse_key()
+        retired.pop(key, None)
+        retired[key] = transfer
+        if len(retired) > _REUSE_POOL_LIMIT:
+            retired.popitem(last=False)

@@ -23,6 +23,7 @@ The baseline configurations in Table I and the unprotected machine of the
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional, Protocol, Set
 
 from repro.obs.tracer import Tracer
@@ -47,7 +48,58 @@ from repro.xserver.selection import (
 
 #: Request labels for the two copy requests sharing one implementation.
 _COPY_LABELS = {"copy-area": "CopyArea", "copy-plane": "CopyPlane"}
-from repro.xserver.window import Drawable, Geometry, Pixmap, StackingOrder, Window
+from repro.xserver.window import Drawable, Geometry, Pixmap, Rect, StackingOrder, Window
+
+#: PROPERTY_NOTIFY payload-pool bound (LRU-evicted, not cleared wholesale).
+_PROP_NOTIFY_POOL_LIMIT = 256
+
+
+class _ComposeCache:
+    """One composed frame plus the structure needed to patch it in place.
+
+    ``parts`` are the per-window content snapshots bottom-to-top,
+    ``offsets`` their byte positions inside ``body``, and ``index`` maps
+    drawable id -> part position, so a dirty band found in the damage
+    journal resolves to a byte range in O(1).  ``body`` is the window
+    portion of the frame; ``image`` is ``body`` plus the overlay banner,
+    which composes as its own region keyed by the overlay band epoch.
+    ``render_key`` is carried for the non-incremental fallback, which
+    keys the whole frame exactly as PR-4 did.
+    """
+
+    __slots__ = (
+        "generation",
+        "parts",
+        "offsets",
+        "index",
+        "render_key",
+        "body",
+        "banner",
+        "band_epoch",
+        "image",
+    )
+
+    def __init__(
+        self,
+        generation: int,
+        parts: list,
+        offsets: list,
+        index: dict,
+        render_key: tuple,
+        body: bytes,
+        banner: bytes,
+        band_epoch: int,
+        image: bytes,
+    ) -> None:
+        self.generation = generation
+        self.parts = parts
+        self.offsets = offsets
+        self.index = index
+        self.render_key = render_key
+        self.body = body
+        self.banner = banner
+        self.band_epoch = band_epoch
+        self.image = image
 
 
 class OverhaulXExtension(Protocol):
@@ -128,21 +180,48 @@ class XServer:
         self.property_snoops_blocked = 0
         #: Per-request-type copy counters (CopyPlane is not CopyArea).
         self.copy_requests = {"copy-area": 0, "copy-plane": 0}
-        #: Fast-path PROPERTY_NOTIFY payload pool, keyed (name, deleted).
-        self._prop_notify_payloads: Dict[tuple, dict] = {}
+        #: Fast-path PROPERTY_NOTIFY payload pool, keyed (name, deleted);
+        #: LRU-bounded so a long tail of distinct properties cannot evict
+        #: the hot pairs wholesale.
+        self._prop_notify_payloads: "OrderedDict[tuple, dict]" = OrderedDict()
 
         # -- damage-tracked display pipeline (see docs/performance.md) -----
         #: Hot-path switch mirroring ``OverhaulConfig.fast_display``; the
         #: fast path additionally disables itself while tracing is on or a
         #: prompt band is installed (those need the reference path).
         self.fast_display = True
-        #: One composed frame memoized against (stacking generation,
-        #: per-window render generations, banner bytes).
-        self._compose_cache: Optional[tuple] = None
+        #: Incremental-composition switch: with it on (the default), a
+        #: cached frame whose stacking order is unchanged is *patched* in
+        #: place from the damage journal; with it off the fast path keys
+        #: the whole frame on (generation, render_key, banner) and fully
+        #: recomposes on any damage -- the PR-4 behaviour, kept as the
+        #: measured fallback the `compose_partial` benchmark compares
+        #: against.
+        self.incremental_compose = True
+        #: One composed frame plus patch structure (`_ComposeCache`).
+        self._compose_cache: Optional[_ComposeCache] = None
+        #: Damage journal: drawables whose content or render state changed
+        #: since the last fast compose, keyed by drawable id.  Fed by the
+        #: per-drawable ``damage_sink`` hook, so direct draws that bypass
+        #: the request layer still land here.  Recording is unconditional
+        #: (reference machines pay one dict store) so the journal is
+        #: complete even across traced interludes.
+        self._damage_journal: Dict[int, Drawable] = {}
+        #: Stable bound-method identity for sink attachment checks.
+        self._damage_sink = self._record_damage
+        self.root_window.damage_sink = self._damage_sink
         #: Composition-cache effectiveness (diagnostics; not part of the
         #: equivalence contract -- the reference path never caches).
         self.compose_cache_hits = 0
         self.compose_cache_misses = 0
+        #: Partial recompositions: the cached frame was patched in place
+        #: (dirty bands and/or the banner region re-spliced) instead of
+        #: rebuilt.  Fast-path-only, like the hit/miss counters.
+        self.compose_partial_hits = 0
+        #: Damage rects merged during per-epoch coalescing.  Counted on
+        #: every path (the recording itself is unconditional), so fast and
+        #: reference machines agree -- the differential suite asserts it.
+        self.damage_rects_coalesced = 0
 
     # -- time -----------------------------------------------------------------
 
@@ -209,6 +288,7 @@ class XServer:
         self.requests_processed += 1
         window = Window(client.client_id, geometry, title)
         window.transparent = transparent
+        window.damage_sink = self._damage_sink
         self._windows[window.drawable_id] = window
         return window
 
@@ -216,6 +296,7 @@ class XServer:
         """CreatePixmap: an offscreen drawable owned by *client*."""
         self.requests_processed += 1
         pixmap = Pixmap(client.client_id)
+        pixmap.damage_sink = self._damage_sink
         self._pixmaps[pixmap.drawable_id] = pixmap
         return pixmap
 
@@ -281,6 +362,30 @@ class XServer:
         if drawable.owner_client_id != client.client_id:
             raise BadMatch(f"cannot draw on foreign drawable {drawable_id:#x}")
         drawable.draw(data)
+
+    def draw_rect(
+        self,
+        client: XClient,
+        drawable_id: int,
+        x: int,
+        y: int,
+        width: int,
+        height: int,
+        data: bytes,
+    ) -> Optional[Rect]:
+        """A region paint request (PolyFillRectangle-style partial redraw).
+
+        The rect is clipped to the drawable; zero-area or fully clipped
+        rects are no-ops.  Damage is recorded at rect granularity, so the
+        composition cache patches only this drawable's band instead of
+        rebuilding the frame.  Returns the clipped rect that was painted
+        (None when the request clipped to nothing).
+        """
+        self.requests_processed += 1
+        drawable = self._drawable(drawable_id)
+        if drawable.owner_client_id != client.client_id:
+            raise BadMatch(f"cannot draw on foreign drawable {drawable_id:#x}")
+        return drawable.draw_rect(x, y, width, height, data)
 
     def set_input_focus(self, client: XClient, window_id: int) -> None:
         """SetInputFocus: key events are routed to this window."""
@@ -765,15 +870,19 @@ class XServer:
                 # Fast path: PROPERTY_NOTIFY payloads are pure (name,
                 # deleted) pairs, so repeat notifications share one cached
                 # dict -- the zero-copy handoff contract SendEvent's fast
-                # path uses.
+                # path uses.  The pool evicts least-recently-used entries
+                # rather than clearing wholesale, so a long tail of
+                # distinct properties cannot flush the hot pairs.
                 cache = self._prop_notify_payloads
                 key = (property_name, deleted)
                 payload = cache.get(key)
                 if payload is None:
-                    if len(cache) >= 256:
-                        cache.clear()
                     payload = {"property": property_name, "deleted": deleted}
                     cache[key] = payload
+                    if len(cache) > _PROP_NOTIFY_POOL_LIMIT:
+                        cache.popitem(last=False)
+                else:
+                    cache.move_to_end(key)
             else:
                 payload = {"property": property_name, "deleted": deleted}
             subscriber.deliver(
@@ -788,32 +897,108 @@ class XServer:
 
     # -- display contents -------------------------------------------------------------
 
+    def _record_damage(self, drawable: Drawable, coalesced: int) -> None:
+        """The per-drawable damage sink: feeds the incremental journal.
+
+        Runs on *every* damage event regardless of fast-path state, so the
+        coalescing counter stays in parity between fast and reference
+        machines and the journal is complete when a traced interlude ends.
+        The journal is a dict keyed by drawable id, so it is bounded by
+        the number of live drawables, not the number of draws.
+        """
+        if coalesced:
+            self.damage_rects_coalesced += coalesced
+        self._damage_journal[drawable.drawable_id] = drawable
+
     def compose_screen(self) -> bytes:
         """The full display image: windows bottom-to-top, then the overlay.
 
-        Damage-tracked fast path: the composed frame is memoized against
-        (stacking generation, per-window render generations, banner
-        bytes).  Any draw, map, unmap, raise, property-backed change, or
-        banner transition (appearance *or* expiry) changes the key, so a
-        repeat capture of an unchanged screen is O(1) instead of
-        re-concatenating every mapped window's content.  The cached frame
-        is byte-identical to the reference composition by construction --
-        the parts and their order are a pure function of the key.
+        Damage-tracked fast path, now incremental: while the stacking
+        order is unchanged, the cached frame is **patched in place** from
+        the damage journal -- only the dirty bands (and the banner region,
+        which keys on its own overlay epoch) are re-spliced, so a partial
+        redraw costs O(dirty), not O(windows).  Structural changes (map,
+        unmap, raise, lower, disconnect) bump the stacking generation and
+        force a full recompose.  An untouched screen remains a pure O(1)
+        cache hit.  The patched frame is byte-identical to the reference
+        composition by construction: each band is the drawable's own
+        snapshot and the order never changes without a generation bump
+        (the differential suite asserts it).
         """
-        if self._fast_display_active():
+        # The fast gate is inlined (_fast_display_active) -- this is the
+        # hottest request in the server and the call shows in profiles.
+        if (
+            self.fast_display
+            and not self.tracer.enabled
+            and self.prompt_interceptor is None
+        ):
             stacking = self.stacking
-            banner = self.overlay.banner_bytes(self.now)
-            key = (stacking.generation, stacking.render_key())
-            cached = self._compose_cache
-            if cached is not None and cached[0] == key and cached[1] == banner:
-                self.compose_cache_hits += 1
-                return cached[2]
+            overlay = self.overlay
+            banner = overlay.banner_bytes(self._scheduler.now)
+            band_epoch = overlay.band_epoch
+            cache = self._compose_cache
+            if cache is not None and cache.generation == stacking.generation:
+                if self.incremental_compose:
+                    journal = self._damage_journal
+                    if journal:
+                        index = cache.index
+                        if len(journal) == 1:
+                            # Dominant shape: one drawable damaged.
+                            drawable = next(iter(journal.values()))
+                            journal.clear()
+                            if drawable.drawable_id in index:
+                                return self._patch_compose(
+                                    cache, (drawable,), banner, band_epoch
+                                )
+                        else:
+                            dirty = [
+                                d for d in journal.values() if d.drawable_id in index
+                            ]
+                            journal.clear()
+                            if dirty:
+                                return self._patch_compose(
+                                    cache, dirty, banner, band_epoch
+                                )
+                    if band_epoch == cache.band_epoch:
+                        self.compose_cache_hits += 1
+                        return cache.image
+                    return self._patch_compose(cache, (), banner, band_epoch)
+                if (
+                    cache.render_key == stacking.render_key()
+                    and cache.banner == banner
+                ):
+                    self.compose_cache_hits += 1
+                    return cache.image
             self.compose_cache_misses += 1
-            parts = [w.content_bytes() for w in self.stacking.bottom_to_top()]
-            if banner:
-                parts.append(banner)
-            image = b"".join(parts)
-            self._compose_cache = (key, banner, image)
+            self._damage_journal.clear()
+            sink = self._damage_sink
+            parts = []
+            offsets = []
+            index = {}
+            pos = 0
+            for window in stacking.bottom_to_top():
+                if window.damage_sink is not sink:
+                    # Defensive: windows constructed outside the request
+                    # layer (tests, rigs) join the journal on first compose.
+                    window.damage_sink = sink
+                part = window.content_bytes()
+                index[window.drawable_id] = len(parts)
+                offsets.append(pos)
+                parts.append(part)
+                pos += len(part)
+            body = b"".join(parts)
+            image = body + banner if banner else body
+            self._compose_cache = _ComposeCache(
+                stacking.generation,
+                parts,
+                offsets,
+                index,
+                stacking.render_key(),
+                body,
+                banner,
+                band_epoch,
+                image,
+            )
             return image
         parts = [bytes(w.content) for w in self.stacking.bottom_to_top()]
         banner = self.overlay.banner_bytes(self.now)
@@ -824,6 +1009,65 @@ class XServer:
             if prompt_banner:
                 parts.append(prompt_banner)
         return b"".join(parts)
+
+    def _patch_compose(
+        self, cache: _ComposeCache, dirty, banner: bytes, band_epoch: int
+    ) -> bytes:
+        """Patch the cached frame: re-splice dirty bands and the banner.
+
+        The dominant shape -- one dirty window -- splices its band into
+        the body with a single three-piece join over memoryviews (no
+        intermediate slice copies).  Multiple dirty bands rebuild the body
+        from the part list, which is still free of per-window snapshot
+        work for the clean windows.  A journal entry whose snapshot did
+        not actually change (render-state-only events like property
+        writes) costs nothing: the band keeps its bytes object and the
+        frame is reused as-is.
+        """
+        self.compose_partial_hits += 1
+        parts = cache.parts
+        offsets = cache.offsets
+        body = cache.body
+        changed = False
+        if len(dirty) == 1:
+            window = dirty[0]
+            i = cache.index[window.drawable_id]
+            old = parts[i]
+            new = window.content_bytes()
+            if new is not old:
+                start = offsets[i]
+                end = start + len(old)
+                view = memoryview(body)
+                body = b"".join((view[:start], new, view[end:]))
+                parts[i] = new
+                delta = len(new) - len(old)
+                if delta:
+                    for j in range(i + 1, len(offsets)):
+                        offsets[j] += delta
+                cache.body = body
+                changed = True
+        elif dirty:
+            for window in dirty:
+                i = cache.index[window.drawable_id]
+                new = window.content_bytes()
+                if new is not parts[i]:
+                    parts[i] = new
+                    changed = True
+            if changed:
+                body = b"".join(parts)
+                pos = 0
+                for i, part in enumerate(parts):
+                    offsets[i] = pos
+                    pos += len(part)
+                cache.body = body
+        if not changed and banner == cache.banner:
+            cache.band_epoch = band_epoch
+            return cache.image
+        image = body + banner if banner else body
+        cache.banner = banner
+        cache.band_epoch = band_epoch
+        cache.image = image
+        return image
 
     def get_image(self, client: XClient, drawable_id: int, via: str = "core") -> bytes:
         """GetImage / XShmGetImage (``via='mit-shm'``).

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.sim.time import NEVER, Timestamp
 from repro.xserver.errors import BadValue
@@ -43,17 +43,69 @@ class Geometry:
         return self.x <= x < self.x + self.width and self.y <= y < self.y + self.height
 
 
+class Rect(NamedTuple):
+    """A damage rectangle in drawable-local coordinates.
+
+    Rects are half-open (``[x, x+width) x [y, y+height)``) and always
+    non-empty once recorded -- zero-area input is rejected at clip time,
+    before it can reach the damage machinery.
+    """
+
+    x: int
+    y: int
+    width: int
+    height: int
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the two rects share at least one cell."""
+        return (
+            self.x < other.x + other.width
+            and other.x < self.x + self.width
+            and self.y < other.y + other.height
+            and other.y < self.y + self.height
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """The bounding rect of both."""
+        x = min(self.x, other.x)
+        y = min(self.y, other.y)
+        right = max(self.x + self.width, other.x + other.width)
+        bottom = max(self.y + self.height, other.y + other.height)
+        return Rect(x, y, right - x, bottom - y)
+
+    def span(self, stride: int) -> Tuple[int, int]:
+        """The half-open byte range this rect covers in row-major content.
+
+        ``stride`` is the drawable's row width in bytes (0 for linear
+        drawables, whose rects are single-row byte ranges).
+        """
+        lo = self.y * stride + self.x
+        return lo, (self.y + self.height - 1) * stride + self.x + self.width
+
+
+#: Pending rects per drawable before damage collapses to one bounding
+#: rect.  Keeps per-epoch coalescing O(small-constant) under draw storms.
+_MAX_PENDING_RECTS = 8
+
+#: Called with ``(drawable, rects_coalesced)`` on every damage event; the
+#: server installs its damage journal here.
+DamageSink = Callable[["Drawable", int], None]
+
 _drawable_ids = itertools.count(0x40_0000)
 
 
 class Drawable:
     """Anything with content bytes: a window or a pixmap.
 
-    Every drawable carries a **damage counter**: a generation number bumped
-    by any content mutation.  The damage counter is what makes the
+    Every drawable carries a **damage counter** (a generation number bumped
+    by any content mutation) plus the *pending damage rects* recorded since
+    the last snapshot refresh.  The counter is what makes the
     display-pipeline caches safe -- an immutable ``bytes`` snapshot of the
     content (:meth:`content_bytes`) and the server's composition cache are
     both keyed on it, so a stale frame can never be served after a paint.
+    The rects are what make them *cheap*: a region draw refreshes only the
+    dirty byte spans of the snapshot, and the server's incremental
+    composition patches only the dirty bands of the cached frame.
     """
 
     def __init__(self, owner_client_id: int) -> None:
@@ -62,13 +114,99 @@ class Drawable:
         self.content = bytearray()
         #: Content generation; bumped by every draw/append.
         self.damage = 0
+        #: Dirty rects recorded since the last snapshot refresh, coalesced
+        #: on overlap as they arrive.  Empty while ``_damage_full`` covers
+        #: everything.
+        self.damage_rects: List[Rect] = []
+        #: True when pending damage covers the whole content (full draws,
+        #: appends, anything that may have changed the content length).
+        self._damage_full = False
+        #: Damage-journal hook: the server installs a callback here so any
+        #: content mutation -- including direct draws that never pass
+        #: through a server request -- lands in its incremental-compose
+        #: journal.  Called with ``(drawable, rects_coalesced)``.
+        self.damage_sink: Optional[DamageSink] = None
         self._content_cache: Optional[bytes] = None
         self._content_cache_damage = -1
 
-    def mark_damaged(self) -> None:
-        """Record a content mutation (invalidates cached snapshots)."""
+    # -- damage geometry ----------------------------------------------------
+
+    def _bounds(self) -> Optional[Tuple[int, int]]:
+        """(width, height) clip bounds, or None for linear drawables."""
+        return None
+
+    def _stride(self) -> int:
+        """Row width in bytes for rect->byte-span mapping (0 = linear)."""
+        return 0
+
+    def _clip(self, x: int, y: int, width: int, height: int) -> Optional[Rect]:
+        """Clip a requested rect to the drawable; None when nothing is left.
+
+        Zero-area requests and rects entirely outside the bounds clip to
+        nothing and are complete no-ops for the caller.
+        """
+        if x < 0:
+            width += x
+            x = 0
+        if y < 0:
+            height += y
+            y = 0
+        bounds = self._bounds()
+        if bounds is not None:
+            width = min(width, bounds[0] - x)
+            height = min(height, bounds[1] - y)
+        else:
+            # Linear drawables (pixmaps) are a single unbounded row.
+            height = min(height, 1 - y)
+        if width <= 0 or height <= 0:
+            return None
+        return Rect(x, y, width, height)
+
+    def mark_damaged(self, rect: Optional[Rect] = None) -> None:
+        """Record a content mutation (invalidates cached snapshots).
+
+        With a rect, the damage is region-granular: the rect is coalesced
+        into the pending set (overlapping rects merge into their union)
+        and only those spans are refreshed at the next snapshot.  Without
+        one the damage covers the whole drawable.  Either way the damage
+        counter bumps and the :attr:`damage_sink` (the server's journal)
+        is notified.
+        """
+        coalesced = 0
+        if rect is None:
+            self._damage_full = True
+            if self.damage_rects:
+                self.damage_rects.clear()
+        elif not self._damage_full:
+            rects = self.damage_rects
+            merged = rect
+            if rects:
+                # Merge transitively: the union may overlap rects the
+                # original did not.
+                changed = True
+                while changed and rects:
+                    changed = False
+                    remaining = []
+                    for other in rects:
+                        if merged.overlaps(other):
+                            merged = merged.union(other)
+                            coalesced += 1
+                            changed = True
+                        else:
+                            remaining.append(other)
+                    rects = remaining
+            rects.append(merged)
+            if len(rects) > _MAX_PENDING_RECTS:
+                whole = rects[0]
+                for other in rects[1:]:
+                    whole = whole.union(other)
+                    coalesced += 1
+                rects = [whole]
+            self.damage_rects = rects
         self.damage += 1
-        self._content_cache = None
+        sink = self.damage_sink
+        if sink is not None:
+            sink(self, coalesced)
 
     def draw(self, data: bytes) -> None:
         """Replace the drawable's content (a paint operation)."""
@@ -80,19 +218,73 @@ class Drawable:
         self.content.extend(data)
         self.mark_damaged()
 
+    def draw_rect(
+        self, x: int, y: int, width: int, height: int, data: bytes
+    ) -> Optional[Rect]:
+        """Paint a region: write *data* into the rect's byte span.
+
+        The rect is clipped to the drawable bounds; zero-area or fully
+        clipped requests are complete no-ops (no damage, no content
+        change) and return None.  Content is row-major with the
+        drawable's stride; short windows are zero-extended so a rect draw
+        beyond the current content length is well defined.  Returns the
+        clipped rect that was recorded as damage.
+        """
+        rect = self._clip(x, y, width, height)
+        if rect is None:
+            return None
+        lo, hi = rect.span(self._stride())
+        if len(data) > hi - lo:
+            payload = bytes(data[: hi - lo])
+        elif type(data) is bytes:
+            payload = data
+        else:
+            payload = bytes(data)
+        content = self.content
+        end = lo + len(payload)
+        if len(content) < end:
+            content.extend(b"\x00" * (end - len(content)))
+        content[lo:end] = payload
+        self.mark_damaged(rect)
+        return rect
+
     def content_bytes(self) -> bytes:
         """An immutable snapshot of the content, cached per damage epoch.
 
         Repeat reads of an undamaged drawable return the *same* ``bytes``
         object -- the zero-copy handoff GetImage/CopyArea fast paths use.
-        The snapshot is immutable, so sharing it with clients is safe.
+        When the pending damage is region-granular, the refresh splices
+        only the dirty byte spans into the previous snapshot instead of
+        recopying the whole content.  The snapshot is immutable, so
+        sharing it with clients is safe.
         """
         cached = self._content_cache
-        if cached is None or self._content_cache_damage != self.damage:
-            cached = bytes(self.content)
-            self._content_cache = cached
-            self._content_cache_damage = self.damage
-        return cached
+        if cached is not None and self._content_cache_damage == self.damage:
+            return cached
+        content = self.content
+        rects = self.damage_rects
+        if (
+            cached is not None
+            and rects
+            and not self._damage_full
+            and len(cached) == len(content)
+        ):
+            stride = self._stride()
+            size = len(content)
+            for rect in rects:
+                lo, hi = rect.span(stride)
+                if lo >= size:
+                    continue
+                cached = cached[:lo] + content[lo:hi] + cached[hi:]
+            snapshot = cached
+        else:
+            snapshot = bytes(content)
+        if rects:
+            rects.clear()
+        self._damage_full = False
+        self._content_cache = snapshot
+        self._content_cache_damage = self.damage
+        return snapshot
 
 
 class Pixmap(Drawable):
@@ -131,14 +323,30 @@ class Window(Drawable):
         #: the classic clickjacking overlay trick.
         self.transparent = False
 
-    def mark_damaged(self) -> None:
-        super().mark_damaged()
+    def _bounds(self) -> Optional[Tuple[int, int]]:
+        return (self.geometry.width, self.geometry.height)
+
+    def _stride(self) -> int:
+        return self.geometry.width
+
+    def mark_damaged(self, rect: Optional[Rect] = None) -> None:
+        super().mark_damaged(rect)
         self.render_generation += 1
 
     def note_state_change(self) -> None:
         """A non-content event that still invalidates composed frames:
-        map/unmap/raise or a property-backed content change."""
+        map/unmap/raise or a property-backed content change.
+
+        The damage sink is notified (content is unchanged, so zero rects
+        coalesce) because the render generation moved without a stacking
+        change -- the incremental compose path discovers the window
+        through its journal, re-reads the unchanged band, and leaves the
+        frame bytes intact.
+        """
         self.render_generation += 1
+        sink = self.damage_sink
+        if sink is not None:
+            sink(self, 0)
 
     def visible_duration(self, now: Timestamp) -> Timestamp:
         """How long the window has been continuously visible."""

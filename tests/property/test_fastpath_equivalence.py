@@ -204,6 +204,13 @@ display_steps = st.lists(
     st.one_of(
         st.tuples(st.just("click"), st.integers(0, 2)),
         st.tuples(st.just("draw"), st.integers(0, 2), st.integers(0, 255)),
+        # Region draws on 200x200 windows: coordinates range past the
+        # bounds and sizes include zero, so clipping, no-op rejection, and
+        # coalescing all get exercised.
+        st.tuples(st.just("draw_rect"), st.integers(0, 2),
+                  st.integers(0, 220), st.integers(0, 220),
+                  st.integers(0, 40), st.integers(0, 40),
+                  st.integers(0, 255)),
         st.tuples(st.just("map"), st.integers(0, 2)),
         st.tuples(st.just("unmap"), st.integers(0, 2)),
         st.tuples(st.just("raise"), st.integers(0, 2)),
@@ -256,6 +263,14 @@ def _apply_display(machine, apps, script):
             app.click()
         elif action == "draw":
             xserver.draw(app.client, app.window.drawable_id, bytes([step[2]]) * 24)
+        elif action == "draw_rect":
+            rect = xserver.draw_rect(
+                app.client, app.window.drawable_id,
+                step[2], step[3], step[4], step[5], bytes([step[6]]) * 16,
+            )
+            # Clipped rects are machine-independent coordinates, so the
+            # transcript can compare them directly (None for no-ops).
+            transcript.append(("draw-rect", rect))
         elif action == "map":
             xserver.map_window(app.client, app.window.drawable_id)
         elif action == "unmap":
@@ -361,6 +376,9 @@ def _display_observable_state(machine, apps):
         "failed_transfers": xserver.selections.failed_transfers,
         "overlay_shown": xserver.overlay.total_shown,
         "overlay_coalesced": xserver.overlay.total_coalesced,
+        # Rect coalescing happens at damage-record time, before any
+        # fast-path gate, so fast and reference machines must agree.
+        "damage_rects_coalesced": xserver.damage_rects_coalesced,
         "events_received": [app.client.events_received for app in apps],
         "pasted": [list(app.pasted) for app in apps],
         "window_properties": [dict(app.window.properties) for app in apps],
@@ -410,4 +428,5 @@ def test_tracing_forces_the_reference_display_path(script):
     )
     # The fast machine must not have used any cache while traced.
     assert traced_machine.xserver.compose_cache_hits == 0
+    assert traced_machine.xserver.compose_partial_hits == 0
     assert traced_machine.xserver.selections.transfer_reuses == 0

@@ -221,6 +221,27 @@ class TestDecisionCache:
         kernel.ptrace.detach(debugger, task)
         assert self._query(machine, task)["granted"] is True
 
+    def test_tracer_death_invalidates_cached_denial(self):
+        """Regression: a dead tracer's revocation must not outlive it.
+
+        Before the tracer-exit fix, a dying tracer left its tracees with a
+        stale ``traced_by`` link and never bumped ``ptrace.version`` -- so
+        the task stayed "traced" and the cached denial stayed valid
+        forever.  Both must flip the instant the tracer exits.
+        """
+        machine = self._machine()
+        kernel = machine.kernel
+        task, _ = machine.launch("/usr/bin/app", comm="app")
+        debugger = kernel.sys_spawn(kernel.process_table.init, "/usr/bin/gdb",
+                                    comm="gdb", creds=ROOT)
+        self._notify(machine, task)
+        kernel.ptrace.attach(debugger, task)
+        assert self._query(machine, task)["granted"] is False
+        assert self._query(machine, task)["granted"] is False  # cached denial
+        kernel.sys_exit(debugger)
+        assert not task.is_traced
+        assert self._query(machine, task)["granted"] is True
+
     def test_protection_toggle_invalidates(self):
         machine = self._machine()
         kernel = machine.kernel

@@ -89,6 +89,55 @@ class TestAttachRules:
         assert child.pid not in parent.tracees
 
 
+class TestTracerExit:
+    """A dying *tracer* must detach its tracees (the reverse of tracee
+    exit, which was always handled)."""
+
+    def test_tracer_exit_severs_all_tracee_links(self, kernel):
+        parent = spawn(kernel)
+        first = kernel.sys_fork(parent)
+        second = kernel.sys_fork(parent)
+        kernel.ptrace.attach(parent, first)
+        kernel.ptrace.attach(parent, second)
+        kernel.sys_exit(parent)
+        assert first.traced_by is None and not first.is_traced
+        assert second.traced_by is None and not second.is_traced
+        assert not parent.tracees
+
+    def test_tracer_exit_bumps_version(self, kernel):
+        parent = spawn(kernel)
+        child = kernel.sys_fork(parent)
+        kernel.ptrace.attach(parent, child)
+        version = kernel.ptrace.version
+        kernel.sys_exit(parent)
+        assert kernel.ptrace.version == version + 1
+
+    def test_tracee_regains_permissions_when_tracer_dies(self, kernel):
+        parent = spawn(kernel)
+        child = kernel.sys_fork(parent)
+        kernel.ptrace.attach(parent, child)
+        assert kernel.ptrace.permissions_disabled(child)
+        kernel.sys_exit(parent)
+        assert not kernel.ptrace.permissions_disabled(child)
+
+    def test_exit_without_trace_links_does_not_bump_version(self, kernel):
+        task = spawn(kernel)
+        version = kernel.ptrace.version
+        kernel.sys_exit(task)
+        assert kernel.ptrace.version == version
+
+    def test_new_tracer_can_attach_after_tracer_death(self, kernel):
+        first = spawn(kernel, creds=ROOT, comm="gdb1")
+        victim = spawn(kernel)
+        kernel.ptrace.attach(first, victim)
+        second = spawn(kernel, creds=ROOT, comm="gdb2")
+        with pytest.raises(OperationNotPermitted):
+            kernel.ptrace.attach(second, victim)  # single-tracer rule
+        kernel.sys_exit(first)
+        kernel.ptrace.attach(second, victim)
+        assert victim.traced_by is second
+
+
 class TestPermissionRevocation:
     def test_traced_task_loses_permissions(self, kernel):
         parent = spawn(kernel)

@@ -1,0 +1,303 @@
+"""Edge cases for region-granular damage and incremental composition.
+
+The damage-rect pipeline has three layers of state that must stay
+consistent: the per-drawable pending rects (clipping, coalescing, the
+collapse cap), the per-drawable snapshot refresh (splicing only dirty
+spans), and the server's incremental compose (patching only dirty bands
+of the cached frame).  These tests pin each layer's edge cases -- the
+differential property suite separately proves whole-pipeline equivalence
+against the reference composition.
+"""
+
+from repro.core.config import OverhaulConfig
+from repro.core.system import Machine
+from repro.apps.base import SimApp
+from repro.sim.time import from_seconds
+from repro.xserver.window import Geometry, Pixmap, Rect, Window
+
+
+def _quiet_config(**overrides) -> OverhaulConfig:
+    defaults = dict(force_grant=True, alert_on_screen_capture=False, alert_on_denial=False)
+    defaults.update(overrides)
+    return OverhaulConfig(**defaults)
+
+
+def _machine_with_stack(windows=3, content=16):
+    """A machine with *windows* painted windows, settled and composable."""
+    machine = Machine.with_overhaul(_quiet_config())
+    apps = []
+    for index in range(windows):
+        app = SimApp(machine, f"/usr/bin/app{index}", comm=f"app{index}",
+                     geometry=Geometry(10 * index, 10, 100, 100))
+        machine.xserver.draw(app.client, app.window.drawable_id,
+                             bytes([65 + index]) * content)
+        apps.append(app)
+    machine.settle()
+    return machine, apps
+
+
+def _reference_frame(machine):
+    """The frame the reference (uncached) composition would produce."""
+    parts = [bytes(w.content) for w in machine.xserver.stacking.bottom_to_top()]
+    banner = machine.xserver.overlay.banner_bytes(machine.xserver.now)
+    if banner:
+        parts.append(banner)
+    return b"".join(parts)
+
+
+class TestRectGeometry:
+    def test_span_is_row_major_with_stride(self):
+        assert Rect(2, 1, 4, 2).span(10) == (12, 26)
+
+    def test_span_linear_drawable(self):
+        assert Rect(3, 0, 5, 1).span(0) == (3, 8)
+
+    def test_union_is_bounding_box(self):
+        assert Rect(0, 0, 2, 2).union(Rect(4, 4, 2, 2)) == Rect(0, 0, 6, 6)
+
+    def test_overlap_is_open_at_edges(self):
+        assert not Rect(0, 0, 2, 2).overlaps(Rect(2, 0, 2, 2))  # touching
+        assert Rect(0, 0, 3, 2).overlaps(Rect(2, 0, 2, 2))
+
+
+class TestDrawRectClipping:
+    def _window(self, width=32, height=4):
+        return Window(owner_client_id=1, geometry=Geometry(0, 0, width, height))
+
+    def test_zero_area_draw_is_a_complete_noop(self):
+        window = self._window()
+        window.draw(b"x" * 8)
+        damage = window.damage
+        content = bytes(window.content)
+        assert window.draw_rect(5, 1, 0, 3, b"zz") is None
+        assert window.draw_rect(5, 1, 3, 0, b"zz") is None
+        assert window.damage == damage  # no damage event at all
+        assert bytes(window.content) == content
+
+    def test_fully_outside_draw_is_a_noop(self):
+        window = self._window()
+        damage = window.damage
+        assert window.draw_rect(40, 0, 4, 1, b"zzzz") is None  # past right edge
+        assert window.draw_rect(0, 10, 4, 1, b"zzzz") is None  # past bottom
+        assert window.damage == damage
+
+    def test_rect_clipped_at_drawable_bounds(self):
+        window = self._window(width=32, height=4)
+        rect = window.draw_rect(28, 3, 10, 5, b"q" * 50)
+        assert rect == Rect(28, 3, 4, 1)  # clipped to the corner
+        lo, hi = rect.span(32)
+        assert bytes(window.content[lo:hi]) == b"q" * 4
+
+    def test_negative_origin_clamps(self):
+        window = self._window()
+        rect = window.draw_rect(-2, -1, 6, 2, b"r" * 12)
+        assert rect == Rect(0, 0, 4, 1)
+
+    def test_write_lands_at_the_rect_span(self):
+        window = self._window(width=8, height=4)
+        window.draw(b"." * 32)
+        window.draw_rect(2, 1, 4, 1, b"WXYZ")
+        assert bytes(window.content) == b"." * 10 + b"WXYZ" + b"." * 18
+
+    def test_short_content_zero_extended(self):
+        window = self._window(width=8, height=4)
+        window.draw_rect(0, 1, 4, 1, b"abcd")  # content was empty
+        assert bytes(window.content) == b"\x00" * 8 + b"abcd"
+
+    def test_pixmap_is_a_single_linear_row(self):
+        pixmap = Pixmap(owner_client_id=1)
+        rect = pixmap.draw_rect(2, 0, 4, 3, b"abcd")
+        assert rect == Rect(2, 0, 4, 1)  # height clipped to the one row
+        assert bytes(pixmap.content) == b"\x00\x00abcd"
+        assert pixmap.draw_rect(0, 1, 4, 1, b"efgh") is None  # no second row
+
+
+class TestDamageCoalescing:
+    def _window(self):
+        return Window(owner_client_id=1, geometry=Geometry(0, 0, 100, 100))
+
+    def test_overlapping_draws_coalesce_to_one_rect(self):
+        window = self._window()
+        window.draw_rect(0, 0, 10, 1, b"a" * 10)
+        window.draw_rect(5, 0, 10, 1, b"b" * 10)
+        assert window.damage_rects == [Rect(0, 0, 15, 1)]
+
+    def test_transitive_coalescing(self):
+        # The third rect bridges the first two; all three become one.
+        window = self._window()
+        window.draw_rect(0, 0, 4, 1, b"a" * 4)
+        window.draw_rect(8, 0, 4, 1, b"b" * 4)
+        assert len(window.damage_rects) == 2
+        window.draw_rect(3, 0, 6, 1, b"c" * 6)
+        assert window.damage_rects == [Rect(0, 0, 12, 1)]
+
+    def test_non_overlapping_draws_stay_separate(self):
+        window = self._window()
+        window.draw_rect(0, 0, 4, 1, b"a" * 4)
+        window.draw_rect(20, 0, 4, 1, b"b" * 4)
+        assert len(window.damage_rects) == 2
+
+    def test_cap_collapses_to_bounding_rect(self):
+        window = self._window()
+        for i in range(9):  # one past _MAX_PENDING_RECTS
+            window.draw_rect(i * 10, 0, 2, 1, b"xy")
+        assert window.damage_rects == [Rect(0, 0, 82, 1)]
+
+    def test_full_damage_swallows_pending_rects(self):
+        window = self._window()
+        window.draw_rect(0, 0, 4, 1, b"a" * 4)
+        window.draw(b"z" * 16)  # whole-content damage
+        assert window.damage_rects == []
+        assert window._damage_full
+
+    def test_coalesce_counter_reaches_the_server(self):
+        machine, apps = _machine_with_stack()
+        window = apps[0].window
+        window.content_bytes()  # settle the initial full-paint damage
+        before = machine.xserver.damage_rects_coalesced
+        window.draw_rect(0, 0, 10, 1, b"a" * 10)
+        window.draw_rect(5, 0, 10, 1, b"b" * 10)  # merges with the first
+        assert machine.xserver.damage_rects_coalesced == before + 1
+
+
+class TestSnapshotRegionRefresh:
+    def test_unchanged_drawable_returns_same_object(self):
+        window = Window(owner_client_id=1, geometry=Geometry(0, 0, 8, 4))
+        window.draw(b"m" * 32)
+        assert window.content_bytes() is window.content_bytes()
+
+    def test_region_refresh_matches_full_rebuild(self):
+        window = Window(owner_client_id=1, geometry=Geometry(0, 0, 8, 4))
+        window.draw(b"m" * 32)
+        window.content_bytes()  # seed the snapshot cache
+        window.draw_rect(2, 1, 4, 1, b"WXYZ")
+        assert window.content_bytes() == bytes(window.content)
+
+    def test_refresh_clears_pending_damage(self):
+        window = Window(owner_client_id=1, geometry=Geometry(0, 0, 8, 4))
+        window.draw(b"m" * 32)
+        window.draw_rect(0, 0, 4, 1, b"abcd")
+        window.content_bytes()
+        assert window.damage_rects == []
+        assert not window._damage_full
+
+    def test_neighbour_windows_keep_their_snapshots(self):
+        # An unchanged band must keep its bytes object across a partial
+        # compose -- the zero-copy property the issue requires.
+        machine, apps = _machine_with_stack()
+        apps[0].capture_screen()
+        clean = apps[1].window.content_bytes()
+        apps[0].window.draw_rect(0, 0, 4, 1, b"dddd")
+        apps[0].capture_screen()
+        assert apps[1].window.content_bytes() is clean
+
+
+class TestIncrementalCompose:
+    def test_region_draw_is_a_partial_hit_not_a_miss(self):
+        machine, apps = _machine_with_stack()
+        xserver = machine.xserver
+        apps[0].capture_screen()
+        misses = xserver.compose_cache_misses
+        partials = xserver.compose_partial_hits
+        apps[1].window.draw_rect(0, 0, 4, 1, b"dddd")
+        frame = apps[0].capture_screen()
+        assert xserver.compose_cache_misses == misses
+        assert xserver.compose_partial_hits == partials + 1
+        assert frame == _reference_frame(machine)
+
+    def test_multi_dirty_epoch_patches_every_band(self):
+        machine, apps = _machine_with_stack()
+        xserver = machine.xserver
+        apps[0].capture_screen()
+        partials = xserver.compose_partial_hits
+        apps[0].window.draw_rect(0, 0, 4, 1, b"aaaa")
+        apps[2].window.draw_rect(4, 0, 4, 1, b"cccc")
+        frame = apps[0].capture_screen()
+        assert xserver.compose_partial_hits == partials + 1
+        assert frame == _reference_frame(machine)
+
+    def test_length_changing_draw_fixes_up_offsets(self):
+        # Growing the middle window shifts every later band; a follow-up
+        # patch on the top window must land at the shifted offset.
+        machine, apps = _machine_with_stack()
+        apps[0].capture_screen()
+        apps[1].window.draw(b"L" * 48)  # middle band grows 16 -> 48
+        assert apps[0].capture_screen() == _reference_frame(machine)
+        apps[2].window.draw_rect(0, 0, 4, 1, b"tttt")
+        assert apps[0].capture_screen() == _reference_frame(machine)
+
+    def test_unmap_forces_full_recompose(self):
+        machine, apps = _machine_with_stack()
+        xserver = machine.xserver
+        apps[0].capture_screen()
+        misses = xserver.compose_cache_misses
+        partials = xserver.compose_partial_hits
+        xserver.unmap_window(apps[1].client, apps[1].window.drawable_id)
+        frame = apps[0].capture_screen()
+        assert xserver.compose_cache_misses == misses + 1  # structural change
+        assert xserver.compose_partial_hits == partials
+        assert frame == _reference_frame(machine)
+
+    def test_restack_forces_full_recompose(self):
+        machine, apps = _machine_with_stack()
+        xserver = machine.xserver
+        apps[0].capture_screen()
+        misses = xserver.compose_cache_misses
+        xserver.raise_window(apps[0].client, apps[0].window.drawable_id)
+        frame = apps[0].capture_screen()
+        assert xserver.compose_cache_misses == misses + 1
+        assert frame == _reference_frame(machine)
+        assert frame.endswith(bytes(apps[0].window.content))
+
+    def test_zero_area_draw_keeps_the_cache_hit(self):
+        machine, apps = _machine_with_stack()
+        xserver = machine.xserver
+        apps[0].capture_screen()
+        hits = xserver.compose_cache_hits
+        partials = xserver.compose_partial_hits
+        assert apps[1].window.draw_rect(0, 0, 0, 5, b"") is None
+        apps[0].capture_screen()
+        assert xserver.compose_cache_hits == hits + 1  # still a clean hit
+        assert xserver.compose_partial_hits == partials
+
+    def test_draw_to_unmapped_window_does_not_patch_the_frame(self):
+        machine, apps = _machine_with_stack()
+        xserver = machine.xserver
+        xserver.unmap_window(apps[1].client, apps[1].window.drawable_id)
+        apps[0].capture_screen()
+        hits = xserver.compose_cache_hits
+        apps[1].window.draw_rect(0, 0, 4, 1, b"hidden")
+        frame = apps[0].capture_screen()
+        # The dirty window is not in the composition; the journal entry is
+        # consumed without recomposing anything.
+        assert bytes(apps[1].window.content)[:4] not in frame
+        assert frame == _reference_frame(machine)
+        assert xserver.compose_cache_hits == hits + 1
+
+    def test_banner_appearance_and_expiry_are_banner_region_patches(self):
+        machine, apps = _machine_with_stack()
+        xserver = machine.xserver
+        quiet = apps[0].capture_screen()
+        misses = xserver.compose_cache_misses
+        partials = xserver.compose_partial_hits
+        xserver.display_alert("m", "op", pid=9, comm="rec")
+        alerted = apps[0].capture_screen()
+        assert alerted.startswith(quiet)  # body bands untouched
+        assert alerted != quiet
+        assert xserver.compose_cache_misses == misses
+        assert xserver.compose_partial_hits == partials + 1
+        machine.run_for(from_seconds(10.0))
+        expired = apps[0].capture_screen()
+        assert expired == quiet
+        assert xserver.compose_cache_misses == misses
+        assert xserver.compose_partial_hits >= partials + 2
+
+    def test_direct_window_draw_patches_correctly(self):
+        # Content mutations that bypass the request layer still reach the
+        # journal through the damage sink and patch the right band.
+        machine, apps = _machine_with_stack()
+        apps[0].capture_screen()
+        apps[1].window.draw(b"D" * 16)
+        frame = apps[0].capture_screen()
+        assert frame == _reference_frame(machine)
+        assert b"D" * 16 in frame

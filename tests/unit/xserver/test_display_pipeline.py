@@ -95,14 +95,32 @@ class TestComposeCache:
         assert after != before  # composition order changed
         assert after.endswith(b"A" * 16)
 
-    def test_property_write_busts_the_cache(self):
+    def test_property_write_lands_in_the_journal_not_a_full_miss(self):
+        # Property writes bump the render generation but leave content
+        # untouched; under incremental composition they resolve to a
+        # partial pass that reuses every band instead of a full recompose.
         machine, app = _machine_with_app()
         xserver = machine.xserver
+        first = app.capture_screen()
         misses = xserver.compose_cache_misses
+        partials = xserver.compose_partial_hits
+        xserver.change_property(app.client, app.window.drawable_id, "WM_NAME", b"t")
+        second = app.capture_screen()
+        assert second == first  # properties are not rendered content
+        assert xserver.compose_cache_misses == misses  # no full rebuild
+        assert xserver.compose_partial_hits == partials + 1
+
+    def test_property_write_forces_full_recompose_without_incremental(self):
+        # With incremental composition off the fast path falls back to the
+        # whole-frame render key, so the same write is a full miss.
+        machine, app = _machine_with_app()
+        xserver = machine.xserver
+        xserver.incremental_compose = False
+        misses_before = xserver.compose_cache_misses
         app.capture_screen()
         xserver.change_property(app.client, app.window.drawable_id, "WM_NAME", b"t")
         app.capture_screen()
-        assert xserver.compose_cache_misses > misses + 1  # both recomposed
+        assert xserver.compose_cache_misses > misses_before + 1  # both recomposed
 
     def test_banner_appearance_busts_the_cache(self):
         machine, app = _machine_with_app()
