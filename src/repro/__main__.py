@@ -11,6 +11,11 @@ Commands:
   machines/users on a multiprocessing worker pool (``--machines``/
   ``--users``/``--workers``/``--resume``); aggregate output is
   byte-identical for any worker count;
+- ``redteam``       -- run the adversarial campaign corpus (six attack
+  families scored as false-grant / false-deny / detection rates;
+  ``--families``/``--trials``/``--workers``) or, with ``--sweep delta`` /
+  ``--sweep visibility``, the security/usability parameter sweep as ROC
+  curve data; ``--json`` output is byte-identical for any worker count;
 - ``applicability`` -- run the V-C sweep;
 - ``report``        -- regenerate the full evaluation report;
 - ``trace``         -- replay the quickstart with tracing on and print the
@@ -67,6 +72,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     fleet.add_argument("--timeout", type=float, default=300.0, help="per-shard seconds")
     fleet.add_argument("--retries", type=int, default=2, help="retries per failing shard")
     fleet.add_argument("--json", action="store_true", help="print the aggregate as JSON")
+
+    redteam = sub.add_parser("redteam", help="adversarial campaign corpus")
+    redteam.add_argument(
+        "--families", default=None,
+        help="comma-separated family slice (default: the whole corpus)",
+    )
+    redteam.add_argument("--trials", type=int, default=8, help="trials per scenario")
+    redteam.add_argument("--seed", type=int, default=2016)
+    redteam.add_argument("--workers", type=int, default=1)
+    redteam.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the unprotected viability arm",
+    )
+    redteam.add_argument(
+        "--sweep", choices=("delta", "visibility"), default=None,
+        help="sweep a parameter instead of running the corpus",
+    )
+    redteam.add_argument("--json", action="store_true", help="canonical JSON output")
 
     report = sub.add_parser("report", help="full evaluation report")
     report.add_argument("--full", action="store_true")
@@ -136,6 +159,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "fleet":
         return run_fleet_command(args)
+    if args.command == "redteam":
+        return run_redteam_command(args)
     if args.command == "applicability":
         from repro.workloads.app_catalog import run_applicability_sweep
 
@@ -219,6 +244,66 @@ def run_fleet_command(args: argparse.Namespace) -> int:
 
         print(json.dumps(report.aggregate, sort_keys=True, indent=2))
     return 0 if not report.quarantined else 3
+
+
+def run_redteam_command(args: argparse.Namespace) -> int:
+    """Drive one ``python -m repro redteam`` invocation."""
+    import sys
+
+    if args.sweep is not None:
+        from repro.redteam.sweeps import sweep_delta, sweep_visibility
+
+        sweep = sweep_delta if args.sweep == "delta" else sweep_visibility
+        result = sweep(trials=args.trials, seed=args.seed)
+        if args.json:
+            sys.stdout.write(result.to_json())
+        else:
+            print(result.render())
+        return 0
+
+    from repro.fleet import FleetError, run_fleet
+
+    params = {"baseline": 0 if args.no_baseline else 1}
+    if args.families:
+        params["families"] = args.families
+    try:
+        # Campaigns always ride the fleet engine (even --workers 1) so the
+        # --json aggregate is the one byte-stable serialisation CI diffs
+        # across worker counts.
+        report = run_fleet(
+            "redteam",
+            population=args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            params=params,
+        )
+    except (FleetError, KeyError) as error:
+        print(f"redteam error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        sys.stdout.write(report.aggregate_json())
+    else:
+        from repro.redteam.engine import CampaignReport, ScenarioScore
+
+        campaign = CampaignReport(seed=args.seed, trials=args.trials)
+        campaign.scores = [
+            ScenarioScore(
+                scenario=entry["scenario"],
+                family=entry["family"],
+                trials=entry["trials"],
+                false_grants=entry["false_grant"]["successes"],
+                blocked=entry["detection"]["trials"],
+                detected_blocked=entry["detection"]["successes"],
+                benign_trials=entry["false_deny"]["trials"],
+                benign_denials=entry["false_deny"]["successes"],
+                baseline_trials=entry["baseline_success"]["trials"],
+                baseline_successes=entry["baseline_success"]["successes"],
+            )
+            for entry in report.aggregate["scenarios"]
+        ]
+        print(campaign.render())
+    violations = report.aggregate.get("violations", {})
+    return 3 if violations else 0
 
 
 def run_demo() -> None:

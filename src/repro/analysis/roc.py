@@ -1,0 +1,50 @@
+"""ROC curve assembly for the red-team parameter sweeps.
+
+A sweep point maps a parameter value (delta or the visibility threshold)
+to two operating rates: the adversary's false-grant rate (the ROC's
+false-positive axis) and the benign probe's grant rate (the true-positive
+axis).  Sweeping the parameter traces the security/usability trade-off
+the paper argues informally; the trapezoid AUC condenses the curve to one
+regression-checkable number.
+
+Everything is exact integer arithmetic until the final division, rounded
+to the aggregate precision -- the curves are byte-stable JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+#: Decimal places for curve floats (matches the population aggregates).
+_PRECISION = 6
+
+
+def roc_points(
+    operating_points: Sequence[Tuple[int, int, int, int]],
+) -> List[Dict[str, Any]]:
+    """(attack_successes, attack_trials, benign_grants, benign_trials)
+    tuples -> JSON-safe ROC coordinates."""
+    curve = []
+    for attack_successes, attack_trials, benign_grants, benign_trials in operating_points:
+        fpr = attack_successes / attack_trials if attack_trials else 0.0
+        tpr = benign_grants / benign_trials if benign_trials else 0.0
+        curve.append(
+            {
+                "fpr": round(fpr, _PRECISION),
+                "tpr": round(tpr, _PRECISION),
+            }
+        )
+    return curve
+
+
+def auc_trapezoid(pairs: Sequence[Tuple[float, float]]) -> float:
+    """Trapezoid area under (fpr, tpr) points, anchored at (0,0) and (1,1).
+
+    Points are sorted by fpr (then tpr); duplicate fpr values contribute
+    zero width, so step-shaped curves are handled without special cases.
+    """
+    anchored = sorted({(0.0, 0.0), (1.0, 1.0)} | set(pairs))
+    area = 0.0
+    for (x0, y0), (x1, y1) in zip(anchored, anchored[1:]):
+        area += (x1 - x0) * (y0 + y1) / 2.0
+    return round(area, _PRECISION)

@@ -301,6 +301,11 @@ def _execute_inline(
             except Exception as error:  # noqa: BLE001 - quarantine, don't crash
                 failures += 1
                 if failures > max_retries:
+                    # A failed attempt may still have left a checkpoint
+                    # (e.g. the run_shard wrote it before dying); drop it
+                    # so a resume re-executes the shard instead of
+                    # adopting a result this run declared failed.
+                    spool.discard_shard(spec.index)
                     report.quarantined.append(
                         QuarantinedShard(
                             index=spec.index,
@@ -344,10 +349,16 @@ def _execute_pool(
     spec_by_index = {spec.index: spec for spec in pending}
     failures: Dict[int, int] = {}
     done: set = set()
+    quarantined_indexes: set = set()
 
     def record_failure(spec: ShardSpec, reason: str) -> None:
         failures[spec.index] = failures.get(spec.index, 0) + 1
         if failures[spec.index] > max_retries:
+            # A worker killed on deadline may already have checkpointed the
+            # shard before the kill landed; a surviving file would let a
+            # later resume silently adopt a quarantined shard as done.
+            spool.discard_shard(spec.index)
+            quarantined_indexes.add(spec.index)
             report.quarantined.append(
                 QuarantinedShard(
                     index=spec.index, attempts=failures[spec.index], reason=reason
@@ -367,6 +378,12 @@ def _execute_pool(
         ):
             handle.current = None
         if kind == "done":
+            if shard_index in quarantined_indexes:
+                # A late completion from a worker we already gave up on:
+                # the shard stays quarantined, so its checkpoint must not
+                # survive into a resume either.
+                spool.discard_shard(shard_index)
+                return
             done.add(shard_index)
         elif shard_index not in done:
             record_failure(spec_by_index[shard_index], detail)

@@ -85,6 +85,16 @@ class Spool:
         with open(self.shard_path(index), "rb") as handle:
             return pickle.load(handle)["result"]
 
+    def discard_shard(self, index: int) -> None:
+        """Drop a shard's checkpoint, if any.
+
+        The engine calls this when it quarantines a shard: a worker killed
+        mid-shard (e.g. on deadline) may have already written its
+        checkpoint, and a surviving file would make a later resume adopt
+        as *completed* a shard this run declared failed.
+        """
+        self.shard_path(index).unlink(missing_ok=True)
+
     def completed_indexes(self) -> Set[int]:
         """Indexes of shards with a *readable* checkpoint on disk.
 

@@ -32,6 +32,9 @@ from repro.sim.rng import RandomSource
 #: the worker count) so shard layout is a pure function of the population.
 USABILITY_SHARD_SIZE = 8
 
+#: Red-team trials grouped per shard -- same fixed-layout rule.
+REDTEAM_SHARD_SIZE = 4
+
 
 @dataclass(frozen=True)
 class ShardSpec:
@@ -167,6 +170,61 @@ def _usability_aggregate(
     return aggregate_usability(envelopes, meta)
 
 
+# -- redteam (the adversarial campaign corpus, sharded) --------------------
+
+
+def _redteam_build(population: int, seed: int, params: Dict[str, Any]) -> List[ShardSpec]:
+    """One shard per (scenario, trial block); *population* = trials per
+    scenario.  Scenario order and block layout are pure functions of the
+    corpus and the population -- never of the worker count."""
+    from repro.redteam.corpus import scenarios_for_families
+
+    size = int(params.get("block", REDTEAM_SHARD_SIZE))
+    if size < 1:
+        raise FleetError(f"redteam block size must be >= 1, got {size}")
+    families_param = params.get("families")
+    families = families_param.split(",") if families_param else None
+    baseline = int(params.get("baseline", 1))
+    specs = []
+    for scenario in scenarios_for_families(families):
+        for first in range(0, population, size):
+            count = min(size, population - first)
+            specs.append(
+                ShardSpec(
+                    study="redteam",
+                    index=len(specs),
+                    seed=seed,
+                    params=(
+                        ("baseline", baseline),
+                        ("count", count),
+                        ("first", first),
+                        ("scenario", scenario.name),
+                    ),
+                )
+            )
+    return specs
+
+
+def _redteam_run(spec: ShardSpec) -> Dict[str, Any]:
+    from repro.redteam.engine import run_redteam_shard
+
+    return run_redteam_shard(
+        scenario_name=spec.param("scenario"),
+        seed=spec.seed,
+        first_trial=spec.param("first"),
+        count=spec.param("count"),
+        include_baseline=bool(spec.param("baseline", 1)),
+    )
+
+
+def _redteam_aggregate(
+    envelopes: List[Dict[str, Any]], meta: Dict[str, Any]
+) -> Dict[str, Any]:
+    from repro.redteam.engine import aggregate_redteam
+
+    return aggregate_redteam(envelopes, meta)
+
+
 register_study(
     StudyDefinition(
         name="longterm",
@@ -183,5 +241,14 @@ register_study(
         build_shards=_usability_build,
         run_shard=_usability_run,
         aggregate=_usability_aggregate,
+    )
+)
+register_study(
+    StudyDefinition(
+        name="redteam",
+        description="adversarial campaign corpus, a block of scenario trials per shard",
+        build_shards=_redteam_build,
+        run_shard=_redteam_run,
+        aggregate=_redteam_aggregate,
     )
 )

@@ -1,0 +1,66 @@
+"""The red-team campaign engine.
+
+The paper's core claim is a *security* argument: input-driven access
+control defeats input-inference and UI-deception attacks.  This package
+turns that claim into a measurable, regression-testable artifact:
+
+- :mod:`repro.redteam.scenario` -- the declarative :class:`AttackScenario`
+  model (setup, adversary schedule, oracle) and the per-trial harness;
+- :mod:`repro.redteam.corpus`   -- the scenario corpus: six attack
+  families drawn from the paper's threat analysis and the related work
+  (Hover-style input inference, Hacking-in-the-Blind-style overlays);
+- :mod:`repro.redteam.engine`   -- the campaign runner scoring each
+  scenario as false-grant / false-deny / detection rates with Wilson
+  intervals;
+- :mod:`repro.redteam.sweeps`   -- parameter sweeps over delta and the
+  window-visibility threshold producing ROC-style curve data.
+
+Campaigns are deterministic: every trial draws from
+:meth:`repro.sim.rng.RandomSource.spawn` keyed by (scenario, arm, trial),
+never by shard or worker identity, so ``python -m repro redteam --json``
+is byte-identical for any ``--workers`` count.  The ``redteam`` fleet
+study (:mod:`repro.fleet.studies`) shards campaigns at population scale.
+"""
+
+from repro.redteam.corpus import (
+    CORPUS,
+    FAMILIES,
+    scenario_by_name,
+    scenarios_for_families,
+)
+from repro.redteam.engine import (
+    CampaignReport,
+    ScenarioScore,
+    run_campaign,
+    run_redteam_shard,
+)
+from repro.redteam.scenario import (
+    AttackScenario,
+    TrialOutcome,
+    VerdictEnvelope,
+    detection_artifacts,
+    run_counted_trial,
+    run_scenario_trial,
+)
+from repro.redteam.sweeps import SweepPoint, SweepResult, sweep_delta, sweep_visibility
+
+__all__ = [
+    "AttackScenario",
+    "CORPUS",
+    "CampaignReport",
+    "FAMILIES",
+    "ScenarioScore",
+    "SweepPoint",
+    "SweepResult",
+    "TrialOutcome",
+    "VerdictEnvelope",
+    "detection_artifacts",
+    "run_campaign",
+    "run_counted_trial",
+    "run_redteam_shard",
+    "run_scenario_trial",
+    "scenario_by_name",
+    "scenarios_for_families",
+    "sweep_delta",
+    "sweep_visibility",
+]

@@ -1,0 +1,393 @@
+"""The adversarial scenario corpus: six attack families, nine playbooks.
+
+Each family targets one layer of the defence and comes straight from the
+paper's threat analysis or the related work:
+
+- ``flood``   -- synthetic-input floods (S2): forge many fake clicks via
+  SendEvent / XTestFakeInput hoping one blesses a device grab; defeated by
+  provenance tagging in the input path.
+- ``infer``   -- Hover-style input inference: observe the user's typing
+  through screen captures and in-flight clipboard properties; defeated by
+  capture mediation and the paste-target-only delivery rule.
+- ``race``    -- clickjacking races against the visibility threshold: map
+  an ambush window and time the user's click against the window-age gate.
+  This is the corpus's *calibrated residual*: the adversary wins exactly
+  when it outwaits the threshold, so the false-grant rate measures the
+  threshold itself (the ablation the sweeps chart).
+- ``overlay`` -- Hacking-in-the-Blind-style invisible overlays: a
+  transparent window steals a real click; defeated by suppressing
+  interactions on transparent targets.
+- ``launder`` -- IPC timestamp laundering (P2 abuse): relay a genuine but
+  aging interaction stamp through pipes / message queues hoping transit
+  refreshes it; defeated by embed-at-send + max-merge adoption.
+- ``ptrace``  -- confused-deputy injection (Section IV-B): bless yourself
+  with a real click, spawn a legitimate recorder, puppeteer it via ptrace.
+  Attach-and-inject is defeated by trace revocation; the detach race is
+  the *documented residual* -- after detaching, the inherited blessing is
+  still fresh and the child opens the device itself.
+
+Every ``run_trial`` works on baseline machines too (``machine.overhaul``
+is None): the baseline arm calibrates viability -- an "attack" the stock
+system also stops would prove nothing about Overhaul.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.apps.base import SimApp
+from repro.apps.malware import (
+    ClickjackingMalware,
+    ClipboardProtocolAttacker,
+    InputForgeryMalware,
+    PtraceInjectionMalware,
+    Spyware,
+)
+from repro.core.config import OverhaulConfig
+from repro.core.system import Machine
+from repro.kernel.errors import OverhaulDenied
+from repro.kernel.task import Task
+from repro.redteam.scenario import (
+    AttackScenario,
+    TrialOutcome,
+    VerdictEnvelope,
+    detection_artifacts,
+)
+from repro.sim.rng import RandomSource
+from repro.sim.time import from_millis
+
+
+def _build_config(overrides: Dict[str, int]) -> OverhaulConfig:
+    """The shared config builder; sweeps inject ``delta``/``visibility``.
+
+    A small delta drags the shm wait-list down with it to keep the
+    paper's "sufficiently shorter" constraint satisfied.
+    """
+    kwargs: Dict[str, int] = {}
+    delta = overrides.get("delta")
+    if delta is not None:
+        kwargs["interaction_threshold"] = delta
+        kwargs["shm_waitlist"] = min(from_millis(500), delta // 2)
+    visibility = overrides.get("visibility")
+    if visibility is not None:
+        kwargs["window_visibility_threshold"] = visibility
+    return OverhaulConfig(**kwargs)
+
+
+def _task_mic_denied(machine: Machine, task: Task) -> bool:
+    """Open-and-close the microphone as *task*; True when denied."""
+    try:
+        fd = machine.kernel.sys_open(task, machine.kernel.device_path("mic0"))
+    except OverhaulDenied:
+        return True
+    machine.kernel.sys_close(task, fd)
+    return False
+
+
+def _benign_probe(machine: Machine, rng: RandomSource) -> bool:
+    """The collateral-damage probe: a legitimate user action after the
+    attack has run.  A user clicks a fresh app and it opens the mic within
+    normal reaction time -- any denial here is a false deny."""
+    helper = SimApp(machine, "/usr/bin/notes", comm="notes")
+    machine.settle()
+    helper.click()
+    machine.run_for(rng.reaction_time())
+    try:
+        helper.open_device("mic0")
+    except OverhaulDenied:
+        return True
+    return False
+
+
+def _wrap(attack) -> "AttackScenario.run_trial":
+    """Standard trial shape: run the attack, snapshot detection *before*
+    the benign probe (whose granted mic would itself raise an alert)."""
+
+    def run(machine: Machine, rng: RandomSource, config: OverhaulConfig) -> TrialOutcome:
+        granted, detail = attack(machine, rng, config)
+        detected = detection_artifacts(machine) > 0
+        benign = _benign_probe(machine, rng)
+        return TrialOutcome(
+            attack_granted=granted,
+            benign_denied=benign,
+            detected=detected,
+            detail=detail,
+        )
+
+    return run
+
+
+# -- flood: synthetic-input floods (S2) --------------------------------------
+
+
+def _flood(method_name: str):
+    def attack(machine, rng, config) -> Tuple[bool, str]:
+        forger = InputForgeryMalware(machine)
+        machine.settle()
+        attempts = rng.randint(6, 14)
+        granted = False
+        for _ in range(attempts):
+            granted |= getattr(forger, method_name)()
+            machine.run_for(rng.jittered_delay(0.05))
+        return granted, f"{attempts} forged clicks"
+
+    return attack
+
+
+# -- infer: Hover-style input inference ---------------------------------------
+
+
+def _infer_input(machine, rng, config) -> Tuple[bool, str]:
+    victim = SimApp(machine, "/usr/bin/bank", comm="bank")
+    editor = SimApp(machine, "/usr/bin/editor", comm="editor")
+    spy = Spyware(machine)
+    snoop = ClipboardProtocolAttacker(machine)
+    snoop.watch_window_properties(editor.window.drawable_id)
+    machine.settle()
+
+    secret = f"pin-{rng.randint(1000, 9999)}"
+    observed = False
+    # Channel 1: capture the screen while the user types the secret.
+    victim.click()
+    for end in (2, len(secret)):
+        victim.type_keys(secret[:end])
+        victim.paint(secret[:end].encode())
+        image = spy.attempt_screen()
+        observed |= image is not None and secret.encode() in image
+    # Channel 2: snatch the secret from the in-flight clipboard property.
+    victim.copy_text(secret.encode())
+    editor.click()
+    editor.paste_text()
+    observed |= any(secret.encode() in item for item in snoop.sniffed)
+    return observed, f"secret {secret!r}"
+
+
+# -- race: clickjacking race against the visibility threshold -----------------
+
+
+def _race_visibility(machine, rng, config) -> Tuple[bool, str]:
+    SimApp(machine, "/usr/bin/game", comm="game")  # the decoy under attack
+    machine.settle()
+    ambusher = SimApp(machine, "/usr/bin/ambush", comm="ambush", map_window=False)
+    machine.xserver.map_window(ambusher.client, ambusher.window.drawable_id)
+    # The adversary gambles on how long it dares stay visible before the
+    # click lands: long enough to pass the age gate, short enough that the
+    # user has not noticed the ambush window.
+    exposure = max(1, int(config.window_visibility_threshold * rng.uniform(0.25, 1.75)))
+    machine.run_for(exposure)
+    machine.mouse.click_window(ambusher.window)
+    try:
+        fd = ambusher.open_device("mic0")
+    except OverhaulDenied:
+        return False, f"exposure {exposure} us"
+    ambusher.close_fd(fd)
+    return True, f"exposure {exposure} us"
+
+
+# -- overlay: invisible-overlay click theft -----------------------------------
+
+
+def _overlay_steal(machine, rng, config) -> Tuple[bool, str]:
+    victim = SimApp(machine, "/usr/bin/editor", comm="editor")
+    jacker = ClickjackingMalware(machine, victim.window)
+    machine.settle()  # the overlay is old enough; transparency is the test
+    jacker.pop_over_and_wait()
+    machine.run_for(rng.jittered_delay(0.2))
+    # The user clicks what looks like the editor; the transparent overlay
+    # on top receives the event.
+    machine.mouse.click_window(victim.window)
+    return jacker.try_microphone(), "click routed to transparent overlay"
+
+
+# -- launder: IPC timestamp-laundering chains ---------------------------------
+
+
+def _launder_pipes(machine, rng, config) -> Tuple[bool, str]:
+    front = SimApp(machine, "/usr/bin/freebie", comm="freebie")
+    machine.settle()
+    front.click()  # the one genuine interaction the chain tries to stretch
+    hops = rng.randint(3, 6)
+    current = front.task
+    for hop in range(hops):
+        nxt, _ = machine.launch(f"/usr/bin/hop{hop}", comm=f"hop{hop}", connect_x=False)
+        pipe = machine.kernel.pipes.create_pipe()
+        pipe.write(current, b"relay")
+        # Per-hop transit chosen so the chain total always overshoots
+        # delta: embed-at-send means the stamp ages in flight.
+        machine.run_for(int(config.interaction_threshold / hops * rng.uniform(1.05, 1.5)))
+        pipe.read(nxt, 5)
+        current = nxt
+    return not _task_mic_denied(machine, current), f"{hops} pipe hops"
+
+
+def _launder_msgqueue(machine, rng, config) -> Tuple[bool, str]:
+    front = SimApp(machine, "/usr/bin/front", comm="front")
+    machine.settle()
+    front.click()
+    relay, _ = machine.launch("/usr/bin/relay", comm="relay", connect_x=False)
+    queue = machine.kernel.msg_queues.msgget(777)
+    queue.send(front.task, b"seed")
+    queue.receive(relay)  # a legitimate P2 handoff, still inside delta
+    rounds = rng.randint(2, 4)
+    current = relay
+    for index in range(rounds):
+        # Each round the relay re-sends the stamp hoping the queue transit
+        # refreshes it; max-merge adoption only ever replays the original.
+        machine.run_for(int(config.interaction_threshold * rng.uniform(0.55, 0.8)))
+        queue.send(current, b"ping")
+        nxt, _ = machine.launch(
+            f"/usr/bin/relay{index}", comm=f"relay{index}", connect_x=False
+        )
+        queue.receive(nxt)
+        current = nxt
+    return not _task_mic_denied(machine, current), f"{rounds} queue rounds"
+
+
+# -- ptrace: confused-deputy injection ----------------------------------------
+
+
+def _ptrace_inject(machine, rng, config) -> Tuple[bool, str]:
+    injector = PtraceInjectionMalware(machine, map_window=True)
+    machine.settle()
+    injector.click()  # socially-engineered blessing: the stamp is genuine
+    machine.run_for(int(config.interaction_threshold * rng.uniform(0.05, 0.3)))
+    return injector.launch_and_inject(), "inject into blessed child"
+
+
+def _ptrace_detach_race(machine, rng, config) -> Tuple[bool, str]:
+    injector = PtraceInjectionMalware(machine, map_window=True)
+    machine.settle()
+    injector.click()
+    victim = injector.spawn_child("/usr/bin/arecord")
+    machine.kernel.ptrace.attach(injector.task, victim)
+    denied_while_traced = _task_mic_denied(machine, victim)
+    machine.run_for(int(config.interaction_threshold * rng.uniform(0.05, 0.2)))
+    machine.kernel.ptrace.detach(injector.task, victim)
+    granted = not _task_mic_denied(machine, victim)
+    detail = "denied while traced, granted after detach" if denied_while_traced else (
+        "granted after detach"
+    )
+    return granted, detail
+
+
+# -- the corpus ---------------------------------------------------------------
+
+#: Every scenario expects full baseline viability; deviations are per-field.
+_AIRTIGHT = VerdictEnvelope()  # zero false grants, full detection
+
+CORPUS: Tuple[AttackScenario, ...] = (
+    AttackScenario(
+        name="flood-sendevent",
+        family="flood",
+        description="SendEvent click flood aimed at the forger's own window",
+        build_config=_build_config,
+        run_trial=_wrap(_flood("forge_with_sendevent")),
+        expected=_AIRTIGHT,
+    ),
+    AttackScenario(
+        name="flood-xtest",
+        family="flood",
+        description="XTestFakeInput click flood aimed at the forger's own window",
+        build_config=_build_config,
+        run_trial=_wrap(_flood("forge_with_xtest")),
+        expected=_AIRTIGHT,
+    ),
+    AttackScenario(
+        name="infer-overlay-keylog",
+        family="infer",
+        description="input inference via screen captures and clipboard snooping",
+        build_config=_build_config,
+        run_trial=_wrap(_infer_input),
+        expected=_AIRTIGHT,
+    ),
+    AttackScenario(
+        name="race-visibility-window",
+        family="race",
+        description="ambush window gambling its exposure against the age gate",
+        build_config=_build_config,
+        run_trial=_wrap(_race_visibility),
+        # The calibrated residual: exposure ~ U(0.25, 1.75) x threshold, so
+        # the adversary wins about half the gambles by construction.  The
+        # envelope brackets that design point; the sweeps chart it.
+        expected=VerdictEnvelope(
+            min_false_grant_rate=0.15,
+            max_false_grant_rate=0.85,
+        ),
+    ),
+    AttackScenario(
+        name="overlay-click-steal",
+        family="overlay",
+        description="transparent overlay stealing a genuine click on the editor",
+        build_config=_build_config,
+        run_trial=_wrap(_overlay_steal),
+        expected=_AIRTIGHT,
+    ),
+    AttackScenario(
+        name="launder-pipe-chain",
+        family="launder",
+        description="aging stamp relayed through a pipe chain totalling > delta",
+        build_config=_build_config,
+        run_trial=_wrap(_launder_pipes),
+        expected=_AIRTIGHT,
+    ),
+    AttackScenario(
+        name="launder-msgqueue-relay",
+        family="launder",
+        description="stamp re-sent through message queues hoping transit refreshes it",
+        build_config=_build_config,
+        run_trial=_wrap(_launder_msgqueue),
+        expected=_AIRTIGHT,
+    ),
+    AttackScenario(
+        name="ptrace-inject-blessed",
+        family="ptrace",
+        description="blessed malware injecting a device open into a traced child",
+        build_config=_build_config,
+        run_trial=_wrap(_ptrace_inject),
+        expected=_AIRTIGHT,
+    ),
+    AttackScenario(
+        name="ptrace-detach-race",
+        family="ptrace",
+        description="attach, detach, then let the still-blessed child open the mic",
+        build_config=_build_config,
+        run_trial=_wrap(_ptrace_detach_race),
+        # The documented residual: detaching restores permissions while the
+        # inherited stamp is still fresh, so the attack succeeds every
+        # time.  The envelope *requires* that, so the suite regresses if
+        # the modelled defence silently grows beyond the paper's design.
+        expected=VerdictEnvelope(
+            min_false_grant_rate=1.0,
+            max_false_grant_rate=1.0,
+        ),
+    ),
+)
+
+FAMILIES: Tuple[str, ...] = tuple(
+    sorted({scenario.family for scenario in CORPUS})
+)
+
+_BY_NAME: Dict[str, AttackScenario] = {s.name: s for s in CORPUS}
+
+
+def scenario_by_name(name: str) -> AttackScenario:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def scenarios_for_families(
+    families: Optional[Iterable[str]] = None,
+) -> List[AttackScenario]:
+    """The corpus slice for *families* (None: everything), in corpus order."""
+    if families is None:
+        return list(CORPUS)
+    wanted = set(families)
+    unknown = wanted - set(FAMILIES)
+    if unknown:
+        raise KeyError(
+            f"unknown families {sorted(unknown)}; known: {', '.join(FAMILIES)}"
+        )
+    return [scenario for scenario in CORPUS if scenario.family in wanted]

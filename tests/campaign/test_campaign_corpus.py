@@ -1,0 +1,104 @@
+"""The campaign tier: every scenario asserts its expected verdict envelope.
+
+One campaign run (module-scoped) scores the whole corpus; each scenario
+then gets its own test so a drifting scenario fails by name.  This is the
+suite that makes the paper's security argument regress loudly: weaken the
+provenance filter, the visibility gate, the stamp max-merge, or the
+ptrace revocation and the corresponding family escapes its envelope.
+"""
+
+import pytest
+
+from repro.redteam import (
+    CORPUS,
+    FAMILIES,
+    run_campaign,
+    scenario_by_name,
+    scenarios_for_families,
+)
+
+TRIALS = 12
+SEED = 2016
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(trials=TRIALS, seed=SEED)
+
+
+class TestCorpusShape:
+    def test_at_least_six_families(self):
+        assert len(FAMILIES) >= 6
+
+    def test_every_family_has_a_scenario(self):
+        assert {s.family for s in CORPUS} == set(FAMILIES)
+
+    def test_scenario_names_unique(self):
+        names = [s.name for s in CORPUS]
+        assert len(names) == len(set(names))
+
+    def test_family_slicing(self):
+        sliced = scenarios_for_families(["ptrace"])
+        assert [s.name for s in sliced] == [
+            "ptrace-inject-blessed",
+            "ptrace-detach-race",
+        ]
+        with pytest.raises(KeyError):
+            scenarios_for_families(["no-such-family"])
+        with pytest.raises(KeyError):
+            scenario_by_name("no-such-scenario")
+
+
+@pytest.mark.parametrize("scenario", CORPUS, ids=lambda s: s.name)
+def test_scenario_inside_envelope(campaign, scenario):
+    score = campaign.score_for(scenario.name)
+    assert score.trials == TRIALS
+    violations = score.envelope_violations(scenario.expected)
+    assert not violations, f"{scenario.name}: {violations}"
+
+
+def test_campaign_reports_no_violations(campaign):
+    assert campaign.violations() == {}
+
+
+class TestHeadlineVerdicts:
+    """The three load-bearing rates, asserted directly so the numbers the
+    docs quote cannot drift from what the suite enforces."""
+
+    def test_airtight_families_have_zero_false_grants(self, campaign):
+        for name in (
+            "flood-sendevent",
+            "flood-xtest",
+            "infer-overlay-keylog",
+            "overlay-click-steal",
+            "launder-pipe-chain",
+            "launder-msgqueue-relay",
+            "ptrace-inject-blessed",
+        ):
+            assert campaign.score_for(name).false_grants == 0, name
+
+    def test_every_blocked_trial_left_an_artifact(self, campaign):
+        for score in campaign.scores:
+            assert score.detected_blocked == score.blocked, score.scenario
+
+    def test_no_scenario_costs_benign_usability(self, campaign):
+        for score in campaign.scores:
+            assert score.benign_denials == 0, score.scenario
+
+    def test_every_attack_viable_on_baseline(self, campaign):
+        for score in campaign.scores:
+            assert score.baseline_successes == score.baseline_trials, score.scenario
+
+    def test_race_residual_is_calibrated_not_airtight(self, campaign):
+        score = campaign.score_for("race-visibility-window")
+        assert 0 < score.false_grants < score.trials
+
+    def test_detach_race_residual_always_wins(self, campaign):
+        """The documented ptrace residual: the envelope REQUIRES success."""
+        score = campaign.score_for("ptrace-detach-race")
+        assert score.false_grants == score.trials
+
+    def test_counters_travel_with_scores(self, campaign):
+        score = campaign.score_for("flood-sendevent")
+        assert score.counters["protected"]["dm.synthetic_filtered"] > 0
+        assert score.counters["baseline"].get("dm.synthetic_filtered", 0) == 0

@@ -1,0 +1,112 @@
+"""The sweep integration tests: the paper's trade-off as checkable curves.
+
+The sweeps replay identical timing draws at every grid value, so the
+curves are *exactly* monotone -- asserted outright, not statistically.
+The delta sweep reproduces the Section IV-B argument (2 s is enough for
+users, small enough to bound staleness); the visibility sweep charts the
+clickjacking ablation as ROC data with a discriminating AUC.
+"""
+
+import pytest
+
+from repro.analysis.roc import auc_trapezoid
+from repro.redteam.sweeps import (
+    DELTA_GRID,
+    VISIBILITY_GRID,
+    sweep_delta,
+    sweep_visibility,
+)
+from repro.sim.time import from_seconds
+
+TRIALS = 12
+SEED = 2016
+
+
+@pytest.fixture(scope="module")
+def delta():
+    return sweep_delta(trials=TRIALS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def visibility():
+    return sweep_visibility(trials=TRIALS, seed=SEED)
+
+
+class TestDeltaSweep:
+    def test_grid_order_preserved(self, delta):
+        assert [p.value for p in delta.points] == list(DELTA_GRID)
+
+    def test_false_grants_monotone_in_delta(self, delta):
+        """A larger delta admits every stamp a smaller one admitted."""
+        rates = [p.attack_successes for p in delta.points]
+        assert rates == sorted(rates)
+
+    def test_benign_grants_monotone_in_delta(self, delta):
+        rates = [p.benign_grants for p in delta.points]
+        assert rates == sorted(rates)
+
+    def test_endpoints_bracket_the_tradeoff(self, delta):
+        tight, loose = delta.points[0], delta.points[-1]
+        assert tight.false_grant_rate < loose.false_grant_rate
+        assert tight.benign_grant_rate < loose.benign_grant_rate
+        # 4 s admits every stale stamp the adversary population holds.
+        assert loose.false_grant_rate == 1.0
+
+    def test_paper_default_balances(self, delta):
+        """At delta = 2 s most users succeed while most stale stamps die --
+        the Section IV-B justification, now measured."""
+        by_value = {p.value: p for p in delta.points}
+        point = by_value[from_seconds(2.0)]
+        assert point.benign_grant_rate >= 0.5
+        assert point.false_grant_rate <= 0.5
+
+    def test_curve_above_chance(self, delta):
+        assert delta.auc() > 0.5
+
+    def test_json_roundtrip_and_roc_keys(self, delta):
+        data = delta.to_dict()
+        assert len(data["roc"]) == len(DELTA_GRID)
+        assert all(set(entry) == {"fpr", "tpr"} for entry in data["roc"])
+        assert data["auc"] == delta.auc()
+        assert delta.to_json() == sweep_delta(trials=TRIALS, seed=SEED).to_json()
+
+
+class TestVisibilitySweep:
+    def test_grid_order_preserved(self, visibility):
+        assert [p.value for p in visibility.points] == list(VISIBILITY_GRID)
+
+    def test_ambush_success_antitone_in_threshold(self, visibility):
+        rates = [p.attack_successes for p in visibility.points]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_benign_grants_antitone_in_threshold(self, visibility):
+        rates = [p.benign_grants for p in visibility.points]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_zero_threshold_is_defenceless(self, visibility):
+        assert visibility.points[0].false_grant_rate == 1.0
+
+    def test_repo_default_blocks_every_ambush(self, visibility):
+        """The 1 s default sits past the ambusher's exposure budget."""
+        by_value = {p.value: p for p in visibility.points}
+        point = by_value[from_seconds(1.0)]
+        assert point.false_grant_rate == 0.0
+        assert point.benign_grant_rate > 0.0
+
+    def test_threshold_discriminates(self, visibility):
+        """Exposure-minimising ambushes separate from honest windows."""
+        assert visibility.auc() > 0.75
+
+
+class TestAucTrapezoid:
+    def test_diagonal_is_half(self):
+        assert auc_trapezoid([(0.5, 0.5)]) == 0.5
+
+    def test_perfect_curve_is_one(self):
+        assert auc_trapezoid([(0.0, 1.0)]) == 1.0
+
+    def test_anchors_added_once(self):
+        assert auc_trapezoid([(0.0, 0.0), (1.0, 1.0)]) == 0.5
+
+    def test_duplicate_fpr_zero_width(self):
+        assert auc_trapezoid([(0.5, 0.2), (0.5, 0.8)]) == pytest.approx(0.5)

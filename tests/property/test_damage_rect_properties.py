@@ -1,0 +1,205 @@
+"""Property-based tests for the damage-rect algebra and its coalescer.
+
+The display pipeline's caches are only as safe as the geometry under
+them: ``Rect.overlaps``/``union``/``span`` feed the per-drawable
+coalescer, and the coalescer's pending set is what the incremental
+snapshot splice trusts to cover every dirty byte.  These properties pin
+the algebra (symmetry, bounding, span consistency), the coalescer's
+invariants (disjoint pending set, bounded size, full coverage), and the
+splice path's equivalence to a naive byte model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xserver.window import _MAX_PENDING_RECTS, Geometry, Pixmap, Rect, Window
+
+#: Small coordinates keep the cell-level coverage checks cheap while still
+#: exercising every adjacency/containment case.
+rects = st.builds(
+    Rect,
+    x=st.integers(0, 12),
+    y=st.integers(0, 12),
+    width=st.integers(1, 8),
+    height=st.integers(1, 8),
+)
+
+#: Raw (possibly out-of-bounds, possibly zero-area) draw requests, as a
+#: client would issue them before clipping.
+raw_requests = st.tuples(
+    st.integers(-6, 20),
+    st.integers(-6, 20),
+    st.integers(0, 10),
+    st.integers(0, 10),
+)
+
+
+def cells(rect):
+    """The set of (x, y) cells a rect covers -- the ground-truth geometry."""
+    return {
+        (x, y)
+        for x in range(rect.x, rect.x + rect.width)
+        for y in range(rect.y, rect.y + rect.height)
+    }
+
+
+class TestRectAlgebra:
+    @given(a=rects, b=rects)
+    @settings(max_examples=200, deadline=None)
+    def test_overlaps_is_symmetric_and_matches_cells(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+        assert a.overlaps(b) == bool(cells(a) & cells(b))
+
+    @given(a=rects)
+    @settings(max_examples=50, deadline=None)
+    def test_nonempty_rect_overlaps_itself(self, a):
+        assert a.overlaps(a)
+        assert a.union(a) == a
+
+    @given(a=rects, b=rects)
+    @settings(max_examples=200, deadline=None)
+    def test_union_is_commutative_and_bounding(self, a, b):
+        u = a.union(b)
+        assert u == b.union(a)
+        assert cells(a) <= cells(u)
+        assert cells(b) <= cells(u)
+
+    @given(a=rects, b=rects, c=rects)
+    @settings(max_examples=200, deadline=None)
+    def test_union_is_associative(self, a, b, c):
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @given(a=rects, stride=st.integers(32, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_span_length_matches_geometry(self, a, stride):
+        """A rect's byte span runs from its first row's start to its last
+        row's end -- never shorter than its own area, never longer than
+        height full rows."""
+        lo, hi = a.span(stride)
+        assert lo == a.y * stride + a.x
+        assert hi - lo == (a.height - 1) * stride + a.width
+        assert hi - lo >= a.width * a.height or stride < a.width
+
+    @given(a=rects, b=rects, stride=st.just(64))
+    @settings(max_examples=200, deadline=None)
+    def test_overlap_implies_span_overlap(self, a, b, stride):
+        """A shared cell maps to a byte offset inside both spans, so the
+        splice path can never miss a dirty byte by treating rects
+        independently."""
+        if a.overlaps(b):
+            alo, ahi = a.span(stride)
+            blo, bhi = b.span(stride)
+            assert alo < bhi and blo < ahi
+
+
+class TestClipping:
+    @given(req=raw_requests)
+    @settings(max_examples=200, deadline=None)
+    def test_clip_is_sound_and_idempotent(self, req):
+        window = Window(1, Geometry(0, 0, 16, 16))
+        clipped = window._clip(*req)
+        if clipped is None:
+            return
+        # Inside the bounds, and a subset of the request's own cells.
+        assert cells(clipped) <= cells(Rect(0, 0, 16, 16))
+        x, y, w, h = req
+        lo_x, lo_y = max(x, 0), max(y, 0)
+        assert cells(clipped) <= {
+            (cx, cy) for cx in range(lo_x, x + w) for cy in range(lo_y, y + h)
+        }
+        assert window._clip(*clipped) == clipped
+
+    @given(req=raw_requests)
+    @settings(max_examples=100, deadline=None)
+    def test_linear_drawables_clip_to_one_row(self, req):
+        clipped = Pixmap(1)._clip(*req)
+        if clipped is not None:
+            assert clipped.y == 0 and clipped.height == 1
+
+
+class TestCoalescer:
+    @given(damage=st.lists(rects, min_size=1, max_size=24))
+    @settings(max_examples=200, deadline=None)
+    def test_pending_set_is_small_disjoint_and_covering(self, damage):
+        """After any damage sequence: at most ``_MAX_PENDING_RECTS``
+        pending rects, pairwise disjoint, jointly covering every cell ever
+        damaged."""
+        window = Window(1, Geometry(0, 0, 24, 24))
+        window.content_bytes()  # seed the snapshot so rects accumulate
+        submitted = set()
+        for rect in damage:
+            window.mark_damaged(rect)
+            submitted |= cells(rect)
+        pending = window.damage_rects
+        assert len(pending) <= _MAX_PENDING_RECTS
+        for i, a in enumerate(pending):
+            for b in pending[i + 1 :]:
+                assert not a.overlaps(b)
+        covered = set()
+        for rect in pending:
+            covered |= cells(rect)
+        assert submitted <= covered
+
+    @given(damage=st.lists(rects, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_full_damage_dominates(self, damage):
+        """A whole-drawable invalidation absorbs region rects in either
+        order: once full, later rects must not resurrect the region path
+        with stale coverage."""
+        window = Window(1, Geometry(0, 0, 24, 24))
+        window.mark_damaged()
+        for rect in damage:
+            window.mark_damaged(rect)
+        assert window._damage_full
+        assert window.damage_rects == []
+        assert window.damage == 1 + len(damage)
+
+
+#: Scripts interleave region draws with snapshot reads, so the incremental
+#: splice path (refresh only dirty spans of the previous snapshot) is
+#: exercised mid-sequence, not just at the end.
+draw_scripts = st.lists(
+    st.one_of(
+        st.tuples(st.just("draw"), raw_requests, st.binary(min_size=0, max_size=64)),
+        st.tuples(st.just("snap"), st.none(), st.none()),
+    ),
+    max_size=30,
+)
+
+
+class TestSnapshotEquivalence:
+    @given(script=draw_scripts)
+    @settings(max_examples=200, deadline=None)
+    def test_spliced_snapshots_match_naive_model(self, script):
+        """Differential: the damage-tracked drawable must produce byte-for-
+        byte the content of a dumb bytearray model, no matter how reads
+        interleave with region draws."""
+        window = Window(1, Geometry(0, 0, 16, 16))
+        model = bytearray()
+        stride = 16
+        for action, req, data in script:
+            if action == "snap":
+                assert window.content_bytes() == bytes(model)
+                continue
+            rect = window.draw_rect(*req, data)
+            if rect is None:
+                continue
+            lo, hi = rect.span(stride)
+            payload = bytes(data[: hi - lo])
+            end = lo + len(payload)
+            if len(model) < end:
+                model.extend(b"\x00" * (end - len(model)))
+            model[lo:end] = payload
+        assert window.content_bytes() == bytes(model)
+
+    @given(script=draw_scripts)
+    @settings(max_examples=100, deadline=None)
+    def test_unchanged_snapshot_is_the_same_object(self, script):
+        """Zero-copy contract: reads without intervening damage return the
+        identical ``bytes`` object."""
+        window = Window(1, Geometry(0, 0, 16, 16))
+        for action, req, data in script:
+            if action == "draw":
+                window.draw_rect(*req, data)
+        first = window.content_bytes()
+        assert window.content_bytes() is first

@@ -138,3 +138,47 @@ class TestFleetCommand:
     def test_fleet_unknown_study_rejected(self, capsys):
         assert main(["fleet", "nope"]) == 2
         assert "unknown study" in capsys.readouterr().err
+
+
+class TestRedteamCommand:
+    def test_campaign_table(self, capsys):
+        assert main([
+            "redteam", "--families", "flood", "--trials", "2", "--no-baseline",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "red-team campaign" in output
+        assert "flood-sendevent" in output and "flood-xtest" in output
+        assert "inside their verdict envelopes" in output
+
+    def test_campaign_json_deterministic_across_workers(self, capsys):
+        import json
+
+        args = [
+            "redteam", "--families", "ptrace", "--trials", "2",
+            "--no-baseline", "--seed", "9", "--json",
+        ]
+        assert main(args + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        assert serial == capsys.readouterr().out
+        payload = json.loads(serial)
+        names = [entry["scenario"] for entry in payload["scenarios"]]
+        assert names == ["ptrace-inject-blessed", "ptrace-detach-race"]
+
+    def test_sweep_delta_json(self, capsys):
+        import json
+
+        assert main(["redteam", "--sweep", "delta", "--trials", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["parameter"] == "delta"
+        assert len(payload["points"]) == len(payload["roc"])
+        assert 0.0 <= payload["auc"] <= 1.0
+
+    def test_sweep_visibility_human(self, capsys):
+        assert main(["redteam", "--sweep", "visibility", "--trials", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "visibility" in output and "AUC" in output
+
+    def test_unknown_family_rejected(self, capsys):
+        assert main(["redteam", "--families", "nope", "--trials", "1"]) == 2
+        assert "nope" in capsys.readouterr().err
