@@ -24,6 +24,13 @@ Commands:
 - ``profile``       -- cProfile a hot-path scenario and print per-span
   timings (``--ops``/``--top``/``--no-spans``); see
   :mod:`repro.analysis.profiling`.
+- ``serve``         -- run the long-lived multi-tenant permission daemon
+  over UNIX and/or TCP sockets (``--unix``/``--tcp``/``--max-pending``/
+  ``--batch-limit``/``--max-frame``); see :mod:`repro.service`.
+
+Every command exits 141 (the conventional ``128 + SIGPIPE``) when its
+output pipe closes early -- ``python -m repro redteam --json | head``
+must not traceback.
 """
 
 from __future__ import annotations
@@ -109,8 +116,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile.add_argument("--no-spans", action="store_true",
                          help="skip the traced per-span pass")
 
-    args = parser.parse_args(argv)
+    serve = sub.add_parser("serve", help="multi-tenant permission service daemon")
+    serve.add_argument("--unix", metavar="PATH", default=None,
+                       help="UNIX socket path to listen on")
+    serve.add_argument("--tcp", metavar="HOST:PORT", default=None,
+                       help="TCP address to listen on (port 0: kernel-assigned)")
+    serve.add_argument("--max-pending", type=int, default=256,
+                       help="per-connection in-flight budget before RETRY_LATER")
+    serve.add_argument("--batch-limit", type=int, default=512,
+                       help="max requests coalesced into one core pass")
+    serve.add_argument("--max-frame", type=int, default=64 * 1024,
+                       help="max frame body bytes before FRAME_TOO_LARGE")
+    serve.add_argument("--max-tenants", type=int, default=1024,
+                       help="tenant partition table bound")
 
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        return _exit_broken_pipe()
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "demo":
         run_demo()
         return 0
@@ -194,7 +221,79 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         )
         return 0
+    if args.command == "serve":
+        return run_serve_command(args)
     return 1  # pragma: no cover
+
+
+def _exit_broken_pipe() -> int:
+    """Finish a pipe-closed-early run without a traceback.
+
+    The reader (``| head``) is gone; nothing more can be said on stdout.
+    Note it on stderr, point stdout's fd at devnull so the interpreter's
+    exit-time flush of the dead pipe stays quiet, and exit with the
+    conventional 128 + SIGPIPE status.
+    """
+    import os
+    import sys
+
+    try:
+        sys.stderr.write("repro: output pipe closed early\n")
+        sys.stderr.flush()
+    except (OSError, ValueError):  # pragma: no cover - stderr gone too
+        pass
+    try:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        os.close(devnull)
+    except (OSError, ValueError, AttributeError):
+        pass  # no real stdout fd (e.g. captured streams); nothing to silence
+    return 141
+
+
+def run_serve_command(args: argparse.Namespace) -> int:
+    """Drive one ``python -m repro serve`` invocation."""
+    import asyncio
+    import sys
+
+    from repro.service import PermissionService, ServiceDaemon
+
+    if args.unix is None and args.tcp is None:
+        print("serve: pass --unix PATH and/or --tcp HOST:PORT", file=sys.stderr)
+        return 2
+    tcp_host: Optional[str] = None
+    tcp_port = 0
+    if args.tcp is not None:
+        host, sep, port = args.tcp.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            print(f"serve: --tcp wants HOST:PORT, got {args.tcp!r}", file=sys.stderr)
+            return 2
+        tcp_host, tcp_port = host, int(port)
+
+    async def body() -> None:
+        daemon = ServiceDaemon(
+            PermissionService(max_tenants=args.max_tenants),
+            unix_path=args.unix,
+            tcp_host=tcp_host,
+            tcp_port=tcp_port,
+            max_pending=args.max_pending,
+            batch_limit=args.batch_limit,
+            max_frame=args.max_frame,
+        )
+        await daemon.start()
+        listeners = []
+        if args.unix is not None:
+            listeners.append(f"unix:{args.unix}")
+        if tcp_host is not None:
+            listeners.append(f"tcp:{tcp_host}:{daemon.tcp_port}")
+        # The ready line is load-bearing: scripts wait for it before
+        # connecting, and it is where a --tcp 0 port gets announced.
+        print(f"overhaul service ready on {' '.join(listeners)}", flush=True)
+        await daemon.run_until_signalled()
+        print("overhaul service drained", flush=True)
+
+    asyncio.run(body())
+    return 0
 
 
 def run_fleet_command(args: argparse.Namespace) -> int:

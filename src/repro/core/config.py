@@ -65,6 +65,13 @@ class OverhaulConfig:
     #: installed intent profile additionally require the blessing input to
     #: match the operation's intent rule.
     graybox_enabled: bool = False
+    #: Bound on the permission monitor's epoch decision cache (entries die
+    #: naturally with their epoch; the bound is a backstop against pid
+    #: churn).  Multi-tenant deployments size this per tenant: a tenant
+    #: hosting few processes can run a small cache, a busy one a large one,
+    #: without either changing any decision -- the cache is observably
+    #: equivalent to the reference path at every size >= 1.
+    decision_cache_size: int = 4096
 
     # -- hot-path switches ---------------------------------------------------
     # Every fast path is observably equivalent to the reference path (the
@@ -108,6 +115,15 @@ class OverhaulConfig:
             raise SimulationError("window_visibility_threshold must be non-negative")
         if self.alert_duration <= 0:
             raise SimulationError("alert_duration must be positive")
+        if (
+            not isinstance(self.decision_cache_size, int)
+            or isinstance(self.decision_cache_size, bool)
+            or self.decision_cache_size < 1
+        ):
+            raise SimulationError(
+                "decision_cache_size must be a positive integer "
+                f"(got {self.decision_cache_size!r})"
+            )
 
 
 def paper_config() -> OverhaulConfig:

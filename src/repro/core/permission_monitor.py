@@ -103,8 +103,9 @@ def _category_for(operation: str) -> AuditCategory:
     return category
 
 
-#: Decision-cache size backstop; entries die naturally with their epoch,
-#: but a workload churning through pids could otherwise grow it unbounded.
+#: Default decision-cache size backstop; entries die naturally with their
+#: epoch, but a workload churning through pids could otherwise grow it
+#: unbounded.  Tenants override per config (``decision_cache_size``).
 _DECISION_CACHE_LIMIT = 4096
 
 
@@ -151,6 +152,10 @@ class PermissionMonitor:
         # so their presence routes everything through the reference path.
         self._fast_core_ok = self.prompt_arbiter is None and self.graybox is None
         self._use_decision_cache = config.fast_decision_cache and self._fast_core_ok
+        #: Per-config cache bound (default 4096; see OverhaulConfig).
+        self._decision_cache_limit = getattr(
+            config, "decision_cache_size", _DECISION_CACHE_LIMIT
+        )
 
     # -- netlink wiring --------------------------------------------------------
 
@@ -302,7 +307,7 @@ class PermissionMonitor:
                 self.cache_hits += 1
             else:
                 disabled = ptrace.permissions_disabled(task)
-                if len(cache) >= _DECISION_CACHE_LIMIT:
+                if len(cache) >= self._decision_cache_limit:
                     cache.clear()
                 cache[task.pid] = (interaction_ts, version, disabled)
                 self.cache_misses += 1

@@ -1,0 +1,150 @@
+"""Service latency/throughput rig for the ``service_query`` benchmark.
+
+:class:`ServiceRig` runs a real :class:`ServiceDaemon` -- its own event
+loop on a background thread, a UNIX socket in a temp dir -- and drives it
+from the caller's thread with many concurrent pipelined
+:class:`AsyncServiceClient` connections, exactly the deployment shape the
+SLO is stated against (>= 10k queries/s from >= 100 clients).
+
+Each ``run(n)`` splits *n* permission queries across the client pool,
+keeps a bounded pipeline window per connection (well under the daemon's
+``max_pending`` budget, so the benchmark measures service time rather
+than backpressure retries), and records a wall-clock latency sample per
+request.  After a run, :attr:`bench_extra` carries the client count and
+p50/p99 microsecond latencies for ``BENCH_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.service.client import AsyncServiceClient
+from repro.service.core import PermissionService
+from repro.service.daemon import ServiceDaemon
+
+#: Concurrent client connections the rig opens -- the SLO's floor.
+DEFAULT_CLIENTS = 100
+
+#: Requests each connection keeps in flight.  Kept well below the
+#: daemon's max_pending budget so no request ever sees RETRY_LATER.
+PIPELINE_WINDOW = 16
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+class ServiceRig:
+    """Daemon-on-a-thread benchmark rig with a concurrent client pool."""
+
+    def __init__(self, clients: int = DEFAULT_CLIENTS, tenant: str = "bench") -> None:
+        self.clients = clients
+        self.tenant = tenant
+        self.bench_extra: Dict[str, Any] = {}
+        self._tmpdir = tempfile.mkdtemp(prefix="overhaul-svc-")
+        self.unix_path = f"{self._tmpdir}/bench.sock"
+        self._daemon: Optional[ServiceDaemon] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        self._pids = self._setup()
+
+    # -- daemon side ---------------------------------------------------------
+
+    def _serve(self) -> None:
+        async def body() -> None:
+            self._daemon = ServiceDaemon(PermissionService(), unix_path=self.unix_path)
+            await self._daemon.start()
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self._daemon.wait_stopped()
+
+        asyncio.run(body())
+
+    def _setup(self) -> List[int]:
+        """Spawn two apps and interact, so queries hit the granted path."""
+
+        async def body() -> List[int]:
+            client = await AsyncServiceClient.connect(unix_path=self.unix_path)
+            try:
+                pids = []
+                for name in ("alpha", "beta"):
+                    result = await client.request("spawn", tenant=self.tenant, name=name)
+                    pids.append(result["pid"])
+                for pid in pids:
+                    await client.request("interact", tenant=self.tenant, pid=pid)
+                return pids
+            finally:
+                await client.close()
+
+        return asyncio.run(body())
+
+    # -- client side ---------------------------------------------------------
+
+    def run(self, n: int) -> int:
+        """Issue *n* queries across the client pool; return decisions made."""
+        latencies = asyncio.run(self._drive(n))
+        latencies.sort()
+        self.bench_extra = {
+            "clients": self.clients,
+            "p50_us": round(_percentile(latencies, 0.50) * 1e6, 1),
+            "p99_us": round(_percentile(latencies, 0.99) * 1e6, 1),
+        }
+        return len(latencies)
+
+    async def _drive(self, n: int) -> List[float]:
+        base, spare = divmod(n, self.clients)
+        shares = [base + (1 if i < spare else 0) for i in range(self.clients)]
+        latencies: List[float] = []
+
+        async def one_client(share: int, pid: int) -> None:
+            client = await AsyncServiceClient.connect(unix_path=self.unix_path)
+            try:
+                in_flight: set = set()
+
+                async def fire() -> None:
+                    start = time.monotonic()
+                    await client.request(
+                        "query", tenant=self.tenant, pid=pid, operation="paste"
+                    )
+                    latencies.append(time.monotonic() - start)
+
+                for _ in range(share):
+                    if len(in_flight) >= PIPELINE_WINDOW:
+                        done, in_flight_left = await asyncio.wait(
+                            in_flight, return_when=asyncio.FIRST_COMPLETED
+                        )
+                        in_flight = in_flight_left
+                        for task in done:
+                            task.result()
+                    in_flight.add(asyncio.ensure_future(fire()))
+                if in_flight:
+                    await asyncio.gather(*in_flight)
+            finally:
+                await client.close()
+
+        await asyncio.gather(
+            *(
+                one_client(share, self._pids[i % len(self._pids)])
+                for i, share in enumerate(shares)
+            )
+        )
+        return latencies
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._loop is not None and self._daemon is not None:
+            self._loop.call_soon_threadsafe(self._daemon.begin_drain)
+            self._thread.join(timeout=10)
+        shutil.rmtree(self._tmpdir, ignore_errors=True)

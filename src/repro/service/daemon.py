@@ -1,0 +1,311 @@
+"""The long-running asyncio permission daemon.
+
+One :class:`ServiceDaemon` serves one :class:`PermissionService` over any
+mix of UNIX and TCP listeners.  The design targets thousands of concurrent
+clients in front of a single-threaded decision core:
+
+Batching
+    Readers never call the core directly.  They enqueue parsed requests on
+    a central queue; a single dispatcher coroutine wakes, drains everything
+    queued in that event-loop tick (bounded by ``batch_limit``), and runs
+    it through :meth:`PermissionService.apply_many` -- one core pass per
+    tick, so consecutive queries coalesce into ``send_many``-style netlink
+    flushes no matter how many sockets they arrived on.
+
+Backpressure
+    Each connection has a bounded in-flight budget (``max_pending``).  A
+    client that pipelines past its budget gets an immediate ``RETRY_LATER``
+    error for the overflowing request -- the daemon never buffers an
+    unbounded backlog for a fast sender.  On the write side, a client that
+    stops *reading* while responses accumulate past ``write_high`` bytes is
+    disconnected (the response buffer is the only unbounded queue left, so
+    it is the one that must be cut).
+
+Graceful drain
+    SIGTERM/SIGINT (or :meth:`begin_drain`) stops the listeners, answers
+    any *newly arriving* requests with ``SHUTTING_DOWN``, lets the
+    dispatcher finish every in-flight request, flushes the responses, and
+    only then closes the connections and returns.
+
+Observability
+    The daemon shares a :class:`repro.obs.counters.Counters` registry with
+    its service: batch counts and sizes, queue depth high-water, retries,
+    drops, and per-tenant request counts all land in one snapshot that the
+    ``stats`` verb (no tenant) reports over the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import struct
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from collections import deque
+
+from repro.obs.counters import Counters
+from repro.service.core import PermissionService
+from repro.service.protocol import (
+    DEFAULT_MAX_FRAME,
+    HEADER_SIZE,
+    E_FRAME_TOO_LARGE,
+    E_RETRY_LATER,
+    E_SHUTTING_DOWN,
+    FrameError,
+    decode_body,
+    encode_frame,
+    error_response,
+)
+
+_HEADER = struct.Struct("!I")
+
+
+class _Connection:
+    """Per-socket state: the writer, the in-flight budget, liveness."""
+
+    __slots__ = ("writer", "pending", "closed", "peer")
+
+    def __init__(self, writer: asyncio.StreamWriter, peer: str) -> None:
+        self.writer = writer
+        self.pending = 0
+        self.closed = False
+        self.peer = peer
+
+
+class ServiceDaemon:
+    """Serve a :class:`PermissionService` over UNIX and/or TCP sockets."""
+
+    def __init__(
+        self,
+        service: PermissionService,
+        unix_path: Optional[str] = None,
+        tcp_host: Optional[str] = None,
+        tcp_port: int = 0,
+        max_pending: int = 256,
+        batch_limit: int = 512,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        write_high: int = 1 << 20,
+    ) -> None:
+        if unix_path is None and tcp_host is None:
+            raise ValueError("daemon needs at least one listener (unix_path or tcp_host)")
+        self.service = service
+        self.counters: Counters = service.counters
+        self.unix_path = unix_path
+        self.tcp_host = tcp_host
+        self.tcp_port = tcp_port
+        self.max_pending = max_pending
+        self.batch_limit = batch_limit
+        self.max_frame = max_frame
+        self.write_high = write_high
+
+        self._servers: List[asyncio.AbstractServer] = []
+        self._connections: Set[_Connection] = set()
+        self._queue: Deque[Tuple[_Connection, Dict[str, Any]]] = deque()
+        self._queue_event = asyncio.Event()
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._dispatcher: Optional[asyncio.Task] = None
+        #: Test hook: when set to an asyncio.Event, the dispatcher waits on
+        #: it before every batch -- lets tests pile requests up
+        #: deterministically to exercise backpressure and drain.
+        self.dispatch_gate: Optional[asyncio.Event] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listeners and start the dispatcher."""
+        if self.unix_path is not None:
+            server = await asyncio.start_unix_server(self._on_connect, path=self.unix_path)
+            self._servers.append(server)
+        if self.tcp_host is not None:
+            server = await asyncio.start_server(
+                self._on_connect, host=self.tcp_host, port=self.tcp_port
+            )
+            # Record the kernel-assigned port for port-0 binds.
+            self.tcp_port = server.sockets[0].getsockname()[1]
+            self._servers.append(server)
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    def begin_drain(self) -> None:
+        """Stop accepting, finish in-flight work, then shut down."""
+        if self._draining:
+            return
+        self._draining = True
+        for server in self._servers:
+            server.close()
+        self._queue_event.set()  # wake the dispatcher even if idle
+
+    async def wait_stopped(self) -> None:
+        """Block until the drain has fully completed."""
+        await self._stopped.wait()
+
+    async def run_until_signalled(self) -> None:
+        """Serve until SIGTERM/SIGINT, then drain gracefully and return."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.begin_drain)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        try:
+            await self.wait_stopped()
+        finally:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.remove_signal_handler(signum)
+                except NotImplementedError:  # pragma: no cover
+                    pass
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        conn = _Connection(writer, peer=repr(peername))
+        self._connections.add(conn)
+        self.counters.inc("service.connections")
+        try:
+            await self._read_loop(reader, conn)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # client went away; queued requests are dropped on reply
+        finally:
+            conn.closed = True
+            self._connections.discard(conn)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - transport already dead
+                pass
+
+    async def _read_loop(self, reader: asyncio.StreamReader, conn: _Connection) -> None:
+        while True:
+            header = await reader.readexactly(HEADER_SIZE)
+            (length,) = _HEADER.unpack(header)
+            if length > self.max_frame:
+                # Refuse before buffering the body; the stream position is
+                # unrecoverable after a lie this size, so also close.
+                self.counters.inc("service.frames_rejected")
+                self._send(conn, error_response(
+                    None,
+                    E_FRAME_TOO_LARGE,
+                    f"frame of {length} bytes exceeds the {self.max_frame}-byte bound",
+                ))
+                return
+            body = await reader.readexactly(length)
+            try:
+                request = decode_body(body)
+            except FrameError as error:
+                # Parse failures are answerable (the stream framing is
+                # intact), but a peer speaking garbage gets one diagnostic
+                # and the boot.
+                self.counters.inc("service.frames_rejected")
+                self._send(conn, error_response(None, error.code, str(error)))
+                return
+            if self._draining:
+                self.counters.inc("service.refused_draining")
+                self._send(conn, error_response(
+                    request.get("id"), E_SHUTTING_DOWN, "daemon is draining"
+                ))
+                continue
+            if conn.pending >= self.max_pending:
+                # Backpressure: answer now, buffer nothing.
+                self.counters.inc("service.retry_later")
+                self._send(conn, error_response(
+                    request.get("id"),
+                    E_RETRY_LATER,
+                    f"connection has {conn.pending} requests in flight "
+                    f"(budget {self.max_pending}); retry later",
+                ))
+                continue
+            conn.pending += 1
+            self._queue.append((conn, request))
+            self._queue_event.set()
+
+    def _send(self, conn: _Connection, response: Dict[str, Any]) -> None:
+        """Write one frame unless the connection is gone or hopeless."""
+        if conn.closed:
+            self.counters.inc("service.responses_dropped")
+            return
+        writer = conn.writer
+        transport = writer.transport
+        if transport is None or transport.is_closing():
+            self.counters.inc("service.responses_dropped")
+            return
+        writer.write(encode_frame(response))
+        if transport.get_write_buffer_size() > self.write_high:
+            # The client stopped reading; its response backlog is the one
+            # buffer with no request-side bound, so cut it here rather
+            # than grow without limit.
+            self.counters.inc("service.slow_client_drops")
+            conn.closed = True
+            writer.close()
+
+    # -- dispatch --------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        queue = self._queue
+        counters = self.counters
+        try:
+            while True:
+                while not queue:
+                    if self._draining:
+                        await self._finish_drain()
+                        return
+                    self._queue_event.clear()
+                    await self._queue_event.wait()
+                if self.dispatch_gate is not None:
+                    await self.dispatch_gate.wait()
+                depth = len(queue)
+                if depth > counters.get("service.queue_depth_high"):
+                    counters.set("service.queue_depth_high", depth)
+                batch = [queue.popleft() for _ in range(min(depth, self.batch_limit))]
+                counters.inc("service.batches")
+                counters.inc("service.batched_requests", len(batch))
+                if len(batch) > counters.get("service.batch_size_high"):
+                    counters.set("service.batch_size_high", len(batch))
+                responses = self.service.apply_many([req for _, req in batch])
+                for (conn, _), response in zip(batch, responses):
+                    conn.pending -= 1
+                    self._send(conn, response)
+                # One cooperative yield per batch: lets readers refill the
+                # queue (growing the next coalesced batch) and writers
+                # actually flush.
+                await asyncio.sleep(0)
+        except asyncio.CancelledError:  # pragma: no cover - hard stop path
+            raise
+
+    async def _finish_drain(self) -> None:
+        """Flush and close every connection, then mark the daemon stopped."""
+        for server in self._servers:
+            try:
+                await server.wait_closed()
+            except Exception:  # pragma: no cover
+                pass
+        for conn in list(self._connections):
+            conn.closed = True
+            try:
+                if conn.writer.transport is not None and not conn.writer.transport.is_closing():
+                    await conn.writer.drain()
+                conn.writer.close()
+            except Exception:
+                pass
+        self._connections.clear()
+        self._stopped.set()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def connection_count(self) -> int:
+        return len(self._connections)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining

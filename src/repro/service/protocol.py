@@ -1,0 +1,164 @@
+"""The Overhaul service wire protocol.
+
+Framing
+-------
+
+Every message -- request or response, either direction -- is one *frame*:
+
+    +----------------+----------------------------------+
+    | 4 bytes, ``!I``| UTF-8 JSON object (*length* bytes)|
+    +----------------+----------------------------------+
+
+The length prefix counts the body only.  Frames above the receiver's
+``max_frame`` bound are rejected with :data:`E_FRAME_TOO_LARGE` and the
+connection is closed -- a length prefix is a promise the receiver must be
+able to refuse *before* buffering the body, or a single client could make
+the daemon allocate arbitrarily.
+
+Envelopes
+---------
+
+Requests are JSON objects::
+
+    {"v": 1, "id": 7, "op": "query", "tenant": "t0",
+     "pid": 12, "operation": "paste"}
+
+``v`` is the protocol version (mismatches are answered with
+:data:`E_UNSUPPORTED_VERSION`, never guessed at); ``id`` is an opaque
+client-chosen correlation value echoed verbatim in the response, which is
+what makes response pipelining possible; ``op`` selects the verb.
+
+Responses are either::
+
+    {"v": 1, "id": 7, "ok": true, "result": {...}}
+    {"v": 1, "id": 7, "ok": false, "error": "RETRY_LATER", "message": "..."}
+
+Responses are encoded *canonically* (sorted keys, minimal separators), so
+two transcripts of the same logical session are byte-identical -- the
+property the determinism gates ``cmp``.
+
+Error codes
+-----------
+
+- ``BAD_REQUEST``          -- unparseable or structurally invalid request;
+- ``UNSUPPORTED_VERSION``  -- the ``v`` field is not this protocol version;
+- ``RETRY_LATER``          -- backpressure: the connection's pending-request
+  budget is exhausted; the client should back off and resend;
+- ``SHUTTING_DOWN``        -- the daemon is draining; in-flight requests
+  still complete, new ones are refused;
+- ``FRAME_TOO_LARGE``      -- the announced frame exceeds the bound (the
+  connection is closed after this response);
+- ``TENANT_LIMIT``         -- the tenant partition table is full;
+- ``INTERNAL``             -- unexpected server-side failure.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Optional
+
+#: Version of the request/response envelope.  Bump on breaking changes;
+#: the daemon answers old versions with E_UNSUPPORTED_VERSION rather than
+#: misinterpreting them.
+PROTOCOL_VERSION = 1
+
+#: Default upper bound on a frame body, in bytes.  Service requests are
+#: small (a query is < 200 bytes); anything near this bound is hostile or
+#: broken.
+DEFAULT_MAX_FRAME = 64 * 1024
+
+_HEADER = struct.Struct("!I")
+HEADER_SIZE = _HEADER.size
+
+E_BAD_REQUEST = "BAD_REQUEST"
+E_UNSUPPORTED_VERSION = "UNSUPPORTED_VERSION"
+E_RETRY_LATER = "RETRY_LATER"
+E_SHUTTING_DOWN = "SHUTTING_DOWN"
+E_FRAME_TOO_LARGE = "FRAME_TOO_LARGE"
+E_TENANT_LIMIT = "TENANT_LIMIT"
+E_INTERNAL = "INTERNAL"
+
+
+class FrameError(Exception):
+    """A violation of the framing layer (oversized or malformed frame)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def canonical_json(obj: Any) -> str:
+    """The one serialisation the determinism gates compare byte-for-byte."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Serialise one envelope into a length-prefixed frame."""
+    body = canonical_json(obj).encode("utf-8")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Parse a frame body; raise :class:`FrameError` on garbage."""
+    try:
+        obj = json.loads(body)
+    except (ValueError, UnicodeDecodeError) as error:
+        raise FrameError(E_BAD_REQUEST, f"frame body is not valid JSON: {error}")
+    if not isinstance(obj, dict):
+        raise FrameError(E_BAD_REQUEST, "frame body must be a JSON object")
+    return obj
+
+
+def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    """Build a success envelope echoing the request's correlation id."""
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, code: str, message: str) -> Dict[str, Any]:
+    """Build an error envelope echoing the request's correlation id."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": code,
+        "message": message,
+    }
+
+
+class FrameDecoder:
+    """Incremental frame parser for stream transports (the sync client).
+
+    Feed it raw bytes as they arrive; it yields complete envelope dicts.
+    The asyncio side uses ``readexactly`` instead and never buffers more
+    than one frame.
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Append *data*; return every complete envelope now available."""
+        self._buffer.extend(data)
+        frames: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < HEADER_SIZE:
+                return frames
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > self.max_frame:
+                raise FrameError(
+                    E_FRAME_TOO_LARGE,
+                    f"frame of {length} bytes exceeds the {self.max_frame}-byte bound",
+                )
+            end = HEADER_SIZE + length
+            if len(self._buffer) < end:
+                return frames
+            body = bytes(self._buffer[HEADER_SIZE:end])
+            del self._buffer[:end]
+            frames.append(decode_body(body))
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting frame completion."""
+        return len(self._buffer)

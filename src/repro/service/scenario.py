@@ -1,0 +1,234 @@
+"""Scripted deterministic workloads for the service determinism gates.
+
+The acceptance property of the service layer is byte-identity: for a
+seeded request script, a tenant's responses (and final decision-history
+digest) must be the same bytes whether the script runs
+
+- in process, straight through :meth:`PermissionService.apply` -- the
+  reference;
+- over a socket against the daemon, through batching and backpressure;
+- alone on the daemon, or interleaved with any number of other tenants.
+
+:func:`scripted_requests` generates the script: per-tenant request streams
+derived with :meth:`RandomSource.spawn` keyed ``("service", index)``, so
+tenant *i*'s stream is a pure function of (seed, i) -- independent of how
+many tenants run beside it.  :func:`transcript_json` renders a tenant's
+responses canonically; the CI gate ``cmp``\\ s these files across runs.
+
+Run as a module::
+
+    python -m repro.service.scenario --inprocess          --tenants 1 --ops 200 --seed 7
+    python -m repro.service.scenario --unix /tmp/o.sock   --tenants 2 --ops 200 --seed 7
+
+Both print tenant 0's transcript; the outputs must be byte-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from functools import lru_cache
+from typing import Any, Dict, List, Optional
+
+from repro.service.core import PermissionService
+from repro.service.protocol import PROTOCOL_VERSION, canonical_json
+from repro.sim.rng import RandomSource
+
+#: Operations the scripted clients exercise, spanning all three audit
+#: categories (clipboard, screen, device).
+_OPERATIONS = ("paste", "copy", "screen_capture", "microphone:/dev/mic0", "camera:/dev/cam0")
+
+#: App names each tenant spawns.
+_APPS = ("alpha", "beta")
+
+
+def tenant_name(index: int) -> str:
+    return f"t{index}"
+
+
+@lru_cache(maxsize=1)
+def _script_pids() -> tuple:
+    """The pids the script's spawns will produce.
+
+    Tenant partitions boot identically (same init, same display-manager
+    task), so the n-th spawned process always gets the same pid in every
+    partition.  One probe partition discovers the mapping.
+    """
+    probe = PermissionService()
+    return tuple(
+        probe.apply(
+            {"v": PROTOCOL_VERSION, "op": "spawn", "tenant": "probe", "name": name}
+        )["result"]["pid"]
+        for name in _APPS
+    )
+
+
+def scripted_requests(seed: int, ops: int, tenant_index: int) -> List[Dict[str, Any]]:
+    """The deterministic request script for one tenant.
+
+    A pure function of ``(seed, ops, tenant_index)`` -- neighbouring
+    tenants, transports, and batch boundaries cannot perturb it.  The
+    script opens with a ``reset`` (so reruns against a long-lived daemon
+    start from a fresh partition) and closes with ``digest`` + ``stats``.
+    """
+    rng = RandomSource(seed, "service").spawn(("service", tenant_index))
+    tenant = tenant_name(tenant_index)
+    requests: List[Dict[str, Any]] = [
+        {"op": "reset", "tenant": tenant},
+        {"op": "spawn", "tenant": tenant, "name": _APPS[0]},
+        {"op": "spawn", "tenant": tenant, "name": _APPS[1]},
+    ]
+    pids = _script_pids()
+    for _ in range(ops):
+        roll = rng.random()
+        pid = rng.choice(pids)
+        if roll < 0.25:
+            requests.append({"op": "interact", "tenant": tenant, "pid": pid})
+        elif roll < 0.80:
+            requests.append(
+                {
+                    "op": "query",
+                    "tenant": tenant,
+                    "pid": pid,
+                    "operation": rng.choice(_OPERATIONS),
+                }
+            )
+        elif roll < 0.95:
+            requests.append(
+                {"op": "advance", "tenant": tenant, "dt": rng.randint(1_000, 2_500_000)}
+            )
+        else:
+            requests.append({"op": "stats", "tenant": tenant})
+    requests.append({"op": "digest", "tenant": tenant})
+    requests.append({"op": "stats", "tenant": tenant})
+    return requests
+
+
+def interleave(streams: List[List[Dict[str, Any]]]) -> List[Dict[str, Any]]:
+    """Round-robin merge -- the multi-tenant arrival order."""
+    merged: List[Dict[str, Any]] = []
+    for step in range(max(len(s) for s in streams)):
+        for stream in streams:
+            if step < len(stream):
+                merged.append(stream[step])
+    return merged
+
+
+def envelope(request: Dict[str, Any], request_id: int) -> Dict[str, Any]:
+    """Wrap a bare script entry in a versioned wire envelope."""
+    wrapped = {"v": PROTOCOL_VERSION, "id": request_id, **request}
+    return wrapped
+
+
+def run_inprocess(tenants: int, ops: int, seed: int) -> Dict[int, List[Dict[str, Any]]]:
+    """The reference: apply the interleaved script to a fresh service.
+
+    Returns tenant_index -> responses (in that tenant's script order).
+    Requests are applied one at a time -- the *unbatched* reference the
+    daemon's coalesced batches must match byte for byte.
+    """
+    service = PermissionService()
+    streams = [scripted_requests(seed, ops, i) for i in range(tenants)]
+    tagged: List[List[Any]] = []
+    for index, stream in enumerate(streams):
+        tagged.append([[index, request] for request in stream])
+    merged = interleave(tagged)
+    responses: Dict[int, List[Dict[str, Any]]] = {i: [] for i in range(tenants)}
+    for request_id, (tenant_index, request) in enumerate(merged, start=1):
+        responses[tenant_index].append(service.apply(envelope(request, request_id)))
+    return responses
+
+
+def run_against_daemon(
+    tenants: int,
+    ops: int,
+    seed: int,
+    unix_path: Optional[str] = None,
+    tcp: Optional[tuple] = None,
+) -> Dict[int, List[Dict[str, Any]]]:
+    """Drive the daemon: one connection per tenant, scripts in parallel.
+
+    Each tenant's requests are sent strictly in script order on its own
+    connection (the per-tenant ordering contract); different tenants'
+    requests race freely, exercising the daemon's cross-connection
+    batching.
+    """
+    import asyncio
+
+    from repro.service.client import AsyncServiceClient
+
+    async def tenant_session(index: int) -> List[Dict[str, Any]]:
+        client = await AsyncServiceClient.connect(unix_path=unix_path, tcp=tcp)
+        try:
+            out: List[Dict[str, Any]] = []
+            for request in scripted_requests(seed, ops, index):
+                out.append(await client.request_raw(**request))
+            return out
+        finally:
+            await client.close()
+
+    async def main() -> Dict[int, List[Dict[str, Any]]]:
+        results = await asyncio.gather(*(tenant_session(i) for i in range(tenants)))
+        return dict(enumerate(results))
+
+    return asyncio.run(main())
+
+
+def normalize(responses: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Strip transport-chosen fields (the correlation id) from responses.
+
+    The in-process reference and each daemon connection number their
+    requests differently; everything else must match exactly.
+    """
+    cleaned = []
+    for response in responses:
+        copy = dict(response)
+        copy.pop("id", None)
+        cleaned.append(copy)
+    return cleaned
+
+
+def transcript_json(responses: List[Dict[str, Any]], seed: int, ops: int) -> str:
+    """The canonical transcript the determinism gates ``cmp``."""
+    return canonical_json(
+        {"seed": seed, "ops": ops, "responses": normalize(responses)}
+    ) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scripted determinism scenario for the permission daemon"
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--unix", metavar="PATH", help="daemon UNIX socket")
+    target.add_argument("--tcp", metavar="HOST:PORT", help="daemon TCP address")
+    target.add_argument(
+        "--inprocess", action="store_true",
+        help="run the reference in process (no daemon)",
+    )
+    parser.add_argument("--tenants", type=int, default=1)
+    parser.add_argument("--ops", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--tenant-index", type=int, default=0,
+        help="which tenant's transcript to print",
+    )
+    args = parser.parse_args(argv)
+
+    if args.inprocess:
+        responses = run_inprocess(args.tenants, args.ops, args.seed)
+    elif args.unix:
+        responses = run_against_daemon(args.tenants, args.ops, args.seed, unix_path=args.unix)
+    else:
+        host, _, port = args.tcp.rpartition(":")
+        responses = run_against_daemon(
+            args.tenants, args.ops, args.seed, tcp=(host, int(port))
+        )
+    sys.stdout.write(
+        transcript_json(responses[args.tenant_index], args.seed, args.ops)
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

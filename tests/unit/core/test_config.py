@@ -23,6 +23,9 @@ class TestDefaults:
     def test_benchmark_preset_forces_grants(self):
         assert benchmark_config().force_grant
 
+    def test_decision_cache_default_bound(self):
+        assert paper_config().decision_cache_size == 4096
+
 
 class TestValidation:
     def test_non_positive_threshold_rejected(self):
@@ -52,6 +55,14 @@ class TestValidation:
 
     def test_paper_defaults_satisfy_constraints(self):
         paper_config().validate()  # must not raise
+
+    def test_decision_cache_size_must_be_positive_int(self):
+        for bad in (0, -1, 1.5, True, "4096"):
+            with pytest.raises(SimulationError):
+                OverhaulConfig(decision_cache_size=bad)
+
+    def test_decision_cache_size_one_accepted(self):
+        assert OverhaulConfig(decision_cache_size=1).decision_cache_size == 1
 
     def test_shorter_delta_with_proportional_waitlist_valid(self):
         config = OverhaulConfig(

@@ -1,0 +1,104 @@
+"""Service determinism gates: daemon == in-process, byte for byte.
+
+The acceptance property from the service layer's design: a tenant's
+transcript for a seeded script is identical whether it runs through
+``PermissionService.apply`` in process or over sockets through the
+daemon's batching -- and identical whether the tenant runs alone or
+interleaved with neighbours.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service import scenario
+from repro.service.core import PermissionService
+from repro.service.daemon import ServiceDaemon
+
+OPS = 80
+SEED = 7
+
+
+@pytest.fixture()
+def daemon_path(tmp_path):
+    """A live daemon on a background event loop; yields its socket path."""
+    path = str(tmp_path / "scenario.sock")
+    started = threading.Event()
+    box = {}
+
+    def serve():
+        async def body():
+            daemon = ServiceDaemon(PermissionService(), unix_path=path)
+            await daemon.start()
+            box["daemon"] = daemon
+            box["loop"] = asyncio.get_running_loop()
+            started.set()
+            await daemon.wait_stopped()
+
+        asyncio.run(body())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert started.wait(timeout=10)
+    yield path
+    box["loop"].call_soon_threadsafe(box["daemon"].begin_drain)
+    thread.join(timeout=10)
+
+
+def transcript(responses):
+    return scenario.transcript_json(responses[0], SEED, OPS)
+
+
+class TestByteIdentity:
+    def test_daemon_matches_inprocess_reference(self, daemon_path):
+        reference = transcript(scenario.run_inprocess(1, OPS, SEED))
+        daemon = transcript(
+            scenario.run_against_daemon(1, OPS, SEED, unix_path=daemon_path)
+        )
+        assert daemon == reference
+
+    def test_neighbour_tenants_do_not_perturb_the_transcript(self, daemon_path):
+        alone = transcript(
+            scenario.run_against_daemon(1, OPS, SEED, unix_path=daemon_path)
+        )
+        crowded = transcript(
+            scenario.run_against_daemon(3, OPS, SEED, unix_path=daemon_path)
+        )
+        assert crowded == alone
+
+    def test_inprocess_interleaving_is_invisible(self):
+        alone = transcript(scenario.run_inprocess(1, OPS, SEED))
+        interleaved = transcript(scenario.run_inprocess(2, OPS, SEED))
+        assert interleaved == alone
+
+    def test_scripts_differ_across_tenant_indices(self):
+        assert scenario.scripted_requests(SEED, OPS, 0) != scenario.scripted_requests(
+            SEED, OPS, 1
+        )
+
+    def test_scripts_differ_across_seeds(self):
+        assert scenario.scripted_requests(SEED, OPS, 0) != scenario.scripted_requests(
+            SEED + 1, OPS, 0
+        )
+
+
+class TestScenarioCli:
+    def test_inprocess_output_is_canonical(self, capsys):
+        assert scenario.main(["--inprocess", "--tenants", "1", "--ops", "20"]) == 0
+        first = capsys.readouterr().out
+        assert scenario.main(["--inprocess", "--tenants", "2", "--ops", "20"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert first.endswith("\n")
+
+    def test_unix_target(self, daemon_path, capsys):
+        assert (
+            scenario.main(
+                ["--unix", daemon_path, "--tenants", "1", "--ops", "20", "--seed", "3"]
+            )
+            == 0
+        )
+        over_socket = capsys.readouterr().out
+        assert scenario.main(["--inprocess", "--tenants", "1", "--ops", "20", "--seed", "3"]) == 0
+        assert over_socket == capsys.readouterr().out

@@ -1,0 +1,101 @@
+"""Unit tests for the service wire protocol (framing and envelopes)."""
+
+import json
+import struct
+
+import pytest
+
+from repro.service.protocol import (
+    DEFAULT_MAX_FRAME,
+    HEADER_SIZE,
+    PROTOCOL_VERSION,
+    E_BAD_REQUEST,
+    E_FRAME_TOO_LARGE,
+    FrameDecoder,
+    FrameError,
+    canonical_json,
+    decode_body,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        request = {"v": PROTOCOL_VERSION, "id": 7, "op": "ping"}
+        frame = encode_frame(request)
+        (length,) = struct.unpack("!I", frame[:HEADER_SIZE])
+        assert length == len(frame) - HEADER_SIZE
+        assert decode_body(frame[HEADER_SIZE:]) == request
+
+    def test_body_is_canonical_json(self):
+        frame = encode_frame({"b": 1, "a": 2})
+        body = frame[HEADER_SIZE:].decode("utf-8")
+        assert body == '{"a":2,"b":1}'
+        assert canonical_json({"b": 1, "a": 2}) == body
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(FrameError) as excinfo:
+            decode_body(b"\xff\xfe not json")
+        assert excinfo.value.code == E_BAD_REQUEST
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(FrameError) as excinfo:
+            decode_body(b"[1,2,3]")
+        assert excinfo.value.code == E_BAD_REQUEST
+
+
+class TestFrameDecoder:
+    def test_byte_at_a_time_reassembly(self):
+        frames = encode_frame({"id": 1}) + encode_frame({"id": 2})
+        decoder = FrameDecoder()
+        seen = []
+        for i in range(len(frames)):
+            seen.extend(decoder.feed(frames[i : i + 1]))
+        assert [f["id"] for f in seen] == [1, 2]
+        assert decoder.pending_bytes == 0
+
+    def test_many_frames_in_one_feed(self):
+        blob = b"".join(encode_frame({"id": i}) for i in range(5))
+        assert [f["id"] for f in FrameDecoder().feed(blob)] == list(range(5))
+
+    def test_pending_bytes_tracks_partial_frame(self):
+        frame = encode_frame({"op": "ping"})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-2]) == []
+        assert decoder.pending_bytes == len(frame) - 2
+
+    def test_oversized_announcement_raises(self):
+        decoder = FrameDecoder(max_frame=16)
+        header = struct.pack("!I", 17)
+        with pytest.raises(FrameError) as excinfo:
+            decoder.feed(header)
+        assert excinfo.value.code == E_FRAME_TOO_LARGE
+
+    def test_default_bound_accepts_large_valid_frame(self):
+        body = {"blob": "x" * 1024}
+        assert FrameDecoder(max_frame=DEFAULT_MAX_FRAME).feed(encode_frame(body)) == [body]
+
+
+class TestEnvelopes:
+    def test_ok_response_echoes_id(self):
+        response = ok_response(42, {"pong": True})
+        assert response == {
+            "v": PROTOCOL_VERSION,
+            "id": 42,
+            "ok": True,
+            "result": {"pong": True},
+        }
+
+    def test_error_response_shape(self):
+        response = error_response(None, E_BAD_REQUEST, "nope")
+        assert response["ok"] is False
+        assert response["error"] == E_BAD_REQUEST
+        assert response["id"] is None
+
+    def test_responses_serialise_deterministically(self):
+        a = canonical_json(ok_response(1, {"z": 1, "a": 2}))
+        b = canonical_json(ok_response(1, {"a": 2, "z": 1}))
+        assert a == b
+        json.loads(a)  # still valid JSON

@@ -182,3 +182,74 @@ class TestRedteamCommand:
     def test_unknown_family_rejected(self, capsys):
         assert main(["redteam", "--families", "nope", "--trials", "1"]) == 2
         assert "nope" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_no_listener_rejected(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--unix PATH and/or --tcp" in capsys.readouterr().err
+
+    def test_malformed_tcp_rejected(self, capsys):
+        assert main(["serve", "--tcp", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_serve_ready_line_and_sigterm_drain(self, tmp_path):
+        """End to end: spawn the daemon, talk to it, SIGTERM it."""
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        socket_path = str(tmp_path / "cli.sock")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.abspath("src"), env.get("PYTHONPATH")])
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--unix", socket_path],
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            ready = process.stdout.readline()
+            assert "overhaul service ready" in ready
+            assert f"unix:{socket_path}" in ready
+
+            from repro.service.client import ServiceClient
+
+            with ServiceClient(unix_path=socket_path) as client:
+                assert client.ping() == {"pong": True, "version": 1}
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=15) == 0
+            assert "overhaul service drained" in process.stdout.read()
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup on failure
+                process.kill()
+            process.stdout.close()
+
+
+class TestBrokenPipe:
+    """Piping `--json` output into a closed reader must exit 141, quietly."""
+
+    class _ClosedPipe:
+        def write(self, text):
+            raise BrokenPipeError(32, "Broken pipe")
+
+        def flush(self):
+            raise BrokenPipeError(32, "Broken pipe")
+
+    def test_redteam_json_into_closed_pipe(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdout", self._ClosedPipe())
+        assert main([
+            "redteam", "--families", "flood", "--trials", "1",
+            "--no-baseline", "--json",
+        ]) == 141
+        assert "pipe closed early" in capsys.readouterr().err
+
+    def test_fleet_json_into_closed_pipe(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdout", self._ClosedPipe())
+        assert main([
+            "fleet", "usability", "--users", "2", "--workers", "1", "--json",
+        ]) == 141
+        assert "pipe closed early" in capsys.readouterr().err
