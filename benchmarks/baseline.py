@@ -82,6 +82,11 @@ def _rig_factories() -> Dict[str, Callable[[], object]]:
         "compose": lambda: (ComposeRig(True, windows=16), 2_000),
         "compose_damaged": lambda: (ComposeRig(True, windows=16, damaged=True), 400),
         "compose_partial": lambda: (ComposeRig(True, windows=128, partial=True), 10_000),
+        # 2D interaction workloads: a scrolling row, a dragged 1px column,
+        # and a tiled stack where every window animates each frame.
+        "scroll": lambda: (ComposeRig(True, windows=4, mode="scroll"), 4_000),
+        "drag": lambda: (ComposeRig(True, windows=4, mode="drag"), 4_000),
+        "multi_window_animation": lambda: (ComposeRig(True, windows=8, mode="anim"), 1_000),
         # Service daemon over a real UNIX socket: 100 concurrent pipelined
         # clients against one asyncio daemon.  The SLO this repo commits
         # to: >= 10k queries/s sustained, p50/p99 recorded alongside.
@@ -215,7 +220,13 @@ def check_regression(
 
 
 def compare_sections(path: Path) -> int:
-    """Print current-vs-pre speedups from the committed file."""
+    """Print current-vs-pre speedups from the committed file.
+
+    Scenarios present in only one section (added or retired after the
+    other section was recorded) are reported with a warning rather than
+    silently dropped or crashed on: a one-sided row has no speedup, but
+    hiding it would make the comparison look more complete than it is.
+    """
     data = load_baseline(path)
     if data is None or "pre" not in data or "current" not in data:
         print(f"{path} needs both 'pre' and 'current' sections to compare")
@@ -223,11 +234,16 @@ def compare_sections(path: Path) -> int:
     pre = data["pre"]["results"]
     current = data["current"]["results"]
     print(f"{'benchmark':<24s} {'pre':>12s} {'current':>12s} {'speedup':>8s}")
-    for name in sorted(pre):
-        if name not in current:
+    for name in sorted(set(pre) | set(current)):
+        before = pre.get(name, {}).get("ops_per_sec")
+        after = current.get(name, {}).get("ops_per_sec")
+        if before is None or after is None:
+            missing = "pre" if before is None else "current"
+            print(f"{name:<24s} warning: no {missing!r} measurement; skipped")
             continue
-        before = pre[name]["ops_per_sec"]
-        after = current[name]["ops_per_sec"]
+        if not before:
+            print(f"{name:<24s} warning: zero 'pre' throughput; skipped")
+            continue
         print(f"{name:<24s} {before:>12,.0f} {after:>12,.0f} {after / before:>7.2f}x")
     return 0
 

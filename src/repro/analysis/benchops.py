@@ -16,7 +16,7 @@ measure literally the same code.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.apps.base import SimApp
 from repro.apps.clipboard_apps import TextEditor
@@ -28,10 +28,17 @@ from repro.kernel.vfs import OpenMode
 from repro.sim.rng import RandomSource
 
 
-def _build_machine(protected: bool, config: Optional[OverhaulConfig] = None) -> Machine:
+def _build_machine(
+    protected: bool,
+    config: Optional[OverhaulConfig] = None,
+    screen_size: Optional[Tuple[int, int]] = None,
+) -> Machine:
     if protected:
-        return Machine.with_overhaul(config if config is not None else benchmark_config())
-    return Machine.baseline()
+        return Machine.with_overhaul(
+            config if config is not None else benchmark_config(),
+            screen_size=screen_size,
+        )
+    return Machine.baseline(screen_size=screen_size)
 
 
 class DeviceAccessRig:
@@ -249,36 +256,55 @@ class ComposeRig:
 
     Not a Table I row: this rig tracks the damage-driven composition cache
     that backs every screen capture.  It maps *windows* painted windows and
-    then captures the root window repeatedly:
+    then exercises the 2D framebuffer composer in one of six modes:
 
-    - **warm** (``damaged=False``): the stack never changes between
-      captures, so on the fast path every composition after the first is a
-      cache hit -- throughput measures the O(1) unchanged-screen path;
-    - **damaged** (``damaged=True``): one window is redrawn in full before
-      every capture, so every composition must refresh that window --
-      throughput measures the damage-driven recomposition path plus the
-      invalidation bookkeeping;
-    - **partial** (``partial=True``): one window takes a *region* draw
-      (``draw_rect``) before every composition, so the incremental path
-      patches a single band of the cached frame in place.  The stack uses
-      small windows so the measured cost is the patch machinery, not byte
-      shoveling.  Set ``incremental_compose = False`` on the rig's X server
-      to measure the same workload through the full-recompose fallback --
-      the gap is what damage rectangles buy.
+    - **warm** (the default): the stack never changes between captures, so
+      on the fast path every composition after the first is a cache hit --
+      throughput measures the O(1) unchanged-screen path;
+    - **damaged** (``damaged=True``): the *top* (visible) window is redrawn
+      in full before every capture, so every composition must re-blit that
+      window's rect into the framebuffer -- throughput measures the
+      damage-driven patch path plus the invalidation bookkeeping;
+    - **partial** (``partial=True``): the *bottom* window of a deep stack
+      takes a region draw (``draw_rect``) before every composition.  On the
+      2D screen that window is fully occluded, so the composer culls its
+      first rect, flags the drawable, and every later draw+compose pair
+      collapses to a memo-lane write plus a cache hit -- the steady state
+      an animating background window hits in practice;
+    - **scroll** (``mode="scroll"``): one full-width row of the visible top
+      window is redrawn per frame at a descending offset, modelling a
+      terminal/browser scroll; each compose patches exactly one row;
+    - **drag** (``mode="drag"``): a one-pixel-wide full-height column is
+      redrawn at a moving x offset, modelling a drag ghost/outline; each
+      compose patches a narrow multi-row rect (the shape the old 1D spans
+      inflated into full-width bands);
+    - **anim** (``mode="anim"``): every window in a *tiled* (non-
+      overlapping) stack takes one region draw per frame before a single
+      compose, modelling concurrent window animations; each compose drains
+      a multi-entry journal.
 
-    The gap between the modes is the benefit the cache buys; the damaged
-    and partial modes bound the bookkeeping cost it adds.
+    Modes other than warm/damaged use small windows and a screen cut to
+    fit, so a round measures the patch machinery, not byte shoveling.  Set
+    ``incremental_compose = False`` on the rig's X server to push the same
+    workload through the full-recompose fallback -- the gap is what damage
+    rectangles buy.
     """
 
     name = "Compose"
     paper_overhead_percent = None
 
-    #: Alternating damage payloads: two pre-built buffers so the damaged
-    #: mode measures recomposition, not bytes construction.
-    _PAYLOADS = (b"\x01" * 1024, b"\x02" * 1024)
+    #: Alternating full-window damage payloads (64x4 cells): two pre-built
+    #: buffers so the damaged mode measures recomposition, not bytes
+    #: construction.
+    _PAYLOADS = (b"\x01" * 256, b"\x02" * 256)
 
-    #: Alternating region payloads for the partial mode (one 32-byte band).
+    #: Alternating region payloads for the partial/anim modes (one 32-byte
+    #: band) and the scroll mode (one 64-byte row).
     _RECT_PAYLOADS = (b"\x01" * 32, b"\x02" * 32)
+    _ROW_PAYLOADS = (b"\x03" * 64, b"\x04" * 64)
+
+    #: Alternating column payloads for the drag mode (1 cell x 16 rows).
+    _COLUMN_PAYLOADS = (b"\x05" * 16, b"\x06" * 16)
 
     def __init__(
         self,
@@ -287,18 +313,37 @@ class ComposeRig:
         windows: int = 16,
         damaged: bool = False,
         partial: bool = False,
+        mode: Optional[str] = None,
     ) -> None:
         from repro.xserver.window import Geometry
 
-        self.machine = _build_machine(protected, config)
+        if mode is None:
+            mode = "partial" if partial else ("damaged" if damaged else "warm")
+        if mode not in ("warm", "damaged", "partial", "scroll", "drag", "anim"):
+            raise ValueError(f"unknown compose mode {mode!r}")
+        self.mode = mode
+        self.damaged = mode == "damaged"
+        self.partial = mode == "partial"
+        # Everything but the warm mode keeps windows small (and the screen
+        # cut down to match) so a round measures the incremental patch path
+        # itself rather than memcpy throughput over megabytes of unchanged
+        # neighbours.
+        if mode in ("partial", "damaged"):
+            screen, shape, content = (64, 8), Geometry(0, 0, 64, 4), 256
+        elif mode in ("scroll", "drag"):
+            screen, shape, content = (64, 16), Geometry(0, 0, 64, 16), 1024
+        elif mode == "anim":
+            screen, shape, content = (64, 4 * windows), None, 256
+        else:
+            screen, shape, content = None, None, 1024
+        self.machine = _build_machine(protected, config, screen_size=screen)
         self.app = SimApp(self.machine, "/usr/bin/composebench", comm="composebench")
         self.painters = []
-        # The partial mode keeps windows small (64x4) so a round measures
-        # the incremental patch path itself rather than memcpy throughput
-        # over megabytes of unchanged neighbours.
-        shape = Geometry(0, 0, 64, 4) if partial else None
-        content = 64 if partial else 1024
         for index in range(windows):
+            if mode == "anim":
+                # Tiled vertically: every window stays visible, so each
+                # frame's journal really carries one entry per window.
+                shape = Geometry(0, 4 * index, 64, 4)
             painter = SimApp(
                 self.machine, f"/usr/bin/cpaint{index}", comm=f"cpaint{index}",
                 geometry=shape,
@@ -306,27 +351,57 @@ class ComposeRig:
             painter.paint(bytes([index % 255 + 1]) * content)
             self.painters.append(painter)
         self.machine.settle()
-        self.damaged = damaged
-        self.partial = partial
 
     def run(self, n: int) -> None:
-        if self.partial:
-            # Compose directly: the capture request path (ownership checks,
-            # permission gate, reply plumbing) is measured by the capture
-            # rigs; this mode isolates composition itself.
+        mode = self.mode
+        # Compose directly in the draw-driven modes: the capture request
+        # path (ownership checks, permission gate, reply plumbing) is
+        # measured by the capture rigs; these modes isolate composition.
+        compose = self.machine.xserver.compose_screen
+        if mode == "partial":
             draw_rect = self.painters[0].window.draw_rect
-            compose = self.machine.xserver.compose_screen
             payloads = self._RECT_PAYLOADS
             for i in range(n):
                 draw_rect(16, 0, 32, 1, payloads[i & 1])
                 compose()
             return
+        if mode == "scroll":
+            window = self.painters[-1].window
+            draw_rect = window.draw_rect
+            height = window.geometry.height
+            payloads = self._ROW_PAYLOADS
+            for i in range(n):
+                draw_rect(0, i % height, 64, 1, payloads[i & 1])
+                compose()
+            return
+        if mode == "drag":
+            window = self.painters[-1].window
+            draw_rect = window.draw_rect
+            width = window.geometry.width
+            height = window.geometry.height
+            payloads = self._COLUMN_PAYLOADS
+            for i in range(n):
+                draw_rect(i % width, 0, 1, height, payloads[i & 1])
+                compose()
+            return
+        if mode == "anim":
+            draws = [painter.window.draw_rect for painter in self.painters]
+            payloads = self._RECT_PAYLOADS
+            for i in range(n):
+                payload = payloads[i & 1]
+                row = i & 3
+                for draw_rect in draws:
+                    draw_rect(16, row, 32, 1, payload)
+                compose()
+            return
         capture = self.app.capture_screen
-        if not self.damaged:
+        if mode == "warm":
             for _ in range(n):
                 capture()
             return
-        draw = self.painters[0].window.draw
+        # damaged: the top window is the visible one; redrawing it in full
+        # forces a real blit into the framebuffer on every capture.
+        draw = self.painters[-1].window.draw
         payloads = self._PAYLOADS
         for i in range(n):
             draw(payloads[i & 1])

@@ -95,6 +95,14 @@ class OverhaulConfig:
     #: for repeat pastes.  Forced off by tracing at call time and by
     #: prompt-mode / gray-box configurations at assembly time.
     fast_display: bool = True
+    #: numpy-vectorized framebuffer blits on the fast display path.  Off
+    #: in :func:`reference_config` (the reference composition is pure
+    #: python) and moot wherever ``fast_display`` is off -- tracing and
+    #: prompt/gray-box configurations already force the reference
+    #: composition.  Degrades silently to the pure-python row loop when
+    #: numpy (the ``repro[fast]`` extra) is not installed; the two
+    #: produce byte-identical frames either way.
+    fast_numpy_blit: bool = True
 
     def __post_init__(self) -> None:
         self.validate()
@@ -147,4 +155,5 @@ def reference_config() -> OverhaulConfig:
         fast_decision_cache=False,
         fast_audit_batch=False,
         fast_display=False,
+        fast_numpy_blit=False,
     )

@@ -70,6 +70,7 @@ class OverhaulSystem:
             and not config.graybox_enabled
         )
         xserver.fast_display = fast_display
+        xserver.fast_numpy_blit = config.fast_numpy_blit
         xserver.overlay.fast_banner_cache = fast_display
         self.extension = DisplayManagerExtension(
             xserver, machine.xserver_task, self.channel, config
@@ -100,6 +101,7 @@ class Machine:
         inventory: Optional[DeviceInventory] = None,
         name: str = "machine",
         trace: bool = False,
+        screen_size: Optional[Tuple[int, int]] = None,
     ) -> None:
         self.name = name
         self.scheduler = scheduler if scheduler is not None else EventScheduler()
@@ -116,7 +118,11 @@ class Machine:
         self.xserver_task = self.kernel.sys_spawn(
             self.kernel.process_table.init, DISPLAY_MANAGER_PATH, comm="Xorg", creds=ROOT
         )
-        self.xserver = XServer(self.scheduler, tracer=self.tracer)
+        # The screen: 1920x1080 by default; benchmark rigs and heavy
+        # differential tests pass a small ``screen_size`` so per-frame
+        # work measures the mechanism under test, not framebuffer memcpy.
+        width, height = screen_size if screen_size is not None else (1920, 1080)
+        self.xserver = XServer(self.scheduler, width=width, height=height, tracer=self.tracer)
         self.keyboard = HardwareKeyboard(self.xserver)
         self.mouse = HardwareMouse(self.xserver)
 
@@ -133,6 +139,7 @@ class Machine:
         inventory: Optional[DeviceInventory] = None,
         name: str = "protected",
         trace: bool = False,
+        screen_size: Optional[Tuple[int, int]] = None,
     ) -> "Machine":
         """A machine running the Overhaul-patched kernel and X server."""
         return cls(
@@ -140,6 +147,7 @@ class Machine:
             inventory=inventory,
             name=name,
             trace=trace,
+            screen_size=screen_size,
         )
 
     @classmethod
@@ -148,9 +156,16 @@ class Machine:
         inventory: Optional[DeviceInventory] = None,
         name: str = "baseline",
         trace: bool = False,
+        screen_size: Optional[Tuple[int, int]] = None,
     ) -> "Machine":
         """An unmodified machine (the Table I baseline / V-D control)."""
-        return cls(overhaul_config=None, inventory=inventory, name=name, trace=trace)
+        return cls(
+            overhaul_config=None,
+            inventory=inventory,
+            name=name,
+            trace=trace,
+            screen_size=screen_size,
+        )
 
     # -- properties -------------------------------------------------------------
 

@@ -139,6 +139,7 @@ def collect_counters(machine: "Machine") -> Counters:
     # partial hits are a fast-path-only diagnostic like hits/misses.
     counters.set("damage.rects_coalesced", xserver.damage_rects_coalesced)
     counters.set("compose.partial_hits", xserver.compose_partial_hits)
+    counters.set("compose.rects_culled", xserver.compose_rects_culled)
     counters.set("overlay.shown", xserver.overlay.total_shown)
     counters.set("overlay.coalesced", xserver.overlay.total_coalesced)
 

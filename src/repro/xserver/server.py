@@ -48,6 +48,7 @@ from repro.xserver.selection import (
 
 #: Request labels for the two copy requests sharing one implementation.
 _COPY_LABELS = {"copy-area": "CopyArea", "copy-plane": "CopyPlane"}
+from repro.xserver.framebuffer import NUMPY_AVAILABLE, Framebuffer
 from repro.xserver.window import Drawable, Geometry, Pixmap, Rect, StackingOrder, Window
 
 #: PROPERTY_NOTIFY payload-pool bound (LRU-evicted, not cleared wholesale).
@@ -55,25 +56,37 @@ _PROP_NOTIFY_POOL_LIMIT = 256
 
 
 class _ComposeCache:
-    """One composed frame plus the structure needed to patch it in place.
+    """One composed 2D frame plus the structure needed to patch it in place.
 
-    ``parts`` are the per-window content snapshots bottom-to-top,
-    ``offsets`` their byte positions inside ``body``, and ``index`` maps
-    drawable id -> part position, so a dirty band found in the damage
-    journal resolves to a byte range in O(1).  ``body`` is the window
-    portion of the frame; ``image`` is ``body`` plus the overlay banner,
-    which composes as its own region keyed by the overlay band epoch.
-    ``render_key`` is carried for the non-incremental fallback, which
-    keys the whole frame exactly as PR-4 did.
+    ``windows`` is the stacking snapshot bottom-to-top and ``index`` maps
+    drawable id -> stack position, so a dirty window found in the damage
+    journal resolves in O(1).  ``bounds[i]`` is window i's geometry
+    clipped to the screen -- None for transparent or fully-offscreen
+    windows, neither of which paints a cell.  ``occluded``/``blockers``
+    are *lazy* per-window occlusion facts, valid for the cache's whole
+    lifetime because geometry is immutable and every restack bumps the
+    stacking generation: ``occluded[i]`` is True when one opaque window
+    above fully covers window i (its damage can never reach the screen,
+    so the patcher culls it in O(1)); ``blockers[i]`` lists the opaque
+    windows above that overlap it and must be re-blitted over any patch.
+
+    ``fb`` is the live framebuffer; ``image`` the cached
+    ``snapshot + banner`` frame, valid while ``fb.epoch == fb_epoch`` and
+    the overlay band epoch matches.  ``render_key`` serves the
+    non-incremental fallback, which keys whole frames exactly as PR-4
+    did.
     """
 
     __slots__ = (
         "generation",
-        "parts",
-        "offsets",
+        "windows",
         "index",
+        "bounds",
+        "occluded",
+        "blockers",
         "render_key",
-        "body",
+        "fb",
+        "fb_epoch",
         "banner",
         "band_epoch",
         "image",
@@ -82,21 +95,24 @@ class _ComposeCache:
     def __init__(
         self,
         generation: int,
-        parts: list,
-        offsets: list,
+        windows: list,
         index: dict,
+        bounds: list,
         render_key: tuple,
-        body: bytes,
+        fb,
         banner: bytes,
         band_epoch: int,
         image: bytes,
     ) -> None:
         self.generation = generation
-        self.parts = parts
-        self.offsets = offsets
+        self.windows = windows
         self.index = index
+        self.bounds = bounds
+        self.occluded: list = [None] * len(windows)
+        self.blockers: list = [None] * len(windows)
         self.render_key = render_key
-        self.body = body
+        self.fb = fb
+        self.fb_epoch = fb.epoch
         self.banner = banner
         self.band_epoch = band_epoch
         self.image = image
@@ -190,6 +206,11 @@ class XServer:
         #: fast path additionally disables itself while tracing is on or a
         #: prompt band is installed (those need the reference path).
         self.fast_display = True
+        #: numpy-vectorized framebuffer blits (``fast_numpy_blit``); only
+        #: the fast display path consults it (tracing already forces the
+        #: reference composition), and it degrades silently to the
+        #: pure-python row loop when numpy is not importable.
+        self.fast_numpy_blit = True
         #: Incremental-composition switch: with it on (the default), a
         #: cached frame whose stacking order is unchanged is *patched* in
         #: place from the damage journal; with it off the fast path keys
@@ -209,19 +230,44 @@ class XServer:
         self._damage_journal: Dict[int, Drawable] = {}
         #: Stable bound-method identity for sink attachment checks.
         self._damage_sink = self._record_damage
+        #: The merge-counter cell shared with every drawable (a one-element
+        #: list): draws add their coalescing merges here directly, so the
+        #: accounting survives even when journal registration is skipped
+        #: for composer-proven-invisible windows.
+        self._coalesce_cell = [0]
         self.root_window.damage_sink = self._damage_sink
+        self.root_window._coalesce_cell = self._coalesce_cell
         #: Composition-cache effectiveness (diagnostics; not part of the
         #: equivalence contract -- the reference path never caches).
         self.compose_cache_hits = 0
         self.compose_cache_misses = 0
         #: Partial recompositions: the cached frame was patched in place
-        #: (dirty bands and/or the banner region re-spliced) instead of
-        #: rebuilt.  Fast-path-only, like the hit/miss counters.
+        #: (dirty rects blitted, culled, and/or the banner region rebuilt)
+        #: instead of recomposed.  Fast-path-only, like the hit/miss
+        #: counters.
         self.compose_partial_hits = 0
-        #: Damage rects merged during per-epoch coalescing.  Counted on
-        #: every path (the recording itself is unconditional), so fast and
-        #: reference machines agree -- the differential suite asserts it.
-        self.damage_rects_coalesced = 0
+        #: Dirty rects proven invisible (their window transparent,
+        #: offscreen, or fully covered by an opaque window above) and
+        #: dropped without touching a single framebuffer byte.
+        #: Fast-path-only diagnostics, like the partial counter.
+        self.compose_rects_culled = 0
+    @property
+    def damage_rects_coalesced(self) -> int:
+        """Damage rects merged while folding draws into each drawable's
+        coalescing buffer.
+
+        The buffer is a pure function of the draw stream (composition and
+        snapshot refreshes never touch it), so fast and reference
+        machines -- which see identical draws -- report identical counts;
+        the differential suite asserts it.  Backed by a cell the drawables
+        increment directly, keeping the accounting alive even for windows
+        whose journal registration the composer has culled.
+        """
+        return self._coalesce_cell[0]
+
+    @damage_rects_coalesced.setter
+    def damage_rects_coalesced(self, value: int) -> None:
+        self._coalesce_cell[0] = value
 
     # -- time -----------------------------------------------------------------
 
@@ -289,6 +335,7 @@ class XServer:
         window = Window(client.client_id, geometry, title)
         window.transparent = transparent
         window.damage_sink = self._damage_sink
+        window._coalesce_cell = self._coalesce_cell
         self._windows[window.drawable_id] = window
         return window
 
@@ -297,6 +344,7 @@ class XServer:
         self.requests_processed += 1
         pixmap = Pixmap(client.client_id)
         pixmap.damage_sink = self._damage_sink
+        pixmap._coalesce_cell = self._coalesce_cell
         self._pixmaps[pixmap.drawable_id] = pixmap
         return pixmap
 
@@ -897,33 +945,43 @@ class XServer:
 
     # -- display contents -------------------------------------------------------------
 
-    def _record_damage(self, drawable: Drawable, coalesced: int) -> None:
+    def _record_damage(self, drawable: Drawable) -> None:
         """The per-drawable damage sink: feeds the incremental journal.
 
-        Runs on *every* damage event regardless of fast-path state, so the
-        coalescing counter stays in parity between fast and reference
-        machines and the journal is complete when a traced interlude ends.
-        The journal is a dict keyed by drawable id, so it is bounded by
-        the number of live drawables, not the number of draws.
+        Called on the *first* pending damage of a drawable (repeat draws
+        find their journal entry already registered and skip the call),
+        and not at all once the composer has proven the drawable
+        invisible (:attr:`Drawable.composer_skip`).  Merge accounting
+        lives in the shared counter cell, not here, so it is unaffected
+        by either short-circuit.  The journal is a dict keyed by drawable
+        id, so it is bounded by the number of live drawables, not the
+        number of draws.
         """
-        if coalesced:
-            self.damage_rects_coalesced += coalesced
         self._damage_journal[drawable.drawable_id] = drawable
 
     def compose_screen(self) -> bytes:
-        """The full display image: windows bottom-to-top, then the overlay.
+        """The full display image: a 2D framebuffer, then the overlay.
 
-        Damage-tracked fast path, now incremental: while the stacking
-        order is unchanged, the cached frame is **patched in place** from
-        the damage journal -- only the dirty bands (and the banner region,
-        which keys on its own overlay epoch) are re-spliced, so a partial
-        redraw costs O(dirty), not O(windows).  Structural changes (map,
+        The frame is a ``width x height`` row-major byte grid: every
+        mapped opaque window blits its (zero-extended) content at its
+        geometry, bottom-to-top and clipped to the screen; transparent
+        windows have an empty paint region and contribute nothing.  The
+        overlay banner is appended after the grid -- it genuinely sits
+        above everything.
+
+        Damage-tracked fast path, incremental and occlusion-aware: while
+        the stacking order is unchanged, dirty rects from the damage
+        journal are **blitted in place** -- only the rows each rect covers
+        move, overlapping windows above are re-blitted over the patch, and
+        a rect whose window is provably invisible (transparent, offscreen,
+        or fully covered by an opaque window above) is *culled* without
+        touching a single framebuffer byte.  Structural changes (map,
         unmap, raise, lower, disconnect) bump the stacking generation and
         force a full recompose.  An untouched screen remains a pure O(1)
         cache hit.  The patched frame is byte-identical to the reference
-        composition by construction: each band is the drawable's own
-        snapshot and the order never changes without a generation bump
-        (the differential suite asserts it).
+        composition by construction -- blits are idempotent per cell and
+        occlusion facts cannot change without a generation bump (the
+        differential suite asserts the equivalence, numpy path included).
         """
         # The fast gate is inlined (_fast_display_active) -- this is the
         # hottest request in the server and the call shows in profiles.
@@ -933,74 +991,98 @@ class XServer:
             and self.prompt_interceptor is None
         ):
             stacking = self.stacking
-            overlay = self.overlay
-            banner = overlay.banner_bytes(self._scheduler.now)
-            band_epoch = overlay.band_epoch
             cache = self._compose_cache
             if cache is not None and cache.generation == stacking.generation:
                 if self.incremental_compose:
+                    patched = False
                     journal = self._damage_journal
                     if journal:
+                        patched = True
+                        self.compose_partial_hits += 1
                         index = cache.index
-                        if len(journal) == 1:
-                            # Dominant shape: one drawable damaged.
-                            drawable = next(iter(journal.values()))
-                            journal.clear()
-                            if drawable.drawable_id in index:
-                                return self._patch_compose(
-                                    cache, (drawable,), banner, band_epoch
-                                )
-                        else:
-                            dirty = [
-                                d for d in journal.values() if d.drawable_id in index
-                            ]
-                            journal.clear()
-                            if dirty:
-                                return self._patch_compose(
-                                    cache, dirty, banner, band_epoch
-                                )
-                    if band_epoch == cache.band_epoch:
-                        self.compose_cache_hits += 1
+                        occluded = cache.occluded
+                        while journal:
+                            _, drawable = journal.popitem()
+                            pos = index.get(drawable.drawable_id)
+                            if pos is None:
+                                # Pixmaps and unmapped windows: invisible,
+                                # nothing to patch -- and nothing to journal
+                                # until the next full recompose either.
+                                drawable.journal_rects.clear()
+                                drawable.journal_full = False
+                                drawable.composer_skip = True
+                            else:
+                                occ = occluded[pos]
+                                if occ is None:
+                                    occ = self._occlusion_for(cache, pos)
+                                if occ:
+                                    rects = drawable.journal_rects
+                                    self.compose_rects_culled += (
+                                        1 if drawable.journal_full else len(rects)
+                                    )
+                                    drawable.journal_full = False
+                                    rects.clear()
+                                    # Proven invisible: future draws skip the
+                                    # journal entirely (and their composes
+                                    # become pure cache hits) until a
+                                    # structural change forces a recompose.
+                                    drawable.composer_skip = True
+                                else:
+                                    self._patch_window(cache, drawable, pos)
+                    # Quiet-overlay shortcut: with no active alerts the
+                    # band provably cannot move, so skip the render call.
+                    overlay = self.overlay
+                    if overlay._active:
+                        banner = overlay.banner_bytes(self._scheduler.now)
+                    else:
+                        banner = b""
+                    band_epoch = overlay.band_epoch
+                    fb = cache.fb
+                    if fb.epoch == cache.fb_epoch and band_epoch == cache.band_epoch:
+                        if not patched:
+                            self.compose_cache_hits += 1
                         return cache.image
-                    return self._patch_compose(cache, (), banner, band_epoch)
+                    if not patched:
+                        # Banner-only repatch: the grid is untouched.
+                        self.compose_partial_hits += 1
+                    body = bytes(fb.data)
+                    image = body + banner if banner else body
+                    cache.fb_epoch = fb.epoch
+                    cache.banner = banner
+                    cache.band_epoch = band_epoch
+                    cache.image = image
+                    return image
+                banner = self.overlay.banner_bytes(self._scheduler.now)
                 if (
                     cache.render_key == stacking.render_key()
                     and cache.banner == banner
                 ):
                     self.compose_cache_hits += 1
                     return cache.image
+                self.compose_cache_misses += 1
+                return self._rebuild_compose(stacking, banner)
             self.compose_cache_misses += 1
-            self._damage_journal.clear()
-            sink = self._damage_sink
-            parts = []
-            offsets = []
-            index = {}
-            pos = 0
-            for window in stacking.bottom_to_top():
-                if window.damage_sink is not sink:
-                    # Defensive: windows constructed outside the request
-                    # layer (tests, rigs) join the journal on first compose.
-                    window.damage_sink = sink
-                part = window.content_bytes()
-                index[window.drawable_id] = len(parts)
-                offsets.append(pos)
-                parts.append(part)
-                pos += len(part)
-            body = b"".join(parts)
-            image = body + banner if banner else body
-            self._compose_cache = _ComposeCache(
-                stacking.generation,
-                parts,
-                offsets,
-                index,
-                stacking.render_key(),
-                body,
-                banner,
-                band_epoch,
-                image,
+            return self._rebuild_compose(
+                stacking, self.overlay.banner_bytes(self._scheduler.now)
             )
-            return image
-        parts = [bytes(w.content) for w in self.stacking.bottom_to_top()]
+        # Reference path: a fresh pure-python composition every call.  It
+        # also drains the journal (bookkeeping only -- the coalescing
+        # counter is compose-independent) and drops the compose cache, so
+        # a later fast compose rebuilds instead of trusting a journal
+        # someone else consumed (e.g. across a traced interlude).
+        if self._damage_journal:
+            self._drain_journal()
+            self._compose_cache = None
+        fb = Framebuffer(self.width, self.height, use_numpy=False)
+        for window in self.stacking.bottom_to_top():
+            if window.transparent:
+                continue
+            geometry = window.geometry
+            fb.blit(
+                geometry.x, geometry.y, geometry.width, window.content,
+                0, 0, geometry.width, geometry.height,
+            )
+        parts = [bytes(fb.data)]
         banner = self.overlay.banner_bytes(self.now)
         if banner:
             parts.append(banner)
@@ -1008,66 +1090,147 @@ class XServer:
             prompt_banner = self.prompt_interceptor.banner()  # type: ignore[attr-defined]
             if prompt_banner:
                 parts.append(prompt_banner)
-        return b"".join(parts)
+        return b"".join(parts) if len(parts) > 1 else parts[0]
 
-    def _patch_compose(
-        self, cache: _ComposeCache, dirty, banner: bytes, band_epoch: int
-    ) -> bytes:
-        """Patch the cached frame: re-splice dirty bands and the banner.
+    def _drain_journal(self) -> None:
+        """Consume every journal entry, resetting the per-drawable sets."""
+        journal = self._damage_journal
+        for drawable in journal.values():
+            drawable.journal_rects.clear()
+            drawable.journal_full = False
+        journal.clear()
 
-        The dominant shape -- one dirty window -- splices its band into
-        the body with a single three-piece join over memoryviews (no
-        intermediate slice copies).  Multiple dirty bands rebuild the body
-        from the part list, which is still free of per-window snapshot
-        work for the clean windows.  A journal entry whose snapshot did
-        not actually change (render-state-only events like property
-        writes) costs nothing: the band keeps its bytes object and the
-        frame is reused as-is.
-        """
-        self.compose_partial_hits += 1
-        parts = cache.parts
-        offsets = cache.offsets
-        body = cache.body
-        changed = False
-        if len(dirty) == 1:
-            window = dirty[0]
-            i = cache.index[window.drawable_id]
-            old = parts[i]
-            new = window.content_bytes()
-            if new is not old:
-                start = offsets[i]
-                end = start + len(old)
-                view = memoryview(body)
-                body = b"".join((view[:start], new, view[end:]))
-                parts[i] = new
-                delta = len(new) - len(old)
-                if delta:
-                    for j in range(i + 1, len(offsets)):
-                        offsets[j] += delta
-                cache.body = body
-                changed = True
-        elif dirty:
-            for window in dirty:
-                i = cache.index[window.drawable_id]
-                new = window.content_bytes()
-                if new is not parts[i]:
-                    parts[i] = new
-                    changed = True
-            if changed:
-                body = b"".join(parts)
-                pos = 0
-                for i, part in enumerate(parts):
-                    offsets[i] = pos
-                    pos += len(part)
-                cache.body = body
-        if not changed and banner == cache.banner:
-            cache.band_epoch = band_epoch
-            return cache.image
+    def _rebuild_compose(self, stacking: StackingOrder, banner: bytes) -> bytes:
+        """Full fast-path recompose: zero the grid, blit every opaque
+        window bottom-to-top, rebuild the occlusion index (consumed
+        lazily by the incremental patcher)."""
+        self._drain_journal()
+        sink = self._damage_sink
+        width = self.width
+        height = self.height
+        use_numpy = self.fast_numpy_blit and NUMPY_AVAILABLE
+        cache = self._compose_cache
+        if (
+            cache is not None
+            and cache.fb.width == width
+            and cache.fb.height == height
+            and cache.fb.use_numpy == use_numpy
+        ):
+            fb = cache.fb  # reuse the allocation across rebuilds
+            fb.clear()
+        else:
+            fb = Framebuffer(width, height, use_numpy=use_numpy)
+        windows = stacking.bottom_to_top()
+        index = {}
+        bounds = []
+        for pos, window in enumerate(windows):
+            if window.damage_sink is not sink:
+                # Defensive: windows constructed outside the request
+                # layer (tests, rigs) join the journal on first compose.
+                window.damage_sink = sink
+                window._coalesce_cell = self._coalesce_cell
+            # Occlusion verdicts from the previous cache die with it: a
+            # full recompose re-reads every window's content directly, so
+            # re-arming journal registration here is what makes the
+            # draw-time skip sound.
+            window.composer_skip = False
+            index[window.drawable_id] = pos
+            if window.transparent:
+                bounds.append(None)
+                continue
+            clipped = window.screen_rect(width, height)
+            bounds.append(clipped)
+            if clipped is not None:
+                geometry = window.geometry
+                fb.blit(
+                    geometry.x, geometry.y, geometry.width, window.content,
+                    clipped.x - geometry.x, clipped.y - geometry.y,
+                    clipped.width, clipped.height,
+                )
+        body = bytes(fb.data)
         image = body + banner if banner else body
-        cache.banner = banner
-        cache.band_epoch = band_epoch
-        cache.image = image
+        self._compose_cache = _ComposeCache(
+            stacking.generation,
+            windows,
+            index,
+            bounds,
+            stacking.render_key(),
+            fb,
+            banner,
+            self.overlay.band_epoch,
+            image,
+        )
         return image
+
+    def _occlusion_for(self, cache: _ComposeCache, pos: int) -> bool:
+        """Compute (and memoize) whether window *pos* is invisible.
+
+        One bottom-up scan classifies the window as transparent/offscreen
+        (bounds None), fully covered by a single opaque window above
+        (occluded -- its damage can never reach the screen), or visible
+        with a cached **blocker list**: the opaque windows above that
+        overlap it and must be re-blitted over any patch.  Valid for the
+        cache's lifetime -- geometry is immutable and every restack bumps
+        the stacking generation, which rebuilds the cache.
+        """
+        bounds = cache.bounds
+        clipped = bounds[pos]
+        if clipped is None:
+            cache.occluded[pos] = True
+            return True
+        windows = cache.windows
+        blockers = []
+        for above_pos in range(pos + 1, len(windows)):
+            above_bounds = bounds[above_pos]
+            if above_bounds is None:
+                continue
+            if above_bounds.contains_rect(clipped):
+                cache.occluded[pos] = True
+                return True
+            if above_bounds.overlaps(clipped):
+                blockers.append((windows[above_pos], above_bounds))
+        cache.occluded[pos] = False
+        cache.blockers[pos] = blockers
+        return False
+
+    def _patch_window(self, cache: _ComposeCache, window, pos: int) -> None:
+        """Blit a visible window's dirty rects into the framebuffer.
+
+        The dirty window's own blit covers every cell of each rect
+        (content is zero-extended, so opaque windows are opaque over their
+        whole geometry) -- no background fill is needed.  Overlapping
+        opaque windows above are then re-blitted over the patched region,
+        restoring the stacking order cell-for-cell.
+        """
+        fb = cache.fb
+        geometry = window.geometry
+        gx = geometry.x
+        gy = geometry.y
+        stride = geometry.width
+        content = window.content
+        rects = window.journal_rects
+        if window.journal_full:
+            window.journal_full = False
+            dirty = (Rect(0, 0, stride, geometry.height),)
+        else:
+            dirty = tuple(rects)
+        rects.clear()
+        blockers = cache.blockers[pos]
+        for rect in dirty:
+            fb.blit(gx, gy, stride, content, rect.x, rect.y, rect.width, rect.height)
+            if blockers:
+                screen_rect = Rect(gx + rect.x, gy + rect.y, rect.width, rect.height)
+                for above, above_bounds in blockers:
+                    overlap = above_bounds.intersect(screen_rect)
+                    if overlap is not None:
+                        above_geometry = above.geometry
+                        fb.blit(
+                            above_geometry.x, above_geometry.y,
+                            above_geometry.width, above.content,
+                            overlap.x - above_geometry.x,
+                            overlap.y - above_geometry.y,
+                            overlap.width, overlap.height,
+                        )
 
     def get_image(self, client: XClient, drawable_id: int, via: str = "core") -> bytes:
         """GetImage / XShmGetImage (``via='mit-shm'``).

@@ -73,23 +73,123 @@ class Rect(NamedTuple):
         bottom = max(self.y + self.height, other.y + other.height)
         return Rect(x, y, right - x, bottom - y)
 
-    def span(self, stride: int) -> Tuple[int, int]:
-        """The half-open byte range this rect covers in row-major content.
+    def intersect(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping rect, or None when the rects are disjoint."""
+        x = max(self.x, other.x)
+        y = max(self.y, other.y)
+        right = min(self.x + self.width, other.x + other.width)
+        bottom = min(self.y + self.height, other.y + other.height)
+        if right <= x or bottom <= y:
+            return None
+        return Rect(x, y, right - x, bottom - y)
 
-        ``stride`` is the drawable's row width in bytes (0 for linear
-        drawables, whose rects are single-row byte ranges).
+    def translate(self, dx: int, dy: int) -> "Rect":
+        """The same rect shifted by (dx, dy)."""
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+    def area(self) -> int:
+        return self.width * self.height
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when *other* lies entirely inside this rect."""
+        return (
+            self.x <= other.x
+            and self.y <= other.y
+            and self.x + self.width >= other.x + other.width
+            and self.y + self.height >= other.y + other.height
+        )
+
+    def span(self) -> Tuple[int, int]:
+        """The half-open byte range of a **linear** (stride-0) rect.
+
+        Only single-row rects on linear drawables (pixmaps) map to one
+        contiguous byte range; a 2D window rect covers ``height``
+        *separate* row slices, and collapsing it to one range is exactly
+        the bounding-band over-approximation the 2D framebuffer removed.
+        Screen-path callers must use per-row blits
+        (:meth:`repro.xserver.framebuffer.Framebuffer.blit`); asserting
+        single-row-ness here catches any regression to the old behaviour.
         """
-        lo = self.y * stride + self.x
-        return lo, (self.y + self.height - 1) * stride + self.x + self.width
+        if self.height != 1:
+            raise ValueError(
+                f"Rect.span() is only defined for single-row linear rects, "
+                f"not {self!r}; screen-path callers must use per-row blits"
+            )
+        return self.x, self.x + self.width
 
 
-#: Pending rects per drawable before damage collapses to one bounding
-#: rect.  Keeps per-epoch coalescing O(small-constant) under draw storms.
+#: Pending rects per drawable before the coalescer starts least-waste
+#: pair merging.  Keeps per-epoch coalescing O(small-constant) under draw
+#: storms.
 _MAX_PENDING_RECTS = 8
 
-#: Called with ``(drawable, rects_coalesced)`` on every damage event; the
-#: server installs its damage journal here.
-DamageSink = Callable[["Drawable", int], None]
+
+def _covered_area(a: Rect, b: Rect) -> int:
+    """Cells covered by ``a ∪ b`` as a *region* (inclusion-exclusion)."""
+    ow = min(a.x + a.width, b.x + b.width) - max(a.x, b.x)
+    oh = min(a.y + a.height, b.y + b.height) - max(a.y, b.y)
+    overlap = ow * oh if (ow > 0 and oh > 0) else 0
+    return a.width * a.height + b.width * b.height - overlap
+
+
+def coalesce_rect(rects: List[Rect], rect: Rect, cap: int = _MAX_PENDING_RECTS) -> int:
+    """Fold *rect* into the pending set in place; returns merges performed.
+
+    Replaces PR-5's merge-on-overlap + bounding-rect-collapse-at-cap with
+    a strategy that keeps narrow rects narrow (scroll bars, drag ghosts,
+    cursor columns):
+
+    - a rect equal to the most recent entry counts one merge and leaves
+      the set unchanged (the repeat-draw hot shape);
+    - **tight unions only**: two rects merge when their bounding union
+      covers exactly the cells they already cover (no smear), so row
+      bands extend into taller bands and columns stack into columns, but
+      a 1-px column never widens into a full-width band;
+    - past the cap, the *least-waste* pair merges (the pair whose union
+      adds the fewest uncovered cells), repeatedly until within bounds --
+      bounded local slack instead of one screen-wide bounding rect.
+    """
+    if rects and rects[-1] == rect:
+        return 1
+    merged = 0
+    # Tight-union cascade: each merge may enable another.
+    changed = True
+    while changed:
+        changed = False
+        for i, other in enumerate(rects):
+            union = rect.union(other)
+            if union.width * union.height == _covered_area(rect, other):
+                del rects[i]
+                rect = union
+                merged += 1
+                changed = True
+                break
+    rects.append(rect)
+    while len(rects) > cap:
+        best_waste = None
+        best_i = best_j = 0
+        best_union = None
+        for i in range(len(rects) - 1):
+            a = rects[i]
+            for j in range(i + 1, len(rects)):
+                union = a.union(rects[j])
+                waste = union.width * union.height - _covered_area(a, rects[j])
+                if best_waste is None or waste < best_waste:
+                    best_waste = waste
+                    best_i, best_j, best_union = i, j, union
+        del rects[best_j]
+        rects[best_i] = best_union
+        merged += 1
+    return merged
+
+
+#: Called with the drawable on damage events that need journal
+#: registration; the server installs its damage journal here.
+DamageSink = Callable[["Drawable"], None]
+
+#: Merge-counter cell for drawables not attached to a server: increments
+#: land here and are never read.  Keeps the hot path branch-free.
+_DISCARD_CELL = [0]
 
 _drawable_ids = itertools.count(0x40_0000)
 
@@ -114,17 +214,51 @@ class Drawable:
         self.content = bytearray()
         #: Content generation; bumped by every draw/append.
         self.damage = 0
-        #: Dirty rects recorded since the last snapshot refresh, coalesced
-        #: on overlap as they arrive.  Empty while ``_damage_full`` covers
-        #: everything.
+        #: Dirty rects recorded since the last snapshot refresh -- the
+        #: *snapshot splice* set, maintained only while a snapshot cache
+        #: exists to splice into (pure bookkeeping, never counted).
         self.damage_rects: List[Rect] = []
-        #: True when pending damage covers the whole content (full draws,
-        #: appends, anything that may have changed the content length).
+        #: True when pending snapshot damage covers the whole content
+        #: (full draws, appends, anything changing the content length).
         self._damage_full = False
+        #: Dirty rects since the last screen composition -- the *journal*
+        #: set the server's incremental composer consumes and drains.
+        #: Pure fast-path bookkeeping: the composer may also stop feeding
+        #: it entirely (see :attr:`composer_skip`) once it proves the
+        #: drawable invisible.
+        self.journal_rects: List[Rect] = []
+        #: True when journal damage covers the whole drawable.
+        self.journal_full = False
+        #: The coalescing buffer behind the ``damage_rects_coalesced``
+        #: counter: the last few draw rects since the last full damage.
+        #: Mutated *only* by the draw stream (never by composition or
+        #: snapshot refreshes), so fast and reference machines -- which see
+        #: identical draws -- count identical merges by construction.
+        self._coalesce_buf: List[Rect] = []
+        #: The server's merge counter cell (a shared one-element list);
+        #: kept separate from the sink so merge accounting continues even
+        #: when journal registration is skipped.  Unattached drawables
+        #: count into the module-level discard cell.
+        self._coalesce_cell: List[int] = _DISCARD_CELL
+        #: Repeat-draw memo: ``(x, y, width, lo, end, rect)`` of the most
+        #: recent single-row draw, valid only while that rect is still the
+        #: newest coalescing-buffer entry (so a repeat counts exactly the
+        #: one merge ``coalesce_rect`` would) and the content has not been
+        #: replaced (full damage clears it).
+        self._last_draw: Optional[tuple] = None
+        #: Set by the incremental composer once it proves this drawable
+        #: invisible (fully occluded, offscreen, or never composed): draws
+        #: then skip journal registration entirely.  Sound because every
+        #: event that could change visibility (map/unmap/raise/lower)
+        #: bumps the stacking generation, which forces a full recompose --
+        #: and the recompose both re-reads content directly and clears
+        #: this flag for every stacked window.  Never set on the reference
+        #: path (it has no composer state).
+        self.composer_skip = False
         #: Damage-journal hook: the server installs a callback here so any
         #: content mutation -- including direct draws that never pass
         #: through a server request -- lands in its incremental-compose
-        #: journal.  Called with ``(drawable, rects_coalesced)``.
+        #: journal.  Called with the drawable itself.
         self.damage_sink: Optional[DamageSink] = None
         self._content_cache: Optional[bytes] = None
         self._content_cache_damage = -1
@@ -165,48 +299,54 @@ class Drawable:
     def mark_damaged(self, rect: Optional[Rect] = None) -> None:
         """Record a content mutation (invalidates cached snapshots).
 
-        With a rect, the damage is region-granular: the rect is coalesced
-        into the pending set (overlapping rects merge into their union)
-        and only those spans are refreshed at the next snapshot.  Without
-        one the damage covers the whole drawable.  Either way the damage
-        counter bumps and the :attr:`damage_sink` (the server's journal)
-        is notified.
+        With a rect, the damage is region-granular: the rect folds into
+        the **coalescing buffer** (whose merge count feeds the
+        ``damage_rects_coalesced`` counter -- a pure function of the draw
+        stream, so fast and reference machines agree exactly), into the
+        **journal** set (what the incremental composer patches from,
+        unless the composer has proven the drawable invisible), and,
+        while a snapshot cache exists, into the **splice** set (what
+        :meth:`content_bytes` refreshes from).  Without a rect the damage
+        covers the whole drawable.  Either way the damage counter bumps
+        and the :attr:`damage_sink` (the server's journal) is notified on
+        first pending damage.
         """
-        coalesced = 0
+        self._last_draw = None
         if rect is None:
             self._damage_full = True
             if self.damage_rects:
                 self.damage_rects.clear()
-        elif not self._damage_full:
-            rects = self.damage_rects
-            merged = rect
-            if rects:
-                # Merge transitively: the union may overlap rects the
-                # original did not.
-                changed = True
-                while changed and rects:
-                    changed = False
-                    remaining = []
-                    for other in rects:
-                        if merged.overlaps(other):
-                            merged = merged.union(other)
-                            coalesced += 1
-                            changed = True
-                        else:
-                            remaining.append(other)
-                    rects = remaining
-            rects.append(merged)
-            if len(rects) > _MAX_PENDING_RECTS:
-                whole = rects[0]
-                for other in rects[1:]:
-                    whole = whole.union(other)
-                    coalesced += 1
-                rects = [whole]
-            self.damage_rects = rects
+            self._coalesce_buf.clear()
+            if not self.composer_skip:
+                pending = self.journal_full or bool(self.journal_rects)
+                self.journal_full = True
+                if self.journal_rects:
+                    self.journal_rects.clear()
+                self.damage += 1
+                if not pending:
+                    sink = self.damage_sink
+                    if sink is not None:
+                        sink(self)
+                return
+            self.damage += 1
+            return
+        coalesced = coalesce_rect(self._coalesce_buf, rect)
+        if coalesced:
+            self._coalesce_cell[0] += coalesced
+        if self._content_cache is not None and not self._damage_full:
+            coalesce_rect(self.damage_rects, rect)
         self.damage += 1
-        sink = self.damage_sink
-        if sink is not None:
-            sink(self, coalesced)
+        if self.composer_skip:
+            return
+        pending = self.journal_full
+        if not pending:
+            journal = self.journal_rects
+            pending = bool(journal)
+            coalesce_rect(journal, rect)
+        if not pending:
+            sink = self.damage_sink
+            if sink is not None:
+                sink(self)
 
     def draw(self, data: bytes) -> None:
         """Replace the drawable's content (a paint operation)."""
@@ -221,30 +361,48 @@ class Drawable:
     def draw_rect(
         self, x: int, y: int, width: int, height: int, data: bytes
     ) -> Optional[Rect]:
-        """Paint a region: write *data* into the rect's byte span.
+        """Paint a region: write *data* into the rect, row by row.
 
         The rect is clipped to the drawable bounds; zero-area or fully
         clipped requests are complete no-ops (no damage, no content
-        change) and return None.  Content is row-major with the
-        drawable's stride; short windows are zero-extended so a rect draw
-        beyond the current content length is well defined.  Returns the
-        clipped rect that was recorded as damage.
+        change) and return None.  *data* is row-major at the **rect's**
+        width: row ``r`` of the rect takes ``data[r*width:(r+1)*width]``,
+        zero-padded when *data* runs short and truncated when it runs
+        long.  Only the rect's columns are written -- cells between the
+        rect's rows are untouched, unlike the PR-5 span write.  Content
+        is zero-extended so a draw beyond the current length is well
+        defined.  Returns the clipped rect that was recorded as damage.
         """
         rect = self._clip(x, y, width, height)
         if rect is None:
             return None
-        lo, hi = rect.span(self._stride())
-        if len(data) > hi - lo:
-            payload = bytes(data[: hi - lo])
-        elif type(data) is bytes:
+        stride = self._stride()
+        rw = rect.width
+        content = self.content
+        if stride == 0:
+            # Linear drawables (pixmaps): one contiguous byte range.
+            lo, hi = rect.span()
+            need = hi - lo
+        else:
+            lo = rect.y * stride + rect.x
+            hi = (rect.y + rect.height - 1) * stride + rect.x + rw
+            need = rw * rect.height
+        if len(data) == need and type(data) is bytes:
             payload = data
         else:
-            payload = bytes(data)
-        content = self.content
-        end = lo + len(payload)
-        if len(content) < end:
-            content.extend(b"\x00" * (end - len(content)))
-        content[lo:end] = payload
+            payload = bytes(data[:need])
+            if len(payload) < need:
+                payload = payload + bytes(need - len(payload))
+        if len(content) < hi:
+            content.extend(bytes(hi - len(content)))
+        if stride == 0 or rect.height == 1:
+            content[lo:hi] = payload
+        else:
+            src = 0
+            for _ in range(rect.height):
+                content[lo : lo + rw] = payload[src : src + rw]
+                lo += stride
+                src += rw
         self.mark_damaged(rect)
         return rect
 
@@ -269,14 +427,29 @@ class Drawable:
             and not self._damage_full
             and len(cached) == len(content)
         ):
+            # Row-granular refresh: copy back exactly the dirty rows of
+            # each pending rect (the 2D analogue of the PR-5 span splice,
+            # without the bounding-band over-copy between rows).
             stride = self._stride()
             size = len(content)
+            buf = bytearray(cached)
             for rect in rects:
-                lo, hi = rect.span(stride)
-                if lo >= size:
-                    continue
-                cached = cached[:lo] + content[lo:hi] + cached[hi:]
-            snapshot = cached
+                if stride == 0:
+                    off = rect.x
+                    rows = 1
+                else:
+                    off = rect.y * stride + rect.x
+                    rows = rect.height
+                rw = rect.width
+                for _ in range(rows):
+                    if off >= size:
+                        break
+                    end = off + rw
+                    if end > size:
+                        end = size
+                    buf[off:end] = content[off:end]
+                    off += stride
+            snapshot = bytes(buf)
         else:
             snapshot = bytes(content)
         if rects:
@@ -329,6 +502,108 @@ class Window(Drawable):
     def _stride(self) -> int:
         return self.geometry.width
 
+    def draw_rect(
+        self, x: int, y: int, width: int, height: int, data: bytes
+    ) -> Optional[Rect]:
+        """Region paint with an inlined fast path for the hot shape.
+
+        In-bounds single-row writes with an exact-length payload (cursor
+        blinks, scroll lines, animation bands -- every compose benchmark's
+        inner loop) skip the generic clip/pad machinery and the
+        ``mark_damaged`` call chain; the bookkeeping below is line-for-line
+        what the generic path performs for this shape, so the two are
+        indistinguishable (the differential suite drives both).  Every
+        other shape falls through to :meth:`Drawable.draw_rect`.
+        """
+        memo = self._last_draw
+        if (
+            memo is not None
+            and height == 1
+            and memo[0] == x
+            and memo[1] == y
+            and memo[2] == width
+            and type(data) is bytes
+            and len(data) == width
+        ):
+            # Repeat of the previous draw: the clip arithmetic, the Rect,
+            # and the coalescing outcome (one merge -- ``coalesce_rect``'s
+            # repeat-draw branch) are all memoized.  The memo is dropped
+            # by any other damage, so this is observably the generic path.
+            rect = memo[5]
+            self.content[memo[3] : memo[4]] = data
+            self.damage += 1
+            self.render_generation += 1
+            self._coalesce_cell[0] += 1
+            if self._content_cache is not None and not self._damage_full:
+                coalesce_rect(self.damage_rects, rect)
+            if self.composer_skip:
+                return rect
+            pending = self.journal_full
+            if not pending:
+                journal = self.journal_rects
+                pending = bool(journal)
+                coalesce_rect(journal, rect)
+            if not pending:
+                sink = self.damage_sink
+                if sink is not None:
+                    sink(self)
+            return rect
+        geometry = self.geometry
+        if (
+            height == 1
+            and 0 <= y < geometry.height
+            and x >= 0
+            and width > 0
+            and x + width <= geometry.width
+            and len(data) == width
+            and type(data) is bytes
+        ):
+            lo = y * geometry.width + x
+            end = lo + width
+            content = self.content
+            if len(content) < end:
+                content.extend(bytes(end - len(content)))
+            content[lo:end] = data
+            self.damage += 1
+            self.render_generation += 1
+            rect = Rect(x, y, width, 1)
+            buf = self._coalesce_buf
+            coalesced = coalesce_rect(buf, rect)
+            if coalesced:
+                self._coalesce_cell[0] += coalesced
+            if buf[-1] == rect:
+                # The rect survived coalescing as the newest entry: a
+                # repeat of this exact draw may take the memoized lane.
+                self._last_draw = (x, y, width, lo, end, rect)
+            else:
+                self._last_draw = None
+            if self._content_cache is not None and not self._damage_full:
+                coalesce_rect(self.damage_rects, rect)
+            if self.composer_skip:
+                return rect
+            pending = self.journal_full
+            if not pending:
+                journal = self.journal_rects
+                pending = bool(journal)
+                coalesce_rect(journal, rect)
+            if not pending:
+                sink = self.damage_sink
+                if sink is not None:
+                    sink(self)
+            return rect
+        return Drawable.draw_rect(self, x, y, width, height, data)
+
+    def screen_rect(self, screen_width: int, screen_height: int) -> Optional[Rect]:
+        """The window's geometry clipped to the screen, or None offscreen."""
+        geometry = self.geometry
+        x = max(geometry.x, 0)
+        y = max(geometry.y, 0)
+        right = min(geometry.x + geometry.width, screen_width)
+        bottom = min(geometry.y + geometry.height, screen_height)
+        if right <= x or bottom <= y:
+            return None
+        return Rect(x, y, right - x, bottom - y)
+
     def mark_damaged(self, rect: Optional[Rect] = None) -> None:
         super().mark_damaged(rect)
         self.render_generation += 1
@@ -337,16 +612,21 @@ class Window(Drawable):
         """A non-content event that still invalidates composed frames:
         map/unmap/raise or a property-backed content change.
 
-        The damage sink is notified (content is unchanged, so zero rects
+        The damage sink is notified (content is unchanged, so no rects
         coalesce) because the render generation moved without a stacking
         change -- the incremental compose path discovers the window
         through its journal, re-reads the unchanged band, and leaves the
-        frame bytes intact.
+        frame bytes intact.  A window the composer has already proven
+        invisible skips the registration: the event cannot move a pixel
+        while the stacking order holds, and anything that could make the
+        window visible again forces a full recompose first.
         """
         self.render_generation += 1
+        if self.composer_skip:
+            return
         sink = self.damage_sink
         if sink is not None:
-            sink(self, 0)
+            sink(self)
 
     def visible_duration(self, now: Timestamp) -> Timestamp:
         """How long the window has been continuously visible."""

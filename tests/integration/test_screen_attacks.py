@@ -10,6 +10,7 @@ import pytest
 from repro.apps import SimApp
 from repro.core import Machine
 from repro.xserver.errors import BadAccess
+from repro.xserver.window import Geometry
 
 SECRET_PIXELS = b"E-BANKING-BALANCE-9000"
 
@@ -17,7 +18,10 @@ SECRET_PIXELS = b"E-BANKING-BALANCE-9000"
 def rig(machine):
     victim = SimApp(machine, "/usr/bin/bank-app", comm="bank-app")
     victim.paint(SECRET_PIXELS)
-    spy = SimApp(machine, "/usr/bin/screenspy", comm="screenspy", map_window=False)
+    # Beside the victim, not over it: a spy mapped at the default geometry
+    # would occlude the victim's pixels on the 2D screen.
+    spy = SimApp(machine, "/usr/bin/screenspy", comm="screenspy", map_window=False,
+                 geometry=Geometry(760, 100, 640, 480))
     machine.settle()
     return victim, spy
 

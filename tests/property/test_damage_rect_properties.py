@@ -4,11 +4,12 @@ The display pipeline's caches are only as safe as the geometry under
 them: ``Rect.overlaps``/``union``/``span`` feed the per-drawable
 coalescer, and the coalescer's pending set is what the incremental
 snapshot splice trusts to cover every dirty byte.  These properties pin
-the algebra (symmetry, bounding, span consistency), the coalescer's
-invariants (disjoint pending set, bounded size, full coverage), and the
-splice path's equivalence to a naive byte model.
+the algebra (symmetry, bounding, linear-only spans), the coalescer's
+invariants (bounded pending set, full coverage), and the splice path's
+equivalence to a naive 2D cell model.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -22,6 +23,16 @@ rects = st.builds(
     y=st.integers(0, 12),
     width=st.integers(1, 8),
     height=st.integers(1, 8),
+)
+
+#: Single-row rects on a linear (stride-0) drawable -- the only shape
+#: ``span()`` is defined for since the 2D framebuffer landed.
+linear_rects = st.builds(
+    Rect,
+    x=st.integers(0, 12),
+    y=st.just(0),
+    width=st.integers(1, 8),
+    height=st.just(1),
 )
 
 #: Raw (possibly out-of-bounds, possibly zero-area) draw requests, as a
@@ -69,26 +80,28 @@ class TestRectAlgebra:
     def test_union_is_associative(self, a, b, c):
         assert a.union(b).union(c) == a.union(b.union(c))
 
-    @given(a=rects, stride=st.integers(32, 64))
+    @given(a=rects)
     @settings(max_examples=200, deadline=None)
-    def test_span_length_matches_geometry(self, a, stride):
-        """A rect's byte span runs from its first row's start to its last
-        row's end -- never shorter than its own area, never longer than
-        height full rows."""
-        lo, hi = a.span(stride)
-        assert lo == a.y * stride + a.x
-        assert hi - lo == (a.height - 1) * stride + a.width
-        assert hi - lo >= a.width * a.height or stride < a.width
+    def test_span_is_linear_only(self, a):
+        """``span()`` covers exactly a single row's cells; a multi-row
+        rect has no single byte range (the bounding band it used to
+        collapse into is exactly the over-approximation the 2D
+        framebuffer's per-row blits removed), so it must refuse."""
+        if a.height == 1:
+            assert a.span() == (a.x, a.x + a.width)
+        else:
+            with pytest.raises(ValueError):
+                a.span()
 
-    @given(a=rects, b=rects, stride=st.just(64))
+    @given(a=linear_rects, b=linear_rects)
     @settings(max_examples=200, deadline=None)
-    def test_overlap_implies_span_overlap(self, a, b, stride):
-        """A shared cell maps to a byte offset inside both spans, so the
-        splice path can never miss a dirty byte by treating rects
-        independently."""
+    def test_overlap_implies_span_overlap(self, a, b):
+        """On linear drawables a shared cell maps to a byte offset inside
+        both spans, so the splice path can never miss a dirty byte by
+        treating rects independently."""
         if a.overlaps(b):
-            alo, ahi = a.span(stride)
-            blo, bhi = b.span(stride)
+            alo, ahi = a.span()
+            blo, bhi = b.span()
             assert alo < bhi and blo < ahi
 
 
@@ -120,10 +133,12 @@ class TestClipping:
 class TestCoalescer:
     @given(damage=st.lists(rects, min_size=1, max_size=24))
     @settings(max_examples=200, deadline=None)
-    def test_pending_set_is_small_disjoint_and_covering(self, damage):
+    def test_pending_set_is_bounded_and_covering(self, damage):
         """After any damage sequence: at most ``_MAX_PENDING_RECTS``
-        pending rects, pairwise disjoint, jointly covering every cell ever
-        damaged."""
+        pending rects, jointly covering every cell ever damaged.  (The
+        tight-union/least-waste coalescer may keep overlapping rects --
+        splice and blit are idempotent per cell, so coverage, not
+        disjointness, is the safety property.)"""
         window = Window(1, Geometry(0, 0, 24, 24))
         window.content_bytes()  # seed the snapshot so rects accumulate
         submitted = set()
@@ -132,9 +147,6 @@ class TestCoalescer:
             submitted |= cells(rect)
         pending = window.damage_rects
         assert len(pending) <= _MAX_PENDING_RECTS
-        for i, a in enumerate(pending):
-            for b in pending[i + 1 :]:
-                assert not a.overlaps(b)
         covered = set()
         for rect in pending:
             covered |= cells(rect)
@@ -184,12 +196,20 @@ class TestSnapshotEquivalence:
             rect = window.draw_rect(*req, data)
             if rect is None:
                 continue
-            lo, hi = rect.span(stride)
-            payload = bytes(data[: hi - lo])
-            end = lo + len(payload)
-            if len(model) < end:
-                model.extend(b"\x00" * (end - len(model)))
-            model[lo:end] = payload
+            # The 2D contract: data is row-major at the *rect's* width,
+            # zero-padded/truncated to its area; only the rect's cells
+            # change (cells between its rows are untouched).
+            need = rect.width * rect.height
+            payload = bytes(data[:need])
+            payload += b"\x00" * (need - len(payload))
+            hi = (rect.y + rect.height - 1) * stride + rect.x + rect.width
+            if len(model) < hi:
+                model.extend(b"\x00" * (hi - len(model)))
+            for row in range(rect.height):
+                lo = (rect.y + row) * stride + rect.x
+                model[lo : lo + rect.width] = payload[
+                    row * rect.width : (row + 1) * rect.width
+                ]
         assert window.content_bytes() == bytes(model)
 
     @given(script=draw_scripts)

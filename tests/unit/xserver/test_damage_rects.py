@@ -1,13 +1,15 @@
-"""Edge cases for region-granular damage and incremental composition.
+"""Edge cases for region-granular damage and incremental 2D composition.
 
 The damage-rect pipeline has three layers of state that must stay
 consistent: the per-drawable pending rects (clipping, coalescing, the
-collapse cap), the per-drawable snapshot refresh (splicing only dirty
-spans), and the server's incremental compose (patching only dirty bands
-of the cached frame).  These tests pin each layer's edge cases -- the
-differential property suite separately proves whole-pipeline equivalence
-against the reference composition.
+least-waste merge cap), the per-drawable snapshot refresh (splicing only
+dirty rows), and the server's incremental compose (blitting only dirty
+rects of the cached 2D frame).  These tests pin each layer's edge cases
+-- the differential property suite separately proves whole-pipeline
+equivalence against the reference composition.
 """
+
+import pytest
 
 from repro.core.config import OverhaulConfig
 from repro.core.system import Machine
@@ -23,8 +25,12 @@ def _quiet_config(**overrides) -> OverhaulConfig:
 
 
 def _machine_with_stack(windows=3, content=16):
-    """A machine with *windows* painted windows, settled and composable."""
-    machine = Machine.with_overhaul(_quiet_config())
+    """A machine with *windows* painted windows, settled and composable.
+
+    The small screen keeps the naive reference model cheap; windows
+    overlap in a staircase so patches exercise blockers and clipping.
+    """
+    machine = Machine.with_overhaul(_quiet_config(), screen_size=(140, 120))
     apps = []
     for index in range(windows):
         app = SimApp(machine, f"/usr/bin/app{index}", comm=f"app{index}",
@@ -37,20 +43,41 @@ def _machine_with_stack(windows=3, content=16):
 
 
 def _reference_frame(machine):
-    """The frame the reference (uncached) composition would produce."""
-    parts = [bytes(w.content) for w in machine.xserver.stacking.bottom_to_top()]
-    banner = machine.xserver.overlay.banner_bytes(machine.xserver.now)
-    if banner:
-        parts.append(banner)
-    return b"".join(parts)
+    """A naive cell-model composition, independent of the framebuffer:
+    every mapped opaque window writes its (zero-extended, clipped) cells
+    bottom-to-top, then the banner is appended."""
+    xserver = machine.xserver
+    width, height = xserver.width, xserver.height
+    frame = bytearray(width * height)
+    for window in xserver.stacking.bottom_to_top():
+        if window.transparent:
+            continue
+        geometry = window.geometry
+        content = bytes(window.content)
+        for row in range(geometry.height):
+            sy = geometry.y + row
+            if not 0 <= sy < height:
+                continue
+            for col in range(geometry.width):
+                sx = geometry.x + col
+                if not 0 <= sx < width:
+                    continue
+                offset = row * geometry.width + col
+                frame[sy * width + sx] = content[offset] if offset < len(content) else 0
+    banner = xserver.overlay.banner_bytes(xserver.now)
+    return bytes(frame) + banner
 
 
 class TestRectGeometry:
-    def test_span_is_row_major_with_stride(self):
-        assert Rect(2, 1, 4, 2).span(10) == (12, 26)
-
     def test_span_linear_drawable(self):
-        assert Rect(3, 0, 5, 1).span(0) == (3, 8)
+        assert Rect(3, 0, 5, 1).span() == (3, 8)
+
+    def test_span_refuses_multi_row_rects(self):
+        # Regression guard for the 2D framebuffer: a 1-px-wide full-height
+        # rect must never collapse into a full-width bounding band.  The
+        # screen path blits per row, so span() has no 2D meaning at all.
+        with pytest.raises(ValueError):
+            Rect(5, 0, 1, 100).span()
 
     def test_union_is_bounding_box(self):
         assert Rect(0, 0, 2, 2).union(Rect(4, 4, 2, 2)) == Rect(0, 0, 6, 6)
@@ -85,19 +112,27 @@ class TestDrawRectClipping:
         window = self._window(width=32, height=4)
         rect = window.draw_rect(28, 3, 10, 5, b"q" * 50)
         assert rect == Rect(28, 3, 4, 1)  # clipped to the corner
-        lo, hi = rect.span(32)
-        assert bytes(window.content[lo:hi]) == b"q" * 4
+        lo = 3 * 32 + 28
+        assert bytes(window.content[lo : lo + 4]) == b"q" * 4
 
     def test_negative_origin_clamps(self):
         window = self._window()
         rect = window.draw_rect(-2, -1, 6, 2, b"r" * 12)
         assert rect == Rect(0, 0, 4, 1)
 
-    def test_write_lands_at_the_rect_span(self):
+    def test_write_lands_at_the_rect_rows(self):
         window = self._window(width=8, height=4)
         window.draw(b"." * 32)
         window.draw_rect(2, 1, 4, 1, b"WXYZ")
         assert bytes(window.content) == b"." * 10 + b"WXYZ" + b"." * 18
+
+    def test_multi_row_write_touches_only_rect_columns(self):
+        window = self._window(width=8, height=4)
+        window.draw(b"." * 32)
+        window.draw_rect(2, 1, 3, 2, b"abcdef")
+        assert bytes(window.content) == (
+            b"." * 10 + b"abc" + b"." * 5 + b"def" + b"." * 11
+        )
 
     def test_short_content_zero_extended(self):
         window = self._window(width=8, height=4)
@@ -114,7 +149,9 @@ class TestDrawRectClipping:
 
 class TestDamageCoalescing:
     def _window(self):
-        return Window(owner_client_id=1, geometry=Geometry(0, 0, 100, 100))
+        window = Window(owner_client_id=1, geometry=Geometry(0, 0, 100, 100))
+        window.content_bytes()  # seed the snapshot so splice rects accumulate
+        return window
 
     def test_overlapping_draws_coalesce_to_one_rect(self):
         window = self._window()
@@ -137,11 +174,26 @@ class TestDamageCoalescing:
         window.draw_rect(20, 0, 4, 1, b"b" * 4)
         assert len(window.damage_rects) == 2
 
-    def test_cap_collapses_to_bounding_rect(self):
+    def test_column_never_widens_into_a_band(self):
+        # The tight-union rule: a 1-px column stacked on a disjoint row
+        # stays a column -- their bounding box would smear uncovered cells.
         window = self._window()
+        window.draw_rect(50, 0, 1, 1, b"x")
+        window.draw_rect(50, 1, 1, 1, b"y")  # stacks into a 1x2 column
+        window.draw_rect(0, 50, 10, 1, b"z" * 10)  # disjoint row
+        assert sorted(window.damage_rects) == [Rect(0, 50, 10, 1), Rect(50, 0, 1, 2)]
+
+    def test_cap_merges_least_waste_pairs_not_one_band(self):
+        window = self._window()
+        drawn = []
         for i in range(9):  # one past _MAX_PENDING_RECTS
-            window.draw_rect(i * 10, 0, 2, 1, b"xy")
-        assert window.damage_rects == [Rect(0, 0, 82, 1)]
+            drawn.append(window.draw_rect(i * 10, 0, 2, 1, b"xy"))
+        pending = window.damage_rects
+        assert len(pending) == 8  # bounded...
+        for rect in drawn:  # ...still covering every draw...
+            assert any(p.contains_rect(rect) for p in pending)
+        # ...and never collapsed to one screen-wide bounding rect.
+        assert all(p.width <= 12 for p in pending)
 
     def test_full_damage_swallows_pending_rects(self):
         window = self._window()
@@ -159,6 +211,17 @@ class TestDamageCoalescing:
         window.draw_rect(5, 0, 10, 1, b"b" * 10)  # merges with the first
         assert machine.xserver.damage_rects_coalesced == before + 1
 
+    def test_repeat_draw_counts_one_merge_per_repeat(self):
+        # The repeat-draw memo lane must count exactly what coalesce_rect's
+        # dedupe-last branch would.
+        machine, apps = _machine_with_stack()
+        window = apps[0].window
+        window.draw_rect(4, 0, 8, 1, b"p" * 8)
+        before = machine.xserver.damage_rects_coalesced
+        window.draw_rect(4, 0, 8, 1, b"q" * 8)
+        window.draw_rect(4, 0, 8, 1, b"r" * 8)
+        assert machine.xserver.damage_rects_coalesced == before + 2
+
 
 class TestSnapshotRegionRefresh:
     def test_unchanged_drawable_returns_same_object(self):
@@ -173,6 +236,13 @@ class TestSnapshotRegionRefresh:
         window.draw_rect(2, 1, 4, 1, b"WXYZ")
         assert window.content_bytes() == bytes(window.content)
 
+    def test_multi_row_refresh_matches_full_rebuild(self):
+        window = Window(owner_client_id=1, geometry=Geometry(0, 0, 8, 4))
+        window.draw(b"m" * 32)
+        window.content_bytes()
+        window.draw_rect(1, 0, 2, 4, b"abcdefgh")  # a column of rows
+        assert window.content_bytes() == bytes(window.content)
+
     def test_refresh_clears_pending_damage(self):
         window = Window(owner_client_id=1, geometry=Geometry(0, 0, 8, 4))
         window.draw(b"m" * 32)
@@ -182,7 +252,7 @@ class TestSnapshotRegionRefresh:
         assert not window._damage_full
 
     def test_neighbour_windows_keep_their_snapshots(self):
-        # An unchanged band must keep its bytes object across a partial
+        # An unchanged window must keep its bytes object across a partial
         # compose -- the zero-copy property the issue requires.
         machine, apps = _machine_with_stack()
         apps[0].capture_screen()
@@ -205,7 +275,7 @@ class TestIncrementalCompose:
         assert xserver.compose_partial_hits == partials + 1
         assert frame == _reference_frame(machine)
 
-    def test_multi_dirty_epoch_patches_every_band(self):
+    def test_multi_dirty_epoch_patches_every_rect(self):
         machine, apps = _machine_with_stack()
         xserver = machine.xserver
         apps[0].capture_screen()
@@ -216,12 +286,12 @@ class TestIncrementalCompose:
         assert xserver.compose_partial_hits == partials + 1
         assert frame == _reference_frame(machine)
 
-    def test_length_changing_draw_fixes_up_offsets(self):
-        # Growing the middle window shifts every later band; a follow-up
-        # patch on the top window must land at the shifted offset.
+    def test_content_replacing_draw_patches_the_full_window(self):
+        # A whole-content draw journals full-window damage; the composer
+        # re-blits the window's entire rect (plus every blocker above it).
         machine, apps = _machine_with_stack()
         apps[0].capture_screen()
-        apps[1].window.draw(b"L" * 48)  # middle band grows 16 -> 48
+        apps[1].window.draw(b"L" * 48)
         assert apps[0].capture_screen() == _reference_frame(machine)
         apps[2].window.draw_rect(0, 0, 4, 1, b"tttt")
         assert apps[0].capture_screen() == _reference_frame(machine)
@@ -247,7 +317,10 @@ class TestIncrementalCompose:
         frame = apps[0].capture_screen()
         assert xserver.compose_cache_misses == misses + 1
         assert frame == _reference_frame(machine)
-        assert frame.endswith(bytes(apps[0].window.content))
+        # The raised window's first content row is now fully visible at
+        # its screen position (row 10, columns 0..16).
+        width = xserver.width
+        assert frame[10 * width : 10 * width + 16] == b"A" * 16
 
     def test_zero_area_draw_keeps_the_cache_hit(self):
         machine, apps = _machine_with_stack()
@@ -265,14 +338,46 @@ class TestIncrementalCompose:
         xserver = machine.xserver
         xserver.unmap_window(apps[1].client, apps[1].window.drawable_id)
         apps[0].capture_screen()
-        hits = xserver.compose_cache_hits
-        apps[1].window.draw_rect(0, 0, 4, 1, b"hidden")
+        partials = xserver.compose_partial_hits
+        apps[1].window.draw_rect(0, 0, 6, 1, b"hidden")
         frame = apps[0].capture_screen()
-        # The dirty window is not in the composition; the journal entry is
-        # consumed without recomposing anything.
-        assert bytes(apps[1].window.content)[:4] not in frame
+        # The dirty window is not in the composition: its journal entry is
+        # consumed (one partial pass) without touching a framebuffer byte.
+        assert b"hidden" not in frame
         assert frame == _reference_frame(machine)
+        assert xserver.compose_partial_hits == partials + 1
+        # The composer marked it invisible: follow-up draws skip the
+        # journal entirely, so the next capture is a pure cache hit.
+        assert apps[1].window.composer_skip
+        hits = xserver.compose_cache_hits
+        apps[1].window.draw_rect(0, 0, 6, 1, b"hidden")
+        assert apps[0].capture_screen() == frame
         assert xserver.compose_cache_hits == hits + 1
+
+    def test_occluded_window_draw_is_culled_then_skipped(self):
+        # A window fully covered by an opaque window above it: its first
+        # dirty rect is culled at compose time, and every draw after that
+        # bypasses the journal until the stacking order changes.
+        machine, apps = _machine_with_stack(windows=2)
+        xserver = machine.xserver
+        top = SimApp(machine, "/usr/bin/top", comm="top",
+                     geometry=Geometry(0, 0, 140, 120))  # covers the screen
+        machine.xserver.draw(top.client, top.window.drawable_id, b"T" * 8)
+        machine.settle()
+        apps[0].capture_screen()
+        culled = xserver.compose_rects_culled
+        apps[0].window.draw_rect(0, 0, 4, 1, b"uuuu")
+        frame = apps[0].capture_screen()
+        assert xserver.compose_rects_culled == culled + 1
+        assert apps[0].window.composer_skip
+        assert frame == _reference_frame(machine)
+        # Raising the buried window forces a recompose that re-arms it.
+        xserver.raise_window(apps[0].client, apps[0].window.drawable_id)
+        frame = apps[0].capture_screen()
+        assert not apps[0].window.composer_skip
+        assert frame == _reference_frame(machine)
+        width = xserver.width
+        assert frame[10 * width : 10 * width + 4] == b"uuuu"
 
     def test_banner_appearance_and_expiry_are_banner_region_patches(self):
         machine, apps = _machine_with_stack()
@@ -282,7 +387,7 @@ class TestIncrementalCompose:
         partials = xserver.compose_partial_hits
         xserver.display_alert("m", "op", pid=9, comm="rec")
         alerted = apps[0].capture_screen()
-        assert alerted.startswith(quiet)  # body bands untouched
+        assert alerted.startswith(quiet)  # the grid is untouched
         assert alerted != quiet
         assert xserver.compose_cache_misses == misses
         assert xserver.compose_partial_hits == partials + 1
@@ -294,10 +399,12 @@ class TestIncrementalCompose:
 
     def test_direct_window_draw_patches_correctly(self):
         # Content mutations that bypass the request layer still reach the
-        # journal through the damage sink and patch the right band.
+        # journal through the damage sink and patch the right cells.
         machine, apps = _machine_with_stack()
         apps[0].capture_screen()
         apps[1].window.draw(b"D" * 16)
         frame = apps[0].capture_screen()
         assert frame == _reference_frame(machine)
-        assert b"D" * 16 in frame
+        # The strip left of the window above shows the new bytes.
+        width = machine.xserver.width
+        assert frame[10 * width + 10 : 10 * width + 20] == b"D" * 10

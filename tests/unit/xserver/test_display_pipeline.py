@@ -90,10 +90,11 @@ class TestComposeCache:
         machine.xserver.draw(other.client, other.window.drawable_id, b"Z" * 16)
         machine.settle()
         before = app.capture_screen()
+        assert b"Z" * 16 in before  # `other` is on top
         machine.xserver.raise_window(app.client, app.window.drawable_id)
         after = app.capture_screen()
         assert after != before  # composition order changed
-        assert after.endswith(b"A" * 16)
+        assert b"Z" * 16 not in after  # the raised window occludes it now
 
     def test_property_write_lands_in_the_journal_not_a_full_miss(self):
         # Property writes bump the render generation but leave content

@@ -26,9 +26,11 @@ def server():
     return XServer(EventScheduler())
 
 
-def client_with_window(server, pid):
+def client_with_window(server, pid, geometry=None):
     client = server.connect(FakeTask(pid))
-    window = server.create_window(client, Geometry(0, 0, 10, 10))
+    window = server.create_window(
+        client, geometry if geometry is not None else Geometry(0, 0, 10, 10)
+    )
     server.map_window(client, window.drawable_id)
     return client, window
 
@@ -140,11 +142,13 @@ class TestScreenCaptureUnprotected:
         assert server.get_image(client, window.drawable_id) == b"mine"
 
     def test_get_image_root_composites_all_windows(self, server):
-        a_client, a_window = client_with_window(server, 1)
-        b_client, b_window = client_with_window(server, 2)
+        # Disjoint geometries: on the 2D screen an opaque window
+        # (zero-extended over its whole rect) occludes whatever lies below.
+        a_client, a_window = client_with_window(server, 1, Geometry(0, 0, 10, 10))
+        b_client, b_window = client_with_window(server, 2, Geometry(20, 0, 10, 10))
         server.draw(a_client, a_window.drawable_id, b"AAA")
         server.draw(b_client, b_window.drawable_id, b"BBB")
-        spy, _ = client_with_window(server, 3)
+        spy, _ = client_with_window(server, 3, Geometry(40, 0, 10, 10))
         image = server.get_image(spy, server.root_window.drawable_id)
         assert b"AAA" in image and b"BBB" in image
 
