@@ -63,6 +63,7 @@ def _rig_factories() -> Dict[str, Callable[[], object]]:
         ScreenCaptureRig,
         SharedMemoryRig,
     )
+    from repro.fleet.bench import FleetMergeRig, FleetStealRig
     from repro.service.bench import ServiceRig
 
     # Every rig runs in the protected configuration: this harness tracks
@@ -91,6 +92,13 @@ def _rig_factories() -> Dict[str, Callable[[], object]]:
         # clients against one asyncio daemon.  The SLO this repo commits
         # to: >= 10k queries/s sustained, p50/p99 recorded alongside.
         "service_query": lambda: (ServiceRig(), 20_000),
+        # Fleet hot path: packed-record merges through a shared-memory
+        # ring (ops = shard records absorbed by the parent), and the
+        # lease/steal scheduler under a virtual-time straggler workload
+        # (ops = shards scheduled; bench_extra carries the steal-vs-static
+        # makespan speedup on the acceptance-shaped scenario).
+        "fleet_merge": lambda: (FleetMergeRig(), 10_000),
+        "fleet_steal": lambda: (FleetStealRig(), 20_000),
     }
 
 

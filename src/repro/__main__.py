@@ -78,6 +78,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     fleet.add_argument("--timeout", type=float, default=300.0, help="per-shard seconds")
     fleet.add_argument("--retries", type=int, default=2, help="retries per failing shard")
+    fleet.add_argument(
+        "--lease", type=int, default=None,
+        help="micro-shards per worker lease (default: auto-sized from the queue)",
+    )
+    fleet.add_argument(
+        "--no-steal", action="store_true",
+        help="disable work stealing (static leases)",
+    )
+    fleet.add_argument(
+        "--no-streaming", action="store_true",
+        help="disable streaming reduction; materialise every shard record "
+        "from the spool before aggregating (debug / A-B comparison)",
+    )
+    fleet.add_argument(
+        "--shard-size", type=int, default=None,
+        help="users per shard for user-sharded studies (usability, synthetic)",
+    )
+    fleet.add_argument(
+        "--straggler-every", type=int, default=None,
+        help="synthetic study: every Nth shard sleeps --straggler-ms",
+    )
+    fleet.add_argument(
+        "--straggler-first", type=int, default=None,
+        help="synthetic study: the first N shards each sleep --straggler-ms "
+        "(clusters stragglers into one worker's opening lease)",
+    )
+    fleet.add_argument(
+        "--straggler-ms", type=float, default=None,
+        help="synthetic study: straggler sleep in milliseconds",
+    )
     fleet.add_argument("--json", action="store_true", help="print the aggregate as JSON")
 
     redteam = sub.add_parser("redteam", help="adversarial campaign corpus")
@@ -316,6 +346,13 @@ def run_fleet_command(args: argparse.Namespace) -> int:
         params["days"] = args.days
     else:  # usability-style studies shard a population of users
         population = args.users if args.users is not None else args.machines
+        if args.shard_size is not None:
+            params["shard_size"] = args.shard_size
+    if args.study == "synthetic":
+        for name in ("straggler_every", "straggler_first", "straggler_ms"):
+            value = getattr(args, name)
+            if value is not None:
+                params[name] = value
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
 
     try:
@@ -328,6 +365,9 @@ def run_fleet_command(args: argparse.Namespace) -> int:
             spool_dir=args.resume,
             timeout_seconds=args.timeout,
             max_retries=args.retries,
+            lease_size=args.lease,
+            steal=not args.no_steal,
+            streaming=False if args.no_streaming else None,
         )
     except FleetError as error:
         print(f"fleet error: {error}", file=sys.stderr)

@@ -14,7 +14,7 @@ to a fixed precision, and no wall-clock value ever enters an aggregate.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.counters import Counters
 
@@ -160,3 +160,321 @@ def aggregate_usability(
     if meta:
         aggregate["meta"] = meta
     return aggregate
+
+
+# ---------------------------------------------------------------------------
+# Streaming accumulators
+#
+# The list-based aggregates above hold every envelope in memory at once.
+# The classes below carry the same statistics as *online* state -- integer
+# sums, count dicts, and distribution extrema -- so a million-user fleet
+# folds shard by shard in O(1) parent memory and still finalises to the
+# **byte-identical** aggregate (same integer totals, same float operations
+# in the same order, same rounding).
+# ---------------------------------------------------------------------------
+
+
+class StreamingProportion:
+    """An online binomial proportion: fold (successes, trials) increments,
+    emit the same dict as :func:`proportion_summary` at the end.
+
+    The Wilson interval itself is computed once at finalise time from the
+    exact integer sums, so merging partial accumulators is plain integer
+    addition -- associative and commutative by construction.
+    """
+
+    __slots__ = ("successes", "trials")
+
+    def __init__(self, successes: int = 0, trials: int = 0) -> None:
+        self.successes = successes
+        self.trials = trials
+
+    def add(self, successes: int, trials: int) -> None:
+        self.successes += successes
+        self.trials += trials
+
+    def merge(self, other: "StreamingProportion") -> None:
+        self.successes += other.successes
+        self.trials += other.trials
+
+    def summary(self) -> Dict[str, Any]:
+        return proportion_summary(self.successes, self.trials)
+
+
+class StreamingDistribution:
+    """Online min/mean/max matching :func:`_distribution` exactly.
+
+    Keeps the integer total (not a running mean), so the finalised mean is
+    the same single division the batch version performs.
+    """
+
+    __slots__ = ("n", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = 0
+        self.minimum = 0
+        self.maximum = 0
+
+    def add(self, value: int) -> None:
+        if self.n == 0:
+            self.minimum = value
+            self.maximum = value
+        else:
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+        self.n += 1
+        self.total += value
+
+    def merge(self, other: "StreamingDistribution") -> None:
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.minimum, self.maximum = other.minimum, other.maximum
+        else:
+            self.minimum = min(self.minimum, other.minimum)
+            self.maximum = max(self.maximum, other.maximum)
+        self.n += other.n
+        self.total += other.total
+
+    def summary(self) -> Dict[str, Any]:
+        if self.n == 0:
+            return {"min": 0, "mean": 0.0, "max": 0, "n": 0}
+        return {
+            "min": self.minimum,
+            "mean": round(self.total / self.n, _PRECISION),
+            "max": self.maximum,
+            "n": self.n,
+        }
+
+
+def iter_count_pairs(counts: Any) -> Iterable[Tuple[str, int]]:
+    """(name, value) pairs from a plain dict *or* a packed-counter view.
+
+    Streamed envelopes carry counter dicts as
+    :class:`repro.fleet.records.PackedCounters`; materialised envelopes
+    (legacy aggregates, spool round-trips) carry plain dicts.  Both
+    expose ``items()``.
+    """
+    return counts.items()
+
+
+def count_total(counts: Any) -> int:
+    """Sum of a count mapping's values (dict or packed view)."""
+    total = getattr(counts, "total", None)
+    if callable(total):
+        return total()
+    return sum(counts.values())
+
+
+def add_counts(accumulator: Dict[str, int], counts: Any) -> None:
+    """Fold one shard's count mapping into a running total, in place."""
+    for key, value in iter_count_pairs(counts):
+        accumulator[key] = accumulator.get(key, 0) + int(value)
+
+
+def merge_counters(registry: Counters, counts: Any) -> None:
+    """Fold one shard's counter payload into a :class:`Counters` registry.
+
+    Packed views merge blob-to-registry in one pass (the shared-memory
+    path); dicts and registries use the existing merge primitives.
+    """
+    merge_into = getattr(counts, "merge_into", None)
+    if callable(merge_into):
+        merge_into(registry)
+    elif isinstance(counts, Counters):
+        registry.merge(counts)
+    else:
+        registry.merge_snapshot(counts)
+
+
+class _LongtermArm:
+    """Online state for one arm (protected/unprotected) of the long-term
+    study -- everything :func:`aggregate_longterm` derives per arm."""
+
+    __slots__ = (
+        "machines", "stolen", "blocked", "passwords_captured",
+        "legit_actions", "legit_failures", "device_grants",
+        "device_denials", "alerts_shown", "spy_rounds",
+        "stolen_per_machine", "counters",
+    )
+
+    def __init__(self) -> None:
+        self.machines = 0
+        self.stolen: Dict[str, int] = {}
+        self.blocked: Dict[str, int] = {}
+        self.passwords_captured = 0
+        self.legit_actions = 0
+        self.legit_failures = 0
+        self.device_grants = 0
+        self.device_denials = 0
+        self.alerts_shown = 0
+        self.spy_rounds = 0
+        self.stolen_per_machine = StreamingDistribution()
+        self.counters = Counters()
+
+    def fold(self, result: Dict[str, Any], arm_counters: Any) -> None:
+        self.machines += 1
+        add_counts(self.stolen, result["stolen_counts"])
+        add_counts(self.blocked, result["blocked_counts"])
+        self.passwords_captured += result["passwords_captured"]
+        self.legit_actions += result["legit_actions"]
+        self.legit_failures += result["legit_failures"]
+        self.device_grants += result["device_grants"]
+        self.device_denials += result["device_denials"]
+        self.alerts_shown += result["alerts_shown"]
+        self.spy_rounds += result["spy_rounds"]
+        self.stolen_per_machine.add(count_total(result["stolen_counts"]))
+        merge_counters(self.counters, arm_counters)
+
+    def merge(self, other: "_LongtermArm") -> None:
+        self.machines += other.machines
+        add_counts(self.stolen, other.stolen)
+        add_counts(self.blocked, other.blocked)
+        self.passwords_captured += other.passwords_captured
+        self.legit_actions += other.legit_actions
+        self.legit_failures += other.legit_failures
+        self.device_grants += other.device_grants
+        self.device_denials += other.device_denials
+        self.alerts_shown += other.alerts_shown
+        self.spy_rounds += other.spy_rounds
+        self.stolen_per_machine.merge(other.stolen_per_machine)
+        self.counters.merge(other.counters)
+
+    def summary(self) -> Dict[str, Any]:
+        stolen = dict(sorted(self.stolen.items()))
+        blocked = dict(sorted(self.blocked.items()))
+        stolen_total = sum(stolen.values())
+        blocked_total = sum(blocked.values())
+        attempts = stolen_total + blocked_total
+        return {
+            "machines": self.machines,
+            "stolen_counts": stolen,
+            "blocked_counts": blocked,
+            "items_stolen": stolen_total,
+            "attempts_blocked": blocked_total,
+            "passwords_captured": self.passwords_captured,
+            "legit_actions": self.legit_actions,
+            "legit_failures": self.legit_failures,
+            "device_grants": self.device_grants,
+            "device_denials": self.device_denials,
+            "alerts_shown": self.alerts_shown,
+            "spy_rounds": self.spy_rounds,
+            "block_rate": proportion_summary(blocked_total, attempts),
+            "steal_rate": proportion_summary(stolen_total, attempts),
+            "false_positive_rate": proportion_summary(
+                self.legit_failures, self.legit_actions
+            ),
+            "stolen_per_machine": self.stolen_per_machine.summary(),
+            "counters": self.counters.snapshot(),
+        }
+
+
+class LongtermState:
+    """Accumulator behind :func:`longterm_reducer`."""
+
+    __slots__ = ("machines", "arms")
+
+    def __init__(self) -> None:
+        self.machines = 0
+        self.arms = {"protected": _LongtermArm(), "unprotected": _LongtermArm()}
+
+    def fold(self, envelope: Dict[str, Any]) -> None:
+        self.machines += 1
+        for arm, accumulator in self.arms.items():
+            accumulator.fold(envelope[arm], envelope["counters"][arm])
+
+    def merge(self, other: "LongtermState") -> "LongtermState":
+        self.machines += other.machines
+        for arm, accumulator in self.arms.items():
+            accumulator.merge(other.arms[arm])
+        return self
+
+    def finalize(self, meta: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        aggregate: Dict[str, Any] = {
+            "study": "longterm",
+            "machines": self.machines,
+            "protected": self.arms["protected"].summary(),
+            "unprotected": self.arms["unprotected"].summary(),
+        }
+        if meta:
+            aggregate["meta"] = dict(meta)
+        return aggregate
+
+
+class UsabilityState:
+    """Accumulator behind :func:`usability_reducer`."""
+
+    __slots__ = ("participants", "identical", "blocked", "displayed", "reactions")
+
+    def __init__(self) -> None:
+        self.participants = 0
+        self.identical = 0
+        self.blocked = 0
+        self.displayed = 0
+        self.reactions: Dict[str, int] = {}
+
+    def fold(self, envelope: Dict[str, Any]) -> None:
+        for outcome in envelope["outcomes"]:
+            self.participants += 1
+            if outcome["likert_score"] == 1:
+                self.identical += 1
+            if outcome["camera_blocked"]:
+                self.blocked += 1
+            if outcome["alert_displayed"]:
+                self.displayed += 1
+            reaction = outcome["reaction"]
+            self.reactions[reaction] = self.reactions.get(reaction, 0) + 1
+
+    def merge(self, other: "UsabilityState") -> "UsabilityState":
+        self.participants += other.participants
+        self.identical += other.identical
+        self.blocked += other.blocked
+        self.displayed += other.displayed
+        add_counts(self.reactions, other.reactions)
+        return self
+
+    def finalize(self, meta: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        noticed = self.participants - self.reactions.get("DID_NOT_NOTICE", 0)
+        aggregate: Dict[str, Any] = {
+            "study": "usability",
+            "participants": self.participants,
+            "reactions": dict(sorted(self.reactions.items())),
+            "identical_experience": proportion_summary(
+                self.identical, self.participants
+            ),
+            "camera_blocked": proportion_summary(self.blocked, self.participants),
+            "alert_displayed": proportion_summary(
+                self.displayed, self.participants
+            ),
+            "alert_noticed": proportion_summary(noticed, self.participants),
+        }
+        if meta:
+            aggregate["meta"] = dict(meta)
+        return aggregate
+
+
+def longterm_reducer():
+    """The long-term study's :class:`repro.fleet.reducers.StreamingReducer`."""
+    from repro.fleet.reducers import StreamingReducer
+
+    return StreamingReducer(
+        init=LongtermState,
+        fold=lambda state, envelope, index: state.fold(envelope),
+        merge=lambda left, right: left.merge(right),
+        finalize=lambda state, meta: state.finalize(dict(meta) if meta else None),
+    )
+
+
+def usability_reducer():
+    """The usability study's :class:`repro.fleet.reducers.StreamingReducer`."""
+    from repro.fleet.reducers import StreamingReducer
+
+    return StreamingReducer(
+        init=UsabilityState,
+        fold=lambda state, envelope, index: state.fold(envelope),
+        merge=lambda left, right: left.merge(right),
+        finalize=lambda state, meta: state.finalize(dict(meta) if meta else None),
+    )

@@ -18,3 +18,17 @@ class SpoolMismatchError(FleetError):
     500-machine seed-9 run would silently mix populations; the manifest
     check turns that into a loud error instead.
     """
+
+
+class SpoolVersionError(SpoolMismatchError):
+    """A checkpoint (or manifest) was written by a different spool format.
+
+    Old pickle-era spools used to die inside ``pickle.load`` with an
+    opaque unpickling traceback; the versioned record header turns that
+    into this error, which says exactly which format was found, which one
+    this build speaks, and what to do about it.
+    """
+
+
+class RecordFormatError(FleetError):
+    """A result record's bytes do not parse under the record codec."""

@@ -1,33 +1,59 @@
-"""The checkpoint spool: one pickle per completed shard, plus a manifest.
+"""The checkpoint spool: one record file per completed shard, plus a manifest.
 
 Layout of a spool directory::
 
     manifest.json      -- study name, seed, population, params, shard count
-    shard-00000.pkl    -- {"spec": <ShardSpec as dict>, "result": <envelope>}
-    shard-00001.pkl
+    shard-00000.rec    -- versioned header + packed spec + packed result
+    shard-00001.rec
     ...
+
+Checkpoint files are **not pickles** (they were, in spool format 1):
+each is a fixed header followed by two records in the deterministic
+struct-packed codec of :mod:`repro.fleet.records`::
+
+    [0:4)   magic  b"OVSP"
+    [4:6)   <H  spool format version
+    [6:10)  <I  byte length of the packed spec record
+    [10:..) packed spec record, then packed result record
+
+Splitting spec and result means the completion scan
+(:meth:`completed_indexes`) parses only the tiny spec, and the streaming
+merge path (:meth:`read_shard_packed`) hands the result bytes straight to
+the reducer without materialising the envelope.
 
 Writes are atomic (``.tmp`` + :func:`os.replace`), so a run killed
 mid-shard leaves either a complete checkpoint or none -- never a torn one.
 A resumed run re-executes exactly the shards whose files are missing or
-unreadable; everything else is served from disk.
+corrupt; everything else is served from disk.  A checkpoint written by a
+*different format version* is not treated as corruption: it raises
+:class:`~repro.fleet.errors.SpoolVersionError` naming both versions, where
+the pickle era died inside ``pickle.load`` with an opaque traceback.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import pickle
 import re
+import struct
 from pathlib import Path
 from typing import Any, Dict, Optional, Set
 
-from repro.fleet.errors import SpoolMismatchError
+from repro.fleet.errors import SpoolMismatchError, SpoolVersionError
+from repro.fleet.records import pack_record, unpack_record
 
-#: Bumped when the checkpoint layout changes; old spools refuse to resume.
-SPOOL_VERSION = 1
+#: Bumped when the checkpoint layout changes; old spools refuse to resume
+#: with a :class:`SpoolVersionError`.  Version 1 was one pickle per shard.
+SPOOL_VERSION = 2
 
-_SHARD_FILE = re.compile(r"^shard-(\d{5})\.pkl$")
+_MAGIC = b"OVSP"
+_HEADER = struct.Struct("<4sHI")
+
+#: First byte of every pickle protocol >= 2 stream -- how we recognise a
+#: format-1 checkpoint and name it, instead of calling it corruption.
+_PICKLE_PROTO = 0x80
+
+_SHARD_FILE = re.compile(r"^shard-(\d{5})\.rec$")
 
 
 class Spool:
@@ -47,12 +73,22 @@ class Spool:
         """Create the manifest, or verify an existing one matches exactly.
 
         *manifest* must be JSON-safe; the comparison is on the parsed
-        values, so key order does not matter.
+        values, so key order does not matter.  A manifest from a different
+        spool *format* raises :class:`SpoolVersionError` (the actionable
+        subset of mismatch: delete the spool or rerun with the old build);
+        any other difference raises :class:`SpoolMismatchError`.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         manifest = dict(manifest, version=SPOOL_VERSION)
         existing = self.read_manifest()
         if existing is not None:
+            if existing.get("version") != SPOOL_VERSION:
+                raise SpoolVersionError(
+                    f"spool {self.root} uses checkpoint format "
+                    f"{existing.get('version')!r}, but this build speaks "
+                    f"format {SPOOL_VERSION}; delete the spool directory to "
+                    f"start fresh (or resume it with the build that wrote it)"
+                )
             if existing != manifest:
                 raise SpoolMismatchError(
                     f"spool {self.root} was written by a different run: "
@@ -73,17 +109,74 @@ class Spool:
     # -- shard checkpoints -------------------------------------------------
 
     def shard_path(self, index: int) -> Path:
-        return self.root / f"shard-{index:05d}.pkl"
+        return self.root / f"shard-{index:05d}.rec"
 
-    def write_shard(self, spec_dict: Dict[str, Any], result: Dict[str, Any]) -> None:
-        """Atomically checkpoint one completed shard."""
-        payload = pickle.dumps({"spec": spec_dict, "result": result}, protocol=4)
+    def write_shard(
+        self,
+        spec_dict: Dict[str, Any],
+        result: Optional[Dict[str, Any]] = None,
+        *,
+        packed_result: Optional[bytes] = None,
+    ) -> bytes:
+        """Atomically checkpoint one completed shard.
+
+        Pass ``packed_result`` when the caller already packed the envelope
+        (the worker hot path packs once and reuses the bytes for both the
+        spool and the shared-memory ring); returns the packed result bytes
+        either way.
+        """
+        if packed_result is None:
+            packed_result = pack_record(result)
+        packed_spec = pack_record(spec_dict)
+        payload = b"".join(
+            (
+                _HEADER.pack(_MAGIC, SPOOL_VERSION, len(packed_spec)),
+                packed_spec,
+                packed_result,
+            )
+        )
         self._atomic_write_bytes(self.shard_path(spec_dict["index"]), payload)
+        return packed_result
+
+    def _split_checkpoint(self, path: Path) -> tuple:
+        """(packed spec bytes, packed result bytes) of a checkpoint file.
+
+        Raises :class:`SpoolVersionError` for recognisable foreign formats
+        and plain exceptions for corruption.
+        """
+        data = path.read_bytes()
+        if len(data) >= 1 and data[0] == _PICKLE_PROTO:
+            raise SpoolVersionError(
+                f"checkpoint {path} is a format-1 pickle spool file, but "
+                f"this build speaks format {SPOOL_VERSION}; delete the "
+                f"spool directory to start fresh (or resume it with the "
+                f"build that wrote it)"
+            )
+        magic, version, spec_len = _HEADER.unpack_from(data, 0)
+        if magic != _MAGIC:
+            raise ValueError(f"checkpoint {path} has no spool magic")
+        if version != SPOOL_VERSION:
+            raise SpoolVersionError(
+                f"checkpoint {path} uses spool format {version}, but this "
+                f"build speaks format {SPOOL_VERSION}; delete the spool "
+                f"directory to start fresh (or resume it with the build "
+                f"that wrote it)"
+            )
+        body = memoryview(data)[_HEADER.size:]
+        if len(body) < spec_len:
+            raise ValueError(f"checkpoint {path} is truncated")
+        return body[:spec_len], body[spec_len:]
 
     def read_shard(self, index: int) -> Dict[str, Any]:
-        """Load a completed shard's result envelope."""
-        with open(self.shard_path(index), "rb") as handle:
-            return pickle.load(handle)["result"]
+        """Load a completed shard's result envelope (fully materialised)."""
+        _, packed = self._split_checkpoint(self.shard_path(index))
+        return unpack_record(packed, materialize=True)
+
+    def read_shard_packed(self, index: int) -> bytes:
+        """A completed shard's packed result bytes -- the streaming merge
+        path feeds these to the reducer without building the dict tree."""
+        _, packed = self._split_checkpoint(self.shard_path(index))
+        return bytes(packed)
 
     def discard_shard(self, index: int) -> None:
         """Drop a shard's checkpoint, if any.
@@ -98,8 +191,11 @@ class Spool:
     def completed_indexes(self) -> Set[int]:
         """Indexes of shards with a *readable* checkpoint on disk.
 
-        Unreadable files (e.g. truncated by a hard kill before the rename,
-        or a stray partial copy) are deleted so the engine recomputes them.
+        Corrupt files (e.g. truncated by a hard kill before the rename, or
+        a stray partial copy) are deleted so the engine recomputes them.
+        Files in a recognisable *foreign format* are not corruption --
+        they raise :class:`SpoolVersionError` so a format upgrade is loud,
+        never a silent full re-execution of a million-shard spool.
         """
         completed: Set[int] = set()
         if not self.root.is_dir():
@@ -110,10 +206,13 @@ class Spool:
                 continue
             index = int(match.group(1))
             try:
-                with open(entry, "rb") as handle:
-                    payload = pickle.load(handle)
-                if payload["spec"]["index"] != index:
+                packed_spec, packed_result = self._split_checkpoint(entry)
+                spec = unpack_record(packed_spec, materialize=True)
+                if spec["index"] != index:
                     raise ValueError("index mismatch")
+                unpack_record(packed_result, materialize=False)
+            except SpoolVersionError:
+                raise
             except Exception:
                 entry.unlink(missing_ok=True)
                 continue

@@ -22,8 +22,8 @@ is byte-identical for any ``--workers``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.fleet.errors import FleetError, UnknownStudyError
 from repro.sim.rng import RandomSource
@@ -34,6 +34,9 @@ USABILITY_SHARD_SIZE = 8
 
 #: Red-team trials grouped per shard -- same fixed-layout rule.
 REDTEAM_SHARD_SIZE = 4
+
+#: Synthetic-study users grouped per shard -- same fixed-layout rule.
+SYNTHETIC_SHARD_SIZE = 64
 
 
 @dataclass(frozen=True)
@@ -72,6 +75,13 @@ class StudyDefinition:
     run_shard: Callable[[ShardSpec], Dict[str, Any]]
     #: (ordered envelopes, meta) -> population aggregate (JSON-safe).
     aggregate: Callable[[List[Dict[str, Any]], Dict[str, Any]], Dict[str, Any]]
+    #: Optional zero-arg factory for a
+    #: :class:`repro.fleet.reducers.StreamingReducer`.  When present the
+    #: engine folds shard records one at a time (constant parent memory,
+    #: shared-memory merge path) instead of materialising every envelope;
+    #: the finalised aggregate must serialise byte-identically to
+    #: :attr:`aggregate`'s output.  ``None`` keeps the legacy path.
+    streaming: Optional[Callable[[], Any]] = field(default=None)
 
 
 _REGISTRY: Dict[str, StudyDefinition] = {}
@@ -225,6 +235,168 @@ def _redteam_aggregate(
     return aggregate_redteam(envelopes, meta)
 
 
+# -- synthetic (scale/straggler harness) -----------------------------------
+
+
+def _synthetic_build(population: int, seed: int, params: Dict[str, Any]) -> List[ShardSpec]:
+    """One shard per *shard_size* users; *population* = total users.
+
+    Workload params ride on every spec:
+
+    - ``work``: per-user RNG draws (CPU weight of a shard);
+    - ``straggler_every``/``straggler_ms``: every Nth shard sleeps that
+      many milliseconds -- a deterministic straggler injector for the
+      steal benchmarks and the forced-steal determinism tests;
+    - ``straggler_first``: the first N shards each sleep ``straggler_ms``
+      instead, *clustering* the stragglers into one worker's opening
+      lease (modulo spacing is load-balanced by construction, which is
+      exactly the workload where stealing cannot help).
+    """
+    size = int(params.get("shard_size", SYNTHETIC_SHARD_SIZE))
+    if size < 1:
+        raise FleetError(f"synthetic shard size must be >= 1, got {size}")
+    work = int(params.get("work", 16))
+    straggler_every = int(params.get("straggler_every", 0))
+    straggler_first = int(params.get("straggler_first", 0))
+    straggler_ms = float(params.get("straggler_ms", 0.0))
+    specs = []
+    for index, first in enumerate(range(0, population, size)):
+        count = min(size, population - first)
+        specs.append(
+            ShardSpec(
+                study="synthetic",
+                index=index,
+                seed=seed,
+                params=(
+                    ("count", count),
+                    ("first", first),
+                    ("straggler_every", straggler_every),
+                    ("straggler_first", straggler_first),
+                    ("straggler_ms", straggler_ms),
+                    ("work", work),
+                ),
+            )
+        )
+    return specs
+
+
+def _synthetic_run(spec: ShardSpec) -> Dict[str, Any]:
+    """Deterministic per-user work; results derive from (seed, user id)
+    only, so aggregates are invariant to shard size, workers, and steals."""
+    import time
+
+    root = RandomSource(spec.seed, name="synthetic")
+    first = spec.param("first")
+    count = spec.param("count")
+    work = spec.param("work", 16)
+    checksum = 0
+    events = 0
+    counters = {"synthetic.users": count, "synthetic.draws": count * work}
+    for user in range(first, first + count):
+        rng = root.spawn(("synthetic-user", user))
+        for _ in range(work):
+            checksum = (checksum + rng.randint(0, 1 << 20)) % (1 << 61)
+        if rng.chance(0.25):
+            events += 1
+    straggler_every = spec.param("straggler_every", 0)
+    straggler_first = spec.param("straggler_first", 0)
+    if (straggler_every and spec.index % straggler_every == 0) or (
+        spec.index < straggler_first
+    ):
+        time.sleep(spec.param("straggler_ms", 0.0) / 1000.0)
+    return {
+        "first": first,
+        "users": count,
+        "checksum": checksum,
+        "events": events,
+        "counters": counters,
+    }
+
+
+class SyntheticState:
+    """Streaming accumulator for the synthetic study."""
+
+    __slots__ = ("shards", "users", "checksum", "events", "counters")
+
+    def __init__(self) -> None:
+        from repro.obs.counters import Counters
+
+        self.shards = 0
+        self.users = 0
+        self.checksum = 0
+        self.events = 0
+        self.counters = Counters()
+
+    def fold(self, envelope: Dict[str, Any]) -> None:
+        from repro.analysis.population import merge_counters
+
+        self.shards += 1
+        self.users += envelope["users"]
+        self.checksum = (self.checksum + envelope["checksum"]) % (1 << 61)
+        self.events += envelope["events"]
+        merge_counters(self.counters, envelope["counters"])
+
+    def merge(self, other: "SyntheticState") -> "SyntheticState":
+        self.shards += other.shards
+        self.users += other.users
+        self.checksum = (self.checksum + other.checksum) % (1 << 61)
+        self.events += other.events
+        self.counters.merge(other.counters)
+        return self
+
+    def finalize(self, meta: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        from repro.analysis.population import proportion_summary
+
+        aggregate: Dict[str, Any] = {
+            "study": "synthetic",
+            "shards": self.shards,
+            "users": self.users,
+            "checksum": self.checksum,
+            "event_rate": proportion_summary(self.events, self.users),
+            "counters": self.counters.snapshot(),
+        }
+        if meta:
+            aggregate["meta"] = dict(meta)
+        return aggregate
+
+
+def synthetic_reducer():
+    from repro.fleet.reducers import StreamingReducer
+
+    return StreamingReducer(
+        init=SyntheticState,
+        fold=lambda state, envelope, index: state.fold(envelope),
+        merge=lambda left, right: left.merge(right),
+        finalize=lambda state, meta: state.finalize(dict(meta) if meta else None),
+    )
+
+
+def _synthetic_aggregate(
+    envelopes: List[Dict[str, Any]], meta: Dict[str, Any]
+) -> Dict[str, Any]:
+    # One source of truth: the batch aggregate *is* the reducer run over a
+    # materialised list, so the two paths cannot drift.
+    return synthetic_reducer().reduce_envelopes(envelopes, meta)
+
+
+def _longterm_reducer():
+    from repro.analysis.population import longterm_reducer
+
+    return longterm_reducer()
+
+
+def _usability_reducer():
+    from repro.analysis.population import usability_reducer
+
+    return usability_reducer()
+
+
+def _redteam_reducer():
+    from repro.redteam.engine import redteam_reducer
+
+    return redteam_reducer()
+
+
 register_study(
     StudyDefinition(
         name="longterm",
@@ -232,6 +404,7 @@ register_study(
         build_shards=_longterm_build,
         run_shard=_longterm_run,
         aggregate=_longterm_aggregate,
+        streaming=_longterm_reducer,
     )
 )
 register_study(
@@ -241,6 +414,7 @@ register_study(
         build_shards=_usability_build,
         run_shard=_usability_run,
         aggregate=_usability_aggregate,
+        streaming=_usability_reducer,
     )
 )
 register_study(
@@ -250,5 +424,16 @@ register_study(
         build_shards=_redteam_build,
         run_shard=_redteam_run,
         aggregate=_redteam_aggregate,
+        streaming=_redteam_reducer,
+    )
+)
+register_study(
+    StudyDefinition(
+        name="synthetic",
+        description="deterministic scale/straggler harness, a batch of users per shard",
+        build_shards=_synthetic_build,
+        run_shard=_synthetic_run,
+        aggregate=_synthetic_aggregate,
+        streaming=synthetic_reducer,
     )
 )

@@ -315,3 +315,116 @@ def aggregate_redteam(
     if meta:
         aggregate["meta"] = meta
     return aggregate
+
+
+# ---------------------------------------------------------------------------
+# Streaming aggregation (the fleet merge path)
+# ---------------------------------------------------------------------------
+
+#: The integer envelope fields summed across a scenario's trial blocks.
+_SUM_KEYS = (
+    "trials",
+    "false_grants",
+    "blocked",
+    "detected_blocked",
+    "benign_trials",
+    "benign_denials",
+    "baseline_trials",
+    "baseline_successes",
+)
+
+
+class _ScenarioAccumulator:
+    """Online sums for one scenario -- what ``_merge_envelopes`` produces,
+    built shard by shard instead of from a materialised list."""
+
+    __slots__ = ("scenario", "family", "sums", "protected", "baseline")
+
+    def __init__(self, scenario: str, family: str) -> None:
+        self.scenario = scenario
+        self.family = family
+        self.sums = {key: 0 for key in _SUM_KEYS}
+        self.protected = Counters()
+        self.baseline = Counters()
+
+    def fold(self, envelope: Dict[str, Any]) -> None:
+        from repro.analysis.population import merge_counters
+
+        sums = self.sums
+        for key in _SUM_KEYS:
+            sums[key] += envelope[key]
+        merge_counters(self.protected, envelope["counters"]["protected"])
+        merge_counters(self.baseline, envelope["counters"]["baseline"])
+
+    def merge(self, other: "_ScenarioAccumulator") -> None:
+        sums = self.sums
+        for key in _SUM_KEYS:
+            sums[key] += other.sums[key]
+        self.protected.merge(other.protected)
+        self.baseline.merge(other.baseline)
+
+    def score(self) -> ScenarioScore:
+        return ScenarioScore(
+            scenario=self.scenario,
+            family=self.family,
+            counters={
+                "protected": self.protected.snapshot(),
+                "baseline": self.baseline.snapshot(),
+            },
+            **self.sums,
+        )
+
+
+class RedteamState:
+    """Accumulator behind :func:`redteam_reducer`.
+
+    Scenario order is first-seen order; since the fold runs in shard-id
+    order and shards are built corpus-first, that *is* corpus order --
+    the same order :func:`aggregate_redteam` emits.
+    """
+
+    __slots__ = ("scenarios",)
+
+    def __init__(self) -> None:
+        self.scenarios: Dict[str, _ScenarioAccumulator] = {}
+
+    def fold(self, envelope: Dict[str, Any]) -> None:
+        name = envelope["scenario"]
+        accumulator = self.scenarios.get(name)
+        if accumulator is None:
+            accumulator = _ScenarioAccumulator(name, envelope["family"])
+            self.scenarios[name] = accumulator
+        accumulator.fold(envelope)
+
+    def merge(self, other: "RedteamState") -> "RedteamState":
+        for name, accumulator in other.scenarios.items():
+            own = self.scenarios.get(name)
+            if own is None:
+                self.scenarios[name] = accumulator
+            else:
+                own.merge(accumulator)
+        return self
+
+    def finalize(self, meta: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        report = CampaignReport(
+            seed=(meta or {}).get("seed", 0),
+            trials=(meta or {}).get("population", 0),
+        )
+        for accumulator in self.scenarios.values():
+            report.scores.append(accumulator.score())
+        aggregate = report.to_dict()
+        if meta:
+            aggregate["meta"] = dict(meta)
+        return aggregate
+
+
+def redteam_reducer():
+    """The red-team study's :class:`repro.fleet.reducers.StreamingReducer`."""
+    from repro.fleet.reducers import StreamingReducer
+
+    return StreamingReducer(
+        init=RedteamState,
+        fold=lambda state, envelope, index: state.fold(envelope),
+        merge=lambda left, right: left.merge(right),
+        finalize=lambda state, meta: state.finalize(dict(meta) if meta else None),
+    )

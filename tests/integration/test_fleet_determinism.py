@@ -81,3 +81,53 @@ class TestAgreementWithReferenceImplementations:
         assert reactions.get("INTERRUPTED_AND_REPORTED", 0) == study.interrupted
         assert reactions.get("NOTICED_CONTINUED_TASK", 0) == study.noticed
         assert reactions.get("DID_NOT_NOTICE", 0) == study.missed
+
+
+class TestStealOrderInvariance:
+    """Byte-identity under the two-level lease/steal engine.
+
+    Clustered stragglers (the first shards sleep) force real steals; the
+    aggregate JSON must not move by a byte for any worker count, lease
+    size, or steal history, and the streaming reducer must agree with the
+    materialise-everything path exactly.
+    """
+
+    PARAMS = {
+        "shard_size": 4,
+        "work": 2,
+        "straggler_first": 4,
+        "straggler_ms": 80.0,
+    }
+    POPULATION = 64  # 16 shards of 4 users
+
+    def run(self, workers, **overrides):
+        return run_fleet(
+            "synthetic",
+            population=self.POPULATION,
+            seed=29,
+            workers=workers,
+            params=self.PARAMS,
+            **overrides,
+        )
+
+    def test_w1_w2_w8_byte_identical_with_forced_steals(self):
+        serial = self.run(workers=1)
+        duo = self.run(workers=2, lease_size=8)
+        octet = self.run(workers=8, lease_size=2)
+        assert duo.steals + octet.steals > 0, (
+            "clustered stragglers should force at least one steal"
+        )
+        assert serial.aggregate_json() == duo.aggregate_json()
+        assert serial.aggregate_json() == octet.aggregate_json()
+
+    def test_streaming_and_materialised_agree_exactly(self):
+        streamed = self.run(workers=2, lease_size=4)
+        legacy = self.run(workers=2, lease_size=4, streaming=False)
+        assert streamed.streamed and not legacy.streamed
+        assert streamed.aggregate_json() == legacy.aggregate_json()
+
+    def test_steal_off_matches_steal_on(self):
+        static = self.run(workers=4, lease_size=4, steal=False)
+        stolen = self.run(workers=4, lease_size=4, steal=True)
+        assert static.steals == 0
+        assert static.aggregate_json() == stolen.aggregate_json()

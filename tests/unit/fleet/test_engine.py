@@ -236,3 +236,138 @@ class TestResume:
         assert again.executed == []
         assert again.resumed == [0, 1, 2]
         assert again.aggregate["values"] == [81, 100, 121]
+
+
+# -- streaming studies ------------------------------------------------------
+
+
+def _sum_streaming():
+    from repro.fleet.reducers import StreamingReducer
+
+    def fold(state, envelope, index):
+        # The square-study envelope is a pure str->int dict, so on the
+        # merge path it arrives as a zero-copy PackedCounters view (the
+        # codec's counter-blob contract); the materialised path and the
+        # spool read path hand back plain dicts.
+        if not isinstance(envelope, dict):
+            envelope = envelope.to_dict()
+        state["total"] += envelope["value"]
+        state["count"] += 1
+
+    def merge(left, right):
+        left["total"] += right["total"]
+        left["count"] += right["count"]
+        return left
+
+    return StreamingReducer(
+        init=lambda: {"total": 0, "count": 0},
+        fold=fold,
+        merge=merge,
+        finalize=lambda state, meta: {
+            "values": None,
+            "total": state["total"],
+            "count": state["count"],
+            "quarantined": meta["quarantined_shards"],
+        },
+    )
+
+
+@pytest.fixture()
+def streaming_studies():
+    for name, runner in {"s-square": _run_square, "s-poison": _run_poison}.items():
+        definition = _definition(name, runner)
+        definition = StudyDefinition(
+            name=definition.name,
+            description=definition.description,
+            build_shards=definition.build_shards,
+            run_shard=definition.run_shard,
+            aggregate=definition.aggregate,
+            streaming=_sum_streaming,
+        )
+        register_study(definition, replace=True)
+    yield
+    for name in ("s-square", "s-poison"):
+        unregister_study(name)
+
+
+class TestStreamingReduce:
+    def test_streaming_matches_materialised_totals(self, streaming_studies):
+        streamed = run_fleet(
+            "s-square", population=6, seed=3, params=_params("s-square")
+        )
+        legacy = run_fleet(
+            "s-square", population=6, seed=3, params=_params("s-square"),
+            streaming=False,
+        )
+        assert streamed.streamed and not legacy.streamed
+        assert streamed.aggregate["total"] == legacy.aggregate["total"]
+        assert streamed.aggregate["count"] == 6
+
+    def test_pool_streams_and_matches_inline(self, streaming_studies):
+        inline = run_fleet("s-square", population=8, seed=3, params=_params("s-square"))
+        pooled = run_fleet(
+            "s-square", population=8, seed=3, workers=3, params=_params("s-square")
+        )
+        assert inline.streamed and pooled.streamed
+        assert pooled.aggregate == inline.aggregate
+
+    def test_streaming_quarantine_skips_poison_shard(self, streaming_studies):
+        report = run_fleet(
+            "s-poison",
+            population=4,
+            seed=2,
+            workers=2,
+            params=_params("s-poison", poison_index=2),
+            max_retries=1,
+        )
+        assert report.streamed
+        assert [shard.index for shard in report.quarantined] == [2]
+        # (2+2)^2 skipped: 4 + 9 + 25.
+        assert report.aggregate["total"] == 38
+        assert report.aggregate["count"] == 3
+        assert report.aggregate["quarantined"] == [2]
+
+    def test_streaming_resume_reads_spool_lazily(self, streaming_studies, tmp_path):
+        spool_dir = str(tmp_path / "spool")
+        first = run_fleet(
+            "s-square", population=6, seed=4, params=_params("s-square"),
+            spool_dir=spool_dir,
+        )
+        Spool(spool_dir).shard_path(1).unlink()
+        second = run_fleet(
+            "s-square", population=6, seed=4, params=_params("s-square"),
+            spool_dir=spool_dir, workers=2,
+        )
+        assert second.executed == [1]
+        assert second.resumed == [0, 2, 3, 4, 5]
+        assert second.aggregate == first.aggregate
+
+
+class TestLeaseAndStealReporting:
+    def test_report_carries_lease_and_steal_fields(self, synthetic_studies):
+        report = run_fleet(
+            "t-square", population=12, seed=1, workers=2, lease_size=3,
+            params=_params("t-square"),
+        )
+        assert report.lease_size == 3
+        assert report.leases >= 4  # 12 shards / lease 3
+        assert report.steals >= 0
+        rendered = report.render()
+        assert "lease / steals" in rendered
+        assert "merge                  : materialised" in rendered
+
+    def test_streamed_render_reports_buffer_high_water(self, streaming_studies):
+        report = run_fleet(
+            "s-square", population=5, seed=1, workers=2, params=_params("s-square")
+        )
+        rendered = report.render()
+        assert "merge                  : streaming (peak" in rendered
+        assert report.peak_buffered_records >= 1
+
+    def test_steal_disabled_still_completes(self, synthetic_studies):
+        report = run_fleet(
+            "t-square", population=10, seed=2, workers=3, lease_size=4,
+            steal=False, params=_params("t-square"),
+        )
+        assert report.steals == 0
+        assert len(report.executed) == 10

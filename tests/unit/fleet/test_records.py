@@ -1,0 +1,106 @@
+"""Unit tests for the packed result-record codec."""
+
+import pytest
+
+from repro.fleet.errors import RecordFormatError
+from repro.fleet.records import PackedCounters, pack_record, unpack_record
+from repro.obs.counters import Counters
+
+
+SAMPLE = {
+    "study": "longterm",
+    "users": 64,
+    "rate": 0.25,
+    "big": 1 << 80,
+    "negative": -(1 << 80),
+    "none": None,
+    "flags": [True, False, None],
+    "nested": {"stolen": ["SEC-1", "SEC-2"], "empty": {}, "blob": b"\x00\x01"},
+    "counters": {"a.ops": 3, "b.ops": -7},
+}
+
+
+class TestRoundTrip:
+    def test_materialized_round_trip_is_exact(self):
+        assert unpack_record(pack_record(SAMPLE), materialize=True) == SAMPLE
+
+    def test_packing_is_deterministic_under_key_order(self):
+        shuffled = {key: SAMPLE[key] for key in reversed(list(SAMPLE))}
+        assert pack_record(SAMPLE) == pack_record(shuffled)
+
+    def test_scalar_round_trips(self):
+        for value in (None, True, False, 0, -1, 2**63 - 1, -(2**63), 1.5, "héllo", b"", []):
+            assert unpack_record(pack_record(value), materialize=True) == value
+
+    def test_float_bits_preserved(self):
+        value = 0.1 + 0.2  # not representable exactly; bits must survive
+        assert unpack_record(pack_record(value), materialize=True) == value
+
+    def test_bool_is_not_confused_with_int(self):
+        packed = unpack_record(pack_record([True, 1]), materialize=True)
+        assert packed[0] is True and packed[1] == 1 and packed[1] is not True
+
+
+class TestPackedCountersView:
+    def test_counter_dict_unpacks_to_view_by_default(self):
+        tree = unpack_record(pack_record(SAMPLE))
+        view = tree["counters"]
+        assert isinstance(view, PackedCounters)
+        assert view.to_dict() == SAMPLE["counters"]
+        assert view.total() == 3 - 7
+        assert list(view.items()) == [("a.ops", 3), ("b.ops", -7)]
+
+    def test_view_merges_into_registry_without_dict(self):
+        view = unpack_record(pack_record({"counters": {"x": 2, "y": 5}}))["counters"]
+        registry = Counters({"x": 1})
+        view.merge_into(registry)
+        assert registry.snapshot() == {"x": 3, "y": 5}
+
+    def test_view_equals_dict_and_view(self):
+        one = unpack_record(pack_record({"c": {"x": 2}}))["c"]
+        two = unpack_record(pack_record({"c": {"x": 2}}))["c"]
+        assert one == two
+        assert one == {"x": 2}
+        assert one != {"x": 3}
+
+    def test_counter_blob_matches_pack_deltas_layout(self):
+        counters = Counters({"b": 2, "a": 1})
+        # A record holding the dict and one holding pack_deltas bytes via a
+        # PackedCounters value must produce the same packed bytes.
+        by_dict = pack_record({"c": {"a": 1, "b": 2}})
+        by_blob = pack_record({"c": PackedCounters(counters.pack_deltas())})
+        assert by_dict == by_blob
+
+    def test_non_counter_dicts_stay_maps(self):
+        for tree in ({}, {"x": "s"}, {"x": 1.0}, {"x": True}, {1: 2}, {"x": 1 << 80}):
+            if all(isinstance(k, str) for k in tree):
+                value = unpack_record(pack_record(tree))
+                assert not isinstance(value, PackedCounters)
+                assert value == tree
+
+
+class TestErrors:
+    def test_unpackable_type_raises(self):
+        with pytest.raises(RecordFormatError, match="not record-packable"):
+            pack_record({"x": object()})
+
+    def test_non_str_map_key_raises(self):
+        with pytest.raises(RecordFormatError, match="keys must be str"):
+            pack_record({"x": "ok", 3: 1.5})
+
+    def test_truncated_record_raises(self):
+        packed = pack_record(SAMPLE)
+        with pytest.raises(RecordFormatError, match="truncated"):
+            unpack_record(packed[: len(packed) // 2], materialize=True)
+
+    def test_empty_buffer_raises(self):
+        with pytest.raises(RecordFormatError, match="missing tag"):
+            unpack_record(b"")
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(RecordFormatError, match="unknown record tag"):
+            unpack_record(b"Q" + b"\x00" * 8)
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(RecordFormatError, match="trailing garbage"):
+            unpack_record(pack_record(7) + b"\x00")

@@ -1,12 +1,13 @@
-"""Unit tests for the checkpoint spool."""
+"""Unit tests for the checkpoint spool (record format v2)."""
 
 import json
 import pickle
+import shutil
 
 import pytest
 
-from repro.fleet.errors import SpoolMismatchError
-from repro.fleet.spool import Spool
+from repro.fleet.errors import SpoolMismatchError, SpoolVersionError
+from repro.fleet.spool import SPOOL_VERSION, Spool
 from repro.fleet.studies import ShardSpec
 
 
@@ -22,13 +23,24 @@ class TestManifest:
         spool.ensure_manifest(manifest)  # same config resumes fine
         stored = json.loads(spool.manifest_path().read_text())
         assert stored["study"] == "longterm"
-        assert stored["version"] == 1
+        assert stored["version"] == SPOOL_VERSION == 2
 
     def test_mismatched_manifest_rejected(self, tmp_path):
         spool = Spool(tmp_path)
         spool.ensure_manifest({"study": "longterm", "population": 4, "seed": 9})
         with pytest.raises(SpoolMismatchError):
             spool.ensure_manifest({"study": "longterm", "population": 8, "seed": 9})
+
+    def test_old_format_manifest_raises_version_error(self, tmp_path):
+        spool = Spool(tmp_path)
+        manifest = {"study": "longterm", "population": 4, "seed": 9}
+        spool.ensure_manifest(manifest)
+        # Rewrite the manifest as a format-1 (pickle-era) spool would have.
+        stored = json.loads(spool.manifest_path().read_text())
+        stored["version"] = 1
+        spool.manifest_path().write_text(json.dumps(stored))
+        with pytest.raises(SpoolVersionError, match="format 1"):
+            spool.ensure_manifest(manifest)
 
     def test_missing_manifest_reads_none(self, tmp_path):
         assert Spool(tmp_path / "nope").read_manifest() is None
@@ -43,27 +55,61 @@ class TestShardCheckpoints:
         assert spool.read_shard(3) == {"value": [1, 2, 3]}
         assert spool.completed_indexes() == {3}
 
+    def test_read_shard_packed_matches_write(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.root.mkdir(exist_ok=True)
+        packed = spool.write_shard(_spec(4).to_dict(), {"counters": {"a.b": 2}})
+        assert spool.read_shard_packed(4) == packed
+        assert spool.read_shard(4) == {"counters": {"a.b": 2}}
+
     def test_corrupt_checkpoint_dropped(self, tmp_path):
         spool = Spool(tmp_path)
         spool.root.mkdir(exist_ok=True)
         spool.write_shard(_spec(0).to_dict(), {"ok": True})
         # A hard kill can leave a truncated file with a valid name.
-        spool.shard_path(1).write_bytes(b"\x80\x04 truncated garbage")
+        spool.shard_path(1).write_bytes(b"not a spool record at all")
+        truncated = spool.write_shard(_spec(2).to_dict(), {"ok": True})
+        data = spool.shard_path(2).read_bytes()
+        spool.shard_path(2).write_bytes(data[: len(data) - len(truncated) // 2 - 1])
         assert spool.completed_indexes() == {0}
         assert not spool.shard_path(1).exists()  # dropped for recomputation
+        assert not spool.shard_path(2).exists()
+
+    def test_pickle_era_checkpoint_raises_version_error(self, tmp_path):
+        """A format-1 file is a recognisable old format, not corruption:
+        the loud error beats silently re-executing a whole spool."""
+        spool = Spool(tmp_path)
+        spool.root.mkdir(exist_ok=True)
+        payload = pickle.dumps({"spec": _spec(1).to_dict(), "result": {}}, protocol=4)
+        spool.shard_path(1).write_bytes(payload)
+        with pytest.raises(SpoolVersionError, match="format-1 pickle"):
+            spool.completed_indexes()
+        with pytest.raises(SpoolVersionError):
+            spool.read_shard(1)
+
+    def test_future_format_checkpoint_raises_version_error(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.root.mkdir(exist_ok=True)
+        spool.write_shard(_spec(1).to_dict(), {"ok": True})
+        data = bytearray(spool.shard_path(1).read_bytes())
+        data[4:6] = (99).to_bytes(2, "little")
+        spool.shard_path(1).write_bytes(bytes(data))
+        with pytest.raises(SpoolVersionError, match="format 99"):
+            spool.completed_indexes()
 
     def test_index_mismatch_inside_payload_dropped(self, tmp_path):
         spool = Spool(tmp_path)
         spool.root.mkdir(exist_ok=True)
         # A checkpoint copied to the wrong filename must not be trusted.
-        payload = pickle.dumps({"spec": _spec(7).to_dict(), "result": {}})
-        spool.shard_path(2).write_bytes(payload)
+        spool.write_shard(_spec(7).to_dict(), {})
+        shutil.copy(spool.shard_path(7), spool.shard_path(2))
+        spool.shard_path(7).unlink()
         assert spool.completed_indexes() == set()
 
     def test_tmp_files_ignored(self, tmp_path):
         spool = Spool(tmp_path)
         spool.root.mkdir(exist_ok=True)
-        (tmp_path / "shard-00005.pkl.tmp.123").write_bytes(b"partial")
+        (tmp_path / "shard-00005.rec.tmp.123").write_bytes(b"partial")
         assert spool.completed_indexes() == set()
 
     def test_empty_dir_and_missing_dir(self, tmp_path):
