@@ -65,3 +65,63 @@ def test_service_daemon_sustains_query_slo(benchmark):
             )
     finally:
         rig.close()
+
+
+#: Sharding must at least double the committed single-process number on a
+#: host with enough cores for 4 workers + router + load generators.
+SHARD_WORKERS = 4
+SHARDED_QPS_MULTIPLE = 2.0
+COMMITTED_SINGLE_PROCESS_QPS = 18_000  # service_query in BENCH_baseline.json
+
+
+@pytest.mark.benchmark(group="service-query-throughput")
+def test_sharded_daemon_doubles_single_process_throughput(benchmark):
+    rig = ServiceRig(
+        clients=CLIENT_FLOOR,
+        shard_workers=SHARD_WORKERS,
+        packed=True,
+        client_procs=SHARD_WORKERS,
+    )
+    try:
+        rig.run(2_000)  # warmup: workers forked, connections up, caches hot
+
+        start = time.perf_counter()
+        answered = rig.run(OPS)
+        elapsed = time.perf_counter() - start
+        qps = answered / elapsed
+
+        assert answered == OPS
+        assert rig.bench_extra["clients"] == CLIENT_FLOOR
+        assert rig.bench_extra["shard_workers"] == SHARD_WORKERS
+        assert rig.bench_extra["packed"] is True
+
+        benchmark.extra_info["clients"] = CLIENT_FLOOR
+        benchmark.extra_info["shard_workers"] = SHARD_WORKERS
+        benchmark.extra_info["client_procs"] = SHARD_WORKERS
+        benchmark.extra_info["queries_per_second"] = round(qps, 1)
+        benchmark.extra_info["p50_us"] = rig.bench_extra["p50_us"]
+        benchmark.extra_info["p99_us"] = rig.bench_extra["p99_us"]
+        benchmark.extra_info["cpu_count"] = os.cpu_count()
+
+        def run():
+            # Re-report: a full 20k-query round per pytest-benchmark
+            # iteration would turn one scaling check into minutes.
+            return qps
+
+        benchmark.pedantic(run, rounds=1, warmup_rounds=0)
+
+        if (os.cpu_count() or 1) >= MIN_CORES:
+            floor = COMMITTED_SINGLE_PROCESS_QPS * SHARDED_QPS_MULTIPLE
+            assert qps >= floor, (
+                f"expected {SHARD_WORKERS}-worker sharded daemon to sustain "
+                f">= {floor:,.0f} queries/s ({SHARDED_QPS_MULTIPLE}x the "
+                f"committed single-process {COMMITTED_SINGLE_PROCESS_QPS:,}), "
+                f"measured {qps:,.0f}"
+            )
+        else:
+            pytest.skip(
+                f"scaling assertion needs >= {MIN_CORES} cores, host has "
+                f"{os.cpu_count()}; measured {qps:,.0f} qps (in extra_info)"
+            )
+    finally:
+        rig.close()

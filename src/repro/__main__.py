@@ -159,6 +159,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="max frame body bytes before FRAME_TOO_LARGE")
     serve.add_argument("--max-tenants", type=int, default=1024,
                        help="tenant partition table bound")
+    serve.add_argument("--shard-workers", type=int, default=0, metavar="N",
+                       help="shard tenants across N worker processes behind "
+                            "this front door (0: single in-process daemon)")
+    serve.add_argument("--snapshot-dir", metavar="DIR", default=None,
+                       help="persist tenant snapshots here on drain and "
+                            "restore them on start (warm restart)")
 
     args = parser.parse_args(argv)
     try:
@@ -286,7 +292,7 @@ def run_serve_command(args: argparse.Namespace) -> int:
     import asyncio
     import sys
 
-    from repro.service import PermissionService, ServiceDaemon
+    from repro.service import PermissionService, ServiceDaemon, ShardedDaemon
 
     if args.unix is None and args.tcp is None:
         print("serve: pass --unix PATH and/or --tcp HOST:PORT", file=sys.stderr)
@@ -301,15 +307,31 @@ def run_serve_command(args: argparse.Namespace) -> int:
         tcp_host, tcp_port = host, int(port)
 
     async def body() -> None:
-        daemon = ServiceDaemon(
-            PermissionService(max_tenants=args.max_tenants),
-            unix_path=args.unix,
-            tcp_host=tcp_host,
-            tcp_port=tcp_port,
-            max_pending=args.max_pending,
-            batch_limit=args.batch_limit,
-            max_frame=args.max_frame,
-        )
+        if args.shard_workers > 0:
+            daemon = ShardedDaemon(
+                args.shard_workers,
+                unix_path=args.unix,
+                tcp_host=tcp_host,
+                tcp_port=tcp_port,
+                max_pending=args.max_pending,
+                max_frame=args.max_frame,
+                worker_batch_limit=args.batch_limit,
+                snapshot_dir=args.snapshot_dir,
+            )
+        else:
+            daemon = ServiceDaemon(
+                PermissionService(
+                    max_tenants=args.max_tenants,
+                    journal=args.snapshot_dir is not None,
+                ),
+                unix_path=args.unix,
+                tcp_host=tcp_host,
+                tcp_port=tcp_port,
+                max_pending=args.max_pending,
+                batch_limit=args.batch_limit,
+                max_frame=args.max_frame,
+                snapshot_dir=args.snapshot_dir,
+            )
         await daemon.start()
         listeners = []
         if args.unix is not None:

@@ -20,7 +20,12 @@ notifications over UNIX and TCP sockets from many concurrent clients:
 - :mod:`repro.service.scenario` -- the scripted deterministic workload used
   by the determinism gates (daemon output is byte-identical to the
   in-process run, and a tenant's transcript is independent of its
-  neighbours).
+  neighbours);
+- :mod:`repro.service.shard` -- :class:`ShardedDaemon`, the multi-process
+  front door: tenants hash across N worker daemons (same protocol, private
+  sockets), preserving per-tenant ordering and transcript byte-identity;
+- :mod:`repro.service.snapshot` -- persistent tenant snapshots (journalled
+  request replay) so a drained daemon restarts warm with identical digests.
 
 Determinism contract: the service never injects wall-clock time into a
 tenant.  A tenant's sim clock advances only through explicit ``advance``
@@ -34,6 +39,7 @@ from repro.service.core import PermissionService, TenantState
 from repro.service.daemon import ServiceDaemon
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    WIRE_VERSION,
     E_BAD_REQUEST,
     E_FRAME_TOO_LARGE,
     E_INTERNAL,
@@ -43,12 +49,24 @@ from repro.service.protocol import (
     FrameDecoder,
     FrameError,
     encode_frame,
+    encode_request_frame,
+    encode_response_frame,
     error_response,
     ok_response,
+)
+from repro.service.shard import ShardedDaemon
+from repro.service.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    load_snapshots,
+    tenant_shard,
+    write_snapshots,
 )
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SNAPSHOT_VERSION",
+    "WIRE_VERSION",
     "AsyncServiceClient",
     "E_BAD_REQUEST",
     "E_FRAME_TOO_LARGE",
@@ -62,8 +80,15 @@ __all__ = [
     "ServiceClient",
     "ServiceDaemon",
     "ServiceError",
+    "ShardedDaemon",
+    "SnapshotError",
     "TenantState",
     "encode_frame",
+    "encode_request_frame",
+    "encode_response_frame",
     "error_response",
+    "load_snapshots",
     "ok_response",
+    "tenant_shard",
+    "write_snapshots",
 ]

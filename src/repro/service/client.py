@@ -28,7 +28,8 @@ from repro.service.protocol import (
     PROTOCOL_VERSION,
     E_RETRY_LATER,
     FrameDecoder,
-    encode_frame,
+    FrameError,
+    encode_request_frame,
 )
 
 
@@ -105,10 +106,23 @@ class ServiceClient(_Verbs):
         self._sock = sock
         self._decoder = FrameDecoder(max_frame=max_frame)
         self._next_id = 0
+        self._packed = False
         self.retry_attempts = retry_attempts
         self.retry_delay = retry_delay
 
     # -- plumbing ------------------------------------------------------------
+
+    def negotiate(self) -> bool:
+        """Offer the packed (wire v2) encoding; True when the daemon takes it.
+
+        A v1-only daemon answers ``hello`` with ``BAD_REQUEST``; the client
+        simply stays on JSON, so negotiation is safe against any server.
+        """
+        response = self.request_raw("hello", encodings=["packed"])
+        self._packed = bool(
+            response.get("ok") and response["result"].get("encoding") == "packed"
+        )
+        return self._packed
 
     def request_raw(self, op: str, **fields: Any) -> Dict[str, Any]:
         """One request/response round trip; returns the raw envelope."""
@@ -117,13 +131,23 @@ class ServiceClient(_Verbs):
         for key, value in fields.items():
             if value is not None:
                 request[key] = value
-        self._sock.sendall(encode_frame(request))
+        self._sock.sendall(encode_request_frame(request, self._packed))
         while True:
-            frames = self._decoder.feed(self._sock.recv(65536))
+            data = self._sock.recv(65536)
+            if not data:
+                # An empty recv is EOF no matter how much of a frame is
+                # already buffered: the daemon is gone and the missing
+                # bytes are never coming.  Spinning on recv here was the
+                # classic busy-hang -- EOF must raise unconditionally.
+                if self._decoder.pending_bytes:
+                    raise ConnectionError(
+                        "daemon closed the connection mid-frame "
+                        f"({self._decoder.pending_bytes} bytes short)"
+                    )
+                raise ConnectionError("daemon closed the connection")
+            frames = self._decoder.feed(data)
             if frames:
                 return frames[0]
-            if self._decoder.pending_bytes == 0:
-                raise ConnectionError("daemon closed the connection")
 
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Round trip with RETRY_LATER backoff; returns the result dict."""
@@ -169,12 +193,17 @@ class AsyncServiceClient(_Verbs):
         self._pending: Dict[int, asyncio.Future] = {}
         self._reader_task = asyncio.create_task(self._read_loop())
         self._closed = False
+        self._packed = False
+        #: Set once the connection is unusable; every later request fails
+        #: fast with this message instead of parking a future forever.
+        self._conn_error: Optional[str] = None
 
     @classmethod
     async def connect(
         cls,
         unix_path: Optional[str] = None,
         tcp: Optional[Tuple[str, int]] = None,
+        packed: bool = False,
     ) -> "AsyncServiceClient":
         if (unix_path is None) == (tcp is None):
             raise ValueError("pass exactly one of unix_path or tcp=(host, port)")
@@ -182,32 +211,65 @@ class AsyncServiceClient(_Verbs):
             reader, writer = await asyncio.open_unix_connection(unix_path)
         else:
             reader, writer = await asyncio.open_connection(tcp[0], tcp[1])
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        if packed:
+            await client.negotiate()
+        return client
 
     async def _read_loop(self) -> None:
-        from repro.service.protocol import HEADER_SIZE, decode_body
+        from repro.service.protocol import (
+            HEADER_SIZE,
+            LENGTH_MASK,
+            PACKED_BIT,
+            decode_body,
+            unpack_body,
+        )
         import struct
 
         header_struct = struct.Struct("!I")
+        # Any exit from this loop strands every in-flight and future
+        # request, so every exit path -- EOF, reset, cancellation, and
+        # crucially a malformed frame (FrameError) or stray OSError, which
+        # used to kill the task *silently* and hang all callers forever --
+        # must record why and fail the pending futures.
+        error = "daemon connection lost"
         try:
             while True:
                 header = await self._reader_stream.readexactly(HEADER_SIZE)
-                (length,) = header_struct.unpack(header)
-                body = await self._reader_stream.readexactly(length)
-                response = decode_body(body)
+                (raw,) = header_struct.unpack(header)
+                body = await self._reader_stream.readexactly(raw & LENGTH_MASK)
+                response = unpack_body(body) if raw & PACKED_BIT else decode_body(body)
                 future = self._pending.pop(response.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(response)
-        except (asyncio.IncompleteReadError, ConnectionResetError, asyncio.CancelledError):
-            for future in self._pending.values():
-                if not future.done():
-                    future.set_exception(ConnectionError("daemon connection lost"))
-            self._pending.clear()
+        except asyncio.CancelledError:
+            error = "client is closed"
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        except FrameError as exc:
+            error = f"daemon sent an undecodable frame: {exc}"
+        except (BrokenPipeError, OSError) as exc:
+            error = f"daemon connection lost: {exc}"
+        self._conn_error = error
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ConnectionError(error))
+        self._pending.clear()
+
+    async def negotiate(self) -> bool:
+        """Offer the packed (wire v2) encoding; True when the daemon takes it."""
+        response = await self.request_raw("hello", encodings=["packed"])
+        self._packed = bool(
+            response.get("ok") and response["result"].get("encoding") == "packed"
+        )
+        return self._packed
 
     async def request_raw(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Send one request; await its raw response envelope (pipelined)."""
         if self._closed:
             raise ConnectionError("client is closed")
+        if self._conn_error is not None:
+            raise ConnectionError(self._conn_error)
         self._next_id += 1
         request_id = self._next_id
         request: Dict[str, Any] = {"v": PROTOCOL_VERSION, "id": request_id, "op": op}
@@ -216,7 +278,7 @@ class AsyncServiceClient(_Verbs):
                 request[key] = value
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        self._writer.write(encode_frame(request))
+        self._writer.write(encode_request_frame(request, self._packed))
         return await future
 
     async def request(self, op: str, **fields: Any) -> Dict[str, Any]:

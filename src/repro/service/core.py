@@ -101,6 +101,7 @@ class TenantState:
         self,
         tenant_id: str,
         config_factory: Optional[Callable[[], OverhaulConfig]] = None,
+        journal: bool = False,
     ) -> None:
         factory = config_factory if config_factory is not None else paper_config
         self.tenant_id = tenant_id
@@ -114,6 +115,12 @@ class TenantState:
         self._apps: Dict[str, int] = {}
         #: Total requests this tenant has served (all verbs).
         self.requests_applied = 0
+        #: When journalling (snapshot support) is on: the normalised
+        #: state-mutating request history, in application order.  Replaying
+        #: it against a fresh partition reproduces this partition exactly
+        #: (the service determinism contract), which is what a snapshot
+        #: *is* -- read-only verbs (stats, digest) are never recorded.
+        self.journal: Optional[List[Dict[str, Any]]] = [] if journal else None
 
     # -- verbs ---------------------------------------------------------------
 
@@ -216,10 +223,16 @@ class PermissionService:
         config_factory: Optional[Callable[[], OverhaulConfig]] = None,
         counters: Optional[Counters] = None,
         max_tenants: int = 1024,
+        journal: bool = False,
     ) -> None:
         self._config_factory = config_factory
         self.counters = counters if counters is not None else Counters()
         self.max_tenants = max_tenants
+        #: When true, every tenant records its mutating request history so
+        #: :mod:`repro.service.snapshot` can persist and replay it.  Off by
+        #: default: a long-lived daemon without snapshots must not grow a
+        #: journal without bound.
+        self.journal = journal
         self._tenants: Dict[str, TenantState] = {}
 
     # -- tenancy -------------------------------------------------------------
@@ -237,7 +250,7 @@ class PermissionService:
                     E_TENANT_LIMIT,
                     f"tenant table is full ({self.max_tenants} partitions)",
                 )
-            state = TenantState(tenant_id, self._config_factory)
+            state = TenantState(tenant_id, self._config_factory, journal=self.journal)
             self._tenants[tenant_id] = state
             self.counters.inc("service.tenants_created")
         return state
@@ -305,6 +318,18 @@ class PermissionService:
                     )
             else:
                 tenant.requests_applied += len(run)
+                if tenant.journal is not None:
+                    for entry in run:
+                        _, _, pid, operation, at = entry[1]
+                        record: Dict[str, Any] = {
+                            "op": "query",
+                            "tenant": tenant.tenant_id,
+                            "pid": pid,
+                            "operation": operation,
+                        }
+                        if at is not None:
+                            record["at"] = at
+                        tenant.journal.append(record)
                 for offset, (entry, result) in enumerate(zip(run, results)):
                     responses[index + offset] = ok_response(entry[1][0], result)
             index = end
@@ -368,18 +393,29 @@ class PermissionService:
                         E_BAD_REQUEST, "'name' must be a 1-64 char token of [A-Za-z0-9_.-]"
                     )
                 self.counters.inc(f"service.tenant_requests.{tenant.tenant_id}")
-                return self._action(request_id, tenant, lambda: tenant.spawn(name))
+                return self._action(
+                    request_id, tenant, lambda: tenant.spawn(name),
+                    entry={"op": "spawn", "tenant": tenant.tenant_id, "name": name},
+                )
             if op == "interact":
                 tenant = self._tenant_for(request)
                 pid = _field_int(request, "pid")
                 at = _field_opt_int(request, "at")
                 self.counters.inc(f"service.tenant_requests.{tenant.tenant_id}")
-                return self._action(request_id, tenant, lambda: tenant.interact(pid, at))
+                entry = {"op": "interact", "tenant": tenant.tenant_id, "pid": pid}
+                if at is not None:
+                    entry["at"] = at
+                return self._action(
+                    request_id, tenant, lambda: tenant.interact(pid, at), entry=entry
+                )
             if op == "advance":
                 tenant = self._tenant_for(request)
                 dt = _field_int(request, "dt", minimum=0)
                 self.counters.inc(f"service.tenant_requests.{tenant.tenant_id}")
-                return self._action(request_id, tenant, lambda: tenant.advance(dt))
+                return self._action(
+                    request_id, tenant, lambda: tenant.advance(dt),
+                    entry={"op": "advance", "tenant": tenant.tenant_id, "dt": dt},
+                )
             if op == "digest":
                 tenant = self._tenant_for(request)
                 return self._action(request_id, tenant, tenant.digest)
@@ -413,10 +449,13 @@ class PermissionService:
         request_id: Any,
         tenant: TenantState,
         thunk: Callable[[], Dict[str, Any]],
+        entry: Optional[Dict[str, Any]] = None,
     ) -> Tuple[int, Any]:
         def counted() -> Dict[str, Any]:
             result = thunk()
             tenant.requests_applied += 1
+            if entry is not None and tenant.journal is not None:
+                tenant.journal.append(entry)
             return result
 
         return _KIND_ACTION, (request_id, counted)

@@ -48,13 +48,20 @@ from repro.service.core import PermissionService
 from repro.service.protocol import (
     DEFAULT_MAX_FRAME,
     HEADER_SIZE,
+    LENGTH_MASK,
+    PACKED_BIT,
+    PROTOCOL_VERSION,
+    WIRE_VERSION,
     E_FRAME_TOO_LARGE,
+    E_INTERNAL,
     E_RETRY_LATER,
     E_SHUTTING_DOWN,
     FrameError,
     decode_body,
-    encode_frame,
+    encode_response_frame,
     error_response,
+    ok_response,
+    unpack_body,
 )
 
 _HEADER = struct.Struct("!I")
@@ -85,9 +92,15 @@ class ServiceDaemon:
         batch_limit: int = 512,
         max_frame: int = DEFAULT_MAX_FRAME,
         write_high: int = 1 << 20,
+        snapshot_dir: Optional[str] = None,
+        shard_index: int = 0,
+        shard_count: int = 1,
     ) -> None:
         if unix_path is None and tcp_host is None:
             raise ValueError("daemon needs at least one listener (unix_path or tcp_host)")
+        if snapshot_dir is not None and not service.journal:
+            raise ValueError("snapshot_dir needs a journalling service "
+                             "(PermissionService(journal=True))")
         self.service = service
         self.counters: Counters = service.counters
         self.unix_path = unix_path
@@ -97,10 +110,16 @@ class ServiceDaemon:
         self.batch_limit = batch_limit
         self.max_frame = max_frame
         self.write_high = write_high
+        #: Warm-restart state: tenants whose hash lands on this daemon's
+        #: (shard_index, shard_count) slot are replayed from snapshot_dir
+        #: on start and re-snapshotted at the end of a graceful drain.
+        self.snapshot_dir = snapshot_dir
+        self.shard_index = shard_index
+        self.shard_count = shard_count
 
         self._servers: List[asyncio.AbstractServer] = []
         self._connections: Set[_Connection] = set()
-        self._queue: Deque[Tuple[_Connection, Dict[str, Any]]] = deque()
+        self._queue: Deque[Tuple[_Connection, Dict[str, Any], bool]] = deque()
         self._queue_event = asyncio.Event()
         self._draining = False
         self._stopped = asyncio.Event()
@@ -114,6 +133,14 @@ class ServiceDaemon:
 
     async def start(self) -> None:
         """Bind the listeners and start the dispatcher."""
+        if self.snapshot_dir is not None:
+            from repro.service.snapshot import load_snapshots
+
+            restored = load_snapshots(
+                self.service, self.snapshot_dir,
+                shard_index=self.shard_index, shard_count=self.shard_count,
+            )
+            self.counters.inc("service.tenants_restored", len(restored))
         if self.unix_path is not None:
             server = await asyncio.start_unix_server(self._on_connect, path=self.unix_path)
             self._servers.append(server)
@@ -184,7 +211,9 @@ class ServiceDaemon:
     async def _read_loop(self, reader: asyncio.StreamReader, conn: _Connection) -> None:
         while True:
             header = await reader.readexactly(HEADER_SIZE)
-            (length,) = _HEADER.unpack(header)
+            (raw,) = _HEADER.unpack(header)
+            packed = bool(raw & PACKED_BIT)
+            length = raw & LENGTH_MASK
             if length > self.max_frame:
                 # Refuse before buffering the body; the stream position is
                 # unrecoverable after a lie this size, so also close.
@@ -197,7 +226,7 @@ class ServiceDaemon:
                 return
             body = await reader.readexactly(length)
             try:
-                request = decode_body(body)
+                request = unpack_body(body) if packed else decode_body(body)
             except FrameError as error:
                 # Parse failures are answerable (the stream framing is
                 # intact), but a peer speaking garbage gets one diagnostic
@@ -209,7 +238,20 @@ class ServiceDaemon:
                 self.counters.inc("service.refused_draining")
                 self._send(conn, error_response(
                     request.get("id"), E_SHUTTING_DOWN, "daemon is draining"
-                ))
+                ), packed)
+                continue
+            if request.get("op") == "hello":
+                # Wire-encoding negotiation is a transport concern the
+                # request engine never sees.  Answer which encodings this
+                # daemon accepts; the client flips to packed (or not) and
+                # each side keeps answering frames in the arrival encoding.
+                offered = request.get("encodings")
+                takes_packed = isinstance(offered, list) and "packed" in offered
+                self._send(conn, ok_response(request.get("id"), {
+                    "encoding": "packed" if takes_packed else "json",
+                    "wire_version": WIRE_VERSION if takes_packed else 1,
+                    "version": PROTOCOL_VERSION,
+                }))
                 continue
             if conn.pending >= self.max_pending:
                 # Backpressure: answer now, buffer nothing.
@@ -219,14 +261,20 @@ class ServiceDaemon:
                     E_RETRY_LATER,
                     f"connection has {conn.pending} requests in flight "
                     f"(budget {self.max_pending}); retry later",
-                ))
+                ), packed)
                 continue
             conn.pending += 1
-            self._queue.append((conn, request))
+            self._queue.append((conn, request, packed))
             self._queue_event.set()
 
-    def _send(self, conn: _Connection, response: Dict[str, Any]) -> None:
-        """Write one frame unless the connection is gone or hopeless."""
+    def _send(
+        self, conn: _Connection, response: Dict[str, Any], packed: bool = False
+    ) -> None:
+        """Write one frame unless the connection is gone or hopeless.
+
+        *packed* is the encoding the request arrived in; the response
+        answers in kind (error envelopes always fall back to JSON).
+        """
         if conn.closed:
             self.counters.inc("service.responses_dropped")
             return
@@ -235,7 +283,7 @@ class ServiceDaemon:
         if transport is None or transport.is_closing():
             self.counters.inc("service.responses_dropped")
             return
-        writer.write(encode_frame(response))
+        writer.write(encode_response_frame(response, packed))
         if transport.get_write_buffer_size() > self.write_high:
             # The client stopped reading; its response backlog is the one
             # buffer with no request-side bound, so cut it here rather
@@ -267,10 +315,30 @@ class ServiceDaemon:
                 counters.inc("service.batched_requests", len(batch))
                 if len(batch) > counters.get("service.batch_size_high"):
                     counters.set("service.batch_size_high", len(batch))
-                responses = self.service.apply_many([req for _, req in batch])
-                for (conn, _), response in zip(batch, responses):
+                try:
+                    responses = self.service.apply_many([req for _, req, _ in batch])
+                except Exception as error:  # noqa: BLE001 - the last line of defence
+                    # A request that detonates past every per-request guard
+                    # in the core must not take the dispatcher with it --
+                    # that made the daemon a zombie: accepting frames,
+                    # answering nothing, leaking pending credits.  Answer
+                    # the whole batch with E_INTERNAL, return the credits,
+                    # and keep dispatching.
+                    counters.inc("service.dispatch_errors")
+                    detail = f"{type(error).__name__}: {error}"
+                    for conn, request, packed in batch:
+                        conn.pending -= 1
+                        request_id = (
+                            request.get("id") if isinstance(request, dict) else None
+                        )
+                        self._send(conn, error_response(
+                            request_id, E_INTERNAL, f"batch dispatch failed: {detail}"
+                        ))
+                    await asyncio.sleep(0)
+                    continue
+                for (conn, _, packed), response in zip(batch, responses):
                     conn.pending -= 1
-                    self._send(conn, response)
+                    self._send(conn, response, packed)
                 # One cooperative yield per batch: lets readers refill the
                 # queue (growing the next coalesced batch) and writers
                 # actually flush.
@@ -294,6 +362,16 @@ class ServiceDaemon:
             except Exception:
                 pass
         self._connections.clear()
+        if self.snapshot_dir is not None:
+            # Every in-flight request is answered by now, so the journals
+            # are complete: persist them for the next warm start.
+            from repro.service.snapshot import write_snapshots
+
+            written = write_snapshots(
+                self.service, self.snapshot_dir,
+                shard_index=self.shard_index, shard_count=self.shard_count,
+            )
+            self.counters.inc("service.tenants_snapshotted", written)
         self._stopped.set()
 
     # -- introspection ---------------------------------------------------------

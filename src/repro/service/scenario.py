@@ -120,15 +120,44 @@ def envelope(request: Dict[str, Any], request_id: int) -> Dict[str, Any]:
     return wrapped
 
 
-def run_inprocess(tenants: int, ops: int, seed: int) -> Dict[int, List[Dict[str, Any]]]:
+def slice_script(
+    script: List[Dict[str, Any]], first: Optional[int] = None, skip: int = 0
+) -> List[Dict[str, Any]]:
+    """Cut a script for phased runs (warm-restart gates).
+
+    ``first=K`` keeps the opening K requests (phase one, ending in a
+    drain); ``skip=K`` drops them (phase two against the restarted
+    daemon -- skipping, crucially, the leading ``reset`` that would wipe
+    the restored partition).  ``first`` applies before ``skip``.
+    """
+    if first is not None:
+        script = script[:first]
+    if skip:
+        script = script[skip:]
+    return script
+
+
+def run_inprocess(
+    tenants: int,
+    ops: int,
+    seed: int,
+    first: Optional[int] = None,
+    skip: int = 0,
+    service: Optional[PermissionService] = None,
+) -> Dict[int, List[Dict[str, Any]]]:
     """The reference: apply the interleaved script to a fresh service.
 
     Returns tenant_index -> responses (in that tenant's script order).
     Requests are applied one at a time -- the *unbatched* reference the
-    daemon's coalesced batches must match byte for byte.
+    daemon's coalesced batches must match byte for byte.  Pass *service*
+    to continue a phased run on existing partitions.
     """
-    service = PermissionService()
-    streams = [scripted_requests(seed, ops, i) for i in range(tenants)]
+    if service is None:
+        service = PermissionService()
+    streams = [
+        slice_script(scripted_requests(seed, ops, i), first, skip)
+        for i in range(tenants)
+    ]
     tagged: List[List[Any]] = []
     for index, stream in enumerate(streams):
         tagged.append([[index, request] for request in stream])
@@ -145,23 +174,29 @@ def run_against_daemon(
     seed: int,
     unix_path: Optional[str] = None,
     tcp: Optional[tuple] = None,
+    first: Optional[int] = None,
+    skip: int = 0,
+    packed: bool = False,
 ) -> Dict[int, List[Dict[str, Any]]]:
     """Drive the daemon: one connection per tenant, scripts in parallel.
 
     Each tenant's requests are sent strictly in script order on its own
     connection (the per-tenant ordering contract); different tenants'
     requests race freely, exercising the daemon's cross-connection
-    batching.
+    batching.  With ``packed`` the clients negotiate wire v2 -- the
+    transcripts must not change by a byte.
     """
     import asyncio
 
     from repro.service.client import AsyncServiceClient
 
     async def tenant_session(index: int) -> List[Dict[str, Any]]:
-        client = await AsyncServiceClient.connect(unix_path=unix_path, tcp=tcp)
+        client = await AsyncServiceClient.connect(
+            unix_path=unix_path, tcp=tcp, packed=packed
+        )
         try:
             out: List[Dict[str, Any]] = []
-            for request in scripted_requests(seed, ops, index):
+            for request in slice_script(scripted_requests(seed, ops, index), first, skip):
                 out.append(await client.request_raw(**request))
             return out
         finally:
@@ -195,6 +230,36 @@ def transcript_json(responses: List[Dict[str, Any]], seed: int, ops: int) -> str
     ) + "\n"
 
 
+def collect_digests(
+    tenants: int,
+    unix_path: Optional[str] = None,
+    tcp: Optional[tuple] = None,
+    service: Optional[PermissionService] = None,
+) -> Dict[str, str]:
+    """Every tenant's decision-history digest, as one canonical map.
+
+    The warm-restart gate ``cmp``\\ s this across a drain/restart boundary
+    against an uninterrupted run: identical maps mean the snapshots
+    reproduced every partition exactly.
+    """
+    names = [tenant_name(i) for i in range(tenants)]
+    if service is not None:
+        return {
+            name: service.apply(
+                {"v": PROTOCOL_VERSION, "id": 0, "op": "digest", "tenant": name}
+            )["result"]["digest"]
+            for name in names
+        }
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(unix_path=unix_path, tcp=tcp) as client:
+        return {name: client.digest(name)["digest"] for name in names}
+
+
+def digests_json(digests: Dict[str, str]) -> str:
+    return canonical_json({"digests": digests}) + "\n"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="scripted determinism scenario for the permission daemon"
@@ -213,17 +278,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--tenant-index", type=int, default=0,
         help="which tenant's transcript to print",
     )
+    parser.add_argument(
+        "--first", type=int, default=None, metavar="K",
+        help="send only the first K requests of each tenant's script",
+    )
+    parser.add_argument(
+        "--skip", type=int, default=0, metavar="K",
+        help="skip the first K requests of each tenant's script "
+             "(phase two of a warm-restart run)",
+    )
+    parser.add_argument(
+        "--packed", action="store_true",
+        help="negotiate the packed (wire v2) encoding; transcripts must "
+             "be byte-identical to JSON runs",
+    )
+    parser.add_argument(
+        "--digests", action="store_true",
+        help="print every tenant's decision digest instead of a transcript",
+    )
     args = parser.parse_args(argv)
 
-    if args.inprocess:
-        responses = run_inprocess(args.tenants, args.ops, args.seed)
-    elif args.unix:
-        responses = run_against_daemon(args.tenants, args.ops, args.seed, unix_path=args.unix)
-    else:
+    tcp = None
+    if args.tcp:
         host, _, port = args.tcp.rpartition(":")
-        responses = run_against_daemon(
-            args.tenants, args.ops, args.seed, tcp=(host, int(port))
+        tcp = (host, int(port))
+
+    if args.inprocess:
+        service = PermissionService()
+        responses = run_inprocess(
+            args.tenants, args.ops, args.seed,
+            first=args.first, skip=args.skip, service=service,
         )
+        if args.digests:
+            sys.stdout.write(digests_json(collect_digests(args.tenants, service=service)))
+            return 0
+    else:
+        responses = run_against_daemon(
+            args.tenants, args.ops, args.seed,
+            unix_path=args.unix, tcp=tcp,
+            first=args.first, skip=args.skip, packed=args.packed,
+        )
+        if args.digests:
+            sys.stdout.write(
+                digests_json(collect_digests(args.tenants, unix_path=args.unix, tcp=tcp))
+            )
+            return 0
     sys.stdout.write(
         transcript_json(responses[args.tenant_index], args.seed, args.ops)
     )

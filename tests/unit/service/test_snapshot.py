@@ -1,0 +1,206 @@
+"""Tenant snapshots: journalling, write/load round trips, warm restarts."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.core import PermissionService
+from repro.service.daemon import ServiceDaemon
+from repro.service.protocol import PROTOCOL_VERSION, canonical_json
+from repro.service.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    load_snapshots,
+    snapshot_path,
+    tenant_shard,
+    write_snapshots,
+)
+
+TIMEOUT = 10.0
+
+
+def apply_script(service, tenant="t0"):
+    """A short mixed-verb history; returns the tenant's digest."""
+    script = [
+        {"op": "spawn", "tenant": tenant, "name": "alpha"},
+        {"op": "spawn", "tenant": tenant, "name": "beta"},
+        {"op": "interact", "tenant": tenant, "pid": 4},
+        {"op": "query", "tenant": tenant, "pid": 4, "operation": "paste"},
+        {"op": "advance", "tenant": tenant, "dt": 2_000_000},
+        {"op": "query", "tenant": tenant, "pid": 4, "operation": "copy", "at": 9_000_000},
+        {"op": "stats", "tenant": tenant},  # read-only: must not journal
+        {"op": "interact", "tenant": tenant, "pid": 5, "at": 10_000_000},
+        {"op": "query", "tenant": tenant, "pid": 5, "operation": "screen_capture"},
+    ]
+    for request in script:
+        response = service.apply({"v": PROTOCOL_VERSION, "id": 1, **request})
+        assert response["ok"], response
+    return service.apply(
+        {"v": PROTOCOL_VERSION, "id": 1, "op": "digest", "tenant": tenant}
+    )["result"]["digest"]
+
+
+class TestJournal:
+    def test_off_by_default(self):
+        service = PermissionService()
+        apply_script(service)
+        assert service.tenant("t0").journal is None
+
+    def test_records_mutating_verbs_only(self):
+        service = PermissionService(journal=True)
+        apply_script(service)
+        journal = service.tenant("t0").journal
+        assert journal is not None
+        ops = [entry["op"] for entry in journal]
+        assert ops == [
+            "spawn", "spawn", "interact", "query", "advance",
+            "query", "interact", "query",
+        ]  # stats and digest never appear
+        # Normalised: explicit timestamps kept, absent ones stay absent.
+        assert journal[3] == {"op": "query", "tenant": "t0", "pid": 4,
+                              "operation": "paste"}
+        assert journal[5]["at"] == 9_000_000
+        assert journal[6]["at"] == 10_000_000
+
+    def test_replaying_journal_reproduces_digest(self):
+        source = PermissionService(journal=True)
+        digest = apply_script(source)
+        replica = PermissionService()
+        for entry in source.tenant("t0").journal:
+            assert replica.apply({"v": PROTOCOL_VERSION, "id": 0, **entry})["ok"]
+        assert replica.apply(
+            {"v": PROTOCOL_VERSION, "id": 0, "op": "digest", "tenant": "t0"}
+        )["result"]["digest"] == digest
+
+
+class TestWriteLoadRoundTrip:
+    def test_round_trip_digests_identical(self, tmp_path):
+        source = PermissionService(journal=True)
+        digests = {t: apply_script(source, t) for t in ("t0", "t1", "alpha:9")}
+        assert write_snapshots(source, tmp_path) == 3
+
+        restored = PermissionService(journal=True)
+        assert load_snapshots(restored, tmp_path) == sorted(("t0", "t1", "alpha:9"))
+        for tenant, digest in digests.items():
+            assert restored.apply(
+                {"v": PROTOCOL_VERSION, "id": 0, "op": "digest", "tenant": tenant}
+            )["result"]["digest"] == digest
+
+    def test_snapshot_file_is_canonical_and_versioned(self, tmp_path):
+        service = PermissionService(journal=True)
+        apply_script(service)
+        write_snapshots(service, tmp_path)
+        path = snapshot_path(tmp_path, "t0")
+        text = path.read_text(encoding="utf-8")
+        data = json.loads(text)
+        assert data["version"] == SNAPSHOT_VERSION
+        assert data["tenant"] == "t0"
+        assert text == canonical_json(data) + "\n"  # byte-stable across runs
+
+    def test_missing_directory_is_cold_start(self, tmp_path):
+        assert load_snapshots(PermissionService(), tmp_path / "nope") == []
+
+    def test_reset_tenant_prunes_stale_file(self, tmp_path):
+        service = PermissionService(journal=True)
+        apply_script(service, "t0")
+        apply_script(service, "t1")
+        write_snapshots(service, tmp_path)
+        assert snapshot_path(tmp_path, "t0").exists()
+        service.apply({"v": PROTOCOL_VERSION, "id": 0, "op": "reset", "tenant": "t0"})
+        write_snapshots(service, tmp_path)
+        assert not snapshot_path(tmp_path, "t0").exists()  # not resurrectable
+        assert snapshot_path(tmp_path, "t1").exists()
+
+    def test_version_mismatch_raises(self, tmp_path):
+        service = PermissionService(journal=True)
+        apply_script(service)
+        write_snapshots(service, tmp_path)
+        path = snapshot_path(tmp_path, "t0")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["version"] = SNAPSHOT_VERSION + 1
+        path.write_text(canonical_json(data), encoding="utf-8")
+        with pytest.raises(SnapshotError) as excinfo:
+            load_snapshots(PermissionService(), tmp_path)
+        assert "version" in str(excinfo.value)
+
+    def test_corrupt_json_raises(self, tmp_path):
+        service = PermissionService(journal=True)
+        apply_script(service)
+        write_snapshots(service, tmp_path)
+        snapshot_path(tmp_path, "t0").write_text("{nope", encoding="utf-8")
+        with pytest.raises(SnapshotError):
+            load_snapshots(PermissionService(), tmp_path)
+
+    def test_unjournalled_service_refuses_to_snapshot(self, tmp_path):
+        service = PermissionService()  # journal off
+        apply_script(service)
+        with pytest.raises(SnapshotError):
+            write_snapshots(service, tmp_path)
+
+
+class TestShardOwnership:
+    def test_hash_is_stable_and_partitions(self):
+        tenants = [f"t{i}" for i in range(64)]
+        assert all(tenant_shard(t, 1) == 0 for t in tenants)
+        shards = {t: tenant_shard(t, 4) for t in tenants}
+        assert set(shards.values()) == {0, 1, 2, 3}  # spreads
+        assert shards == {t: tenant_shard(t, 4) for t in tenants}  # stable
+
+    def test_write_and_load_respect_ownership(self, tmp_path):
+        service = PermissionService(journal=True)
+        tenants = [f"t{i}" for i in range(8)]
+        for tenant in tenants:
+            apply_script(service, tenant)
+        count = 2
+        written = sum(
+            write_snapshots(service, tmp_path, shard_index=i, shard_count=count)
+            for i in range(count)
+        )
+        assert written == len(tenants)
+        for index in range(count):
+            owned = [t for t in tenants if tenant_shard(t, count) == index]
+            restored = PermissionService(journal=True)
+            assert load_snapshots(
+                restored, tmp_path, shard_index=index, shard_count=count
+            ) == sorted(owned)
+            assert restored.tenant_ids == sorted(owned)
+
+
+class TestDaemonIntegration:
+    def test_drain_snapshots_and_warm_restart(self, tmp_path):
+        snapdir = str(tmp_path / "snaps")
+
+        async def first_life():
+            path = str(tmp_path / "one.sock")
+            service = PermissionService(journal=True)
+            daemon = ServiceDaemon(service, unix_path=path, snapshot_dir=snapdir)
+            await daemon.start()
+            digest = apply_script(service)  # in-process shortcut; same engine
+            daemon.begin_drain()
+            await asyncio.wait_for(daemon.wait_stopped(), timeout=TIMEOUT)
+            assert daemon.counters.get("service.tenants_snapshotted") == 1
+            return digest
+
+        async def second_life():
+            path = str(tmp_path / "two.sock")
+            service = PermissionService(journal=True)
+            daemon = ServiceDaemon(service, unix_path=path, snapshot_dir=snapdir)
+            await daemon.start()  # restores from snapdir
+            assert daemon.counters.get("service.tenants_restored") == 1
+            digest = service.apply(
+                {"v": PROTOCOL_VERSION, "id": 0, "op": "digest", "tenant": "t0"}
+            )["result"]["digest"]
+            daemon.begin_drain()
+            await asyncio.wait_for(daemon.wait_stopped(), timeout=TIMEOUT)
+            return digest
+
+        assert asyncio.run(first_life()) == asyncio.run(second_life())
+
+    def test_snapshot_dir_requires_journalling_service(self, tmp_path):
+        with pytest.raises(ValueError):
+            ServiceDaemon(
+                PermissionService(),  # journal off
+                unix_path=str(tmp_path / "x.sock"),
+                snapshot_dir=str(tmp_path / "snaps"),
+            )
